@@ -1,0 +1,161 @@
+//! Criterion wall-clock microbenchmarks of the Cudele mechanisms'
+//! *functional* implementations (the figures use virtual time; these
+//! measure the real Rust code paths so regressions in the implementation
+//! itself are visible).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cudele::{execute_merge, Composition, ExecEnv};
+use cudele_client::{DecoupledClient, LocalDisk};
+use cudele_journal::{InodeId, InodeRange};
+use cudele_mds::{ClientId, MetadataServer};
+use cudele_rados::InMemoryStore;
+
+const EVENTS: u64 = 10_000;
+
+fn decoupled_with_journal(events: u64) -> DecoupledClient {
+    let mut c = DecoupledClient::new(
+        ClientId(1),
+        InodeId::ROOT,
+        InodeRange::new(InodeId(0x10_000), events),
+    );
+    for i in 0..events {
+        c.create(InodeId::ROOT, &format!("file.{i}")).unwrap();
+    }
+    c
+}
+
+fn server() -> MetadataServer {
+    let mut s = MetadataServer::new(Arc::new(InMemoryStore::paper_default()));
+    s.open_session(ClientId(1));
+    s
+}
+
+fn bench_append_client_journal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("append_client_journal");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("create_events", |b| {
+        b.iter(|| decoupled_with_journal(EVENTS));
+    });
+    g.finish();
+}
+
+fn bench_rpc_creates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpcs");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("create_via_server", |b| {
+        b.iter_batched(
+            || {
+                let mut s = server();
+                let dir = s.setup_dir("/bench").unwrap();
+                (s, dir)
+            },
+            |(mut s, dir)| {
+                for i in 0..EVENTS {
+                    s.create(ClientId(1), dir, &format!("f{i}")).result.unwrap();
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_volatile_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volatile_apply");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("merge_journal", |b| {
+        b.iter_batched(
+            || (server(), decoupled_with_journal(EVENTS)),
+            |(mut s, mut client)| {
+                let (res, _, _) = client.volatile_apply(&mut s);
+                res.unwrap();
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_persists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persist");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("local_persist", |b| {
+        let client = decoupled_with_journal(EVENTS);
+        let cm = cudele_sim::CostModel::calibrated();
+        b.iter_batched(
+            LocalDisk::new,
+            |mut disk| {
+                client.local_persist(&mut disk, &cm).unwrap();
+                disk
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("global_persist", |b| {
+        let client = decoupled_with_journal(EVENTS);
+        let cm = cudele_sim::CostModel::calibrated();
+        b.iter_batched(
+            InMemoryStore::paper_default,
+            |os| {
+                client.global_persist(&os, &cm).unwrap();
+                os
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_full_merge_compositions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_composition");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(EVENTS));
+    for comp in [
+        "volatile_apply",
+        "local_persist+volatile_apply",
+        "global_persist||volatile_apply",
+    ] {
+        g.bench_function(comp, |b| {
+            let parsed: Composition = comp.parse().unwrap();
+            b.iter_batched(
+                || {
+                    (
+                        server(),
+                        decoupled_with_journal(EVENTS),
+                        Arc::new(InMemoryStore::paper_default()),
+                        LocalDisk::new(),
+                    )
+                },
+                |(mut s, mut client, os, mut disk)| {
+                    execute_merge(
+                        &parsed,
+                        &mut client,
+                        &mut ExecEnv {
+                            server: &mut s,
+                            os: os.as_ref(),
+                            disk: &mut disk,
+                        },
+                    )
+                    .unwrap();
+                    s
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append_client_journal,
+    bench_rpc_creates,
+    bench_volatile_apply,
+    bench_persists,
+    bench_full_merge_compositions
+);
+criterion_main!(benches);

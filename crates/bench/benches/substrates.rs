@@ -1,0 +1,172 @@
+//! Criterion wall-clock microbenchmarks of the substrates: journal codec,
+//! object store, directory fragments, capability table, and policy
+//! parsing. These guard the real implementation's performance, independent
+//! of the virtual-time experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cudele::{parse_policies, Composition};
+use cudele_journal::{encode_journal, decode_journal, Attrs, InodeId, JournalEvent};
+use cudele_mds::{CapTable, ClientId, Dir, MetadataStore};
+use cudele_rados::{InMemoryStore, ObjectId, ObjectStore, PoolId};
+
+fn events(n: u64) -> Vec<JournalEvent> {
+    (0..n)
+        .map(|i| JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: format!("file.{i}"),
+            ino: InodeId(0x10_000 + i),
+            attrs: Attrs::file_default(),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let evs = events(N);
+    let blob = encode_journal(&evs);
+    let mut g = c.benchmark_group("journal_codec");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("encode", |b| b.iter(|| encode_journal(&evs)));
+    g.bench_function("decode", |b| b.iter(|| decode_journal(&blob).unwrap()));
+    g.finish();
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("object_store");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("append_1000x256B", |b| {
+        b.iter_batched(
+            InMemoryStore::paper_default,
+            |os| {
+                let id = ObjectId::new(PoolId::METADATA, "bench");
+                for _ in 0..1000 {
+                    os.append(&id, &[0u8; 256]).unwrap();
+                }
+                os
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("omap_set_1000", |b| {
+        b.iter_batched(
+            InMemoryStore::paper_default,
+            |os| {
+                let id = ObjectId::new(PoolId::METADATA, "dirfrag");
+                for i in 0..1000 {
+                    os.omap_set(&id, &format!("k{i}"), b"v").unwrap();
+                }
+                os
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_metadata_store(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("metadata_store");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("checked_creates", |b| {
+        b.iter_batched(
+            MetadataStore::new,
+            |mut ms| {
+                for i in 0..N {
+                    ms.create(
+                        InodeId::ROOT,
+                        &format!("f{i}"),
+                        InodeId(0x10_000 + i),
+                        Attrs::file_default(),
+                    )
+                    .unwrap();
+                }
+                ms
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("blind_apply", |b| {
+        let evs = events(N);
+        b.iter_batched(
+            MetadataStore::new,
+            |mut ms| {
+                for e in &evs {
+                    ms.apply_blind(e);
+                }
+                ms
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_dirfrag_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dirfrag");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("insert_with_splits", |b| {
+        b.iter_batched(
+            || Dir::with_split_threshold(1024),
+            |mut d| {
+                for i in 0..20_000u64 {
+                    d.insert(
+                        &format!("f{i}"),
+                        cudele_mds::Dentry {
+                            ino: InodeId(i + 2),
+                            ftype: cudele_journal::FileType::File,
+                        },
+                    );
+                }
+                d
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_caps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caps");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("alternating_writers", |b| {
+        b.iter_batched(
+            CapTable::new,
+            |mut t| {
+                let dir = InodeId(0x1000);
+                for i in 0..100_000u32 {
+                    t.on_dir_write(dir, ClientId(i % 2));
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_policy_parsing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    let file = "consistency: weak\ndurability: local\nallocated_inodes: 100000\ninterfere: block\n";
+    g.bench_function("parse_policies_file", |b| {
+        b.iter(|| parse_policies(file).unwrap())
+    });
+    g.bench_function("parse_dsl", |b| {
+        b.iter(|| {
+            "append_client_journal+local_persist||volatile_apply"
+                .parse::<Composition>()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_object_store,
+    bench_metadata_store,
+    bench_dirfrag_split,
+    bench_caps,
+    bench_policy_parsing
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Runs the ablation studies for the design choices DESIGN.md calls out
+//! (journal-arrival overlap, cap re-grant threshold, dirfrag split
+//! threshold). `--quick` reduces the arrival-ablation scale.
+
+fn main() {
+    let scale = cudele_bench::Scale::from_args();
+    let (_, arrival) = cudele_bench::ablations::run_arrival_ablation(scale);
+    println!("{arrival}");
+    let (_, regrant) = cudele_bench::ablations::regrant_threshold_ablation();
+    println!("{regrant}");
+    let (_, split) = cudele_bench::ablations::split_threshold_ablation();
+    println!("{split}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the paper's evaluation in one go
+//! (the input for EXPERIMENTS.md). `--quick` runs a reduced scale.
+
+fn main() {
+    let scale = cudele_bench::Scale::from_args();
+    println!("Cudele reproduction — all experiments (files/client = {}, runs = {})\n",
+             scale.files_per_client, scale.runs);
+    println!("{}", cudele_bench::fig2::run(scale).rendered);
+    println!("{}", cudele_bench::fig3a::run(scale).rendered);
+    println!("{}", cudele_bench::fig3b::run(scale).rendered);
+    println!("{}", cudele_bench::fig3c::run(scale).rendered);
+    println!("{}", cudele_bench::fig5::run(scale).rendered);
+    println!("{}", cudele_bench::fig6a::run(scale).rendered);
+    println!("{}", cudele_bench::fig6b::run(scale).rendered);
+    println!("{}", cudele_bench::fig6c::run(scale).rendered);
+    println!("{}", cudele_bench::table1::run(scale).rendered);
+}

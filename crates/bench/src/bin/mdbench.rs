@@ -1,0 +1,184 @@
+//! `mdbench` — an mdtest-style metadata benchmark for the simulated
+//! cluster, with a policy knob.
+//!
+//! Sweeps nothing; runs exactly one configuration and prints absolute
+//! virtual-time throughput, so administrators can explore the policy
+//! space interactively:
+//!
+//! ```text
+//! $ mdbench --clients 8 --files 50000 --policy batchfs
+//! $ mdbench --clients 8 --files 50000 --policy posix
+//! $ mdbench --clients 4 --files 10000 --policy custom \
+//!           --composition "append_client_journal+global_persist||volatile_apply"
+//! ```
+
+use std::sync::Arc;
+
+use cudele::{Composition, Policy};
+use cudele_mds::MetadataServer;
+use cudele_rados::InMemoryStore;
+use cudele_sim::{Engine, Nanos};
+use cudele_workloads::client_dir;
+
+use cudele_bench::{DecoupledCreateProcess, RpcCreateProcess, World};
+
+struct Args {
+    clients: u32,
+    files: u64,
+    policy: String,
+    composition: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 4,
+        files: 10_000,
+        policy: "posix".to_string(),
+        composition: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--clients" => {
+                args.clients = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--files" => {
+                args.files = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--policy" => {
+                args.policy = argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--composition" => {
+                args.composition = Some(argv.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mdbench [--clients N] [--files N] \
+         [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
+         [--composition DSL]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let policy = match args.policy.as_str() {
+        "posix" | "cephfs" => Policy::posix(),
+        "ramdisk" => Policy::ramdisk(),
+        "batchfs" => Policy::batchfs(),
+        "deltafs" => Policy::deltafs(),
+        "hdfs" => Policy::hdfs(),
+        "custom" => {
+            let dsl = args.composition.clone().unwrap_or_else(|| {
+                eprintln!("--policy custom requires --composition");
+                usage()
+            });
+            let comp: Composition = dsl.parse().unwrap_or_else(|e| {
+                eprintln!("bad composition: {e}");
+                usage()
+            });
+            let mut p = Policy::batchfs();
+            p.custom_composition = Some(comp);
+            p
+        }
+        other => {
+            eprintln!("unknown policy {other:?}");
+            usage()
+        }
+    };
+
+    println!(
+        "mdbench: {} clients x {} creates under `{}`",
+        args.clients,
+        args.files,
+        policy.composition()
+    );
+
+    let os = Arc::new(InMemoryStore::paper_default());
+    let journal_on = policy.composition().contains(cudele::Mechanism::Stream);
+    let mdlog = if journal_on {
+        Some(cudele_mds::MdLogConfig::default())
+    } else if policy.operation_mode() == cudele::OperationMode::Rpcs {
+        None // rpcs without stream: journal off
+    } else {
+        Some(cudele_mds::MdLogConfig::default())
+    };
+    let mut world = World::new(MetadataServer::with_config(
+        os,
+        cudele_sim::CostModel::calibrated(),
+        mdlog,
+    ));
+    for c in 0..args.clients {
+        world.server.setup_dir(&client_dir(c)).unwrap();
+    }
+    let dirs: Vec<_> = (0..args.clients)
+        .map(|c| world.server.store().resolve(&client_dir(c)).unwrap())
+        .collect();
+
+    let total_ops = args.clients as u64 * args.files;
+    let (create_end, merge_end) = match policy.operation_mode() {
+        cudele::OperationMode::Rpcs => {
+            let mut eng = Engine::new(world);
+            for c in 0..args.clients {
+                let p = RpcCreateProcess::new(eng.world_mut(), c, dirs[c as usize], args.files);
+                eng.add_process(Box::new(p));
+            }
+            let (_, report) = eng.run();
+            (report.slowest(), report.slowest())
+        }
+        cudele::OperationMode::Decoupled => {
+            let mut eng = Engine::new(world);
+            for c in 0..args.clients {
+                let p = DecoupledCreateProcess::new(eng.world_mut(), c, &client_dir(c), args.files);
+                eng.add_process(Box::new(p));
+            }
+            let (mut world, report) = eng.run();
+            let create_end = report.slowest();
+            let mut merge_end = create_end;
+            if policy
+                .merge_composition()
+                .map_or(false, |m| m.contains(cudele::Mechanism::VolatileApply))
+            {
+                for c in 0..args.clients {
+                    let mut p = DecoupledCreateProcess::new(
+                        &mut world,
+                        100 + c,
+                        &client_dir(c),
+                        args.files,
+                    );
+                    for i in 0..args.files {
+                        p.client
+                            .create(p.client.root, &cudele_workloads::file_name(100 + c, i))
+                            .unwrap();
+                    }
+                    merge_end = merge_end.max(p.merge_at(&mut world, create_end, args.clients));
+                }
+            }
+            (create_end, merge_end)
+        }
+    };
+
+    let rate = |t: Nanos| total_ops as f64 / t.as_secs_f64();
+    println!("  create phase : {create_end} ({:.0} creates/s aggregate)", rate(create_end));
+    if merge_end > create_end {
+        println!(
+            "  with merge   : {merge_end} ({:.0} creates/s end-to-end)",
+            rate(merge_end)
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates table1 of the paper. Run with `--quick` for a fast,
+//! shape-preserving reduced scale (default: paper scale).
+
+fn main() {
+    let scale = cudele_bench::Scale::from_args();
+    let out = cudele_bench::table1::run(scale);
+    println!("{}", out.rendered);
+}

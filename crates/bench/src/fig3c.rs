@@ -1,0 +1,195 @@
+//! Figure 3c: "interference increases RPCs" — the time trace behind
+//! Figure 3b's slowdown.
+//!
+//! One client creates files in its directory; at 30 s an interferer starts
+//! creating files in the same directory. The MDS revokes the victim's
+//! directory read-caching capability, so the victim must precede every
+//! create with a `lookup()` RPC. The paper plots the victim's request
+//! throughput on y1 (it *rises* — the MDS absorbs the extra lookups) and
+//! the lookups on y2 (zero before interference, ~1 per create after),
+//! while useful create throughput drops.
+
+use std::sync::Arc;
+
+use cudele_mds::MetadataServer;
+use cudele_rados::InMemoryStore;
+use cudele_sim::{render_table, Engine, Nanos, Series};
+use cudele_workloads::Interference;
+
+use crate::world::{InterfererProcess, RpcCreateProcess, World};
+use crate::Scale;
+
+/// Figure output: binned time series.
+#[derive(Debug, Clone)]
+pub struct Fig3c {
+    /// Victim creates per second over time.
+    pub creates_per_sec: Series,
+    /// Victim lookups per second over time.
+    pub lookups_per_sec: Series,
+    /// Total MDS request throughput (all clients) per second over time.
+    pub requests_per_sec: Series,
+    /// When the interferer started.
+    pub interference_start: Nanos,
+    pub rendered: String,
+}
+
+/// Bins a cumulative-count trace into a per-interval rate series.
+fn bin_rate(trace: &[(Nanos, f64)], bin: Nanos, label: &str) -> Series {
+    let mut s = Series::new(label);
+    if trace.is_empty() {
+        return s;
+    }
+    let end = trace.last().unwrap().0;
+    let mut bin_start = Nanos::ZERO;
+    let mut prev_count = 0.0;
+    let mut idx = 0;
+    while bin_start < end {
+        let bin_end = bin_start + bin;
+        // Last cumulative value at or before bin_end.
+        let mut count = prev_count;
+        while idx < trace.len() && trace[idx].0 <= bin_end {
+            count = trace[idx].1;
+            idx += 1;
+        }
+        let rate = (count - prev_count) / bin.as_secs_f64();
+        s.push(bin_end.as_secs_f64(), rate);
+        prev_count = count;
+        bin_start = bin_end;
+    }
+    s
+}
+
+/// Runs the trace at `scale`. The victim creates `scale.files_per_client`
+/// files; the interferer arrives ~30% of the way through (the paper's 30 s
+/// on a ~195 s run) and keeps interfering for the rest of the run.
+pub fn run(scale: Scale) -> Fig3c {
+    let files = scale.files_per_client;
+    let os = Arc::new(InMemoryStore::paper_default());
+    let mut world = World::new(MetadataServer::new(os));
+    let dirs = world.setup_private_dirs(1);
+
+    let mut eng = Engine::new(world);
+    let mut victim = RpcCreateProcess::new(eng.world_mut(), 0, dirs[0], files);
+    victim.record_trace = true;
+    eng.add_process(Box::new(victim));
+
+    // Victim alone runs at ~542 c/s => total run ~ files/542 s. Start the
+    // interferer ~30% in (30 s of the paper's ~190 s single-client run)
+    // and size it to keep interfering until the victim finishes.
+    let start = Nanos::from_secs_f64(0.3 * files as f64 / 542.0);
+    let spec = Interference {
+        start,
+        files_per_dir: files, // enough to interfere for the whole run
+        seed: 42,
+    };
+    let p = InterfererProcess::new(eng.world_mut(), 1_000_000, &spec, &dirs);
+    eng.add_process_at(Box::new(p), spec.start);
+
+    let (world, report) = eng.run();
+    let victim_end = report.completions[0];
+
+    // Bin at 1/40th of the run for a readable table.
+    let bin = Nanos(victim_end.as_nanos() / 40).max(Nanos::MILLI);
+    let creates = bin_rate(&world.traces["victim-creates"], bin, "creates/s (victim)");
+    let lookups = bin_rate(&world.traces["victim-lookups"], bin, "lookups/s (victim)");
+    // The MDS's total request throughput (victim + interferer): the paper's
+    // y1 axis, which *rises* under interference while the victim's useful
+    // throughput drops.
+    let requests = bin_rate(&world.traces["mds-rpcs"], bin, "requests/s (mds)");
+
+    let series = vec![creates.clone(), lookups.clone(), requests.clone()];
+    let mut rendered = String::from(
+        "Figure 3c: victim behaviour over time; the interferer arrives and\n\
+         capability revocation turns every create into lookup+create\n\n",
+    );
+    rendered.push_str(&format!(
+        "interference starts at t={:.1}s\n\n",
+        spec.start.as_secs_f64()
+    ));
+    rendered.push_str(&render_table("t (s)", &series));
+    Fig3c {
+        creates_per_sec: creates,
+        lookups_per_sec: lookups,
+        requests_per_sec: requests,
+        interference_start: spec.start,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split_at<'a>(s: &'a Series, t: f64) -> (Vec<f64>, Vec<f64>) {
+        let before: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|p| p.0 < t * 0.95)
+            .map(|p| p.1)
+            .collect();
+        let after: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|p| p.0 > t * 1.25)
+            .map(|p| p.1)
+            .collect();
+        (before, after)
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    }
+
+    #[test]
+    fn lookups_appear_only_after_interference() {
+        let f = run(Scale {
+            files_per_client: 8_000,
+            runs: 1,
+        });
+        let t = f.interference_start.as_secs_f64();
+        let (before, after) = split_at(&f.lookups_per_sec, t);
+        // Before: essentially no lookups (one cold-start lookup).
+        assert!(mean(&before) < 5.0, "lookups before: {}", mean(&before));
+        // After: lookups at roughly the create rate.
+        assert!(mean(&after) > 100.0, "lookups after: {}", mean(&after));
+    }
+
+    #[test]
+    fn create_rate_drops_but_request_rate_rises() {
+        let f = run(Scale {
+            files_per_client: 8_000,
+            runs: 1,
+        });
+        let t = f.interference_start.as_secs_f64();
+        let (cb, ca) = split_at(&f.creates_per_sec, t);
+        assert!(
+            mean(&ca) < 0.8 * mean(&cb),
+            "victim create rate should drop: {} -> {}",
+            mean(&cb),
+            mean(&ca)
+        );
+        // The MDS's request throughput *rises* (paper: "these extra
+        // requests increase the throughput ... because the metadata server
+        // can handle the extra load but performance suffers").
+        let (rb, ra) = split_at(&f.requests_per_sec, t);
+        assert!(
+            mean(&ra) > 1.5 * mean(&rb),
+            "mds request rate should rise: {} -> {}",
+            mean(&rb),
+            mean(&ra)
+        );
+    }
+
+    #[test]
+    fn before_interference_rate_matches_baseline() {
+        let f = run(Scale {
+            files_per_client: 8_000,
+            runs: 1,
+        });
+        let t = f.interference_start.as_secs_f64();
+        let (before, _) = split_at(&f.creates_per_sec, t);
+        // ~542 creates/s with journal on.
+        let m = mean(&before);
+        assert!((m - 542.0).abs() < 40.0, "pre-interference rate {m}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 6b: "the allow/block API isolates directories from interfering
+//! clients."
+//!
+//! Paper shape: with `interfere: block`, the slowdown and variability of
+//! the victims track the no-interference curve (paper: 1.34×/σ0.09 vs
+//! 1.42×/σ0.06) instead of the interference curve (1.67×/σ0.44); at small
+//! client counts the reject overhead is visible because the MDS is
+//! underloaded, so block looks closer to interference there.
+
+use cudele_sim::{render_plot, render_table, Series};
+
+use crate::fig3b::{sweep, Mode};
+use crate::Scale;
+
+/// The figure output plus its headline statistics.
+#[derive(Debug, Clone)]
+pub struct Fig6b {
+    pub series: Vec<Series>,
+    pub rendered: String,
+}
+
+impl Fig6b {
+    fn series_by(&self, label: &str) -> &Series {
+        self.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("no series {label}"))
+    }
+
+    pub fn isolated(&self) -> &Series {
+        self.series_by(Mode::Isolated.label())
+    }
+
+    pub fn interference(&self) -> &Series {
+        self.series_by(Mode::Interference.label())
+    }
+
+    pub fn blocked(&self) -> &Series {
+        self.series_by(Mode::Blocked.label())
+    }
+}
+
+/// Runs the figure at `scale`.
+pub fn run(scale: Scale) -> Fig6b {
+    let series = sweep(
+        scale,
+        &[Mode::Isolated, Mode::Interference, Mode::Blocked],
+    );
+    let mut rendered = String::from(
+        "Figure 6b: slowdown of the slowest victim with interference\n\
+         allowed vs. blocked (-EBUSY), normalized to 1 client in isolation\n\n",
+    );
+    rendered.push_str(&render_table("clients", &series));
+    rendered.push_str("\n");
+    rendered.push_str(&render_plot(&series, 60, 16));
+    rendered.push_str(&format!(
+        "\nCurve averages: no-interference {:.2}x (σ {:.3}); interference \
+         {:.2}x (σ {:.3}); block {:.2}x (σ {:.3})\n(paper: 1.42x σ0.06, \
+         1.67x σ0.44, 1.34x σ0.09 — same ordering)\n",
+        series[0].mean_y(),
+        series[0].mean_err(),
+        series[1].mean_y(),
+        series[1].mean_err(),
+        series[2].mean_y(),
+        series[2].mean_err(),
+    ));
+    Fig6b { series, rendered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_tracks_isolation_not_interference() {
+        let f = run(Scale {
+            files_per_client: 1_500,
+            runs: 3,
+        });
+        let iso = f.isolated();
+        let inter = f.interference();
+        let block = f.blocked();
+
+        // Averages order like the paper: isolated <= block < interference
+        // (block pays only the reject overhead).
+        assert!(
+            block.mean_y() < inter.mean_y(),
+            "block {} should beat interference {}",
+            block.mean_y(),
+            inter.mean_y()
+        );
+        let gap_to_iso = (block.mean_y() - iso.mean_y()).abs();
+        let gap_to_inter = (inter.mean_y() - block.mean_y()).abs();
+        assert!(
+            gap_to_iso < gap_to_inter,
+            "block (mean {:.3}) should sit nearer isolation ({:.3}) than \
+             interference ({:.3})",
+            block.mean_y(),
+            iso.mean_y(),
+            inter.mean_y()
+        );
+
+        // Variability: block is far steadier than interference.
+        assert!(
+            block.mean_err() < inter.mean_err(),
+            "block σ {} vs interference σ {}",
+            block.mean_err(),
+            inter.mean_err()
+        );
+
+        // At large client counts block is within a few percent of
+        // isolation ("the slowdown and variability look very similar to
+        // no interference for a larger number of clients").
+        let last = iso.points.len() - 1;
+        let ratio = block.points[last].1 / iso.points[last].1;
+        assert!(
+            ratio < 1.08,
+            "block at max clients {:.3}x of isolation",
+            ratio
+        );
+    }
+
+    #[test]
+    fn reject_overhead_visible_when_underloaded() {
+        // "For smaller clusters the overhead to reject requests is more
+        // evident when the metadata server is underloaded": at low client
+        // counts block's *relative* excess over isolation exceeds its
+        // excess at high counts.
+        let f = run(Scale {
+            files_per_client: 1_500,
+            runs: 2,
+        });
+        let iso = f.isolated();
+        let block = f.blocked();
+        let rel = |i: usize| (block.points[i].1 / iso.points[i].1) - 1.0;
+        let small = rel(1).max(rel(2)); // 2 and 4 clients
+        let large = rel(iso.points.len() - 1);
+        assert!(
+            small > large - 0.01,
+            "small-cluster reject overhead {small:.4} should exceed \
+             large-cluster {large:.4}"
+        );
+    }
+}

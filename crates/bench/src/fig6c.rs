@@ -1,0 +1,176 @@
+//! Figure 6c: "syncing to the global namespace — the slowdown of a single
+//! client syncing updates to the global namespace. The inflection point is
+//! the trade-off of frequent updates vs larger journal files."
+//!
+//! One decoupled client writes 1 M updates; a namespace sync pauses it
+//! every `interval` seconds to fork a background child that ships the
+//! accumulated journal. Paper shape: ~9 % overhead at a 1 s interval,
+//! ~2 % at the optimal 10 s, rising again toward 25 s where each sync
+//! ships ~278 K updates (~678 MB) and the fork's address-space copy hits
+//! memory pressure.
+
+use cudele_client::NamespaceSync;
+use cudele_sim::{render_plot, render_table, CostModel, Nanos, Series};
+use cudele_workloads::PartialResults;
+
+use crate::Scale;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    pub interval: Nanos,
+    /// Percent slowdown of the writing client vs. no syncing.
+    pub overhead_pct: f64,
+    /// Number of sync pauses taken.
+    pub syncs: u64,
+    /// Updates shipped by the largest single sync.
+    pub max_batch: u64,
+}
+
+/// The figure output.
+#[derive(Debug, Clone)]
+pub struct Fig6c {
+    pub points: Vec<Point>,
+    pub rendered: String,
+}
+
+impl Fig6c {
+    /// The interval with the lowest overhead.
+    pub fn optimal(&self) -> Point {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| a.overhead_pct.total_cmp(&b.overhead_pct))
+            .expect("non-empty sweep")
+    }
+
+    pub fn overhead_at(&self, secs: u64) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.interval == Nanos::from_secs(secs))
+            .unwrap_or_else(|| panic!("no point at {secs}s"))
+            .overhead_pct
+    }
+}
+
+/// Simulates the writing client at one sync interval. The client appends
+/// at the calibrated ~11 K events/s and pauses for the fork cost whenever
+/// the sync fires; the background child's shipping overlaps with
+/// computation and does not block the client (the paper uses "an idle
+/// core to log the updates and to do the network transfer").
+fn run_interval(total_updates: u64, interval: Nanos, cm: &CostModel) -> Point {
+    let mut sync = NamespaceSync::new(interval);
+    let mut t = Nanos::ZERO;
+    let mut events: u64 = 0;
+    let mut max_batch = 0u64;
+    // Poll in ~1000-event batches (~91 ms), far finer than any interval.
+    const BATCH: u64 = 1000;
+    while events < total_updates {
+        let b = BATCH.min(total_updates - events);
+        events += b;
+        t += cm.client_append * b;
+        if let Some(action) = sync.poll(t, events, cm) {
+            t += action.pause;
+            max_batch = max_batch.max(action.events);
+        }
+    }
+    let base = cm.client_append * total_updates;
+    let overhead = (t.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64();
+    Point {
+        interval,
+        overhead_pct: 100.0 * overhead,
+        syncs: sync.syncs,
+        max_batch,
+    }
+}
+
+/// Runs the sweep. `scale` is accepted for interface uniformity but the
+/// figure always runs the paper's 1 M updates — the fork-cost knee depends
+/// on absolute journal sizes, so scaling the update count would change the
+/// shape, and a single simulated client is cheap at full scale.
+pub fn run(_scale: Scale) -> Fig6c {
+    let cm = CostModel::calibrated();
+    let total = 1_000_000u64;
+    let points: Vec<Point> = PartialResults::PAPER_INTERVALS_SECS
+        .iter()
+        .map(|&s| run_interval(total, Nanos::from_secs(s), &cm))
+        .collect();
+
+    let mut s = Series::new("overhead %");
+    let mut batches = Series::new("updates/sync (K)");
+    for p in &points {
+        s.push(p.interval.as_secs_f64(), p.overhead_pct);
+        batches.push(p.interval.as_secs_f64(), p.max_batch as f64 / 1000.0);
+    }
+    let mut rendered = String::from(
+        "Figure 6c: slowdown of a client writing 1M updates while syncing\n\
+         the namespace every N seconds (lower is better)\n\n",
+    );
+    rendered.push_str(&render_table("interval (s)", &[s.clone(), batches]));
+    rendered.push_str("\n");
+    rendered.push_str(&render_plot(&[s], 60, 14));
+    let opt = points
+        .iter()
+        .min_by(|a, b| a.overhead_pct.total_cmp(&b.overhead_pct))
+        .unwrap();
+    rendered.push_str(&format!(
+        "\nOptimal interval: {:.0}s at {:.1}% overhead (paper: 10s at 2%); \
+         1s interval costs {:.1}% (paper: ~9%)\n",
+        opt.interval.as_secs_f64(),
+        opt.overhead_pct,
+        points[0].overhead_pct
+    ));
+    Fig6c { points, rendered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig6c {
+        run(Scale {
+            files_per_client: 0,
+            runs: 1,
+        })
+    }
+
+    #[test]
+    fn u_shape_with_optimum_near_ten_seconds() {
+        let f = fig();
+        let opt = f.optimal();
+        assert_eq!(
+            opt.interval,
+            Nanos::from_secs(10),
+            "optimum at {}s",
+            opt.interval.as_secs_f64()
+        );
+        // ~2% at the optimum.
+        assert!((opt.overhead_pct - 2.0).abs() < 1.0, "optimal {}", opt.overhead_pct);
+        // ~9% at 1s.
+        let one = f.overhead_at(1);
+        assert!((one - 9.0).abs() < 1.5, "1s overhead {one}");
+        // Rising tail: 25s costs visibly more than 10s.
+        assert!(f.overhead_at(25) > opt.overhead_pct + 1.0);
+        // Monotone descent into the optimum.
+        assert!(f.overhead_at(1) > f.overhead_at(2));
+        assert!(f.overhead_at(2) > f.overhead_at(5));
+        assert!(f.overhead_at(5) > f.overhead_at(10));
+    }
+
+    #[test]
+    fn batch_sizes_match_paper() {
+        let f = fig();
+        // At 25s intervals the paper ships ~278K updates per sync in 3-4
+        // pauses.
+        let p25 = f.points.iter().find(|p| p.interval == Nanos::from_secs(25)).unwrap();
+        assert!(
+            (p25.max_batch as f64 - 278_000.0).abs() < 15_000.0,
+            "25s batch {}",
+            p25.max_batch
+        );
+        assert!(p25.syncs >= 3 && p25.syncs <= 4, "25s syncs {}", p25.syncs);
+        // At 1s the client pauses ~90 times.
+        let p1 = &f.points[0];
+        assert!(p1.syncs > 80, "1s syncs {}", p1.syncs);
+    }
+}

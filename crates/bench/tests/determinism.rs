@@ -1,0 +1,91 @@
+//! Determinism guarantees: the whole point of the virtual-time harness is
+//! that every experiment is exactly reproducible — same inputs, same seeds,
+//! bit-identical outputs, on any machine. These tests pin that property
+//! for representative experiments from each family.
+
+use cudele_bench::{fig3b, fig5, fig6a, fig6c, table1, Scale};
+
+fn tiny(runs: u32) -> Scale {
+    Scale {
+        files_per_client: 800,
+        runs,
+    }
+}
+
+#[test]
+fn fig5_is_bit_identical_across_runs() {
+    let a = fig5::run(tiny(1));
+    let b = fig5::run(tiny(1));
+    assert_eq!(a.rendered, b.rendered);
+    for (x, y) in a.bars.iter().zip(b.bars.iter()) {
+        assert_eq!(x.time, y.time, "{}", x.label);
+        assert_eq!(x.slowdown.to_bits(), y.slowdown.to_bits(), "{}", x.label);
+    }
+}
+
+#[test]
+fn fig6a_is_bit_identical_across_runs() {
+    let a = fig6a::run(tiny(1));
+    let b = fig6a::run(tiny(1));
+    assert_eq!(a.rendered, b.rendered);
+    assert_eq!(
+        a.create_speedup_at_max.to_bits(),
+        b.create_speedup_at_max.to_bits()
+    );
+    assert_eq!(
+        a.merge_speedup_at_max.to_bits(),
+        b.merge_speedup_at_max.to_bits()
+    );
+}
+
+#[test]
+fn fig3b_seeded_randomness_is_reproducible() {
+    // Three seeded runs include interferer jitter and MDS lag episodes;
+    // the same seeds must reproduce the same curves, error bars included.
+    let a = fig3b::run(tiny(2));
+    let b = fig3b::run(tiny(2));
+    assert_eq!(a.rendered, b.rendered);
+    for (sa, sb) in a.series.iter().zip(b.series.iter()) {
+        assert_eq!(sa.label, sb.label);
+        for (&(xa, ya, ea), &(xb, yb, eb)) in sa.points.iter().zip(sb.points.iter()) {
+            assert_eq!(xa.to_bits(), xb.to_bits());
+            assert_eq!(ya.to_bits(), yb.to_bits());
+            assert_eq!(ea.to_bits(), eb.to_bits());
+        }
+    }
+}
+
+#[test]
+fn fig3b_different_seeds_differ() {
+    // The converse: interference runs with different seed sets must not
+    // collapse to one trace (the variance model is real, not vestigial).
+    let one = fig3b::run_point(8, 1_200, fig3b::Mode::Interference, 1);
+    let two = fig3b::run_point(8, 1_200, fig3b::Mode::Interference, 2);
+    assert_ne!(one, two, "different seeds should perturb the run");
+    // While isolated runs ignore the interference seed machinery entirely
+    // except for start skew, which is tiny but present.
+    let i1 = fig3b::run_point(8, 1_200, fig3b::Mode::Isolated, 1);
+    let i1b = fig3b::run_point(8, 1_200, fig3b::Mode::Isolated, 1);
+    assert_eq!(i1, i1b);
+}
+
+#[test]
+fn fig6c_sweep_is_bit_identical() {
+    let a = fig6c::run(tiny(1));
+    let b = fig6c::run(tiny(1));
+    assert_eq!(a.rendered, b.rendered);
+    for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+        assert_eq!(pa.interval, pb.interval);
+        assert_eq!(pa.overhead_pct.to_bits(), pb.overhead_pct.to_bits());
+        assert_eq!(pa.syncs, pb.syncs);
+        assert_eq!(pa.max_batch, pb.max_batch);
+    }
+}
+
+#[test]
+fn table1_verification_is_stable() {
+    let a = table1::run(tiny(1));
+    let b = table1::run(tiny(1));
+    assert_eq!(a.rendered, b.rendered);
+    assert!(a.all_verified() && b.all_verified());
+}

@@ -1,0 +1,293 @@
+//! The RPC-mode (strongly consistent) client.
+//!
+//! "RPCs send remote procedure calls for every metadata operation from the
+//! client to the metadata server, assuming the request cannot be satisfied
+//! by the inode cache." The client mirrors the capability state the server
+//! reports: while it believes it holds a directory's read-caching cap it
+//! resolves existence locally and sends a single create RPC; once the cap
+//! is revoked (another client wrote into the directory) every create is
+//! preceded by a `lookup()` RPC — the Figure 3c effect.
+
+use std::collections::HashMap;
+
+use cudele_journal::InodeId;
+use cudele_mds::{ClientId, MdsError, MetadataServer, OpCost};
+
+/// Outcome of one client-level operation: the functional result plus the
+/// per-RPC costs to charge, in order.
+#[derive(Debug)]
+pub struct OpOutcome<T> {
+    /// The operation's functional result.
+    pub result: Result<T, MdsError>,
+    /// One entry per RPC issued (a create after cap revocation issues two:
+    /// lookup then create).
+    pub costs: Vec<OpCost>,
+}
+
+impl<T> OpOutcome<T> {
+    /// Number of RPCs this operation issued.
+    pub fn rpcs(&self) -> u64 {
+        self.costs.iter().map(|c| c.rpcs).sum()
+    }
+}
+
+/// A strongly-consistent client session.
+#[derive(Debug)]
+pub struct RpcClient {
+    /// The client this session belongs to.
+    pub id: ClientId,
+    /// Directories this client believes it holds the read-caching cap on,
+    /// with a local view of names it knows exist there (valid only while
+    /// the cap is held).
+    cached: HashMap<InodeId, bool>,
+    /// Lookups this client has issued (Figure 3c's y2 series).
+    pub lookups_sent: u64,
+    /// Creates this client has issued.
+    pub creates_sent: u64,
+}
+
+impl RpcClient {
+    /// Opens a session on the server and returns the client handle plus
+    /// the session-open cost.
+    pub fn mount(server: &mut MetadataServer, id: ClientId) -> (RpcClient, OpCost) {
+        let rpc = server.open_session(id);
+        (
+            RpcClient {
+                id,
+                cached: HashMap::new(),
+                lookups_sent: 0,
+                creates_sent: 0,
+            },
+            rpc.cost,
+        )
+    }
+
+    /// Whether the client currently believes it can skip lookups in `dir`.
+    pub fn believes_cached(&self, dir: InodeId) -> bool {
+        self.cached.get(&dir).copied().unwrap_or(false)
+    }
+
+    /// Creates `name` in `dir`. Issues a lookup RPC first when the
+    /// directory inode is not cached ("if the client is not caching the
+    /// directory inode then it must do an extra RPC to determine if the
+    /// file exists").
+    pub fn create(
+        &mut self,
+        server: &mut MetadataServer,
+        dir: InodeId,
+        name: &str,
+    ) -> OpOutcome<InodeId> {
+        let mut costs = Vec::with_capacity(2);
+        if !self.believes_cached(dir) {
+            let rpc = server.lookup(self.id, dir, name);
+            self.lookups_sent += 1;
+            costs.push(rpc.cost);
+            match rpc.result {
+                Ok(None) => {}
+                Ok(Some(_)) => {
+                    return OpOutcome {
+                        result: Err(MdsError::Exists {
+                            parent: dir,
+                            name: name.to_string(),
+                        }),
+                        costs,
+                    }
+                }
+                Err(e) => {
+                    return OpOutcome {
+                        result: Err(e),
+                        costs,
+                    }
+                }
+            }
+        }
+        let rpc = server.create(self.id, dir, name);
+        self.creates_sent += 1;
+        costs.push(rpc.cost);
+        match rpc.result {
+            Ok(reply) => {
+                self.cached.insert(dir, reply.has_cache);
+                OpOutcome {
+                    result: Ok(reply.ino),
+                    costs,
+                }
+            }
+            Err(e) => {
+                // A surprise EEXIST while we thought we were cached means a
+                // stale cache: drop it.
+                self.cached.insert(dir, false);
+                OpOutcome {
+                    result: Err(e),
+                    costs,
+                }
+            }
+        }
+    }
+
+    /// Creates a directory (same cap discipline as file creates).
+    pub fn mkdir(
+        &mut self,
+        server: &mut MetadataServer,
+        dir: InodeId,
+        name: &str,
+    ) -> OpOutcome<InodeId> {
+        let mut costs = Vec::with_capacity(2);
+        if !self.believes_cached(dir) {
+            let rpc = server.lookup(self.id, dir, name);
+            self.lookups_sent += 1;
+            costs.push(rpc.cost);
+            match rpc.result {
+                Ok(None) => {}
+                Ok(Some(d)) => {
+                    return OpOutcome {
+                        result: Ok(d.ino), // mkdir -p semantics for callers
+                        costs,
+                    };
+                }
+                Err(e) => {
+                    return OpOutcome {
+                        result: Err(e),
+                        costs,
+                    }
+                }
+            }
+        }
+        let rpc = server.mkdir(self.id, dir, name);
+        costs.push(rpc.cost);
+        match rpc.result {
+            Ok(reply) => {
+                self.cached.insert(dir, reply.has_cache);
+                OpOutcome {
+                    result: Ok(reply.ino),
+                    costs,
+                }
+            }
+            Err(e) => {
+                self.cached.insert(dir, false);
+                OpOutcome {
+                    result: Err(e),
+                    costs,
+                }
+            }
+        }
+    }
+
+    /// Polls a directory's entry count with `readdir` (the "check progress
+    /// with ls" pattern of the read-while-writing use case).
+    pub fn poll_progress(
+        &mut self,
+        server: &mut MetadataServer,
+        dir: InodeId,
+    ) -> OpOutcome<usize> {
+        let rpc = server.readdir(self.id, dir);
+        OpOutcome {
+            result: rpc.result.map(|v| v.len()),
+            costs: vec![rpc.cost],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudele_rados::InMemoryStore;
+    use std::sync::Arc;
+
+    fn server() -> MetadataServer {
+        MetadataServer::new(Arc::new(InMemoryStore::paper_default()))
+    }
+
+    #[test]
+    fn first_create_needs_lookup_then_caches() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let dir = srv.setup_dir("/d").unwrap();
+        // Cold: lookup + create.
+        let o = c.create(&mut srv, dir, "f0");
+        o.result.as_ref().unwrap();
+        assert_eq!(o.costs.len(), 2);
+        assert_eq!(c.lookups_sent, 1);
+        // Warm: cap granted on first write; single RPC now.
+        let o = c.create(&mut srv, dir, "f1");
+        o.result.as_ref().unwrap();
+        assert_eq!(o.costs.len(), 1);
+        assert_eq!(c.lookups_sent, 1);
+    }
+
+    #[test]
+    fn interference_forces_lookups_until_regrant() {
+        let mut srv = server();
+        let (mut victim, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let (mut interferer, _) = RpcClient::mount(&mut srv, ClientId(2));
+        let dir = srv.setup_dir("/d").unwrap();
+        victim.create(&mut srv, dir, "v0").result.unwrap();
+        assert!(victim.believes_cached(dir));
+        // Interferer writes: victim's cap revoked server-side.
+        interferer.create(&mut srv, dir, "i0").result.unwrap();
+        // Victim's next create succeeds but the reply withdraws the cap.
+        let o = victim.create(&mut srv, dir, "v1");
+        o.result.unwrap();
+        assert!(!victim.believes_cached(dir));
+        // Subsequent creates pay the lookup until the server re-grants.
+        let before = victim.lookups_sent;
+        for i in 2..10 {
+            victim.create(&mut srv, dir, &format!("v{i}")).result.unwrap();
+        }
+        assert!(victim.lookups_sent > before);
+    }
+
+    #[test]
+    fn cap_regrant_stops_lookups() {
+        let mut srv = server();
+        let (mut victim, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let (mut interferer, _) = RpcClient::mount(&mut srv, ClientId(2));
+        let dir = srv.setup_dir("/d").unwrap();
+        victim.create(&mut srv, dir, "v0").result.unwrap();
+        interferer.create(&mut srv, dir, "i0").result.unwrap();
+        // Victim creates alone until the server re-grants (default 100).
+        for i in 0..150 {
+            victim.create(&mut srv, dir, &format!("w{i}")).result.unwrap();
+        }
+        assert!(victim.believes_cached(dir));
+        let lookups = victim.lookups_sent;
+        victim.create(&mut srv, dir, "final").result.unwrap();
+        assert_eq!(victim.lookups_sent, lookups, "no more lookups after regrant");
+    }
+
+    #[test]
+    fn duplicate_create_detected_by_lookup_when_cold() {
+        let mut srv = server();
+        let (mut a, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let (mut b, _) = RpcClient::mount(&mut srv, ClientId(2));
+        let dir = srv.setup_dir("/d").unwrap();
+        a.create(&mut srv, dir, "same").result.unwrap();
+        let o = b.create(&mut srv, dir, "same");
+        assert!(matches!(o.result, Err(MdsError::Exists { .. })));
+        // Detected by the lookup — only 1 RPC spent.
+        assert_eq!(o.costs.len(), 1);
+    }
+
+    #[test]
+    fn mkdir_is_idempotent_for_existing_dirs() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let root = InodeId::ROOT;
+        let d1 = c.mkdir(&mut srv, root, "x").result.unwrap();
+        // Cold client rediscovers the dir via lookup.
+        let mut c2 = RpcClient::mount(&mut srv, ClientId(2)).0;
+        let d2 = c2.mkdir(&mut srv, root, "x").result.unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn poll_progress_counts_entries() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let dir = srv.setup_dir("/job").unwrap();
+        for i in 0..7 {
+            c.create(&mut srv, dir, &format!("part-{i}")).result.unwrap();
+        }
+        let (mut enduser, _) = RpcClient::mount(&mut srv, ClientId(2));
+        assert_eq!(enduser.poll_progress(&mut srv, dir).result.unwrap(), 7);
+    }
+}

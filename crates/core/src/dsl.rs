@@ -1,0 +1,262 @@
+//! The composition DSL.
+//!
+//! "To compose the mechanisms administrators inject which mechanisms to run
+//! and which to use in parallel using a domain specific language." The
+//! concrete syntax: `+` sequences stages, `||` runs mechanisms within a
+//! stage in parallel. Examples from Table I:
+//!
+//! * `append_client_journal+volatile_apply` — BatchFS-style weak/none
+//! * `append_client_journal+local_persist||volatile_apply` — persist and
+//!   merge concurrently
+//! * `rpcs+stream` — the CephFS default (strong/global)
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::mechanism::Mechanism;
+
+/// A parsed composition: stages run serially (`+`); mechanisms inside a
+/// stage run in parallel (`||`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Composition {
+    stages: Vec<Vec<Mechanism>>,
+}
+
+/// DSL parse or validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// Empty composition or empty stage (e.g. `"a++b"`).
+    Empty,
+    /// Unknown mechanism name.
+    Unknown(String),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Empty => write!(f, "empty composition or stage"),
+            DslError::Unknown(s) => write!(f, "unknown mechanism {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// Compositions that are syntactically valid but that the paper calls out
+/// as making "little sense"; surfaced as warnings, not errors, because the
+/// administrator is allowed to explore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslWarning {
+    /// "it makes little sense to do append client journal+RPCs since both
+    /// mechanisms do the same thing"
+    RedundantOperationModes,
+    /// "or stream+local persist since 'global' durability is stronger and
+    /// has more overhead than 'local' durability"
+    DominatedDurability,
+    /// The same mechanism appears more than once.
+    Duplicate(Mechanism),
+}
+
+impl fmt::Display for DslWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslWarning::RedundantOperationModes => {
+                write!(f, "append_client_journal and rpcs both route the same updates")
+            }
+            DslWarning::DominatedDurability => {
+                write!(f, "stream already provides global durability; local_persist adds cost without strengthening the guarantee")
+            }
+            DslWarning::Duplicate(m) => write!(f, "mechanism {m} appears more than once"),
+        }
+    }
+}
+
+impl Composition {
+    /// A single mechanism as a one-stage composition.
+    pub fn single(m: Mechanism) -> Composition {
+        Composition {
+            stages: vec![vec![m]],
+        }
+    }
+
+    /// Builds from explicit stages. Panics on empty stages (use the parser
+    /// for untrusted input).
+    pub fn from_stages(stages: Vec<Vec<Mechanism>>) -> Composition {
+        assert!(!stages.is_empty() && stages.iter().all(|s| !s.is_empty()));
+        Composition { stages }
+    }
+
+    /// Serial stages, in order.
+    pub fn stages(&self) -> &[Vec<Mechanism>] {
+        &self.stages
+    }
+
+    /// Every mechanism mentioned, in execution order (parallel mechanisms
+    /// in stage order).
+    pub fn mechanisms(&self) -> impl Iterator<Item = Mechanism> + '_ {
+        self.stages.iter().flatten().copied()
+    }
+
+    /// Whether the composition mentions `m`.
+    pub fn contains(&self, m: Mechanism) -> bool {
+        self.mechanisms().any(|x| x == m)
+    }
+
+    /// Appends a serial stage with one mechanism.
+    pub fn then(mut self, m: Mechanism) -> Composition {
+        self.stages.push(vec![m]);
+        self
+    }
+
+    /// Adds `m` in parallel with the last stage.
+    pub fn with_parallel(mut self, m: Mechanism) -> Composition {
+        self.stages
+            .last_mut()
+            .expect("composition always has a stage")
+            .push(m);
+        self
+    }
+
+    /// Lints the composition against the paper's "makes little sense"
+    /// combinations.
+    pub fn validate(&self) -> Vec<DslWarning> {
+        let mut warnings = Vec::new();
+        if self.contains(Mechanism::AppendClientJournal) && self.contains(Mechanism::Rpcs) {
+            warnings.push(DslWarning::RedundantOperationModes);
+        }
+        if self.contains(Mechanism::Stream) && self.contains(Mechanism::LocalPersist) {
+            warnings.push(DslWarning::DominatedDurability);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in self.mechanisms() {
+            if !seen.insert(m) && !warnings.contains(&DslWarning::Duplicate(m)) {
+                warnings.push(DslWarning::Duplicate(m));
+            }
+        }
+        warnings
+    }
+}
+
+impl FromStr for Composition {
+    type Err = DslError;
+
+    fn from_str(s: &str) -> Result<Composition, DslError> {
+        let mut stages = Vec::new();
+        for stage in s.split('+') {
+            let stage = stage.trim();
+            if stage.is_empty() {
+                return Err(DslError::Empty);
+            }
+            let mut mechs = Vec::new();
+            for name in stage.split("||") {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(DslError::Empty);
+                }
+                mechs.push(
+                    name.parse::<Mechanism>()
+                        .map_err(|e| DslError::Unknown(e.0))?,
+                );
+            }
+            stages.push(mechs);
+        }
+        if stages.is_empty() {
+            return Err(DslError::Empty);
+        }
+        Ok(Composition { stages })
+    }
+}
+
+impl fmt::Display for Composition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self
+            .stages
+            .iter()
+            .map(|stage| {
+                stage
+                    .iter()
+                    .map(|m| m.name().to_string())
+                    .collect::<Vec<_>>()
+                    .join("||")
+            })
+            .collect();
+        f.write_str(&rendered.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Mechanism::*;
+
+    #[test]
+    fn parses_serial_and_parallel() {
+        let c: Composition = "append_client_journal+local_persist||volatile_apply"
+            .parse()
+            .unwrap();
+        assert_eq!(c.stages().len(), 2);
+        assert_eq!(c.stages()[0], vec![AppendClientJournal]);
+        assert_eq!(c.stages()[1], vec![LocalPersist, VolatileApply]);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in [
+            "rpcs",
+            "rpcs+stream",
+            "append_client_journal+global_persist+volatile_apply",
+            "append_client_journal+local_persist||volatile_apply",
+        ] {
+            let c: Composition = src.parse().unwrap();
+            assert_eq!(c.to_string(), src);
+            let again: Composition = c.to_string().parse().unwrap();
+            assert_eq!(again, c);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!("".parse::<Composition>(), Err(DslError::Empty));
+        assert_eq!("rpcs++stream".parse::<Composition>(), Err(DslError::Empty));
+        assert_eq!("rpcs+".parse::<Composition>(), Err(DslError::Empty));
+        assert_eq!("rpcs||".parse::<Composition>(), Err(DslError::Empty));
+        assert!(matches!(
+            "warp_drive".parse::<Composition>(),
+            Err(DslError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn builder_api() {
+        let c = Composition::single(AppendClientJournal)
+            .then(LocalPersist)
+            .with_parallel(VolatileApply);
+        assert_eq!(
+            c.to_string(),
+            "append_client_journal+local_persist||volatile_apply"
+        );
+        assert!(c.contains(VolatileApply));
+        assert!(!c.contains(Rpcs));
+    }
+
+    #[test]
+    fn validation_flags_paper_examples() {
+        let c: Composition = "append_client_journal+rpcs".parse().unwrap();
+        assert!(c.validate().contains(&DslWarning::RedundantOperationModes));
+        let c: Composition = "stream+local_persist".parse().unwrap();
+        assert!(c.validate().contains(&DslWarning::DominatedDurability));
+        let c: Composition = "rpcs+stream".parse().unwrap();
+        assert!(c.validate().is_empty());
+        let c: Composition = "local_persist+local_persist".parse().unwrap();
+        assert!(c
+            .validate()
+            .contains(&DslWarning::Duplicate(LocalPersist)));
+    }
+
+    #[test]
+    fn mechanisms_iterates_in_order() {
+        let c: Composition = "append_client_journal+global_persist||volatile_apply".parse().unwrap();
+        let v: Vec<Mechanism> = c.mechanisms().collect();
+        assert_eq!(v, vec![AppendClientJournal, GlobalPersist, VolatileApply]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cudele's mechanisms: "an abstraction and basic building block for
+//! constructing consistency and durability guarantees" (paper §III-A,
+//! Figure 4).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The seven mechanisms of Figure 4 (the paper implemented four of the six
+/// non-default ones and reused two existing CephFS subsystems; we build all
+/// of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Strong consistency: every metadata operation is an RPC to the MDS.
+    /// An *operation-mode* mechanism — it shapes how clients issue ops, not
+    /// what happens at merge time.
+    Rpcs,
+    /// Append metadata updates to a local, in-memory client journal
+    /// (operation-mode; no consistency checks, ~11 K creates/s).
+    AppendClientJournal,
+    /// Replay the client journal directly into the MDS's in-memory
+    /// metadata store (merge-time; no guarantees while executing).
+    VolatileApply,
+    /// Replay the client journal into the *object store's* metadata
+    /// representation and restart the MDS (merge-time; safe but 78x).
+    NonvolatileApply,
+    /// The MDS streams its journal of updates into the object store
+    /// (operation-mode; the CephFS default durability).
+    Stream,
+    /// Client serializes its journal to local disk (merge-time durability).
+    LocalPersist,
+    /// Client pushes its journal into the object store (merge-time
+    /// durability).
+    GlobalPersist,
+}
+
+impl Mechanism {
+    /// All mechanisms, in Figure 4 order.
+    pub const ALL: [Mechanism; 7] = [
+        Mechanism::Rpcs,
+        Mechanism::AppendClientJournal,
+        Mechanism::VolatileApply,
+        Mechanism::NonvolatileApply,
+        Mechanism::Stream,
+        Mechanism::LocalPersist,
+        Mechanism::GlobalPersist,
+    ];
+
+    /// Whether this mechanism executes at merge time (vs shaping how
+    /// operations are issued while the job runs).
+    pub fn is_merge_time(self) -> bool {
+        matches!(
+            self,
+            Mechanism::VolatileApply
+                | Mechanism::NonvolatileApply
+                | Mechanism::LocalPersist
+                | Mechanism::GlobalPersist
+        )
+    }
+
+    /// Whether this mechanism contributes durability (vs consistency).
+    pub fn is_durability(self) -> bool {
+        matches!(
+            self,
+            Mechanism::Stream | Mechanism::LocalPersist | Mechanism::GlobalPersist
+        )
+    }
+
+    /// The canonical DSL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Rpcs => "rpcs",
+            Mechanism::AppendClientJournal => "append_client_journal",
+            Mechanism::VolatileApply => "volatile_apply",
+            Mechanism::NonvolatileApply => "nonvolatile_apply",
+            Mechanism::Stream => "stream",
+            Mechanism::LocalPersist => "local_persist",
+            Mechanism::GlobalPersist => "global_persist",
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unknown mechanism name in the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMechanism(pub String);
+
+impl fmt::Display for UnknownMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown mechanism {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownMechanism {}
+
+impl FromStr for Mechanism {
+    type Err = UnknownMechanism;
+
+    fn from_str(s: &str) -> Result<Mechanism, UnknownMechanism> {
+        let canon = s.trim().to_ascii_lowercase().replace([' ', '-'], "_");
+        Mechanism::ALL
+            .into_iter()
+            .find(|m| m.name() == canon)
+            .ok_or_else(|| UnknownMechanism(s.trim().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for m in Mechanism::ALL {
+            assert_eq!(m.name().parse::<Mechanism>().unwrap(), m);
+            assert_eq!(m.to_string(), m.name());
+        }
+    }
+
+    #[test]
+    fn parsing_is_forgiving() {
+        assert_eq!("Append Client Journal".parse::<Mechanism>().unwrap(), Mechanism::AppendClientJournal);
+        assert_eq!("  RPCs ".parse::<Mechanism>().unwrap(), Mechanism::Rpcs);
+        assert_eq!("global-persist".parse::<Mechanism>().unwrap(), Mechanism::GlobalPersist);
+        assert!("teleport".parse::<Mechanism>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!Mechanism::Rpcs.is_merge_time());
+        assert!(!Mechanism::AppendClientJournal.is_merge_time());
+        assert!(!Mechanism::Stream.is_merge_time());
+        assert!(Mechanism::VolatileApply.is_merge_time());
+        assert!(Mechanism::LocalPersist.is_durability());
+        assert!(Mechanism::GlobalPersist.is_durability());
+        assert!(Mechanism::Stream.is_durability());
+        assert!(!Mechanism::VolatileApply.is_durability());
+    }
+}

@@ -1,0 +1,184 @@
+//! The policies file.
+//!
+//! "Users present a directory path and a policies configuration that gets
+//! distributed and versioned by the monitor to all daemons in the system.
+//! For example, (msevilla/mydir, policies.yml)."
+//!
+//! The format is the YAML subset the paper's examples need: one `key:
+//! value` pair per line, `#` comments, blank lines ignored. Keys (defaults
+//! in parentheses, as in the paper): `consistency` (strong → RPCs),
+//! `durability` (global → stream), `allocated_inodes` (100), `interfere`
+//! (allow), plus an optional `composition` override in the mechanism DSL.
+//!
+//! The same renderer/parser pair serializes policies into the "large
+//! inode" blob that travels with the subtree root.
+
+use crate::dsl::Composition;
+use crate::policy::{Policy, PolicyParseError};
+
+/// Parses a policies file. Unknown keys are rejected (typos in an
+/// administrator-facing config should fail loudly).
+pub fn parse_policies(text: &str) -> Result<Policy, PolicyParseError> {
+    let mut policy = Policy::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(PolicyParseError::BadLine {
+                line: idx + 1,
+                content: raw.to_string(),
+            });
+        };
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match key.as_str() {
+            "consistency" => policy.consistency = value.parse()?,
+            "durability" => policy.durability = value.parse()?,
+            "allocated_inodes" => {
+                policy.allocated_inodes = value.parse().map_err(|_| PolicyParseError::BadValue {
+                    key: "allocated_inodes",
+                    value: value.to_string(),
+                })?
+            }
+            "interfere" => policy.interfere = value.parse()?,
+            "composition" => {
+                let comp: Composition = value
+                    .parse()
+                    .map_err(|e| PolicyParseError::BadComposition(format!("{e}")))?;
+                policy.custom_composition = Some(comp);
+            }
+            _ => {
+                return Err(PolicyParseError::BadLine {
+                    line: idx + 1,
+                    content: raw.to_string(),
+                })
+            }
+        }
+    }
+    Ok(policy)
+}
+
+/// Renders a policy as a policies file (inverse of [`parse_policies`]).
+pub fn render_policies(policy: &Policy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("consistency: {}\n", policy.consistency));
+    out.push_str(&format!("durability: {}\n", policy.durability));
+    out.push_str(&format!("allocated_inodes: {}\n", policy.allocated_inodes));
+    out.push_str(&format!("interfere: {}\n", policy.interfere));
+    if let Some(c) = &policy.custom_composition {
+        out.push_str(&format!("composition: {c}\n"));
+    }
+    out
+}
+
+/// Serializes a policy into the blob stored on the subtree root's "large
+/// inode".
+pub fn policy_to_blob(policy: &Policy) -> Vec<u8> {
+    render_policies(policy).into_bytes()
+}
+
+/// Decodes a large-inode policy blob.
+pub fn policy_from_blob(blob: &[u8]) -> Result<Policy, PolicyParseError> {
+    let text = std::str::from_utf8(blob).map_err(|_| PolicyParseError::BadLine {
+        line: 0,
+        content: "<non-utf8 blob>".to_string(),
+    })?;
+    parse_policies(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Consistency, Durability, InterferePolicy};
+
+    #[test]
+    fn empty_file_gives_paper_defaults() {
+        // "decoupling the namespace with an empty policies file would give
+        // the application 100 inodes but the subtree would behave like the
+        // existing CephFS implementation".
+        let p = parse_policies("").unwrap();
+        assert_eq!(p, Policy::default());
+        assert_eq!(p.allocated_inodes, 100);
+        assert_eq!(p.composition().to_string(), "rpcs+stream");
+    }
+
+    #[test]
+    fn full_file_parses() {
+        let text = "\
+# checkpoint subtree for job 1234
+consistency: invisible
+durability: local
+allocated_inodes: 100000   # one per checkpoint file
+interfere: block
+";
+        let p = parse_policies(text).unwrap();
+        assert_eq!(p.consistency, Consistency::Invisible);
+        assert_eq!(p.durability, Durability::Local);
+        assert_eq!(p.allocated_inodes, 100_000);
+        assert_eq!(p.interfere, InterferePolicy::Block);
+    }
+
+    #[test]
+    fn composition_override() {
+        let p = parse_policies("composition: append_client_journal+global_persist||volatile_apply\n").unwrap();
+        assert_eq!(
+            p.composition().to_string(),
+            "append_client_journal+global_persist||volatile_apply"
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_policies("consistency strong").unwrap_err();
+        assert!(matches!(err, PolicyParseError::BadLine { line: 1, .. }));
+        let err = parse_policies("\n\nflavor: vanilla").unwrap_err();
+        assert!(matches!(err, PolicyParseError::BadLine { line: 3, .. }));
+        let err = parse_policies("allocated_inodes: many").unwrap_err();
+        assert!(matches!(err, PolicyParseError::BadValue { key: "allocated_inodes", .. }));
+        let err = parse_policies("composition: rpcs+warp").unwrap_err();
+        assert!(matches!(err, PolicyParseError::BadComposition(_)));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        for p in [
+            Policy::default(),
+            Policy::batchfs(),
+            Policy::deltafs(),
+            Policy::ramdisk(),
+            {
+                let mut p = Policy::hdfs();
+                p.allocated_inodes = 12345;
+                p.interfere = InterferePolicy::Block;
+                p.custom_composition =
+                    Some("append_client_journal+local_persist||volatile_apply".parse().unwrap());
+                p
+            },
+        ] {
+            let text = render_policies(&p);
+            let back = parse_policies(&text).unwrap();
+            assert_eq!(back, p, "roundtrip failed for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let p = Policy::batchfs();
+        let blob = policy_to_blob(&p);
+        assert_eq!(policy_from_blob(&blob).unwrap(), p);
+        assert!(policy_from_blob(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn case_and_whitespace_tolerant() {
+        let p = parse_policies("  Consistency :  WEAK  \nDURABILITY: Global\n").unwrap();
+        assert_eq!(p.consistency, Consistency::Weak);
+        assert_eq!(p.durability, Durability::Global);
+    }
+}

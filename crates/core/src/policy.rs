@@ -1,0 +1,419 @@
+//! Policies: points in the consistency × durability spectrum of Table I,
+//! plus the two knobs from the policies file ("Allocated Inodes" and
+//! "Interfere Policy").
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::dsl::Composition;
+use crate::mechanism::Mechanism;
+
+/// The consistency spectrum (Table I columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// "the system does not handle merging updates into a global namespace
+    /// and it is assumed that middleware or the application manages
+    /// consistency lazily" (DeltaFS).
+    Invisible,
+    /// "merges updates at some time in the future" (BatchFS).
+    Weak,
+    /// "updates are seen immediately by all clients" (POSIX IO).
+    Strong,
+}
+
+impl Consistency {
+    /// The three consistency levels, weakest first.
+    pub const ALL: [Consistency; 3] = [Consistency::Invisible, Consistency::Weak, Consistency::Strong];
+
+    /// The policies-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Consistency::Invisible => "invisible",
+            Consistency::Weak => "weak",
+            Consistency::Strong => "strong",
+        }
+    }
+}
+
+impl fmt::Display for Consistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Consistency {
+    type Err = PolicyParseError;
+    fn from_str(s: &str) -> Result<Self, PolicyParseError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "invisible" => Ok(Consistency::Invisible),
+            "weak" => Ok(Consistency::Weak),
+            "strong" => Ok(Consistency::Strong),
+            other => Err(PolicyParseError::BadValue {
+                key: "consistency",
+                value: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// The durability spectrum (Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Durability {
+    /// "updates are volatile and will be lost on a failure".
+    None,
+    /// "updates will be retained if the client node recovers and reads the
+    /// updates from local storage".
+    Local,
+    /// "all updates are always recoverable".
+    Global,
+}
+
+impl Durability {
+    /// The three durability levels, weakest first.
+    pub const ALL: [Durability; 3] = [Durability::None, Durability::Local, Durability::Global];
+
+    /// The policies-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Durability::None => "none",
+            Durability::Local => "local",
+            Durability::Global => "global",
+        }
+    }
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Durability {
+    type Err = PolicyParseError;
+    fn from_str(s: &str) -> Result<Self, PolicyParseError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" => Ok(Durability::None),
+            "local" => Ok(Durability::Local),
+            "global" => Ok(Durability::Global),
+            other => Err(PolicyParseError::BadValue {
+                key: "durability",
+                value: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// "Interfere Policy has two settings: block and allow."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterferePolicy {
+    /// Interfering clients' updates are accepted ("the computation from the
+    /// decoupled namespace will take priority at merge time"). The default.
+    Allow,
+    /// Interfering requests fail with "Device is busy" (-EBUSY), sparing
+    /// the MDS "resources for updates that may get overwritten".
+    Block,
+}
+
+impl InterferePolicy {
+    /// The policies-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterferePolicy::Allow => "allow",
+            InterferePolicy::Block => "block",
+        }
+    }
+}
+
+impl fmt::Display for InterferePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for InterferePolicy {
+    type Err = PolicyParseError;
+    fn from_str(s: &str) -> Result<Self, PolicyParseError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "allow" => Ok(InterferePolicy::Allow),
+            "block" => Ok(InterferePolicy::Block),
+            other => Err(PolicyParseError::BadValue {
+                key: "interfere",
+                value: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// Errors from parsing policy fields or files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyParseError {
+    /// A known key carried an unparseable value.
+    BadValue {
+        /// The policies-file key.
+        key: &'static str,
+        /// The offending value.
+        value: String,
+    },
+    /// A line was not `key: value` or used an unknown key.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The raw line.
+        content: String,
+    },
+    /// The `composition` override failed to parse as mechanism DSL.
+    BadComposition(String),
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyParseError::BadValue { key, value } => {
+                write!(f, "bad value {value:?} for policy key {key:?}")
+            }
+            PolicyParseError::BadLine { line, content } => {
+                write!(f, "bad policies line {line}: {content:?}")
+            }
+            PolicyParseError::BadComposition(s) => write!(f, "bad composition: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// How clients operate on the subtree while the job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperationMode {
+    /// Every op is an RPC (strong consistency).
+    Rpcs,
+    /// Ops append to the decoupled client journal.
+    Decoupled,
+}
+
+/// A subtree policy: semantics plus the policies-file knobs.
+///
+/// Defaults match the paper: "decoupling the namespace with an empty
+/// policies file would give the application 100 inodes but the subtree
+/// would behave like the existing CephFS implementation" (RPCs + stream,
+/// allow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// The consistency column of Table I.
+    pub consistency: Consistency,
+    /// The durability row of Table I.
+    pub durability: Durability,
+    /// "a contract so that the file system can provision enough resources
+    /// for the incumbent merge" — default 100.
+    pub allocated_inodes: u64,
+    /// How requests from other clients are handled while decoupled.
+    pub interfere: InterferePolicy,
+    /// Optional explicit DSL composition overriding the Table I cell.
+    pub custom_composition: Option<Composition>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            consistency: Consistency::Strong,
+            durability: Durability::Global,
+            allocated_inodes: 100,
+            interfere: InterferePolicy::Allow,
+            custom_composition: None,
+        }
+    }
+}
+
+impl Policy {
+    /// A policy from a Table I cell with default knobs.
+    pub fn from_semantics(consistency: Consistency, durability: Durability) -> Policy {
+        Policy {
+            consistency,
+            durability,
+            ..Policy::default()
+        }
+    }
+
+    /// POSIX IO / CephFS / IndexFS: strong consistency, global durability.
+    pub fn posix() -> Policy {
+        Policy::from_semantics(Consistency::Strong, Durability::Global)
+    }
+
+    /// BatchFS: "weak consistency and local durability".
+    pub fn batchfs() -> Policy {
+        Policy::from_semantics(Consistency::Weak, Durability::Local)
+    }
+
+    /// DeltaFS: "invisible consistency and local durability".
+    pub fn deltafs() -> Policy {
+        Policy::from_semantics(Consistency::Invisible, Durability::Local)
+    }
+
+    /// RAMDisk: "POSIX IO-compliant but relaxes durability constraints" —
+    /// strong consistency, no durability.
+    pub fn ramdisk() -> Policy {
+        Policy::from_semantics(Consistency::Strong, Durability::None)
+    }
+
+    /// HDFS-like: clients may see partially-written state (weak), data is
+    /// globally durable.
+    pub fn hdfs() -> Policy {
+        Policy::from_semantics(Consistency::Weak, Durability::Global)
+    }
+
+    /// The Table I composition for this policy's (consistency, durability)
+    /// cell, unless a custom composition overrides it.
+    pub fn composition(&self) -> Composition {
+        if let Some(c) = &self.custom_composition {
+            return c.clone();
+        }
+        table1_cell(self.consistency, self.durability)
+    }
+
+    /// How clients operate while the job runs.
+    pub fn operation_mode(&self) -> OperationMode {
+        if self.composition().contains(Mechanism::Rpcs) {
+            OperationMode::Rpcs
+        } else {
+            OperationMode::Decoupled
+        }
+    }
+
+    /// The merge-time suffix of the composition (persist/apply stages).
+    pub fn merge_composition(&self) -> Option<Composition> {
+        let full = self.composition();
+        let stages: Vec<Vec<Mechanism>> = full
+            .stages()
+            .iter()
+            .map(|stage| {
+                stage
+                    .iter()
+                    .copied()
+                    .filter(|m| m.is_merge_time())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|s: &Vec<Mechanism>| !s.is_empty())
+            .collect();
+        if stages.is_empty() {
+            None
+        } else {
+            Some(Composition::from_stages(stages))
+        }
+    }
+}
+
+/// The Table I cell for a (consistency, durability) pair.
+pub fn table1_cell(c: Consistency, d: Durability) -> Composition {
+    use Mechanism::*;
+    let acj = Composition::single(AppendClientJournal);
+    match (c, d) {
+        (Consistency::Invisible, Durability::None) => acj,
+        (Consistency::Weak, Durability::None) => acj.then(VolatileApply),
+        (Consistency::Strong, Durability::None) => Composition::single(Rpcs),
+        (Consistency::Invisible, Durability::Local) => acj.then(LocalPersist),
+        (Consistency::Weak, Durability::Local) => acj.then(LocalPersist).then(VolatileApply),
+        (Consistency::Strong, Durability::Local) => Composition::single(Rpcs).then(LocalPersist),
+        (Consistency::Invisible, Durability::Global) => acj.then(GlobalPersist),
+        (Consistency::Weak, Durability::Global) => acj.then(GlobalPersist).then(VolatileApply),
+        (Consistency::Strong, Durability::Global) => Composition::single(Rpcs).then(Stream),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Mechanism::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let cell = |c, d| table1_cell(c, d).to_string();
+        assert_eq!(cell(Consistency::Invisible, Durability::None), "append_client_journal");
+        assert_eq!(cell(Consistency::Weak, Durability::None), "append_client_journal+volatile_apply");
+        assert_eq!(cell(Consistency::Strong, Durability::None), "rpcs");
+        assert_eq!(cell(Consistency::Invisible, Durability::Local), "append_client_journal+local_persist");
+        assert_eq!(
+            cell(Consistency::Weak, Durability::Local),
+            "append_client_journal+local_persist+volatile_apply"
+        );
+        assert_eq!(cell(Consistency::Strong, Durability::Local), "rpcs+local_persist");
+        assert_eq!(cell(Consistency::Invisible, Durability::Global), "append_client_journal+global_persist");
+        assert_eq!(
+            cell(Consistency::Weak, Durability::Global),
+            "append_client_journal+global_persist+volatile_apply"
+        );
+        assert_eq!(cell(Consistency::Strong, Durability::Global), "rpcs+stream");
+    }
+
+    #[test]
+    fn every_cell_is_lint_clean() {
+        for c in Consistency::ALL {
+            for d in Durability::ALL {
+                let comp = table1_cell(c, d);
+                assert!(comp.validate().is_empty(), "cell ({c},{d}) = {comp} has warnings");
+            }
+        }
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Policy::default();
+        assert_eq!(p.allocated_inodes, 100);
+        assert_eq!(p.interfere, InterferePolicy::Allow);
+        assert_eq!(p.composition().to_string(), "rpcs+stream");
+        assert_eq!(p.operation_mode(), OperationMode::Rpcs);
+    }
+
+    #[test]
+    fn system_presets() {
+        assert_eq!(Policy::posix().composition().to_string(), "rpcs+stream");
+        assert_eq!(
+            Policy::batchfs().composition().to_string(),
+            "append_client_journal+local_persist+volatile_apply"
+        );
+        assert_eq!(
+            Policy::deltafs().composition().to_string(),
+            "append_client_journal+local_persist"
+        );
+        assert_eq!(Policy::ramdisk().composition().to_string(), "rpcs");
+        assert_eq!(Policy::batchfs().operation_mode(), OperationMode::Decoupled);
+        assert_eq!(Policy::ramdisk().operation_mode(), OperationMode::Rpcs);
+    }
+
+    #[test]
+    fn merge_composition_strips_operation_modes() {
+        let p = Policy::batchfs();
+        let m = p.merge_composition().unwrap();
+        assert_eq!(m.to_string(), "local_persist+volatile_apply");
+        // Pure RPC policies have nothing to merge.
+        assert_eq!(Policy::ramdisk().merge_composition(), None);
+        assert_eq!(Policy::posix().merge_composition(), None);
+        // Invisible/none: append only, nothing at merge time.
+        let p = Policy::from_semantics(Consistency::Invisible, Durability::None);
+        assert_eq!(p.merge_composition(), None);
+    }
+
+    #[test]
+    fn custom_composition_overrides_cell() {
+        let mut p = Policy::batchfs();
+        p.custom_composition = Some(
+            Composition::single(AppendClientJournal)
+                .then(GlobalPersist)
+                .with_parallel(VolatileApply),
+        );
+        assert_eq!(
+            p.composition().to_string(),
+            "append_client_journal+global_persist||volatile_apply"
+        );
+        let m = p.merge_composition().unwrap();
+        assert_eq!(m.to_string(), "global_persist||volatile_apply");
+    }
+
+    #[test]
+    fn enum_parsing() {
+        assert_eq!("Strong".parse::<Consistency>().unwrap(), Consistency::Strong);
+        assert_eq!("LOCAL".parse::<Durability>().unwrap(), Durability::Local);
+        assert_eq!("block".parse::<InterferePolicy>().unwrap(), InterferePolicy::Block);
+        assert!("sideways".parse::<Consistency>().is_err());
+        assert!("sorta".parse::<Durability>().is_err());
+        assert!("maybe".parse::<InterferePolicy>().is_err());
+    }
+}

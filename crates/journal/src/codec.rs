@@ -1,0 +1,484 @@
+//! Binary wire format for journal events.
+//!
+//! Every mechanism that touches a journal — Stream, Append Client Journal,
+//! Local Persist, Global Persist, both Apply variants, and the journal tool
+//! — speaks this one format. That mirrors the paper's key implementation
+//! move: "By writing with the same format, the metadata servers can read
+//! and use the recovery code to materialize the updates from a client's
+//! decoupled namespace."
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! journal  := MAGIC("CUDELEJ1") event*
+//! event    := len:u32 crc:u32 payload[len]      crc = CRC-32(payload)
+//! payload  := tag:u8 fields...
+//! string   := len:u32 utf8[len]
+//! attrs    := mode:u32 uid:u32 gid:u32 size:u64 mtime:u64
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cudele_sim::Nanos;
+
+use crate::crc::crc32;
+use crate::event::{Attrs, InodeId, JournalEvent};
+
+/// 8-byte magic prefix of a serialized journal.
+pub const MAGIC: &[u8; 8] = b"CUDELEJ1";
+
+/// Errors produced while decoding a journal blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The blob does not start with [`MAGIC`].
+    BadMagic,
+    /// Ran out of bytes mid-frame or mid-payload.
+    UnexpectedEof,
+    /// A frame's checksum did not match its payload.
+    BadCrc {
+        /// Byte offset of the corrupt frame within the event stream.
+        offset: usize,
+    },
+    /// Unknown event tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A payload had bytes left over after its event decoded.
+    TrailingPayload {
+        /// The tag of the event whose payload over-ran.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "journal blob missing CUDELEJ1 magic"),
+            CodecError::UnexpectedEof => write!(f, "journal blob truncated"),
+            CodecError::BadCrc { offset } => write!(f, "journal event at byte {offset} failed CRC"),
+            CodecError::BadTag(t) => write!(f, "unknown journal event tag {t}"),
+            CodecError::BadUtf8 => write!(f, "journal string field is not UTF-8"),
+            CodecError::TrailingPayload { tag } => {
+                write!(f, "journal event tag {tag} had trailing payload bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_CREATE: u8 = 1;
+const TAG_MKDIR: u8 = 2;
+const TAG_UNLINK: u8 = 3;
+const TAG_RMDIR: u8 = 4;
+const TAG_RENAME: u8 = 5;
+const TAG_SETATTR: u8 = 6;
+const TAG_SETPOLICY: u8 = 7;
+const TAG_SEGMENT: u8 = 8;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn put_attrs(buf: &mut BytesMut, a: &Attrs) {
+    buf.put_u32_le(a.mode);
+    buf.put_u32_le(a.uid);
+    buf.put_u32_le(a.gid);
+    buf.put_u64_le(a.size);
+    buf.put_u64_le(a.mtime.as_nanos());
+}
+
+/// Encodes one event's *payload* (no frame) into `buf`.
+fn encode_payload(buf: &mut BytesMut, event: &JournalEvent) {
+    match event {
+        JournalEvent::Create {
+            parent,
+            name,
+            ino,
+            attrs,
+        } => {
+            buf.put_u8(TAG_CREATE);
+            buf.put_u64_le(parent.0);
+            put_string(buf, name);
+            buf.put_u64_le(ino.0);
+            put_attrs(buf, attrs);
+        }
+        JournalEvent::Mkdir {
+            parent,
+            name,
+            ino,
+            attrs,
+        } => {
+            buf.put_u8(TAG_MKDIR);
+            buf.put_u64_le(parent.0);
+            put_string(buf, name);
+            buf.put_u64_le(ino.0);
+            put_attrs(buf, attrs);
+        }
+        JournalEvent::Unlink { parent, name } => {
+            buf.put_u8(TAG_UNLINK);
+            buf.put_u64_le(parent.0);
+            put_string(buf, name);
+        }
+        JournalEvent::Rmdir { parent, name } => {
+            buf.put_u8(TAG_RMDIR);
+            buf.put_u64_le(parent.0);
+            put_string(buf, name);
+        }
+        JournalEvent::Rename {
+            src_parent,
+            src_name,
+            dst_parent,
+            dst_name,
+        } => {
+            buf.put_u8(TAG_RENAME);
+            buf.put_u64_le(src_parent.0);
+            put_string(buf, src_name);
+            buf.put_u64_le(dst_parent.0);
+            put_string(buf, dst_name);
+        }
+        JournalEvent::SetAttr { ino, attrs } => {
+            buf.put_u8(TAG_SETATTR);
+            buf.put_u64_le(ino.0);
+            put_attrs(buf, attrs);
+        }
+        JournalEvent::SetPolicy { ino, policy } => {
+            buf.put_u8(TAG_SETPOLICY);
+            buf.put_u64_le(ino.0);
+            put_bytes(buf, policy);
+        }
+        JournalEvent::SegmentBoundary { seq } => {
+            buf.put_u8(TAG_SEGMENT);
+            buf.put_u64_le(*seq);
+        }
+    }
+}
+
+/// Appends one framed event (`len | crc | payload`) to `buf`.
+pub fn encode_event(buf: &mut BytesMut, event: &JournalEvent) {
+    let mut payload = BytesMut::with_capacity(64);
+    encode_payload(&mut payload, event);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(&payload));
+    buf.put_slice(&payload);
+}
+
+/// Serializes a whole journal: magic prefix plus framed events.
+pub fn encode_journal<'a>(events: impl IntoIterator<Item = &'a JournalEvent>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    for e in events {
+        encode_event(&mut buf, e);
+    }
+    buf.freeze()
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut b = self.take(8)?;
+        Ok(b.get_u64_le())
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn attrs(&mut self) -> Result<Attrs, CodecError> {
+        Ok(Attrs {
+            mode: self.u32()?,
+            uid: self.u32()?,
+            gid: self.u32()?,
+            size: self.u64()?,
+            mtime: Nanos(self.u64()?),
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<JournalEvent, CodecError> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let tag = c.u8()?;
+    let event = match tag {
+        TAG_CREATE => JournalEvent::Create {
+            parent: InodeId(c.u64()?),
+            name: c.string()?,
+            ino: InodeId(c.u64()?),
+            attrs: c.attrs()?,
+        },
+        TAG_MKDIR => JournalEvent::Mkdir {
+            parent: InodeId(c.u64()?),
+            name: c.string()?,
+            ino: InodeId(c.u64()?),
+            attrs: c.attrs()?,
+        },
+        TAG_UNLINK => JournalEvent::Unlink {
+            parent: InodeId(c.u64()?),
+            name: c.string()?,
+        },
+        TAG_RMDIR => JournalEvent::Rmdir {
+            parent: InodeId(c.u64()?),
+            name: c.string()?,
+        },
+        TAG_RENAME => JournalEvent::Rename {
+            src_parent: InodeId(c.u64()?),
+            src_name: c.string()?,
+            dst_parent: InodeId(c.u64()?),
+            dst_name: c.string()?,
+        },
+        TAG_SETATTR => JournalEvent::SetAttr {
+            ino: InodeId(c.u64()?),
+            attrs: c.attrs()?,
+        },
+        TAG_SETPOLICY => JournalEvent::SetPolicy {
+            ino: InodeId(c.u64()?),
+            policy: c.bytes()?,
+        },
+        TAG_SEGMENT => JournalEvent::SegmentBoundary { seq: c.u64()? },
+        t => return Err(CodecError::BadTag(t)),
+    };
+    if !c.done() {
+        return Err(CodecError::TrailingPayload { tag });
+    }
+    Ok(event)
+}
+
+/// Decodes a full journal blob (magic + framed events).
+pub fn decode_journal(blob: &[u8]) -> Result<Vec<JournalEvent>, CodecError> {
+    if blob.len() < MAGIC.len() || &blob[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    decode_frames(&blob[MAGIC.len()..])
+}
+
+/// Decodes a sequence of framed events with no magic prefix (the format of
+/// journal stripe objects, which only the header object prefixes).
+pub fn decode_frames(mut rest: &[u8]) -> Result<Vec<JournalEvent>, CodecError> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while !rest.is_empty() {
+        if rest.len() < 8 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let len = (&rest[0..4]).to_vec();
+        let len = u32::from_le_bytes([len[0], len[1], len[2], len[3]]) as usize;
+        let crc_stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if rest.len() < 8 + len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc_stored {
+            return Err(CodecError::BadCrc { offset });
+        }
+        out.push(decode_payload(payload)?);
+        offset += 8 + len;
+        rest = &rest[8 + len..];
+    }
+    Ok(out)
+}
+
+/// Serialized size in bytes of one framed event. (The cost model separately
+/// accounts the paper's observed ~2.5 KB per update, which includes Ceph's
+/// much fatter inode and lump metadata; this is the *functional* size.)
+pub fn framed_len(event: &JournalEvent) -> usize {
+    let mut buf = BytesMut::with_capacity(64);
+    encode_event(&mut buf, event);
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FileType;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::Mkdir {
+                parent: InodeId::ROOT,
+                name: "dir".into(),
+                ino: InodeId(0x1000),
+                attrs: Attrs::dir_default(),
+            },
+            JournalEvent::Create {
+                parent: InodeId(0x1000),
+                name: "file-0".into(),
+                ino: InodeId(0x1001),
+                attrs: Attrs {
+                    mode: 0o600,
+                    uid: 7,
+                    gid: 8,
+                    size: 42,
+                    mtime: Nanos::from_secs(9),
+                },
+            },
+            JournalEvent::SetAttr {
+                ino: InodeId(0x1001),
+                attrs: Attrs::file_default(),
+            },
+            JournalEvent::Rename {
+                src_parent: InodeId(0x1000),
+                src_name: "file-0".into(),
+                dst_parent: InodeId::ROOT,
+                dst_name: "file-1".into(),
+            },
+            JournalEvent::Unlink {
+                parent: InodeId::ROOT,
+                name: "file-1".into(),
+            },
+            JournalEvent::Rmdir {
+                parent: InodeId::ROOT,
+                name: "dir".into(),
+            },
+            JournalEvent::SetPolicy {
+                ino: InodeId::ROOT,
+                policy: vec![1, 2, 3, 255],
+            },
+            JournalEvent::SegmentBoundary { seq: 17 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_event_types() {
+        let events = sample_events();
+        let blob = encode_journal(&events);
+        let decoded = decode_journal(&blob).unwrap();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn empty_journal_roundtrips() {
+        let blob = encode_journal(&[]);
+        assert_eq!(blob.as_ref(), MAGIC);
+        assert_eq!(decode_journal(&blob).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let blob = b"NOTMAGIC".to_vec();
+        assert_eq!(decode_journal(&blob), Err(CodecError::BadMagic));
+        assert_eq!(decode_journal(b""), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let events = sample_events();
+        let blob = encode_journal(&events);
+        for cut in [blob.len() - 1, blob.len() - 5, MAGIC.len() + 3] {
+            let err = decode_journal(&blob[..cut]).unwrap_err();
+            assert_eq!(err, CodecError::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let events = sample_events();
+        let mut blob = encode_journal(&events).to_vec();
+        // Flip a byte inside the first payload (after magic + 8-byte frame
+        // header).
+        blob[MAGIC.len() + 8] ^= 0xFF;
+        assert!(matches!(
+            decode_journal(&blob),
+            Err(CodecError::BadCrc { offset: 0 })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        let payload = [99u8]; // no such tag
+        buf.put_u32_le(1);
+        buf.put_u32_le(crc32(&payload));
+        buf.put_slice(&payload);
+        assert_eq!(decode_journal(&buf), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn trailing_payload_rejected() {
+        let mut payload = BytesMut::new();
+        payload.put_u8(8); // SegmentBoundary
+        payload.put_u64_le(1);
+        payload.put_u8(0xEE); // junk
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_u32_le(crc32(&payload));
+        buf.put_slice(&payload);
+        assert_eq!(
+            decode_journal(&buf),
+            Err(CodecError::TrailingPayload { tag: 8 })
+        );
+    }
+
+    #[test]
+    fn frames_without_magic() {
+        let events = sample_events();
+        let mut buf = BytesMut::new();
+        for e in &events {
+            encode_event(&mut buf, e);
+        }
+        assert_eq!(decode_frames(&buf).unwrap(), events);
+    }
+
+    #[test]
+    fn framed_len_matches_encoding() {
+        for e in sample_events() {
+            let mut buf = BytesMut::new();
+            encode_event(&mut buf, &e);
+            assert_eq!(framed_len(&e), buf.len());
+        }
+    }
+
+    #[test]
+    fn unicode_names_roundtrip() {
+        let e = JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: "档案-ファイル-αρχείο".into(),
+            ino: InodeId(0x2000),
+            attrs: Attrs::file_default(),
+        };
+        let blob = encode_journal(std::iter::once(&e));
+        assert_eq!(decode_journal(&blob).unwrap(), vec![e]);
+        let _ = FileType::File; // keep the import exercised
+    }
+}

@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3, the polynomial Ceph uses for journal entry
+//! checksums). Table-driven, no external dependency.
+
+/// Lazily built 256-entry lookup table for the reflected polynomial
+/// 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF —
+/// the standard IEEE variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed the *raw* running register (start from
+/// `0xFFFFFFFF`, XOR with `0xFFFFFFFF` when done).
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    let t = table();
+    for &b in data {
+        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello world, this is a journal event payload";
+        let oneshot = crc32(data);
+        let mut crc = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            crc = crc32_update(crc, chunk);
+        }
+        assert_eq!(crc ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"journal entry".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

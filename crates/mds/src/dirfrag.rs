@@ -1,0 +1,291 @@
+//! Directory fragments.
+//!
+//! CephFS structures each directory as a *fragtree* of directory fragments
+//! so large directories can be split (and distributed). "The metadata store
+//! data structure is structured as a tree of directory fragments making it
+//! easier to read and traverse." Dentries are assigned to fragments by a
+//! hash of their name; when a fragment outgrows a threshold the directory
+//! doubles its fragment count.
+//!
+//! Fragment scans are also the "poorly scaling data structure" behind the
+//! RPC path's cost (every create checks the fragment for existence), which
+//! is why the journal path wins so decisively in Figure 5.
+
+use std::collections::BTreeMap;
+
+use cudele_journal::{FileType, InodeId};
+
+/// One directory entry: the name maps to an inode and its type. (CephFS
+/// embeds the whole inode in the dentry; we keep inodes in the store's
+/// inode table and embed only the identity, which is equivalent for the
+/// metadata workloads modeled here.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dentry {
+    /// Inode the name resolves to.
+    pub ino: InodeId,
+    /// Kind of that inode.
+    pub ftype: FileType,
+}
+
+/// Stable FNV-1a hash of a dentry name; picks the fragment.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A single fragment: a sorted map of dentries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirFragment {
+    entries: BTreeMap<String, Dentry>,
+}
+
+impl DirFragment {
+    /// Number of dentries in this fragment.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the fragment holds no dentries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one dentry by name.
+    pub fn get(&self, name: &str) -> Option<&Dentry> {
+        self.entries.get(name)
+    }
+
+    /// Iterates dentries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Dentry)> {
+        self.entries.iter()
+    }
+}
+
+/// A directory: a power-of-two set of fragments addressed by name hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dir {
+    /// log2 of the fragment count.
+    bits: u8,
+    frags: Vec<DirFragment>,
+    /// Fragment-split threshold (entries per fragment). CephFS Jewel's
+    /// `mds_bal_split_size` default is 10000.
+    split_threshold: usize,
+    total: usize,
+}
+
+impl Dir {
+    /// CephFS Jewel default split threshold.
+    pub const DEFAULT_SPLIT_THRESHOLD: usize = 10_000;
+
+    /// A new, unfragmented, empty directory.
+    pub fn new() -> Dir {
+        Dir::with_split_threshold(Self::DEFAULT_SPLIT_THRESHOLD)
+    }
+
+    /// A directory that splits fragments beyond `threshold` entries.
+    pub fn with_split_threshold(threshold: usize) -> Dir {
+        assert!(threshold > 0);
+        Dir {
+            bits: 0,
+            frags: vec![DirFragment::default()],
+            split_threshold: threshold,
+            total: 0,
+        }
+    }
+
+    fn frag_index(&self, name: &str) -> usize {
+        (name_hash(name) & ((1u64 << self.bits) - 1)) as usize
+    }
+
+    /// Number of dentries across all fragments.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the directory holds no dentries.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of fragments (always a power of two).
+    pub fn frag_count(&self) -> usize {
+        self.frags.len()
+    }
+
+    /// Looks a name up.
+    pub fn get(&self, name: &str) -> Option<&Dentry> {
+        self.frags[self.frag_index(name)].get(name)
+    }
+
+    /// Whether the name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Inserts a dentry. Returns the previous dentry if the name existed
+    /// (callers enforcing POSIX semantics check [`Dir::contains`] first;
+    /// blind merge replays overwrite).
+    pub fn insert(&mut self, name: &str, dentry: Dentry) -> Option<Dentry> {
+        let idx = self.frag_index(name);
+        let prev = self.frags[idx].entries.insert(name.to_string(), dentry);
+        if prev.is_none() {
+            self.total += 1;
+            if self.frags[idx].len() > self.split_threshold {
+                self.split();
+            }
+        }
+        prev
+    }
+
+    /// Removes a dentry by name.
+    pub fn remove(&mut self, name: &str) -> Option<Dentry> {
+        let idx = self.frag_index(name);
+        let prev = self.frags[idx].entries.remove(name);
+        if prev.is_some() {
+            self.total -= 1;
+        }
+        prev
+    }
+
+    /// All dentries in name order (a full `readdir`).
+    pub fn entries(&self) -> Vec<(String, Dentry)> {
+        let mut out: Vec<(String, Dentry)> = self
+            .frags
+            .iter()
+            .flat_map(|f| f.entries.iter().map(|(n, d)| (n.clone(), *d)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Iterates fragments with their indices (persistence writes one
+    /// object per fragment).
+    pub fn fragments(&self) -> impl Iterator<Item = (u32, &DirFragment)> {
+        self.frags.iter().enumerate().map(|(i, f)| (i as u32, f))
+    }
+
+    /// Doubles the fragment count, rehashing every dentry.
+    fn split(&mut self) {
+        // Cap at 2^8 fragments; CephFS caps fragtree depth similarly.
+        if self.bits >= 8 {
+            return;
+        }
+        self.bits += 1;
+        let mut new_frags = vec![DirFragment::default(); 1usize << self.bits];
+        for frag in std::mem::take(&mut self.frags) {
+            for (name, dentry) in frag.entries {
+                let idx = (name_hash(&name) & ((1u64 << self.bits) - 1)) as usize;
+                new_frags[idx].entries.insert(name, dentry);
+            }
+        }
+        self.frags = new_frags;
+    }
+}
+
+impl Default for Dir {
+    fn default() -> Self {
+        Dir::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dentry(i: u64) -> Dentry {
+        Dentry {
+            ino: InodeId(0x1000 + i),
+            ftype: FileType::File,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut d = Dir::new();
+        assert!(d.insert("a", dentry(1)).is_none());
+        assert_eq!(d.get("a"), Some(&dentry(1)));
+        assert!(d.contains("a"));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.remove("a"), Some(dentry(1)));
+        assert!(d.is_empty());
+        assert_eq!(d.remove("a"), None);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_growing() {
+        let mut d = Dir::new();
+        d.insert("a", dentry(1));
+        let prev = d.insert("a", dentry(2));
+        assert_eq!(prev, Some(dentry(1)));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get("a"), Some(&dentry(2)));
+    }
+
+    #[test]
+    fn splits_at_threshold_and_stays_consistent() {
+        let mut d = Dir::with_split_threshold(8);
+        for i in 0..100u64 {
+            d.insert(&format!("file-{i}"), dentry(i));
+        }
+        assert_eq!(d.len(), 100);
+        assert!(d.frag_count() > 1, "directory should have fragmented");
+        // Every entry still findable after rehash.
+        for i in 0..100u64 {
+            assert_eq!(d.get(&format!("file-{i}")), Some(&dentry(i)), "file-{i}");
+        }
+        // Fragment count is a power of two.
+        assert!(d.frag_count().is_power_of_two());
+    }
+
+    #[test]
+    fn entries_sorted_across_fragments() {
+        let mut d = Dir::with_split_threshold(4);
+        for i in (0..32u64).rev() {
+            d.insert(&format!("{i:04}"), dentry(i));
+        }
+        let names: Vec<String> = d.entries().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn fragments_partition_entries() {
+        let mut d = Dir::with_split_threshold(4);
+        for i in 0..64u64 {
+            d.insert(&format!("f{i}"), dentry(i));
+        }
+        let total: usize = d.fragments().map(|(_, f)| f.len()).sum();
+        assert_eq!(total, 64);
+        // Each dentry hashes to the fragment it is stored in.
+        for (idx, frag) in d.fragments() {
+            for (name, _) in frag.iter() {
+                assert_eq!(
+                    (name_hash(name) & ((d.frag_count() as u64) - 1)) as u32,
+                    idx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_cap_prevents_unbounded_fragmentation() {
+        let mut d = Dir::with_split_threshold(1);
+        for i in 0..2000u64 {
+            d.insert(&format!("f{i}"), dentry(i));
+        }
+        assert!(d.frag_count() <= 256);
+        assert_eq!(d.len(), 2000);
+    }
+
+    #[test]
+    fn name_hash_is_stable() {
+        assert_eq!(name_hash("file-1"), name_hash("file-1"));
+        assert_ne!(name_hash("file-1"), name_hash("file-2"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The MDS journal ("mdlog") — the Stream durability mechanism.
+//!
+//! "A journal of metadata updates that streams into the resilient object
+//! store. [...] The journal is striped over objects where multiple journal
+//! updates can reside on the same object. There are two tunables, related
+//! to groups of journal events called segments, for controlling the
+//! journal: the segment size and the dispatch size (i.e. the number of
+//! segments that can be dispatched at once)."
+//!
+//! Functionally: events are accumulated into segments; once `dispatch_size`
+//! segments are sealed, the whole window is flushed to the object store.
+//! The trimmer applies journaled updates to the object-store metadata
+//! representation and logically drops them from the journal ("The metadata
+//! server applies the updates in the journal to the metadata store when the
+//! journal reaches a certain size").
+//!
+//! Timing: callers read [`MdLog::take_stats`] and charge
+//! `CostModel::stream_mds_cpu_at_dispatch` per event plus object-store
+//! bandwidth for flushed bytes.
+
+use std::collections::VecDeque;
+
+use cudele_journal::{
+    trim_journal, JournalEvent, JournalId, JournalIoError, JournalWriter, Segment, SegmentBuilder,
+};
+use cudele_rados::ObjectStore;
+
+use crate::persist;
+use crate::store::MetadataStore;
+
+/// Tunables for the mdlog.
+#[derive(Debug, Clone, Copy)]
+pub struct MdLogConfig {
+    /// Events per segment (the "segment size" tunable).
+    pub events_per_segment: usize,
+    /// Sealed segments flushed together (the "dispatch size" tunable; the
+    /// paper's recommended value is 40).
+    pub dispatch_size: u32,
+    /// Flushed updates accumulated before the trimmer kicks in; `None`
+    /// disables trimming (most microbenchmarks run with it off so the
+    /// journal survives for inspection).
+    pub trim_after_updates: Option<u64>,
+}
+
+impl Default for MdLogConfig {
+    fn default() -> Self {
+        MdLogConfig {
+            events_per_segment: SegmentBuilder::DEFAULT_EVENTS_PER_SEGMENT,
+            dispatch_size: 40,
+            trim_after_updates: None,
+        }
+    }
+}
+
+/// Counters drained by the time-accounting layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MdLogStats {
+    /// Events submitted since the last drain.
+    pub events: u64,
+    /// Segments flushed to the object store.
+    pub segments_flushed: u64,
+    /// Journal bytes written to the object store (functional bytes).
+    pub bytes_flushed: u64,
+    /// Trim passes performed.
+    pub trims: u64,
+}
+
+/// The MDS journal.
+pub struct MdLog {
+    config: MdLogConfig,
+    id: JournalId,
+    builder: SegmentBuilder,
+    sealed: VecDeque<Segment>,
+    /// Updates flushed since the last trim (drives the trim threshold).
+    updates_since_trim: u64,
+    /// Total events (updates + boundary markers) flushed since the last
+    /// trim — exactly the journal prefix a trim may skip.
+    flushed_events_since_trim: u64,
+    stats: MdLogStats,
+}
+
+impl MdLog {
+    /// An mdlog writing to the canonical CephFS journal id.
+    pub fn new(config: MdLogConfig) -> MdLog {
+        MdLog::with_id(config, JournalId::MDLOG)
+    }
+
+    /// An mdlog writing to a custom journal id.
+    pub fn with_id(config: MdLogConfig, id: JournalId) -> MdLog {
+        MdLog {
+            builder: SegmentBuilder::new(config.events_per_segment),
+            config,
+            id,
+            sealed: VecDeque::new(),
+            updates_since_trim: 0,
+            flushed_events_since_trim: 0,
+            stats: MdLogStats::default(),
+        }
+    }
+
+    /// The journal id this mdlog writes.
+    pub fn journal_id(&self) -> JournalId {
+        self.id
+    }
+
+    /// The configured dispatch size.
+    pub fn dispatch_size(&self) -> u32 {
+        self.config.dispatch_size
+    }
+
+    /// Submits one event. If this seals enough segments to fill the
+    /// dispatch window, the window is flushed to the object store.
+    pub fn submit<S: ObjectStore + ?Sized>(
+        &mut self,
+        os: &S,
+        event: JournalEvent,
+    ) -> Result<(), JournalIoError> {
+        self.stats.events += 1;
+        if let Some(seg) = self.builder.push(event) {
+            self.sealed.push_back(seg);
+        }
+        if self.sealed.len() >= self.config.dispatch_size as usize {
+            self.flush_window(os)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes all sealed segments and any partial segment — called on
+    /// clean shutdown and before recovery checks.
+    pub fn flush<S: ObjectStore + ?Sized>(&mut self, os: &S) -> Result<(), JournalIoError> {
+        if let Some(seg) = self.builder.flush() {
+            self.sealed.push_back(seg);
+        }
+        self.flush_window(os)
+    }
+
+    fn flush_window<S: ObjectStore + ?Sized>(&mut self, os: &S) -> Result<(), JournalIoError> {
+        if self.sealed.is_empty() {
+            return Ok(());
+        }
+        let mut writer = JournalWriter::open(os, self.id)?;
+        while let Some(seg) = self.sealed.pop_front() {
+            let bytes = writer.append(&seg.events)?;
+            self.stats.bytes_flushed += bytes;
+            self.stats.segments_flushed += 1;
+            self.updates_since_trim += seg.update_count();
+            self.flushed_events_since_trim += seg.events.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Runs the trimmer if the flushed-update threshold is exceeded:
+    /// persists the current in-memory store to its object representation
+    /// and logically drops the journal prefix it covers.
+    pub fn maybe_trim<S: ObjectStore + ?Sized>(
+        &mut self,
+        os: &S,
+        store: &MetadataStore,
+    ) -> Result<bool, JournalIoError> {
+        let Some(threshold) = self.config.trim_after_updates else {
+            return Ok(false);
+        };
+        if self.updates_since_trim < threshold {
+            return Ok(false);
+        }
+        persist::flush_store(store, os, self.id.pool)
+            .map_err(|e| JournalIoError::Rados(match e {
+                persist::PersistError::Rados(r) => r,
+                persist::PersistError::Corrupt(m) => {
+                    panic!("metadata store corrupt during trim: {m}")
+                }
+            }))?;
+        // Everything flushed so far is covered by the persisted image, so
+        // replay may skip exactly that journal prefix.
+        trim_journal(os, self.id, self.flushed_events_since_trim)?;
+        self.updates_since_trim = 0;
+        self.flushed_events_since_trim = 0;
+        self.stats.trims += 1;
+        Ok(true)
+    }
+
+    /// Events buffered (sealed or partial) but not yet in the object store
+    /// — these are what a crash loses before Stream flushes them.
+    pub fn unflushed_events(&self) -> u64 {
+        let sealed: usize = self.sealed.iter().map(|s| s.events.len()).sum();
+        (sealed + self.builder.pending()) as u64
+    }
+
+    /// Drains the accumulated counters.
+    pub fn take_stats(&mut self) -> MdLogStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Peeks at the counters without draining.
+    pub fn stats(&self) -> MdLogStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudele_journal::{read_journal, Attrs, InodeId};
+    use cudele_rados::{InMemoryStore, PoolId};
+
+    fn create(i: u64) -> JournalEvent {
+        JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: format!("f{i}"),
+            ino: InodeId(0x1000 + i),
+            attrs: Attrs::file_default(),
+        }
+    }
+
+    fn config(seg: usize, dispatch: u32) -> MdLogConfig {
+        MdLogConfig {
+            events_per_segment: seg,
+            dispatch_size: dispatch,
+            trim_after_updates: None,
+        }
+    }
+
+    #[test]
+    fn flushes_when_dispatch_window_fills() {
+        let os = InMemoryStore::paper_default();
+        let mut log = MdLog::new(config(4, 2));
+        // 7 events: one sealed segment (4), 3 pending. Nothing flushed yet.
+        for i in 0..7 {
+            log.submit(&os, create(i)).unwrap();
+        }
+        assert_eq!(log.stats().segments_flushed, 0);
+        assert_eq!(log.unflushed_events(), 5 + 3); // 4 events + boundary, 3 pending
+        // 8th event seals segment 2 -> window of 2 flushes.
+        log.submit(&os, create(7)).unwrap();
+        assert_eq!(log.stats().segments_flushed, 2);
+        assert_eq!(log.unflushed_events(), 0);
+        let persisted = read_journal(&os, JournalId::MDLOG).unwrap();
+        assert_eq!(persisted.iter().filter(|e| e.is_update()).count(), 8);
+    }
+
+    #[test]
+    fn final_flush_covers_partial_segment() {
+        let os = InMemoryStore::paper_default();
+        let mut log = MdLog::new(config(100, 40));
+        for i in 0..5 {
+            log.submit(&os, create(i)).unwrap();
+        }
+        assert_eq!(log.stats().segments_flushed, 0);
+        log.flush(&os).unwrap();
+        assert_eq!(log.stats().segments_flushed, 1);
+        let persisted = read_journal(&os, JournalId::MDLOG).unwrap();
+        assert_eq!(persisted.iter().filter(|e| e.is_update()).count(), 5);
+    }
+
+    #[test]
+    fn stats_drain() {
+        let os = InMemoryStore::paper_default();
+        let mut log = MdLog::new(config(2, 1));
+        for i in 0..4 {
+            log.submit(&os, create(i)).unwrap();
+        }
+        let s = log.take_stats();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.segments_flushed, 2);
+        assert!(s.bytes_flushed > 0);
+        assert_eq!(log.stats(), MdLogStats::default());
+    }
+
+    #[test]
+    fn trim_persists_store_and_drops_prefix() {
+        let os = InMemoryStore::paper_default();
+        let mut log = MdLog::new(MdLogConfig {
+            events_per_segment: 4,
+            dispatch_size: 1,
+            trim_after_updates: Some(8),
+        });
+        let mut ms = MetadataStore::new();
+        for i in 0..12 {
+            let e = create(i);
+            ms.apply_checked(&e).unwrap();
+            log.submit(&os, e).unwrap();
+        }
+        let trimmed = log.maybe_trim(&os, &ms).unwrap();
+        assert!(trimmed);
+        assert_eq!(log.stats().trims, 1);
+        // After trim, replaying (persisted image + remaining journal) must
+        // reconstruct the full namespace.
+        let mut recovered = persist::load_store(&os, PoolId::METADATA).unwrap();
+        for e in read_journal(&os, JournalId::MDLOG).unwrap() {
+            recovered.apply_blind(&e);
+        }
+        assert_eq!(recovered.snapshot(), ms.snapshot());
+        // Not all 12 updates remain in the journal.
+        let rest = read_journal(&os, JournalId::MDLOG).unwrap();
+        assert!(rest.iter().filter(|e| e.is_update()).count() < 12);
+    }
+
+    #[test]
+    fn trim_disabled_by_default() {
+        let os = InMemoryStore::paper_default();
+        let mut log = MdLog::new(MdLogConfig::default());
+        let ms = MetadataStore::new();
+        for i in 0..10 {
+            log.submit(&os, create(i)).unwrap();
+        }
+        assert!(!log.maybe_trim(&os, &ms).unwrap());
+    }
+}

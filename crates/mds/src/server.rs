@@ -1,0 +1,909 @@
+//! The metadata server: sessions, capabilities, the namespace, the mdlog,
+//! and Cudele's merge entry points, glued behind an RPC-shaped interface.
+//!
+//! Every handler returns both a functional result and an [`OpCost`] — the
+//! MDS CPU time to charge to the server's FIFO queue and the extra
+//! client-visible latency (network round trip, journal commit wait). The
+//! discrete-event harnesses turn those into completion times; unit tests
+//! ignore them and assert on the functional result.
+
+use std::sync::Arc;
+
+use cudele_journal::{Attrs, InodeId, InodeRange, JournalEvent};
+use cudele_rados::{ObjectStore, PoolId};
+use cudele_sim::{CostModel, Nanos};
+
+use crate::caps::{CapTable, ClientId};
+use crate::dirfrag::Dentry;
+use crate::error::{MdsError, Result};
+use crate::mdlog::{MdLog, MdLogConfig, MdLogStats};
+use crate::persist;
+use crate::session::{InodeAllocator, SessionMap};
+use crate::store::MetadataStore;
+
+/// Time charged for one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// CPU time the MDS spends on the request (queued on the MDS server
+    /// resource by the harness).
+    pub mds_cpu: Nanos,
+    /// Client-visible latency outside MDS CPU: per-RPC overhead and, with
+    /// Stream on, the journal commit wait.
+    pub client_extra: Nanos,
+    /// RPC messages this operation represents.
+    pub rpcs: u64,
+}
+
+impl OpCost {
+    fn rpc(mds_cpu: Nanos, client_extra: Nanos) -> OpCost {
+        OpCost {
+            mds_cpu,
+            client_extra,
+            rpcs: 1,
+        }
+    }
+
+    /// Combines two sequential costs.
+    pub fn then(self, other: OpCost) -> OpCost {
+        OpCost {
+            mds_cpu: self.mds_cpu + other.mds_cpu,
+            client_extra: self.client_extra + other.client_extra,
+            rpcs: self.rpcs + other.rpcs,
+        }
+    }
+}
+
+/// A handler's reply: functional result plus cost. The cost is meaningful
+/// even when the result is an error (rejections still consume MDS cycles —
+/// that is the point of Figure 6b's small-cluster overhead).
+#[derive(Debug)]
+pub struct Rpc<T> {
+    /// The functional outcome.
+    pub result: Result<T>,
+    /// Time to charge for the request, success or not.
+    pub cost: OpCost,
+}
+
+impl<T> Rpc<T> {
+    fn new(result: Result<T>, cost: OpCost) -> Rpc<T> {
+        Rpc { result, cost }
+    }
+
+    /// Unwraps the result, panicking with context on error (tests).
+    pub fn expect_ok(self) -> T
+    where
+        T: std::fmt::Debug,
+    {
+        self.result.expect("rpc failed")
+    }
+}
+
+/// Reply to a create/mkdir.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreateReply {
+    /// The inode assigned to the new file or directory.
+    pub ino: InodeId,
+    /// Whether the client holds the directory read-caching cap after this
+    /// operation — if true, its next create in this directory needs no
+    /// lookup RPC.
+    pub has_cache: bool,
+}
+
+/// Aggregate request counters (Figure 3c plots these over time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Total requests handled.
+    pub rpcs: u64,
+    /// Create requests serviced.
+    pub creates: u64,
+    /// Lookup requests serviced.
+    pub lookups: u64,
+    /// Requests rejected with EBUSY (interfere=block).
+    pub rejects: u64,
+    /// Volatile Apply merges performed.
+    pub merges: u64,
+    /// Journal events merged in total.
+    pub merged_events: u64,
+}
+
+/// How many inodes the MDS transparently preallocates to an RPC-path
+/// session when it runs dry (CephFS similarly hands sessions inode ranges).
+const SESSION_PREALLOC: u64 = 1 << 16;
+
+/// The metadata server.
+pub struct MetadataServer {
+    cost: CostModel,
+    store: MetadataStore,
+    caps: CapTable,
+    sessions: SessionMap,
+    alloc: InodeAllocator,
+    mdlog: Option<MdLog>,
+    os: Arc<dyn ObjectStore>,
+    pool: PoolId,
+    /// Decoupled subtrees with interfere=block: subtree root -> owner.
+    blocked: Vec<(InodeId, ClientId)>,
+    counters: ServerCounters,
+}
+
+impl MetadataServer {
+    /// A server with Stream journaling on at the paper's reference
+    /// configuration (dispatch size 40).
+    pub fn new(os: Arc<dyn ObjectStore>) -> MetadataServer {
+        MetadataServer::with_config(os, CostModel::calibrated(), Some(MdLogConfig::default()))
+    }
+
+    /// Full configuration control. `mdlog: None` turns the journal off
+    /// (the "no journal" baselines in Figures 3a and 5).
+    pub fn with_config(
+        os: Arc<dyn ObjectStore>,
+        cost: CostModel,
+        mdlog: Option<MdLogConfig>,
+    ) -> MetadataServer {
+        MetadataServer {
+            cost,
+            store: MetadataStore::new(),
+            caps: CapTable::new(),
+            sessions: SessionMap::new(),
+            alloc: InodeAllocator::new(),
+            mdlog: mdlog.map(MdLog::new),
+            os,
+            pool: PoolId::METADATA,
+            blocked: Vec::new(),
+            counters: ServerCounters::default(),
+        }
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Read access to the namespace (verification, snapshots).
+    pub fn store(&self) -> &MetadataStore {
+        &self.store
+    }
+
+    /// Capability-table statistics.
+    pub fn caps(&self) -> &CapTable {
+        &self.caps
+    }
+
+    /// Request counters so far.
+    pub fn counters(&self) -> ServerCounters {
+        self.counters
+    }
+
+    /// Whether Stream journaling is on.
+    pub fn journal_enabled(&self) -> bool {
+        self.mdlog.is_some()
+    }
+
+    /// Drains mdlog counters (events journaled, segments/bytes flushed).
+    pub fn take_mdlog_stats(&mut self) -> MdLogStats {
+        self.mdlog.as_mut().map(MdLog::take_stats).unwrap_or_default()
+    }
+
+    /// Reconfigures the capability re-grant cool-down (ablation knob).
+    /// Existing capability state is reset.
+    pub fn set_cap_regrant_after(&mut self, ops: u64) {
+        self.caps = CapTable::with_regrant_after(ops);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn journal(&mut self, event: JournalEvent) -> (Nanos, Nanos) {
+        match self.mdlog.as_mut() {
+            Some(log) => {
+                let dispatch = log.dispatch_size();
+                log.submit(self.os.as_ref(), event)
+                    .expect("object store rejected journal append");
+                // "The metadata server applies the updates in the journal
+                // to the metadata store when the journal reaches a certain
+                // size" — run the trimmer when configured.
+                log.maybe_trim(self.os.as_ref(), &self.store)
+                    .expect("journal trim failed");
+                (
+                    self.cost.stream_mds_cpu_at_dispatch(dispatch),
+                    self.cost.stream_client_latency,
+                )
+            }
+            None => (Nanos::ZERO, Nanos::ZERO),
+        }
+    }
+
+    /// Returns Busy if `ino` is inside a subtree blocked for someone other
+    /// than `client`.
+    fn check_blocked(&self, ino: InodeId, client: ClientId) -> Result<()> {
+        for &(root, owner) in &self.blocked {
+            if owner != client && self.store.is_within(ino, root) {
+                return Err(MdsError::Busy { ino: root });
+            }
+        }
+        Ok(())
+    }
+
+    fn take_session_inode(&mut self, client: ClientId) -> Result<InodeId> {
+        // "skip inodes used by the client at merge time": a session's
+        // preallocated range may partially exist in the namespace after a
+        // decoupled merge, so skip any number already in use.
+        loop {
+            let session = self.sessions.get_mut(client)?;
+            match session.take_inode() {
+                Some(ino) if self.store.inode_in_use(ino) => continue,
+                Some(ino) => return Ok(ino),
+                None => {
+                    let range = self.alloc.allocate(SESSION_PREALLOC);
+                    self.sessions.grant_range(client, range)?;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Session management
+    // ------------------------------------------------------------------
+
+    /// Opens a session for `client`.
+    pub fn open_session(&mut self, client: ClientId) -> Rpc<()> {
+        self.counters.rpcs += 1;
+        self.sessions.open(client);
+        Rpc::new(
+            Ok(()),
+            OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
+        )
+    }
+
+    /// Closes a session, dropping its capabilities.
+    pub fn close_session(&mut self, client: ClientId) -> Rpc<()> {
+        self.counters.rpcs += 1;
+        self.sessions.close(client);
+        self.caps.drop_client(client);
+        self.blocked.retain(|&(_, owner)| owner != client);
+        Rpc::new(
+            Ok(()),
+            OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
+        )
+    }
+
+    /// Explicitly preallocates `count` inodes to the client — the
+    /// "Allocated Inodes" contract for decoupled namespaces.
+    pub fn alloc_inodes(&mut self, client: ClientId, count: u64) -> Rpc<InodeRange> {
+        self.counters.rpcs += 1;
+        let cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
+        let range = self.alloc.allocate(count);
+        let result = self.sessions.grant_range(client, range).map(|()| range);
+        Rpc::new(result, cost)
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace RPCs
+    // ------------------------------------------------------------------
+
+    /// Creates a file in `parent`, allocating the inode from the client's
+    /// session.
+    pub fn create(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
+        self.counters.rpcs += 1;
+        if let Err(e) = self.check_blocked(parent, client) {
+            self.counters.rejects += 1;
+            return Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        self.counters.creates += 1;
+        let mut mds_cpu = self.cost.mds_create_cpu;
+        let mut client_extra = self.cost.rpc_overhead;
+
+        let ino = match self.take_session_inode(client) {
+            Ok(ino) => ino,
+            Err(e) => return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
+
+        let caps = self.caps.on_dir_write(parent, client);
+        if caps.revoked_from.is_some() {
+            mds_cpu += self.cost.mds_cap_revoke_cpu;
+        }
+
+        let attrs = Attrs::file_default();
+        if let Err(e) = self.store.create(parent, name, ino, attrs) {
+            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+        }
+        let (jcpu, jlat) = self.journal(JournalEvent::Create {
+            parent,
+            name: name.to_string(),
+            ino,
+            attrs,
+        });
+        mds_cpu += jcpu;
+        client_extra += jlat;
+        Rpc::new(
+            Ok(CreateReply {
+                ino,
+                has_cache: caps.writer_has_cache,
+            }),
+            OpCost::rpc(mds_cpu, client_extra),
+        )
+    }
+
+    /// Creates a directory in `parent`.
+    pub fn mkdir(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
+        self.counters.rpcs += 1;
+        if let Err(e) = self.check_blocked(parent, client) {
+            self.counters.rejects += 1;
+            return Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        let mut mds_cpu = self.cost.mds_create_cpu;
+        let mut client_extra = self.cost.rpc_overhead;
+        let ino = match self.take_session_inode(client) {
+            Ok(ino) => ino,
+            Err(e) => return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
+        let caps = self.caps.on_dir_write(parent, client);
+        if caps.revoked_from.is_some() {
+            mds_cpu += self.cost.mds_cap_revoke_cpu;
+        }
+        let attrs = Attrs::dir_default();
+        if let Err(e) = self.store.mkdir(parent, name, ino, attrs) {
+            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+        }
+        let (jcpu, jlat) = self.journal(JournalEvent::Mkdir {
+            parent,
+            name: name.to_string(),
+            ino,
+            attrs,
+        });
+        mds_cpu += jcpu;
+        client_extra += jlat;
+        Rpc::new(
+            Ok(CreateReply {
+                ino,
+                has_cache: caps.writer_has_cache,
+            }),
+            OpCost::rpc(mds_cpu, client_extra),
+        )
+    }
+
+    /// Looks up `name` in `parent`. `Ok(None)` is ENOENT — the reply the
+    /// create path *wants* to see.
+    pub fn lookup(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<Option<Dentry>> {
+        self.counters.rpcs += 1;
+        if let Err(e) = self.check_blocked(parent, client) {
+            self.counters.rejects += 1;
+            return Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        self.counters.lookups += 1;
+        let cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
+        let result = match self.store.lookup(parent, name) {
+            Ok(d) => Ok(Some(d)),
+            Err(MdsError::NoEnt { .. }) => Ok(None),
+            Err(e) => Err(e),
+        };
+        Rpc::new(result, cost)
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<()> {
+        self.counters.rpcs += 1;
+        if let Err(e) = self.check_blocked(parent, client) {
+            self.counters.rejects += 1;
+            return Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        let mut mds_cpu = self.cost.mds_create_cpu;
+        let mut client_extra = self.cost.rpc_overhead;
+        let caps = self.caps.on_dir_write(parent, client);
+        if caps.revoked_from.is_some() {
+            mds_cpu += self.cost.mds_cap_revoke_cpu;
+        }
+        if let Err(e) = self.store.unlink(parent, name) {
+            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+        }
+        let (jcpu, jlat) = self.journal(JournalEvent::Unlink {
+            parent,
+            name: name.to_string(),
+        });
+        mds_cpu += jcpu;
+        client_extra += jlat;
+        Rpc::new(Ok(()), OpCost::rpc(mds_cpu, client_extra))
+    }
+
+    /// Renames within the namespace.
+    pub fn rename(
+        &mut self,
+        client: ClientId,
+        src_parent: InodeId,
+        src_name: &str,
+        dst_parent: InodeId,
+        dst_name: &str,
+    ) -> Rpc<()> {
+        self.counters.rpcs += 1;
+        for dir in [src_parent, dst_parent] {
+            if let Err(e) = self.check_blocked(dir, client) {
+                self.counters.rejects += 1;
+                return Rpc::new(
+                    Err(e),
+                    OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+                );
+            }
+        }
+        let mut mds_cpu = self.cost.mds_create_cpu;
+        let mut client_extra = self.cost.rpc_overhead;
+        for dir in [src_parent, dst_parent] {
+            let caps = self.caps.on_dir_write(dir, client);
+            if caps.revoked_from.is_some() {
+                mds_cpu += self.cost.mds_cap_revoke_cpu;
+            }
+        }
+        if let Err(e) = self.store.rename(src_parent, src_name, dst_parent, dst_name) {
+            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+        }
+        let (jcpu, jlat) = self.journal(JournalEvent::Rename {
+            src_parent,
+            src_name: src_name.to_string(),
+            dst_parent,
+            dst_name: dst_name.to_string(),
+        });
+        mds_cpu += jcpu;
+        client_extra += jlat;
+        Rpc::new(Ok(()), OpCost::rpc(mds_cpu, client_extra))
+    }
+
+    /// Stats an inode.
+    pub fn stat(&mut self, client: ClientId, ino: InodeId) -> Rpc<Attrs> {
+        self.counters.rpcs += 1;
+        if let Err(e) = self.check_blocked(ino, client) {
+            self.counters.rejects += 1;
+            return Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        let cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
+        let result = self
+            .store
+            .inode(ino)
+            .map(|i| i.attrs)
+            .ok_or_else(|| MdsError::NoEnt {
+                what: format!("inode {ino}"),
+            });
+        Rpc::new(result, cost)
+    }
+
+    /// Lists a directory ("ls" — "notoriously heavy-weight"): MDS CPU
+    /// scales with the entry count.
+    pub fn readdir(&mut self, client: ClientId, ino: InodeId) -> Rpc<Vec<(String, Dentry)>> {
+        self.counters.rpcs += 1;
+        if let Err(e) = self.check_blocked(ino, client) {
+            self.counters.rejects += 1;
+            return Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        match self.store.readdir(ino) {
+            Ok(entries) => {
+                // Charge one lookup's CPU per 64 entries scanned, plus base.
+                let scan = self
+                    .cost
+                    .mds_lookup_cpu
+                    .scale(1.0 + entries.len() as f64 / 64.0);
+                Rpc::new(Ok(entries), OpCost::rpc(scan, self.cost.rpc_overhead))
+            }
+            Err(e) => Rpc::new(
+                Err(e),
+                OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cudele entry points
+    // ------------------------------------------------------------------
+
+    /// Installs a serialized policy blob on the inode at `path`, journals
+    /// it, and (for interfere=block) registers the subtree as owned by
+    /// `client`. Distributed by the monitor in the core crate.
+    pub fn set_subtree_policy(
+        &mut self,
+        client: ClientId,
+        path: &str,
+        policy: Vec<u8>,
+        block_for_others: bool,
+    ) -> Rpc<InodeId> {
+        self.counters.rpcs += 1;
+        let cost = OpCost::rpc(self.cost.mds_create_cpu, self.cost.rpc_overhead);
+        let ino = match self.store.resolve(path) {
+            Ok(ino) => ino,
+            Err(e) => return Rpc::new(Err(e), cost),
+        };
+        if let Err(e) = self.store.set_policy(ino, policy.clone()) {
+            return Rpc::new(Err(e), cost);
+        }
+        let _ = self.journal(JournalEvent::SetPolicy { ino, policy });
+        if block_for_others {
+            self.blocked.retain(|&(root, _)| root != ino);
+            self.blocked.push((ino, client));
+        }
+        Rpc::new(Ok(ino), cost)
+    }
+
+    /// Lifts an interfere=block registration (merge completed).
+    pub fn release_subtree(&mut self, ino: InodeId) {
+        self.blocked.retain(|&(root, _)| root != ino);
+    }
+
+    /// Whether a subtree is currently blocked.
+    pub fn is_blocked(&self, ino: InodeId) -> bool {
+        self.blocked.iter().any(|&(root, _)| root == ino)
+    }
+
+    /// Volatile Apply: merges a decoupled client's journal straight into
+    /// the in-memory metadata store, blindly ("the metadata server blindly
+    /// applies the updates because it assumes the events were already
+    /// checked for consistency").
+    pub fn volatile_apply(&mut self, client: ClientId, events: &[JournalEvent]) -> Rpc<u64> {
+        self.counters.rpcs += 1;
+        self.counters.merges += 1;
+        let mut applied = 0;
+        for e in events {
+            if e.is_update() {
+                self.store.apply_blind(e);
+                applied += 1;
+            }
+        }
+        self.counters.merged_events += applied;
+        let _ = client;
+        let mds_cpu = self.cost.volatile_apply_per_event * applied;
+        // One bulk message; network transfer time is charged separately by
+        // the harness from the journal's byte size.
+        Rpc::new(Ok(applied), OpCost::rpc(mds_cpu, self.cost.rpc_overhead))
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    /// Flushes the mdlog (clean-shutdown path).
+    pub fn flush_journal(&mut self) {
+        if let Some(log) = self.mdlog.as_mut() {
+            log.flush(self.os.as_ref())
+                .expect("object store rejected journal flush");
+        }
+    }
+
+    /// Simulates an MDS restart: the in-memory store, caps, and sessions
+    /// are dropped; the namespace is rebuilt from the object store (the
+    /// persisted metadata image plus a blind replay of the mdlog journal).
+    /// Unflushed journal events are lost — exactly the durability gap the
+    /// Stream/none configurations trade away.
+    pub fn crash_and_recover(&mut self) -> Result<()> {
+        let mut store =
+            persist::load_store(self.os.as_ref(), self.pool).map_err(MdsError::from)?;
+        let journal_id = self
+            .mdlog
+            .as_ref()
+            .map(|l| l.journal_id())
+            .unwrap_or(cudele_journal::JournalId::MDLOG);
+        let events = cudele_journal::read_journal(self.os.as_ref(), journal_id)
+            .map_err(|e| MdsError::NoEnt {
+                what: format!("mdlog replay ({e})"),
+            })?;
+        for e in &events {
+            store.apply_blind(e);
+        }
+        self.store = store;
+        self.caps = CapTable::new();
+        self.sessions = SessionMap::new();
+        if let Some(log) = self.mdlog.as_mut() {
+            // Fresh in-memory journal state; the persisted stripes remain.
+            *log = MdLog::with_id(
+                MdLogConfig {
+                    events_per_segment:
+                        cudele_journal::SegmentBuilder::DEFAULT_EVENTS_PER_SEGMENT,
+                    dispatch_size: log.dispatch_size(),
+                    trim_after_updates: None,
+                },
+                log.journal_id(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Test/benchmark setup helper: mkdir -p without cost accounting and
+    /// without journaling (directories created this way do not survive an
+    /// MDS crash — use [`MetadataServer::setup_dir_durable`] when recovery
+    /// matters).
+    pub fn setup_dir(&mut self, path: &str) -> Result<InodeId> {
+        self.setup_dir_inner(path, false)
+    }
+
+    /// mkdir -p without cost accounting but *with* journaling, so the
+    /// directories are recoverable like any RPC-created ones.
+    pub fn setup_dir_durable(&mut self, path: &str) -> Result<InodeId> {
+        self.setup_dir_inner(path, true)
+    }
+
+    fn setup_dir_inner(&mut self, path: &str, durable: bool) -> Result<InodeId> {
+        let mut cur = InodeId::ROOT;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = match self.store.lookup(cur, comp) {
+                Ok(d) => d.ino,
+                Err(MdsError::NoEnt { .. }) => {
+                    let ino = InodeId(self.alloc.allocate(1).start.0);
+                    let attrs = Attrs::dir_default();
+                    self.store.mkdir(cur, comp, ino, attrs)?;
+                    if durable {
+                        let _ = self.journal(JournalEvent::Mkdir {
+                            parent: cur,
+                            name: comp.to_string(),
+                            ino,
+                            attrs,
+                        });
+                    }
+                    ino
+                }
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudele_rados::InMemoryStore;
+
+    fn server() -> MetadataServer {
+        MetadataServer::new(Arc::new(InMemoryStore::paper_default()))
+    }
+
+    fn cudele_mds_mdlog_config_small() -> MdLogConfig {
+        MdLogConfig {
+            events_per_segment: 8,
+            dispatch_size: 2,
+            trim_after_updates: Some(50),
+        }
+    }
+
+    fn server_no_journal() -> MetadataServer {
+        MetadataServer::with_config(
+            Arc::new(InMemoryStore::paper_default()),
+            CostModel::calibrated(),
+            None,
+        )
+    }
+
+    const C1: ClientId = ClientId(1);
+    const C2: ClientId = ClientId(2);
+
+    #[test]
+    fn create_through_rpc_path() {
+        let mut s = server();
+        s.open_session(C1);
+        let dir = s.setup_dir("/work").unwrap();
+        let r = s.create(C1, dir, "f0");
+        let reply = r.result.unwrap();
+        assert!(reply.has_cache, "sole client gets the dir cap");
+        assert!(r.cost.mds_cpu >= s.cost_model().mds_create_cpu);
+        assert!(r.cost.client_extra > s.cost_model().rpc_overhead); // + stream wait
+        assert_eq!(s.store().lookup(dir, "f0").unwrap().ino, reply.ino);
+    }
+
+    #[test]
+    fn duplicate_create_fails_but_costs() {
+        let mut s = server();
+        s.open_session(C1);
+        let dir = s.setup_dir("/d").unwrap();
+        s.create(C1, dir, "f").result.unwrap();
+        let r = s.create(C1, dir, "f");
+        assert!(matches!(r.result, Err(MdsError::Exists { .. })));
+        assert!(r.cost.mds_cpu > Nanos::ZERO);
+    }
+
+    #[test]
+    fn journal_off_removes_stream_costs() {
+        let mut s = server_no_journal();
+        s.open_session(C1);
+        let dir = s.setup_dir("/d").unwrap();
+        let r = s.create(C1, dir, "f");
+        r.result.unwrap();
+        assert_eq!(r.cost.client_extra, s.cost_model().rpc_overhead);
+        assert_eq!(r.cost.mds_cpu, s.cost_model().mds_create_cpu);
+        assert_eq!(s.take_mdlog_stats(), MdLogStats::default());
+    }
+
+    #[test]
+    fn interference_revokes_and_costs_more() {
+        let mut s = server();
+        s.open_session(C1);
+        s.open_session(C2);
+        let dir = s.setup_dir("/shared").unwrap();
+        let r1 = s.create(C1, dir, "a").result.unwrap();
+        assert!(r1.has_cache);
+        let r2 = s.create(C2, dir, "b");
+        let reply2 = r2.result.unwrap();
+        assert!(!reply2.has_cache);
+        // Revocation charged to MDS CPU.
+        assert!(r2.cost.mds_cpu > s.cost_model().mds_create_cpu);
+        assert_eq!(s.caps().revocations(), 1);
+        // C1 lost its cache.
+        let r3 = s.create(C1, dir, "c").result.unwrap();
+        assert!(!r3.has_cache);
+    }
+
+    #[test]
+    fn lookup_enoent_is_ok_none() {
+        let mut s = server();
+        s.open_session(C1);
+        let dir = s.setup_dir("/d").unwrap();
+        assert_eq!(s.lookup(C1, dir, "missing").result.unwrap(), None);
+        s.create(C1, dir, "here").result.unwrap();
+        assert!(s.lookup(C1, dir, "here").result.unwrap().is_some());
+        assert_eq!(s.counters().lookups, 2);
+    }
+
+    #[test]
+    fn blocked_subtree_returns_busy_for_others() {
+        let mut s = server();
+        s.open_session(C1);
+        s.open_session(C2);
+        let dir = s.setup_dir("/batch/job1").unwrap();
+        s.set_subtree_policy(C1, "/batch/job1", vec![1], true)
+            .result
+            .unwrap();
+        // Owner passes.
+        s.create(C1, dir, "mine").result.unwrap();
+        // Interferer gets EBUSY, cheap reject cost.
+        let r = s.create(C2, dir, "theirs");
+        assert!(matches!(r.result, Err(MdsError::Busy { .. })));
+        assert_eq!(r.cost.mds_cpu, s.cost_model().mds_reject_cpu);
+        assert_eq!(s.counters().rejects, 1);
+        // Nested dirs inside the subtree are blocked too.
+        let nested = s.setup_dir("/batch/job1/sub").unwrap();
+        assert!(matches!(
+            s.create(C2, nested, "x").result,
+            Err(MdsError::Busy { .. })
+        ));
+        // Release lifts the block.
+        let root = s.store().resolve("/batch/job1").unwrap();
+        s.release_subtree(root);
+        s.create(C2, dir, "theirs").result.unwrap();
+    }
+
+    #[test]
+    fn alloc_inodes_contract() {
+        let mut s = server();
+        s.open_session(C1);
+        let r = s.alloc_inodes(C1, 100).result.unwrap();
+        assert_eq!(r.len, 100);
+        // A second client's range is disjoint.
+        s.open_session(C2);
+        let r2 = s.alloc_inodes(C2, 100).result.unwrap();
+        assert!(!r.contains(r2.start) && !r2.contains(r.start));
+    }
+
+    #[test]
+    fn volatile_apply_merges_blindly() {
+        let mut s = server();
+        s.open_session(C1);
+        let dir = s.setup_dir("/decoupled").unwrap();
+        let range = s.alloc_inodes(C1, 10).result.unwrap();
+        let events: Vec<JournalEvent> = range
+            .iter()
+            .enumerate()
+            .map(|(i, ino)| JournalEvent::Create {
+                parent: dir,
+                name: format!("f{i}"),
+                ino,
+                attrs: Attrs::file_default(),
+            })
+            .collect();
+        let r = s.volatile_apply(C1, &events);
+        assert_eq!(r.result.unwrap(), 10);
+        assert_eq!(r.cost.mds_cpu, s.cost_model().volatile_apply_per_event * 10);
+        assert_eq!(s.store().readdir(dir).unwrap().len(), 10);
+        assert_eq!(s.counters().merged_events, 10);
+    }
+
+    #[test]
+    fn unlink_rename_stat_readdir() {
+        let mut s = server();
+        s.open_session(C1);
+        let d1 = s.setup_dir("/a").unwrap();
+        let d2 = s.setup_dir("/b").unwrap();
+        let f = s.create(C1, d1, "f").result.unwrap();
+        s.rename(C1, d1, "f", d2, "g").result.unwrap();
+        assert_eq!(s.stat(C1, f.ino).result.unwrap(), Attrs::file_default());
+        let entries = s.readdir(C1, d2).result.unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "g");
+        s.unlink(C1, d2, "g").result.unwrap();
+        assert!(s.readdir(C1, d2).result.unwrap().is_empty());
+    }
+
+    #[test]
+    fn crash_loses_unflushed_recovers_flushed() {
+        let mut s = server();
+        s.open_session(C1);
+        let dir = s.setup_dir("/ckpt").unwrap();
+        for i in 0..10 {
+            s.create(C1, dir, &format!("f{i}")).result.unwrap();
+        }
+        // Without a flush, everything may be lost (setup_dir dirs too) —
+        // journal segments have not been dispatched (default segment size
+        // is much larger than 10 events).
+        s.crash_and_recover().unwrap();
+        assert!(s.store().resolve("/ckpt").is_err());
+
+        // Now with a clean flush: everything survives.
+        s.open_session(C1);
+        let dir = s.setup_dir("/ckpt2").unwrap();
+        // setup_dir bypasses the journal, so journal the mkdir explicitly
+        // through the RPC path instead.
+        let sub = s.mkdir(C1, dir, "run").result.unwrap();
+        for i in 0..10 {
+            s.create(C1, sub.ino, &format!("f{i}")).result.unwrap();
+        }
+        s.flush_journal();
+        s.crash_and_recover().unwrap();
+        // /ckpt2 was created outside the journal, but /ckpt2/run and its
+        // files were journaled... /ckpt2 itself is missing, so the replay
+        // recreated the journaled part under an orphaned parent. Verify by
+        // inode instead of path.
+        assert!(s.store().inode(sub.ino).is_some());
+        assert!(s.store().dir(sub.ino).map(|d| d.len()).unwrap_or(0) == 10);
+    }
+
+    #[test]
+    fn trimming_bounds_journal_and_preserves_recovery() {
+        let os = Arc::new(InMemoryStore::paper_default());
+        let mut s = MetadataServer::with_config(
+            os.clone(),
+            CostModel::calibrated(),
+            Some(cudele_mds_mdlog_config_small()),
+        );
+        s.open_session(C1);
+        let dir = s.mkdir(C1, cudele_journal::InodeId::ROOT, "work").result.unwrap();
+        for i in 0..200 {
+            s.create(C1, dir.ino, &format!("f{i}")).result.unwrap();
+        }
+        let stats = s.take_mdlog_stats();
+        assert!(stats.trims >= 1, "trimmer should have run: {stats:?}");
+        // Recovery from (persisted image + trimmed journal) is complete.
+        s.flush_journal();
+        s.crash_and_recover().unwrap();
+        assert_eq!(s.store().dir(dir.ino).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn session_required_for_create() {
+        let mut s = server();
+        let dir = s.setup_dir("/d").unwrap();
+        let r = s.create(ClientId(99), dir, "f");
+        assert!(matches!(r.result, Err(MdsError::NoSession { client: 99 })));
+    }
+
+    #[test]
+    fn counters_track_rpcs() {
+        let mut s = server();
+        s.open_session(C1);
+        let dir = s.setup_dir("/d").unwrap();
+        s.create(C1, dir, "f");
+        s.lookup(C1, dir, "f");
+        let c = s.counters();
+        assert_eq!(c.rpcs, 3); // open_session + create + lookup
+        assert_eq!(c.creates, 1);
+        assert_eq!(c.lookups, 1);
+    }
+}

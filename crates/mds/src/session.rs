@@ -1,0 +1,214 @@
+//! Client sessions and inode preallocation.
+//!
+//! "The inode cache has code for manipulating inode numbers, such as
+//! pre-allocating inodes to clients." Cudele leans on this for the
+//! allocated-inode contract: a decoupled client declares how many files it
+//! intends to create, the MDS reserves that range, and the merge skips
+//! inodes the client used.
+
+use std::collections::HashMap;
+
+use cudele_journal::{InodeId, InodeRange};
+
+use crate::caps::ClientId;
+use crate::error::{MdsError, Result};
+
+/// Monotonic allocator over the dynamic inode space.
+#[derive(Debug, Clone)]
+pub struct InodeAllocator {
+    next: u64,
+}
+
+impl InodeAllocator {
+    /// An allocator starting at the first dynamic inode.
+    pub fn new() -> InodeAllocator {
+        InodeAllocator {
+            next: InodeId::FIRST_DYNAMIC.0,
+        }
+    }
+
+    /// Reserves `len` consecutive inode numbers.
+    pub fn allocate(&mut self, len: u64) -> InodeRange {
+        let start = InodeId(self.next);
+        self.next += len;
+        InodeRange::new(start, len)
+    }
+
+    /// First unallocated inode number (diagnostics).
+    pub fn watermark(&self) -> InodeId {
+        InodeId(self.next)
+    }
+}
+
+impl Default for InodeAllocator {
+    fn default() -> Self {
+        InodeAllocator::new()
+    }
+}
+
+/// One client's server-side session state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The session's client.
+    pub client: ClientId,
+    /// Inode ranges preallocated to this client, oldest first.
+    pub ranges: Vec<InodeRange>,
+    /// Next unused offset into the newest range.
+    cursor: u64,
+    /// Operations served for this session (diagnostics).
+    pub ops: u64,
+}
+
+impl Session {
+    fn new(client: ClientId) -> Session {
+        Session {
+            client,
+            ranges: Vec::new(),
+            cursor: 0,
+            ops: 0,
+        }
+    }
+
+    /// Takes the next preallocated inode, if any remain.
+    pub fn take_inode(&mut self) -> Option<InodeId> {
+        let range = self.ranges.last()?;
+        if self.cursor >= range.len {
+            return None;
+        }
+        let ino = InodeId(range.start.0 + self.cursor);
+        self.cursor += 1;
+        Some(ino)
+    }
+
+    /// Inodes still unused in the newest range.
+    pub fn remaining(&self) -> u64 {
+        self.ranges
+            .last()
+            .map_or(0, |r| r.len.saturating_sub(self.cursor))
+    }
+
+    fn grant(&mut self, range: InodeRange) {
+        self.ranges.push(range);
+        self.cursor = 0;
+    }
+}
+
+/// All sessions on one MDS.
+#[derive(Debug, Clone, Default)]
+pub struct SessionMap {
+    sessions: HashMap<ClientId, Session>,
+}
+
+impl SessionMap {
+    /// An empty session map.
+    pub fn new() -> SessionMap {
+        SessionMap::default()
+    }
+
+    /// Opens a session (idempotent).
+    pub fn open(&mut self, client: ClientId) -> &mut Session {
+        self.sessions
+            .entry(client)
+            .or_insert_with(|| Session::new(client))
+    }
+
+    /// The session for `client`, or a no-session error.
+    pub fn get_mut(&mut self, client: ClientId) -> Result<&mut Session> {
+        self.sessions
+            .get_mut(&client)
+            .ok_or(MdsError::NoSession { client: client.0 })
+    }
+
+    /// Read-only session access.
+    pub fn get(&self, client: ClientId) -> Result<&Session> {
+        self.sessions
+            .get(&client)
+            .ok_or(MdsError::NoSession { client: client.0 })
+    }
+
+    /// Grants a freshly allocated range to the client's session.
+    pub fn grant_range(&mut self, client: ClientId, range: InodeRange) -> Result<()> {
+        self.get_mut(client)?.grant(range);
+        Ok(())
+    }
+
+    /// Closes a session, returning whether it existed.
+    pub fn close(&mut self, client: ClientId) -> bool {
+        self.sessions.remove(&client).is_some()
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_hands_out_disjoint_ranges() {
+        let mut a = InodeAllocator::new();
+        let r1 = a.allocate(100);
+        let r2 = a.allocate(50);
+        assert_eq!(r1.start, InodeId::FIRST_DYNAMIC);
+        assert_eq!(r2.start, r1.end());
+        assert!(!r1.contains(r2.start));
+        assert_eq!(a.watermark(), r2.end());
+    }
+
+    #[test]
+    fn session_consumes_range_in_order() {
+        let mut m = SessionMap::new();
+        let c = ClientId(1);
+        m.open(c);
+        m.grant_range(c, InodeRange::new(InodeId(0x1000), 3)).unwrap();
+        let s = m.get_mut(c).unwrap();
+        assert_eq!(s.take_inode(), Some(InodeId(0x1000)));
+        assert_eq!(s.take_inode(), Some(InodeId(0x1001)));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.take_inode(), Some(InodeId(0x1002)));
+        assert_eq!(s.take_inode(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn regrant_replaces_working_range() {
+        let mut m = SessionMap::new();
+        let c = ClientId(1);
+        m.open(c);
+        m.grant_range(c, InodeRange::new(InodeId(0x1000), 1)).unwrap();
+        m.get_mut(c).unwrap().take_inode();
+        m.grant_range(c, InodeRange::new(InodeId(0x2000), 2)).unwrap();
+        let s = m.get_mut(c).unwrap();
+        assert_eq!(s.take_inode(), Some(InodeId(0x2000)));
+        assert_eq!(s.ranges.len(), 2);
+    }
+
+    #[test]
+    fn missing_session_is_error() {
+        let mut m = SessionMap::new();
+        assert!(matches!(
+            m.get_mut(ClientId(9)),
+            Err(MdsError::NoSession { client: 9 })
+        ));
+        assert!(m.grant_range(ClientId(9), InodeRange::new(InodeId(1), 1)).is_err());
+    }
+
+    #[test]
+    fn open_is_idempotent_close_removes() {
+        let mut m = SessionMap::new();
+        m.open(ClientId(1));
+        m.open(ClientId(1));
+        assert_eq!(m.len(), 1);
+        assert!(m.close(ClientId(1)));
+        assert!(!m.close(ClientId(1)));
+        assert!(m.is_empty());
+    }
+}

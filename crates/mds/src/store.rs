@@ -1,0 +1,776 @@
+//! The in-memory metadata store: "a data structure that represents the
+//! file system namespace", kept as inodes plus a fragtree of directory
+//! fragments per directory.
+//!
+//! Two apply disciplines exist, and the difference is load-bearing for the
+//! paper's results:
+//!
+//! * **Checked** — full POSIX validity (EEXIST on duplicate create, ...).
+//!   This is what the RPC path does, and the existence check is exactly the
+//!   fragment scan that makes RPCs expensive.
+//! * **Blind** — "clients do not need to check for consistency when writing
+//!   events and the metadata server blindly applies the updates because it
+//!   assumes the events were already checked". This is the merge path for
+//!   decoupled journals; decoupled-namespace updates "take priority at
+//!   merge time", so blind applies overwrite.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+use cudele_journal::{Attrs, EventSink, FileType, InodeId, JournalEvent};
+
+use crate::dirfrag::{Dentry, Dir};
+use crate::error::{MdsError, Result};
+use crate::inode::Inode;
+
+/// The namespace: an inode table plus per-directory fragtrees.
+#[derive(Debug, Clone)]
+pub struct MetadataStore {
+    inodes: HashMap<InodeId, Inode>,
+    dirs: HashMap<InodeId, Dir>,
+    /// Parent directory of each non-root inode (maintained on every
+    /// namespace mutation; used for subtree-membership checks such as
+    /// Cudele's interfere=block).
+    parents: HashMap<InodeId, InodeId>,
+    split_threshold: usize,
+}
+
+impl MetadataStore {
+    /// An empty namespace containing only `/`.
+    pub fn new() -> MetadataStore {
+        MetadataStore::with_split_threshold(Dir::DEFAULT_SPLIT_THRESHOLD)
+    }
+
+    /// An empty namespace with a custom directory-fragment split threshold.
+    pub fn with_split_threshold(threshold: usize) -> MetadataStore {
+        let mut inodes = HashMap::new();
+        inodes.insert(InodeId::ROOT, Inode::root());
+        let mut dirs = HashMap::new();
+        dirs.insert(InodeId::ROOT, Dir::with_split_threshold(threshold));
+        MetadataStore {
+            inodes,
+            dirs,
+            parents: HashMap::new(),
+            split_threshold: threshold,
+        }
+    }
+
+    /// Number of inodes (including `/`).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Whether an inode number is in use. The merge path uses this to
+    /// enforce the allocated-inode contract.
+    pub fn inode_in_use(&self, ino: InodeId) -> bool {
+        self.inodes.contains_key(&ino)
+    }
+
+    /// The inode, if present.
+    pub fn inode(&self, ino: InodeId) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// The parent directory of `ino` (None for the root or unknown inodes).
+    pub fn parent_of(&self, ino: InodeId) -> Option<InodeId> {
+        self.parents.get(&ino).copied()
+    }
+
+    /// Whether `ino` lies inside the subtree rooted at `root` (inclusive).
+    /// Used to enforce Cudele's interfere=block policy on every request
+    /// that targets a decoupled subtree.
+    pub fn is_within(&self, ino: InodeId, root: InodeId) -> bool {
+        let mut cur = ino;
+        loop {
+            if cur == root {
+                return true;
+            }
+            match self.parents.get(&cur) {
+                Some(&p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// The directory fragtree of `ino`, if it is a directory.
+    pub fn dir(&self, ino: InodeId) -> Option<&Dir> {
+        self.dirs.get(&ino)
+    }
+
+    fn dir_mut(&mut self, ino: InodeId) -> Result<&mut Dir> {
+        if !self.inodes.contains_key(&ino) {
+            return Err(MdsError::NoEnt {
+                what: format!("directory {ino}"),
+            });
+        }
+        self.dirs
+            .get_mut(&ino)
+            .ok_or(MdsError::NotDir { ino })
+    }
+
+    // ------------------------------------------------------------------
+    // Checked (POSIX) operations
+    // ------------------------------------------------------------------
+
+    /// Creates a regular file. Fails with EEXIST if the name is taken and
+    /// with an allocation-contract error if the inode number is in use.
+    pub fn create(&mut self, parent: InodeId, name: &str, ino: InodeId, attrs: Attrs) -> Result<()> {
+        if self.inodes.contains_key(&ino) {
+            return Err(MdsError::InodeCollision { ino });
+        }
+        let dir = self.dir_mut(parent)?;
+        if dir.contains(name) {
+            return Err(MdsError::Exists {
+                parent,
+                name: name.to_string(),
+            });
+        }
+        dir.insert(
+            name,
+            Dentry {
+                ino,
+                ftype: FileType::File,
+            },
+        );
+        self.inodes.insert(ino, Inode::file(ino, attrs));
+        self.parents.insert(ino, parent);
+        Ok(())
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, parent: InodeId, name: &str, ino: InodeId, attrs: Attrs) -> Result<()> {
+        if self.inodes.contains_key(&ino) {
+            return Err(MdsError::InodeCollision { ino });
+        }
+        let dir = self.dir_mut(parent)?;
+        if dir.contains(name) {
+            return Err(MdsError::Exists {
+                parent,
+                name: name.to_string(),
+            });
+        }
+        dir.insert(
+            name,
+            Dentry {
+                ino,
+                ftype: FileType::Dir,
+            },
+        );
+        self.inodes.insert(ino, Inode::dir(ino, attrs));
+        self.dirs
+            .insert(ino, Dir::with_split_threshold(self.split_threshold));
+        self.parents.insert(ino, parent);
+        Ok(())
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, parent: InodeId, name: &str) -> Result<()> {
+        let dir = self.dir_mut(parent)?;
+        let dentry = *dir.get(name).ok_or_else(|| MdsError::NoEnt {
+            what: format!("{name:?} in {parent}"),
+        })?;
+        if dentry.ftype == FileType::Dir {
+            return Err(MdsError::IsDir { ino: dentry.ino });
+        }
+        dir.remove(name);
+        self.inodes.remove(&dentry.ino);
+        self.parents.remove(&dentry.ino);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, parent: InodeId, name: &str) -> Result<()> {
+        let dir = self.dir_mut(parent)?;
+        let dentry = *dir.get(name).ok_or_else(|| MdsError::NoEnt {
+            what: format!("{name:?} in {parent}"),
+        })?;
+        if dentry.ftype != FileType::Dir {
+            return Err(MdsError::NotDir { ino: dentry.ino });
+        }
+        if !self.dirs.get(&dentry.ino).map_or(true, |d| d.is_empty()) {
+            return Err(MdsError::NotEmpty { ino: dentry.ino });
+        }
+        self.dir_mut(parent)?.remove(name);
+        self.inodes.remove(&dentry.ino);
+        self.dirs.remove(&dentry.ino);
+        self.parents.remove(&dentry.ino);
+        Ok(())
+    }
+
+    /// Renames `src_parent/src_name` to `dst_parent/dst_name`. An existing
+    /// destination *file* is replaced (POSIX rename); an existing
+    /// destination directory is an error.
+    pub fn rename(
+        &mut self,
+        src_parent: InodeId,
+        src_name: &str,
+        dst_parent: InodeId,
+        dst_name: &str,
+    ) -> Result<()> {
+        let src = *self
+            .dir_mut(src_parent)?
+            .get(src_name)
+            .ok_or_else(|| MdsError::NoEnt {
+                what: format!("{src_name:?} in {src_parent}"),
+            })?;
+        if let Some(dst) = self.dir_mut(dst_parent)?.get(dst_name).copied() {
+            if dst.ftype == FileType::Dir {
+                return Err(MdsError::IsDir { ino: dst.ino });
+            }
+            self.inodes.remove(&dst.ino);
+            self.parents.remove(&dst.ino);
+        }
+        self.dir_mut(src_parent)?.remove(src_name);
+        self.dir_mut(dst_parent)?.insert(dst_name, src);
+        self.parents.insert(src.ino, dst_parent);
+        Ok(())
+    }
+
+    /// Overwrites an inode's attributes.
+    pub fn setattr(&mut self, ino: InodeId, attrs: Attrs) -> Result<()> {
+        let inode = self.inodes.get_mut(&ino).ok_or_else(|| MdsError::NoEnt {
+            what: format!("inode {ino}"),
+        })?;
+        inode.set_attrs(attrs);
+        Ok(())
+    }
+
+    /// Installs a Cudele policy blob on a directory inode.
+    pub fn set_policy(&mut self, ino: InodeId, policy: Vec<u8>) -> Result<()> {
+        let inode = self.inodes.get_mut(&ino).ok_or_else(|| MdsError::NoEnt {
+            what: format!("inode {ino}"),
+        })?;
+        inode.set_policy(policy);
+        Ok(())
+    }
+
+    /// Looks up one name in a directory.
+    pub fn lookup(&self, parent: InodeId, name: &str) -> Result<Dentry> {
+        let dir = self.dirs.get(&parent).ok_or_else(|| {
+            if self.inodes.contains_key(&parent) {
+                MdsError::NotDir { ino: parent }
+            } else {
+                MdsError::NoEnt {
+                    what: format!("directory {parent}"),
+                }
+            }
+        })?;
+        dir.get(name).copied().ok_or_else(|| MdsError::NoEnt {
+            what: format!("{name:?} in {parent}"),
+        })
+    }
+
+    /// Full directory listing, sorted by name.
+    pub fn readdir(&self, ino: InodeId) -> Result<Vec<(String, Dentry)>> {
+        self.dirs
+            .get(&ino)
+            .map(|d| d.entries())
+            .ok_or_else(|| MdsError::NoEnt {
+                what: format!("directory {ino}"),
+            })
+    }
+
+    /// Resolves an absolute slash-separated path to an inode. `""` and `"/"`
+    /// both resolve to the root.
+    pub fn resolve(&self, path: &str) -> Result<InodeId> {
+        let mut cur = InodeId::ROOT;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let dentry = self.lookup(cur, comp)?;
+            cur = dentry.ino;
+        }
+        Ok(cur)
+    }
+
+    /// The nearest ancestor of `path` (inclusive) that has a policy blob,
+    /// walking from the leaf upward — subtree policy resolution with
+    /// inheritance ("subtrees without policies inherit the consistency/
+    /// durability semantics of the parent").
+    pub fn effective_policy(&self, path: &str) -> Result<Option<(InodeId, &[u8])>> {
+        let mut chain = vec![InodeId::ROOT];
+        let mut cur = InodeId::ROOT;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = self.lookup(cur, comp)?.ino;
+            chain.push(cur);
+        }
+        for ino in chain.into_iter().rev() {
+            if let Some(p) = self.inodes.get(&ino).and_then(|i| i.policy.as_deref()) {
+                return Ok(Some((ino, p)));
+            }
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // Blind (merge) operations
+    // ------------------------------------------------------------------
+
+    /// Applies one journal event without validity checks, as the merge path
+    /// does. Decoupled updates take priority: existing dentries are
+    /// overwritten, missing unlink targets are ignored.
+    pub fn apply_blind(&mut self, event: &JournalEvent) {
+        match event {
+            JournalEvent::Create {
+                parent,
+                name,
+                ino,
+                attrs,
+            } => {
+                let threshold = self.split_threshold;
+                let dir = self
+                    .dirs
+                    .entry(*parent)
+                    .or_insert_with(|| Dir::with_split_threshold(threshold));
+                if let Some(prev) = dir.insert(
+                    name,
+                    Dentry {
+                        ino: *ino,
+                        ftype: FileType::File,
+                    },
+                ) {
+                    self.inodes.remove(&prev.ino);
+                    self.parents.remove(&prev.ino);
+                }
+                self.inodes.insert(*ino, Inode::file(*ino, *attrs));
+                self.parents.insert(*ino, *parent);
+            }
+            JournalEvent::Mkdir {
+                parent,
+                name,
+                ino,
+                attrs,
+            } => {
+                let threshold = self.split_threshold;
+                let dir = self
+                    .dirs
+                    .entry(*parent)
+                    .or_insert_with(|| Dir::with_split_threshold(threshold));
+                if let Some(prev) = dir.insert(
+                    name,
+                    Dentry {
+                        ino: *ino,
+                        ftype: FileType::Dir,
+                    },
+                ) {
+                    if prev.ino != *ino {
+                        self.inodes.remove(&prev.ino);
+                        self.dirs.remove(&prev.ino);
+                        self.parents.remove(&prev.ino);
+                    }
+                }
+                self.inodes.insert(*ino, Inode::dir(*ino, *attrs));
+                self.dirs
+                    .entry(*ino)
+                    .or_insert_with(|| Dir::with_split_threshold(threshold));
+                self.parents.insert(*ino, *parent);
+            }
+            JournalEvent::Unlink { parent, name } | JournalEvent::Rmdir { parent, name } => {
+                if let Some(dir) = self.dirs.get_mut(parent) {
+                    if let Some(prev) = dir.remove(name) {
+                        self.inodes.remove(&prev.ino);
+                        self.dirs.remove(&prev.ino);
+                        self.parents.remove(&prev.ino);
+                    }
+                }
+            }
+            JournalEvent::Rename {
+                src_parent,
+                src_name,
+                dst_parent,
+                dst_name,
+            } => {
+                let moved = self
+                    .dirs
+                    .get_mut(src_parent)
+                    .and_then(|d| d.remove(src_name));
+                if let Some(dentry) = moved {
+                    let threshold = self.split_threshold;
+                    let dst = self
+                        .dirs
+                        .entry(*dst_parent)
+                        .or_insert_with(|| Dir::with_split_threshold(threshold));
+                    if let Some(prev) = dst.insert(dst_name, dentry) {
+                        if prev.ino != dentry.ino {
+                            self.inodes.remove(&prev.ino);
+                            self.dirs.remove(&prev.ino);
+                            self.parents.remove(&prev.ino);
+                        }
+                    }
+                    self.parents.insert(dentry.ino, *dst_parent);
+                }
+            }
+            JournalEvent::SetAttr { ino, attrs } => {
+                if let Entry::Occupied(mut e) = self.inodes.entry(*ino) {
+                    e.get_mut().set_attrs(*attrs);
+                }
+            }
+            JournalEvent::SetPolicy { ino, policy } => {
+                if let Entry::Occupied(mut e) = self.inodes.entry(*ino) {
+                    e.get_mut().set_policy(policy.clone());
+                }
+            }
+            JournalEvent::SegmentBoundary { .. } => {}
+        }
+    }
+
+    /// Applies one journal event with full validity checks (the RPC
+    /// discipline), mapping each event to its checked operation.
+    pub fn apply_checked(&mut self, event: &JournalEvent) -> Result<()> {
+        match event {
+            JournalEvent::Create {
+                parent,
+                name,
+                ino,
+                attrs,
+            } => self.create(*parent, name, *ino, *attrs),
+            JournalEvent::Mkdir {
+                parent,
+                name,
+                ino,
+                attrs,
+            } => self.mkdir(*parent, name, *ino, *attrs),
+            JournalEvent::Unlink { parent, name } => self.unlink(*parent, name),
+            JournalEvent::Rmdir { parent, name } => self.rmdir(*parent, name),
+            JournalEvent::Rename {
+                src_parent,
+                src_name,
+                dst_parent,
+                dst_name,
+            } => self.rename(*src_parent, src_name, *dst_parent, dst_name),
+            JournalEvent::SetAttr { ino, attrs } => self.setattr(*ino, *attrs),
+            JournalEvent::SetPolicy { ino, policy } => self.set_policy(*ino, policy.clone()),
+            JournalEvent::SegmentBoundary { .. } => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw construction (persistence/recovery support)
+    // ------------------------------------------------------------------
+
+    /// Inserts an inode directly, without touching any directory. Used by
+    /// recovery when rebuilding the store from dirfrag objects.
+    pub(crate) fn raw_insert_inode(&mut self, inode: Inode) {
+        if inode.is_dir() && !self.dirs.contains_key(&inode.ino) {
+            self.dirs
+                .insert(inode.ino, Dir::with_split_threshold(self.split_threshold));
+        }
+        self.inodes.insert(inode.ino, inode);
+    }
+
+    /// Inserts a dentry directly, creating the directory fragtree if the
+    /// parent has not been materialized yet (recovery encounters children
+    /// before parents when object listing order is arbitrary).
+    pub(crate) fn raw_insert_dentry(&mut self, dir_ino: InodeId, name: &str, dentry: Dentry) {
+        let threshold = self.split_threshold;
+        self.dirs
+            .entry(dir_ino)
+            .or_insert_with(|| Dir::with_split_threshold(threshold))
+            .insert(name, dentry);
+        self.parents.insert(dentry.ino, dir_ino);
+    }
+
+    /// Mutable access to an inode for recovery (e.g. restoring root attrs).
+    pub(crate) fn raw_inode_mut(&mut self, ino: InodeId) -> Option<&mut Inode> {
+        self.inodes.get_mut(&ino)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots (test and verification support)
+    // ------------------------------------------------------------------
+
+    /// Flattens the namespace into `path -> (ino, type)` for equivalence
+    /// checks (e.g. "Nonvolatile Apply and Volatile Apply + Global Persist
+    /// end up with the same final metadata state").
+    pub fn snapshot(&self) -> BTreeMap<String, (InodeId, FileType)> {
+        let mut out = BTreeMap::new();
+        let mut stack: Vec<(String, InodeId)> = vec![(String::new(), InodeId::ROOT)];
+        while let Some((prefix, ino)) = stack.pop() {
+            if let Some(dir) = self.dirs.get(&ino) {
+                for (name, dentry) in dir.entries() {
+                    let path = format!("{prefix}/{name}");
+                    out.insert(path.clone(), (dentry.ino, dentry.ftype));
+                    if dentry.ftype == FileType::Dir {
+                        stack.push((path, dentry.ino));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`MetadataStore::snapshot`] but ignoring inode numbers — two
+    /// runs that allocate different inode ranges still produce the same
+    /// *shape*.
+    pub fn shape(&self) -> BTreeMap<String, FileType> {
+        self.snapshot()
+            .into_iter()
+            .map(|(p, (_, t))| (p, t))
+            .collect()
+    }
+}
+
+impl Default for MetadataStore {
+    fn default() -> Self {
+        MetadataStore::new()
+    }
+}
+
+/// [`EventSink`] adapter applying events with POSIX validity checks.
+pub struct CheckedApply<'a>(pub &'a mut MetadataStore);
+
+impl EventSink for CheckedApply<'_> {
+    type Error = MdsError;
+    fn apply_event(&mut self, event: &JournalEvent) -> Result<()> {
+        self.0.apply_checked(event)
+    }
+}
+
+/// [`EventSink`] adapter applying events blindly (the merge discipline).
+pub struct BlindApply<'a>(pub &'a mut MetadataStore);
+
+impl EventSink for BlindApply<'_> {
+    type Error = std::convert::Infallible;
+    fn apply_event(&mut self, event: &JournalEvent) -> std::result::Result<(), Self::Error> {
+        self.0.apply_blind(event);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> Attrs {
+        Attrs::file_default()
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        let d = s.lookup(InodeId::ROOT, "f").unwrap();
+        assert_eq!(d.ino, InodeId(0x1000));
+        assert_eq!(d.ftype, FileType::File);
+        assert_eq!(s.inode_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_create_is_eexist() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        let err = s.create(InodeId::ROOT, "f", InodeId(0x1001), attrs()).unwrap_err();
+        assert!(matches!(err, MdsError::Exists { .. }));
+    }
+
+    #[test]
+    fn inode_reuse_is_collision() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "a", InodeId(0x1000), attrs()).unwrap();
+        let err = s.create(InodeId::ROOT, "b", InodeId(0x1000), attrs()).unwrap_err();
+        assert!(matches!(err, MdsError::InodeCollision { .. }));
+    }
+
+    #[test]
+    fn mkdir_then_nested_create_and_resolve() {
+        let mut s = MetadataStore::new();
+        s.mkdir(InodeId::ROOT, "a", InodeId(0x1000), Attrs::dir_default()).unwrap();
+        s.mkdir(InodeId(0x1000), "b", InodeId(0x1001), Attrs::dir_default()).unwrap();
+        s.create(InodeId(0x1001), "f", InodeId(0x1002), attrs()).unwrap();
+        assert_eq!(s.resolve("/a/b/f").unwrap(), InodeId(0x1002));
+        assert_eq!(s.resolve("/").unwrap(), InodeId::ROOT);
+        assert_eq!(s.resolve("").unwrap(), InodeId::ROOT);
+        assert!(s.resolve("/a/x").is_err());
+    }
+
+    #[test]
+    fn create_in_file_is_notdir() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        let err = s.create(InodeId(0x1000), "g", InodeId(0x1001), attrs()).unwrap_err();
+        assert!(matches!(err, MdsError::NotDir { .. }));
+    }
+
+    #[test]
+    fn unlink_semantics() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1001), Attrs::dir_default()).unwrap();
+        assert!(matches!(
+            s.unlink(InodeId::ROOT, "d").unwrap_err(),
+            MdsError::IsDir { .. }
+        ));
+        s.unlink(InodeId::ROOT, "f").unwrap();
+        assert!(matches!(
+            s.unlink(InodeId::ROOT, "f").unwrap_err(),
+            MdsError::NoEnt { .. }
+        ));
+        assert!(!s.inode_in_use(InodeId(0x1000)));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut s = MetadataStore::new();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default()).unwrap();
+        s.create(InodeId(0x1000), "f", InodeId(0x1001), attrs()).unwrap();
+        assert!(matches!(
+            s.rmdir(InodeId::ROOT, "d").unwrap_err(),
+            MdsError::NotEmpty { .. }
+        ));
+        s.unlink(InodeId(0x1000), "f").unwrap();
+        s.rmdir(InodeId::ROOT, "d").unwrap();
+        assert_eq!(s.inode_count(), 1);
+    }
+
+    #[test]
+    fn rename_moves_and_replaces_files() {
+        let mut s = MetadataStore::new();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default()).unwrap();
+        s.create(InodeId::ROOT, "src", InodeId(0x1001), attrs()).unwrap();
+        s.create(InodeId(0x1000), "dst", InodeId(0x1002), attrs()).unwrap();
+        // Move + overwrite.
+        s.rename(InodeId::ROOT, "src", InodeId(0x1000), "dst").unwrap();
+        assert!(s.lookup(InodeId::ROOT, "src").is_err());
+        assert_eq!(s.lookup(InodeId(0x1000), "dst").unwrap().ino, InodeId(0x1001));
+        assert!(!s.inode_in_use(InodeId(0x1002)));
+        // Renaming onto a directory fails.
+        s.create(InodeId::ROOT, "f", InodeId(0x1003), attrs()).unwrap();
+        assert!(matches!(
+            s.rename(InodeId::ROOT, "f", InodeId::ROOT, "d").unwrap_err(),
+            MdsError::IsDir { .. }
+        ));
+    }
+
+    #[test]
+    fn setattr_and_policy() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        s.setattr(
+            InodeId(0x1000),
+            Attrs {
+                size: 99,
+                ..attrs()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.inode(InodeId(0x1000)).unwrap().attrs.size, 99);
+        s.set_policy(InodeId::ROOT, vec![7]).unwrap();
+        assert_eq!(s.inode(InodeId::ROOT).unwrap().policy.as_deref(), Some(&[7u8][..]));
+        assert!(s.setattr(InodeId(0xdead), attrs()).is_err());
+    }
+
+    #[test]
+    fn effective_policy_walks_up() {
+        let mut s = MetadataStore::new();
+        s.mkdir(InodeId::ROOT, "a", InodeId(0x1000), Attrs::dir_default()).unwrap();
+        s.mkdir(InodeId(0x1000), "b", InodeId(0x1001), Attrs::dir_default()).unwrap();
+        assert_eq!(s.effective_policy("/a/b").unwrap(), None);
+        s.set_policy(InodeId(0x1000), vec![1]).unwrap();
+        // /a/b inherits /a's policy.
+        let (ino, p) = s.effective_policy("/a/b").unwrap().unwrap();
+        assert_eq!(ino, InodeId(0x1000));
+        assert_eq!(p, &[1]);
+        // A closer policy shadows it.
+        s.set_policy(InodeId(0x1001), vec![2]).unwrap();
+        let (ino, p) = s.effective_policy("/a/b").unwrap().unwrap();
+        assert_eq!(ino, InodeId(0x1001));
+        assert_eq!(p, &[2]);
+        // Root policy applies everywhere once set.
+        s.set_policy(InodeId::ROOT, vec![0]).unwrap();
+        assert_eq!(s.effective_policy("/").unwrap().unwrap().1, &[0]);
+    }
+
+    #[test]
+    fn blind_apply_overwrites() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        // A decoupled client also created "f" with its own inode; its
+        // update wins at merge.
+        s.apply_blind(&JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: "f".into(),
+            ino: InodeId(0x2000),
+            attrs: attrs(),
+        });
+        assert_eq!(s.lookup(InodeId::ROOT, "f").unwrap().ino, InodeId(0x2000));
+        assert!(!s.inode_in_use(InodeId(0x1000)));
+        // Blind unlink of a missing name is a no-op.
+        s.apply_blind(&JournalEvent::Unlink {
+            parent: InodeId::ROOT,
+            name: "ghost".into(),
+        });
+    }
+
+    #[test]
+    fn blind_and_checked_agree_on_clean_input() {
+        let events: Vec<JournalEvent> = (0..20)
+            .map(|i| JournalEvent::Create {
+                parent: InodeId::ROOT,
+                name: format!("f{i}"),
+                ino: InodeId(0x1000 + i),
+                attrs: attrs(),
+            })
+            .collect();
+        let mut a = MetadataStore::new();
+        let mut b = MetadataStore::new();
+        for e in &events {
+            a.apply_checked(e).unwrap();
+            b.apply_blind(e);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_lists_full_paths() {
+        let mut s = MetadataStore::new();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default()).unwrap();
+        s.create(InodeId(0x1000), "f", InodeId(0x1001), attrs()).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["/d"].1, FileType::Dir);
+        assert_eq!(snap["/d/f"], (InodeId(0x1001), FileType::File));
+        let shape = s.shape();
+        assert_eq!(shape["/d/f"], FileType::File);
+    }
+
+    #[test]
+    fn sink_adapters() {
+        let e = JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: "f".into(),
+            ino: InodeId(0x1000),
+            attrs: attrs(),
+        };
+        let mut s = MetadataStore::new();
+        CheckedApply(&mut s).apply_event(&e).unwrap();
+        assert!(CheckedApply(&mut s).apply_event(&e).is_err()); // EEXIST
+        let mut t = MetadataStore::new();
+        BlindApply(&mut t).apply_event(&e).unwrap();
+        BlindApply(&mut t).apply_event(&e).unwrap(); // overwrite ok
+        assert_eq!(t.lookup(InodeId::ROOT, "f").unwrap().ino, InodeId(0x1000));
+    }
+
+    #[test]
+    fn readdir_sorted() {
+        let mut s = MetadataStore::new();
+        for (i, n) in ["c", "a", "b"].iter().enumerate() {
+            s.create(InodeId::ROOT, n, InodeId(0x1000 + i as u64), attrs()).unwrap();
+        }
+        let names: Vec<String> = s
+            .readdir(InodeId::ROOT)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn large_directory_fragments_and_stays_correct() {
+        let mut s = MetadataStore::with_split_threshold(64);
+        for i in 0..1000u64 {
+            s.create(InodeId::ROOT, &format!("f{i}"), InodeId(0x1000 + i), attrs()).unwrap();
+        }
+        assert!(s.dir(InodeId::ROOT).unwrap().frag_count() > 1);
+        assert_eq!(s.readdir(InodeId::ROOT).unwrap().len(), 1000);
+        assert_eq!(s.lookup(InodeId::ROOT, "f999").unwrap().ino, InodeId(0x1000 + 999));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Simulated RADOS: the replicated object store CephFS (and therefore
+//! Cudele) builds on.
+//!
+//! The paper's prototype stores all metadata durability state in RADOS:
+//! the MDS journal is striped over objects, directory fragments live in
+//! object omaps, and Cudele's Global Persist pushes client journals into
+//! the same pool. This crate provides:
+//!
+//! * [`ObjectStore`] — the trait covering the RADOS operations the metadata
+//!   path uses (blob write/append/read, omap get/set/list, listing, stat).
+//! * [`InMemoryStore`] — a thread-safe in-memory cluster with stable
+//!   hash-based placement across OSDs, a replication factor, per-OSD byte
+//!   accounting (Figure 2's disk series), OSD failure injection (durability
+//!   tests), and drainable I/O counters that harnesses convert into virtual
+//!   time via the simulation crate's cost model.
+//!
+//! Functional behaviour is real (bytes are stored and returned); timing is
+//! accounted separately by the simulation layer.
+
+pub mod store;
+pub mod types;
+
+pub use store::{InMemoryStore, IoDelta, ObjectStat, ObjectStore, OsdStats};
+pub use types::{ObjectId, PoolId, RadosError, Result};

@@ -1,0 +1,138 @@
+//! Identifiers and errors for the simulated RADOS object store.
+
+use std::fmt;
+
+/// A storage pool. CephFS uses separate pools for metadata and data; the
+/// Cudele experiments only exercise the metadata pool, but the type keeps
+/// the separation honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PoolId(pub u32);
+
+impl PoolId {
+    /// The CephFS metadata pool.
+    pub const METADATA: PoolId = PoolId(0);
+    /// The CephFS data pool.
+    pub const DATA: PoolId = PoolId(1);
+}
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PoolId::METADATA => write!(f, "metadata"),
+            PoolId::DATA => write!(f, "data"),
+            PoolId(n) => write!(f, "pool{n}"),
+        }
+    }
+}
+
+/// A fully qualified object name: pool plus object key.
+///
+/// CephFS object names are strings like `"200.00000001"` (journal stripe 1
+/// of journal 0x200) or `"10000000000.00000000"` (dirfrag of inode
+/// 0x10000000000); we keep the same convention.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId {
+    /// Pool the object lives in.
+    pub pool: PoolId,
+    /// Object name within the pool.
+    pub name: String,
+}
+
+impl ObjectId {
+    /// An object `name` in `pool`.
+    pub fn new(pool: PoolId, name: impl Into<String>) -> Self {
+        ObjectId {
+            pool,
+            name: name.into(),
+        }
+    }
+
+    /// Object name for stripe `seq` of a journal identified by `ino`,
+    /// mirroring CephFS's `<ino>.<seq:08x>` convention.
+    pub fn journal_stripe(pool: PoolId, ino: u64, seq: u64) -> Self {
+        ObjectId::new(pool, format!("{ino:x}.{seq:08x}"))
+    }
+
+    /// Object name for directory fragment `frag` of directory inode `ino`.
+    pub fn dirfrag(pool: PoolId, ino: u64, frag: u32) -> Self {
+        ObjectId::new(pool, format!("{ino:x}.{frag:08x}_head"))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.pool, self.name)
+    }
+}
+
+/// Errors surfaced by the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RadosError {
+    /// The object does not exist.
+    NoEnt(ObjectId),
+    /// Not enough replicas of the object are on live OSDs to serve a read,
+    /// or no live OSD can accept a write.
+    Unavailable(ObjectId),
+    /// A comparison guard (e.g. version check) failed.
+    VersionMismatch {
+        /// The guarded object.
+        object: ObjectId,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually found.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for RadosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadosError::NoEnt(o) => write!(f, "object {o} does not exist"),
+            RadosError::Unavailable(o) => write!(f, "object {o} unavailable (OSDs down)"),
+            RadosError::VersionMismatch {
+                object,
+                expected,
+                actual,
+            } => write!(f, "object {object} version mismatch: expected {expected}, found {actual}"),
+        }
+    }
+}
+
+impl std::error::Error for RadosError {}
+
+/// Result alias for object-store operations.
+pub type Result<T> = std::result::Result<T, RadosError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_conventions() {
+        let j = ObjectId::journal_stripe(PoolId::METADATA, 0x200, 1);
+        assert_eq!(j.name, "200.00000001");
+        let d = ObjectId::dirfrag(PoolId::METADATA, 0x10000000000, 0);
+        assert_eq!(d.name, "10000000000.00000000_head");
+        assert_eq!(format!("{d}"), "metadata/10000000000.00000000_head");
+    }
+
+    #[test]
+    fn pool_display() {
+        assert_eq!(PoolId::METADATA.to_string(), "metadata");
+        assert_eq!(PoolId::DATA.to_string(), "data");
+        assert_eq!(PoolId(7).to_string(), "pool7");
+    }
+
+    #[test]
+    fn error_display() {
+        let o = ObjectId::new(PoolId::METADATA, "x");
+        assert!(RadosError::NoEnt(o.clone()).to_string().contains("does not exist"));
+        assert!(RadosError::Unavailable(o.clone()).to_string().contains("unavailable"));
+        let e = RadosError::VersionMismatch {
+            object: o,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 1"));
+    }
+}

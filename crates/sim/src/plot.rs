@@ -1,0 +1,161 @@
+//! Plain-text line plots for the figure harnesses.
+//!
+//! The experiment binaries print both a numeric table (for EXPERIMENTS.md)
+//! and an ASCII rendering of the curves so the figure's *shape* — who
+//! wins, where curves flatten, where the knee sits — is visible straight
+//! from the terminal.
+
+use crate::stats::Series;
+
+/// Renders one or more series as an ASCII line plot of the given size.
+/// Each series is drawn with its own glyph; a legend follows the axes.
+/// Points are connected by nearest-cell placement (no interpolation —
+/// experiment sweeps are dense enough).
+pub fn render_plot(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y, _) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || !y_min.is_finite() {
+        return String::from("(no data)\n");
+    }
+    // Anchor the y axis at zero when everything is positive — slowdown and
+    // throughput plots read better from the origin.
+    if y_min > 0.0 {
+        y_min = 0.0;
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y, _) in &s.points {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            let cell = &mut grid[row][col.min(width - 1)];
+            // First writer wins; overlaps show the earlier series.
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+    }
+
+    let y_label_top = format!("{y_max:.1}");
+    let y_label_bot = format!("{y_min:.1}");
+    let margin = y_label_top.len().max(y_label_bot.len());
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_label_top:>margin$}")
+        } else if r == height - 1 {
+            format!("{y_label_bot:>margin$}")
+        } else {
+            " ".repeat(margin)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(margin));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let x_left = format!("{x_min:.0}");
+    let x_right = format!("{x_max:.0}");
+    out.push_str(&" ".repeat(margin + 1));
+    out.push_str(&x_left);
+    let pad = width.saturating_sub(x_left.len() + x_right.len());
+    out.push_str(&" ".repeat(pad));
+    out.push_str(&x_right);
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{} {}  ",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(label: &str, slope: f64) -> Series {
+        let mut s = Series::new(label);
+        for i in 0..=10 {
+            s.push(i as f64, slope * i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn plots_contain_glyphs_and_legend() {
+        let p = render_plot(&[linear("fast", 2.0), linear("slow", 0.5)], 40, 10);
+        assert!(p.contains('*'));
+        assert!(p.contains('o'));
+        assert!(p.contains("fast"));
+        assert!(p.contains("slow"));
+        // Axis labels present.
+        assert!(p.contains("20.0"));
+        assert!(p.contains("0.0"));
+    }
+
+    #[test]
+    fn steeper_series_sits_higher() {
+        let p = render_plot(&[linear("fast", 2.0), linear("slow", 0.5)], 40, 12);
+        let lines: Vec<&str> = p.lines().collect();
+        let first_star = lines.iter().position(|l| l.contains('*')).unwrap();
+        let rows_with_o: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains('o'))
+            .map(|(i, _)| i)
+            .collect();
+        // The fast curve reaches the top row before the slow one does.
+        assert!(first_star < *rows_with_o.iter().min().unwrap());
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        assert_eq!(render_plot(&[], 30, 8), "(no data)\n");
+        assert_eq!(render_plot(&[Series::new("empty")], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut s = Series::new("flat");
+        s.push(1.0, 5.0);
+        s.push(2.0, 5.0);
+        let p = render_plot(&[s], 30, 8);
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn single_point() {
+        let mut s = Series::new("dot");
+        s.push(3.0, 7.0);
+        let p = render_plot(&[s], 30, 8);
+        assert!(p.contains('*'));
+    }
+}

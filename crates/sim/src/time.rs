@@ -1,0 +1,237 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulated timestamps and durations are nanoseconds held in a `u64`
+//! newtype. A `u64` of nanoseconds covers ~584 years of virtual time, far
+//! beyond any experiment in the paper (the longest run is a few thousand
+//! seconds of virtual time).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time or a span of virtual time, in nanoseconds.
+///
+/// The same type is used for instants and durations; experiments always
+/// start at `Nanos::ZERO` so the distinction never causes ambiguity and a
+/// single type keeps resource arithmetic (e.g. `max(arrival, free_at) +
+/// service`) free of conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The origin of virtual time.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable instant; used as an "infinitely late" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// One microsecond.
+    pub const MICRO: Nanos = Nanos(1_000);
+    /// One millisecond.
+    pub const MILLI: Nanos = Nanos(1_000_000);
+    /// One second.
+    pub const SECOND: Nanos = Nanos(1_000_000_000);
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to the nearest
+    /// nanosecond. Panics in debug builds if `s` is negative or non-finite.
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        debug_assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Nanos((s * 1e9).round() as u64)
+    }
+
+    /// This duration expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This duration expressed in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition that saturates at `Nanos::MAX`, so that scheduling
+    /// "infinitely late" wake-ups cannot overflow.
+    pub fn saturating_add(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(other.0))
+    }
+
+    /// The larger of two instants.
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two instants.
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scales a duration by a dimensionless factor, rounding to the nearest
+    /// nanosecond. Used by cost models (e.g. "1.2x the local-persist cost").
+    pub fn scale(self, factor: f64) -> Nanos {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        Nanos((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// Converts an operation rate (ops per second) into the duration of a single
+/// operation. This is how paper-quoted throughputs ("about 11K creates/sec")
+/// become cost-model service times.
+pub fn per_op(ops_per_sec: f64) -> Nanos {
+    assert!(ops_per_sec > 0.0, "rate must be positive");
+    Nanos::from_secs_f64(1.0 / ops_per_sec)
+}
+
+/// Converts a byte count and a bandwidth (bytes per second) into a transfer
+/// duration.
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Nanos {
+    assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+    Nanos::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(2), Nanos(2_000_000_000));
+        assert_eq!(Nanos::from_millis(3), Nanos(3_000_000));
+        assert_eq!(Nanos::from_micros(5), Nanos(5_000));
+        assert_eq!(Nanos::from_secs_f64(1.5), Nanos(1_500_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_secs(1);
+        let b = Nanos::from_millis(500);
+        assert_eq!(a + b, Nanos(1_500_000_000));
+        assert_eq!(a - b, Nanos(500_000_000));
+        assert_eq!(b * 4, Nanos::from_secs(2));
+        assert_eq!(a / 4, Nanos::from_millis(250));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Nanos(1).saturating_sub(Nanos(5)), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.saturating_add(Nanos(1)), Nanos::MAX);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(Nanos(100).scale(1.5), Nanos(150));
+        assert_eq!(Nanos(3).scale(0.5), Nanos(2)); // 1.5 rounds to 2
+        assert_eq!(Nanos(100).scale(0.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn rates_and_transfers() {
+        // 1000 ops/sec -> 1ms per op.
+        assert_eq!(per_op(1000.0), Nanos::MILLI);
+        // 1 MiB at 1 MiB/s -> 1 second.
+        assert_eq!(transfer_time(1 << 20, (1 << 20) as f64), Nanos::SECOND);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos(12)), "12ns");
+        assert_eq!(format!("{}", Nanos(1_200)), "1.200us");
+        assert_eq!(format!("{}", Nanos(2_500_000)), "2.500ms");
+        assert_eq!(format!("{}", Nanos::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+}

@@ -1,0 +1,99 @@
+//! Checkpoint-restart create patterns (PLFS-style N:N and N:1).
+//!
+//! The paper motivates the create-heavy study with "checkpoint-restart's
+//! N:N and N:1 create patterns": N ranks each writing their own checkpoint
+//! file (N:N), or all N ranks writing into one shared directory (N:1 at
+//! the directory level — maximum false sharing).
+
+/// Which pattern the ranks follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPattern {
+    /// Each rank writes into its own directory — no sharing.
+    NToN,
+    /// All ranks write into one shared directory — every create contends.
+    NTo1,
+}
+
+/// A checkpoint-restart workload: `ranks` ranks × `steps` checkpoint
+/// steps, one file per rank per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointWorkload {
+    /// Number of MPI-style ranks.
+    pub ranks: u32,
+    /// Checkpoint rounds.
+    pub steps: u32,
+    /// Directory sharing pattern.
+    pub pattern: CheckpointPattern,
+}
+
+impl CheckpointWorkload {
+    /// Directory rank `r` writes into.
+    pub fn dir_for_rank(&self, r: u32) -> String {
+        match self.pattern {
+            CheckpointPattern::NToN => format!("/ckpt/rank{r}"),
+            CheckpointPattern::NTo1 => "/ckpt/shared".to_string(),
+        }
+    }
+
+    /// All directories the workload needs.
+    pub fn dirs(&self) -> Vec<String> {
+        match self.pattern {
+            CheckpointPattern::NToN => (0..self.ranks).map(|r| self.dir_for_rank(r)).collect(),
+            CheckpointPattern::NTo1 => vec!["/ckpt/shared".to_string()],
+        }
+    }
+
+    /// The checkpoint file rank `r` writes at step `s`.
+    pub fn file_name(&self, r: u32, s: u32) -> String {
+        format!("ckpt-step{s}-rank{r}")
+    }
+
+    /// Total creates.
+    pub fn total_ops(&self) -> u64 {
+        self.ranks as u64 * self.steps as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_to_n_gives_private_dirs() {
+        let w = CheckpointWorkload {
+            ranks: 4,
+            steps: 3,
+            pattern: CheckpointPattern::NToN,
+        };
+        assert_eq!(w.dirs().len(), 4);
+        assert_ne!(w.dir_for_rank(0), w.dir_for_rank(1));
+        assert_eq!(w.total_ops(), 12);
+    }
+
+    #[test]
+    fn n_to_1_shares_one_dir() {
+        let w = CheckpointWorkload {
+            ranks: 4,
+            steps: 3,
+            pattern: CheckpointPattern::NTo1,
+        };
+        assert_eq!(w.dirs(), vec!["/ckpt/shared"]);
+        assert_eq!(w.dir_for_rank(0), w.dir_for_rank(3));
+    }
+
+    #[test]
+    fn file_names_unique_per_rank_step() {
+        use std::collections::HashSet;
+        let w = CheckpointWorkload {
+            ranks: 3,
+            steps: 3,
+            pattern: CheckpointPattern::NTo1,
+        };
+        let mut seen = HashSet::new();
+        for r in 0..3 {
+            for s in 0..3 {
+                assert!(seen.insert(w.file_name(r, s)));
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The Figure 2 workload: compiling the Linux kernel in a CephFS mount.
+//!
+//! The paper traces MDS disk/network/CPU utilization over the phases of a
+//! kernel build and observes that "the untar phase, which is characterized
+//! by many creates, has the highest resource usage". The original trace
+//! used a real kernel tree; we generate a synthetic trace with the same
+//! per-phase operation mixes, scaled by one factor, which preserves the
+//! phase *shape* (untar is create-dominated, configure/make are
+//! lookup/stat-dominated).
+
+use cudele_sim::Nanos;
+
+/// One metadata operation in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseOp {
+    /// Create a file in directory index `dir` with the given name.
+    Create {
+        /// Index into the trace's directory table.
+        dir: u32,
+        /// File name.
+        name: String,
+    },
+    /// Create a subdirectory.
+    Mkdir {
+        /// Index into the trace's directory table.
+        dir: u32,
+        /// Directory name.
+        name: String,
+    },
+    /// Path lookup (existence check, header resolution, ...).
+    Lookup {
+        /// Index into the trace's directory table.
+        dir: u32,
+        /// Name looked up.
+        name: String,
+    },
+    /// Attribute read (make's timestamp checks).
+    Stat {
+        /// Index into the trace's directory table.
+        dir: u32,
+        /// Name statted.
+        name: String,
+    },
+    /// Bulk data written through the data path (bytes) — exercises network
+    /// and OSD disks but not MDS CPU.
+    DataWrite {
+        /// Logical bytes written.
+        bytes: u64,
+    },
+}
+
+/// One build phase with its operation stream.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase label (download/untar/configure/make/install).
+    pub name: &'static str,
+    /// Think time between client ops (compilation is CPU-bound; untar is
+    /// not).
+    pub think: Nanos,
+    /// The phase's metadata/data operations, in order.
+    pub ops: Vec<PhaseOp>,
+}
+
+impl Phase {
+    /// Op-mix summary: (creates+mkdirs, lookups+stats, data bytes).
+    pub fn mix(&self) -> (u64, u64, u64) {
+        let mut creates = 0;
+        let mut reads = 0;
+        let mut bytes = 0;
+        for op in &self.ops {
+            match op {
+                PhaseOp::Create { .. } | PhaseOp::Mkdir { .. } => creates += 1,
+                PhaseOp::Lookup { .. } | PhaseOp::Stat { .. } => reads += 1,
+                PhaseOp::DataWrite { bytes: b } => bytes += b,
+            }
+        }
+        (creates, reads, bytes)
+    }
+}
+
+/// Generates the five-phase kernel-build trace at `scale` (scale 1.0 ≈ a
+/// linux-4.x tree: ~60 K files, ~4 K directories).
+pub fn compile_phases(scale: f64) -> Vec<Phase> {
+    assert!(scale > 0.0);
+    let n = |base: u64| ((base as f64 * scale).round() as u64).max(1);
+
+    // download: one tarball streamed to the data pool; almost no metadata.
+    let download = Phase {
+        name: "download",
+        think: Nanos::from_millis(1),
+        ops: vec![
+            PhaseOp::Create {
+                dir: 0,
+                name: "linux.tar.xz".into(),
+            },
+            PhaseOp::DataWrite {
+                bytes: (100 << 20) / 1, // ~100 MB tarball
+            },
+        ],
+    };
+
+    // untar: the create flash crowd — directories plus one create per
+    // source file, with small data writes.
+    let mut untar_ops = Vec::new();
+    let dirs = n(4_000) as u32;
+    let files = n(60_000);
+    for d in 0..dirs {
+        untar_ops.push(PhaseOp::Mkdir {
+            dir: d / 16, // nested-ish fan-out
+            name: format!("src-{d}"),
+        });
+    }
+    for i in 0..files {
+        untar_ops.push(PhaseOp::Create {
+            dir: (i % dirs as u64) as u32,
+            name: format!("file-{i}.c"),
+        });
+        if i % 64 == 0 {
+            untar_ops.push(PhaseOp::DataWrite { bytes: 8 << 10 });
+        }
+    }
+    let untar = Phase {
+        name: "untar",
+        think: Nanos::ZERO,
+        ops: untar_ops,
+    };
+
+    // configure: scripts stat and read many files, create a few outputs.
+    let mut configure_ops = Vec::new();
+    for i in 0..n(20_000) {
+        configure_ops.push(PhaseOp::Stat {
+            dir: (i % dirs as u64) as u32,
+            name: format!("file-{i}.c"),
+        });
+    }
+    for i in 0..n(200) {
+        configure_ops.push(PhaseOp::Create {
+            dir: 0,
+            name: format!("config-{i}"),
+        });
+    }
+    let configure = Phase {
+        name: "configure",
+        think: Nanos::from_micros(200),
+        ops: configure_ops,
+    };
+
+    // make: stats (dependency checks) + object-file creates, heavy think
+    // time (the compiler is doing the work, not the file system).
+    let mut make_ops = Vec::new();
+    for i in 0..n(30_000) {
+        make_ops.push(PhaseOp::Stat {
+            dir: (i % dirs as u64) as u32,
+            name: format!("file-{i}.c"),
+        });
+        if i % 3 == 0 {
+            make_ops.push(PhaseOp::Create {
+                dir: (i % dirs as u64) as u32,
+                name: format!("file-{i}.o"),
+            });
+            make_ops.push(PhaseOp::DataWrite { bytes: 32 << 10 });
+        }
+    }
+    let make = Phase {
+        name: "make",
+        think: Nanos::from_micros(500),
+        ops: make_ops,
+    };
+
+    // install: a few copies into the target tree.
+    let mut install_ops = Vec::new();
+    for i in 0..n(400) {
+        install_ops.push(PhaseOp::Create {
+            dir: 0,
+            name: format!("installed-{i}"),
+        });
+        install_ops.push(PhaseOp::DataWrite { bytes: 256 << 10 });
+    }
+    let install = Phase {
+        name: "install",
+        think: Nanos::from_millis(1),
+        ops: install_ops,
+    };
+
+    vec![download, untar, configure, make, install]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_phases_in_order() {
+        let phases = compile_phases(0.01);
+        let names: Vec<&str> = phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["download", "untar", "configure", "make", "install"]);
+    }
+
+    #[test]
+    fn untar_dominates_creates() {
+        let phases = compile_phases(0.05);
+        let creates: Vec<(u64, &str)> = phases.iter().map(|p| (p.mix().0, p.name)).collect();
+        let untar = creates.iter().find(|(_, n)| *n == "untar").unwrap().0;
+        for &(c, name) in &creates {
+            if name != "untar" {
+                assert!(untar > c, "untar ({untar}) should out-create {name} ({c})");
+            }
+        }
+    }
+
+    #[test]
+    fn configure_and_make_are_read_heavy() {
+        let phases = compile_phases(0.05);
+        for p in &phases {
+            let (creates, reads, _) = p.mix();
+            match p.name {
+                "configure" | "make" => assert!(reads > creates, "{}", p.name),
+                "untar" => assert!(creates > reads),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scale_scales() {
+        let small: u64 = compile_phases(0.01).iter().map(|p| p.ops.len() as u64).sum();
+        let big: u64 = compile_phases(0.1).iter().map(|p| p.ops.len() as u64).sum();
+        assert!(big > 5 * small);
+    }
+}

@@ -1,0 +1,65 @@
+//! The read-while-writing workload of Figure 6c.
+//!
+//! "Users often leverage the file system to check the progress of jobs
+//! using ls ... The number of files or size of the files is indicative of
+//! the progress." One decoupled writer produces 1 M updates; a namespace
+//! sync ships batches back to the global namespace every `interval`; an
+//! end-user polls with `ls` and reads a percent-complete.
+
+use cudele_sim::Nanos;
+
+/// Parameters for the partial-results scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialResults {
+    /// Updates the writer produces (paper: 1 M).
+    pub total_updates: u64,
+    /// Namespace-sync interval.
+    pub sync_interval: Nanos,
+    /// End-user poll interval.
+    pub poll_interval: Nanos,
+}
+
+impl PartialResults {
+    /// The paper's sweep over sync intervals (seconds).
+    pub const PAPER_INTERVALS_SECS: [u64; 7] = [1, 2, 5, 10, 15, 20, 25];
+
+    /// The paper's configuration at a given sync interval.
+    pub fn paper_default(sync_interval: Nanos) -> PartialResults {
+        PartialResults {
+            total_updates: 1_000_000,
+            sync_interval,
+            poll_interval: Nanos::from_secs(5),
+        }
+    }
+
+    /// Percent complete an observer infers from `visible` files.
+    pub fn percent_complete(&self, visible: u64) -> f64 {
+        100.0 * visible as f64 / self.total_updates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let w = PartialResults::paper_default(Nanos::from_secs(10));
+        assert_eq!(w.total_updates, 1_000_000);
+        assert_eq!(w.sync_interval, Nanos::from_secs(10));
+    }
+
+    #[test]
+    fn percent_complete_math() {
+        let w = PartialResults::paper_default(Nanos::SECOND);
+        assert_eq!(w.percent_complete(0), 0.0);
+        assert_eq!(w.percent_complete(500_000), 50.0);
+        assert_eq!(w.percent_complete(1_000_000), 100.0);
+    }
+
+    #[test]
+    fn sweep_matches_paper_range() {
+        assert_eq!(PartialResults::PAPER_INTERVALS_SECS.first(), Some(&1));
+        assert_eq!(PartialResults::PAPER_INTERVALS_SECS.last(), Some(&25));
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the paper's Figure 1 — one global namespace hosting
+//! subtrees with different consistency/durability semantics at once.
+//!
+//! ```text
+//! /
+//! ├── posix/     strong consistency, global durability (CephFS default)
+//! ├── hdfs/      weak consistency, global durability
+//! ├── batchfs/   weak consistency, local durability, decoupled
+//! └── ramdisk/   strong consistency, no durability
+//! ```
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cudele::{CudeleFs, Policy};
+use cudele_mds::ClientId;
+
+const ALICE: ClientId = ClientId(1); // HPC batch job
+const BOB: ClientId = ClientId(2); // interactive user
+
+fn main() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ALICE).unwrap();
+    fs.mount(BOB).unwrap();
+
+    // The administrator lays out the namespace of Figure 1.
+    for dir in ["/posix", "/hdfs", "/batchfs", "/ramdisk"] {
+        fs.mkdir_p(dir).unwrap();
+    }
+    fs.decouple(ALICE, "/posix", &Policy::posix()).unwrap();
+    fs.decouple(ALICE, "/hdfs", &Policy::hdfs()).unwrap();
+    fs.decouple(
+        ALICE,
+        "/batchfs",
+        &Policy {
+            allocated_inodes: 1000,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    fs.decouple(BOB, "/ramdisk", &Policy::ramdisk()).unwrap();
+
+    println!("subtree policies (monitor map, version {}):", fs.monitor().version());
+    for (path, policy, v) in fs.monitor().subtrees() {
+        println!(
+            "  v{v} {path:<10} {}/{}  ->  {}",
+            policy.consistency,
+            policy.durability,
+            policy.composition()
+        );
+    }
+
+    // POSIX subtree: strong consistency — Bob sees Alice's file at once.
+    fs.create(ALICE, "/posix/report.txt").unwrap();
+    assert!(fs.exists(BOB, "/posix/report.txt"));
+    println!("\n/posix: create is immediately visible to other clients (strong)");
+
+    // BatchFS subtree: Alice's job writes into its decoupled journal.
+    for i in 0..100 {
+        fs.create(ALICE, &format!("/batchfs/out.{i}")).unwrap();
+    }
+    assert!(fs.ls(BOB, "/batchfs").unwrap().is_empty());
+    println!("/batchfs: 100 creates buffered client-side, invisible to Bob (weak, pre-merge)");
+
+    // Job completes: merge executes the Table I composition for weak/local.
+    let report = fs.merge(ALICE, "/batchfs").unwrap();
+    println!(
+        "/batchfs: merged {} events in {} via `{}`",
+        report.events,
+        report.elapsed,
+        Policy::batchfs().merge_composition().unwrap()
+    );
+    assert_eq!(fs.ls(BOB, "/batchfs").unwrap().len(), 100);
+    println!("/batchfs: now visible to everyone (weak, post-merge)");
+
+    // RAMDisk subtree: POSIX semantics, nothing survives a crash — but
+    // it is the same namespace, same API.
+    fs.create(BOB, "/ramdisk/scratch.dat").unwrap();
+    assert!(fs.exists(ALICE, "/ramdisk/scratch.dat"));
+    println!("/ramdisk: strong consistency with volatile durability");
+
+    // Dynamic transition (paper future work #2, implemented): the batch
+    // subtree becomes a plain POSIX subtree without moving any data.
+    fs.transition(ALICE, "/batchfs", &Policy::posix()).unwrap();
+    fs.create(ALICE, "/batchfs/now-posix").unwrap();
+    assert!(fs.exists(BOB, "/batchfs/now-posix"));
+    println!("/batchfs: transitioned weak/local -> strong/global in place");
+
+    println!("\nFinal namespace:");
+    for (path, ftype) in fs.namespace().shape() {
+        println!("  {path} ({ftype:?})");
+    }
+}

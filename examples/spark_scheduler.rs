@@ -1,0 +1,163 @@
+//! Cloud runtimes using the file system as a coordination plane — the
+//! paper's Hadoop/Spark motivation: "Hadoop/Spark use the file system to
+//! assign work units to workers and the performance is proportional to
+//! the open/create throughput of the underlying file system"; tasks write
+//! temporary files, rename them when complete, and create a "DONE" file
+//! so the runtime knows "the task did not fail and should not be
+//! re-scheduled on another node".
+//!
+//! The driver runs a stage of tasks two ways:
+//!
+//! * on a strong (POSIX) subtree — every create/rename is an RPC, the
+//!   scheduler polls progress with `ls`;
+//! * on a weak/global (HDFS-like) subtree — workers run decoupled and the
+//!   stage commits with one merge.
+//!
+//! Run with `cargo run --release --example spark_scheduler`.
+
+use cudele::{CudeleFs, Policy};
+use cudele_mds::ClientId;
+use cudele_sim::CostModel;
+
+const DRIVER: ClientId = ClientId(0);
+const WORKERS: u32 = 4;
+const TASKS_PER_WORKER: u32 = 50;
+
+fn worker(i: u32) -> ClientId {
+    ClientId(1 + i)
+}
+
+/// One worker's task: write a temp part file, "compute", rename it to its
+/// final name, and drop a DONE marker.
+fn run_task(fs: &mut CudeleFs, w: u32, task: u32, stage_dir: &str) {
+    let tmp = format!("{stage_dir}/_temporary/part-{w:02}-{task:04}");
+    let fin = format!("{stage_dir}/part-{w:02}-{task:04}");
+    fs.create(worker(w), &tmp).unwrap();
+    // (data write happens on the data path; metadata is what we model)
+    fs.rename_via_posix(worker(w), &tmp, &fin);
+    fs.create(worker(w), &format!("{fin}.DONE")).unwrap();
+}
+
+/// Minimal rename helper: the facade routes creates; for the demo we
+/// emulate rename-on-commit as create-final + unlink-temp when the subtree
+/// is strong, and as journal events when decoupled.
+trait RenameExt {
+    fn rename_via_posix(&mut self, c: ClientId, from: &str, to: &str);
+}
+
+impl RenameExt for CudeleFs {
+    fn rename_via_posix(&mut self, c: ClientId, from: &str, to: &str) {
+        // Route through whatever semantics the subtree carries: the
+        // destination create wins the name, then the temp entry goes away.
+        self.create(c, to).unwrap();
+        let _ = self.unlink_path(c, from);
+    }
+}
+
+/// Path-level unlink helper for the demo (strong path only; decoupled
+/// clients journal unlinks through their own API).
+trait UnlinkExt {
+    fn unlink_path(&mut self, c: ClientId, path: &str) -> Result<(), cudele::FsError>;
+}
+
+impl UnlinkExt for CudeleFs {
+    fn unlink_path(&mut self, _c: ClientId, _path: &str) -> Result<(), cudele::FsError> {
+        // Temp-file cleanup is cosmetic for the progress metric; Spark's
+        // "_temporary" directory is deleted wholesale at commit. We leave
+        // temp entries in place and count only final part files below.
+        Ok(())
+    }
+}
+
+/// Counts committed parts (DONE markers) in the stage directory.
+fn progress(fs: &mut CudeleFs, observer: ClientId, stage_dir: &str) -> usize {
+    fs.ls(observer, stage_dir)
+        .map(|entries| entries.iter().filter(|e| e.ends_with(".DONE")).count())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let cm = CostModel::calibrated();
+    let total_tasks = (WORKERS * TASKS_PER_WORKER) as usize;
+
+    // ---------------- strong (POSIX) stage ----------------
+    let mut fs = CudeleFs::new();
+    fs.mount(DRIVER).unwrap();
+    for w in 0..WORKERS {
+        fs.mount(worker(w)).unwrap();
+    }
+    fs.mkdir_p("/jobs/stage-posix/_temporary").unwrap();
+
+    for t in 0..TASKS_PER_WORKER {
+        for w in 0..WORKERS {
+            run_task(&mut fs, w, t, "/jobs/stage-posix");
+        }
+        if t % 20 == 0 {
+            // The web UI's % complete, straight from the namespace.
+            let done = progress(&mut fs, DRIVER, "/jobs/stage-posix");
+            println!(
+                "posix stage: {:>5.1}% complete ({} of {total_tasks} tasks)",
+                100.0 * done as f64 / total_tasks as f64,
+                done
+            );
+        }
+    }
+    let rpcs = fs.server().counters().rpcs;
+    println!(
+        "posix stage done: {} RPCs for {total_tasks} tasks (~{:.0} metadata ops/task)\n",
+        rpcs,
+        rpcs as f64 / total_tasks as f64
+    );
+
+    // ---------------- decoupled (HDFS-like) stage ----------------
+    let mut fs = CudeleFs::new();
+    fs.mount(DRIVER).unwrap();
+    fs.mkdir_p("/jobs/stage-weak").unwrap();
+    for w in 0..WORKERS {
+        fs.mount(worker(w)).unwrap();
+        let dir = format!("/jobs/stage-weak/worker-{w}");
+        fs.mkdir_p(&dir).unwrap();
+        fs.decouple(
+            worker(w),
+            &dir,
+            &Policy {
+                allocated_inodes: 3 * TASKS_PER_WORKER as u64 + 10,
+                ..Policy::hdfs()
+            },
+        )
+        .unwrap();
+    }
+    for t in 0..TASKS_PER_WORKER {
+        for w in 0..WORKERS {
+            let dir = format!("/jobs/stage-weak/worker-{w}");
+            fs.create(worker(w), &format!("{dir}/part-{t:04}.tmp")).unwrap();
+            fs.create(worker(w), &format!("{dir}/part-{t:04}")).unwrap();
+            fs.create(worker(w), &format!("{dir}/part-{t:04}.DONE")).unwrap();
+        }
+    }
+    // Stage commit: each worker merges once; global durability comes from
+    // the HDFS cell's global_persist.
+    let mut total_merge_events = 0;
+    for w in 0..WORKERS {
+        let report = fs.merge(worker(w), &format!("/jobs/stage-weak/worker-{w}")).unwrap();
+        total_merge_events += report.events;
+    }
+    let rpcs_weak = fs.server().counters().rpcs;
+    println!(
+        "weak stage done: {rpcs_weak} RPCs (vs {rpcs}), {total_merge_events} journal events merged in {WORKERS} bulk merges"
+    );
+    let done = progress(&mut fs, DRIVER, "/jobs/stage-weak/worker-0");
+    println!(
+        "driver sees worker-0 at {:.0}% after commit",
+        100.0 * done as f64 / TASKS_PER_WORKER as f64
+    );
+
+    // The metadata bill, in calibrated time: per task, POSIX pays ~3 RPC
+    // round trips; decoupled pays ~3 in-memory appends.
+    let posix_per_task = (cm.rpc_overhead + cm.mds_create_cpu + cm.stream_mds_cpu + cm.stream_client_latency) * 3;
+    let weak_per_task = cm.client_append * 3;
+    println!(
+        "\nmetadata cost per task: posix ~{posix_per_task}, decoupled ~{weak_per_task} ({:.0}x less)",
+        posix_per_task.as_secs_f64() / weak_per_task.as_secs_f64()
+    );
+}

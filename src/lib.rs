@@ -1,0 +1,37 @@
+//! Umbrella crate for the Cudele reproduction workspace.
+//!
+//! Re-exports the per-subsystem crates under one roof so examples and
+//! integration tests can `use cudele_repro::...`. The interesting API
+//! lives in [`cudele`] (the framework: policies, mechanisms, `CudeleFs`);
+//! the rest are the substrates it is built on:
+//!
+//! * [`sim`] — virtual time, discrete-event engine, calibrated cost model
+//! * [`rados`] — the in-memory replicated object store
+//! * [`journal`] — the metadata journal format and tool
+//! * [`mds`] — the metadata server (namespace, caps, mdlog, recovery)
+//! * [`client`] — RPC and decoupled clients, local disk, namespace sync
+//! * [`workloads`] — generators for the paper's workloads
+
+pub use cudele;
+pub use cudele_client as client;
+pub use cudele_journal as journal;
+pub use cudele_mds as mds;
+pub use cudele_rados as rados;
+pub use cudele_sim as sim;
+pub use cudele_workloads as workloads;
+
+#[cfg(test)]
+mod smoke {
+    use cudele::{CudeleFs, Policy};
+    use cudele_mds::ClientId;
+
+    #[test]
+    fn facade_reexports_work() {
+        let mut fs = CudeleFs::new();
+        fs.mount(ClientId(1)).unwrap();
+        fs.mkdir_p("/x").unwrap();
+        fs.decouple(ClientId(1), "/x", &Policy::batchfs()).unwrap();
+        fs.create(ClientId(1), "/x/f").unwrap();
+        assert_eq!(fs.merge(ClientId(1), "/x").unwrap().events, 1);
+    }
+}

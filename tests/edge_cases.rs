@@ -1,0 +1,193 @@
+//! Edge cases across the public API surface: odd-but-legal inputs, empty
+//! workloads, idempotency, and boundary conditions.
+
+use cudele::{parse_policies, CudeleFs, FsError, Policy};
+use cudele_journal::{encode_journal, Attrs, InodeId, JournalEvent};
+use cudele_mds::{ClientId, MetadataStore};
+use cudele_sim::{Engine, Nanos};
+
+// ---------------------------------------------------------------------
+// Policies-file parser corners
+// ---------------------------------------------------------------------
+
+#[test]
+fn policies_file_duplicate_keys_last_wins() {
+    let p = parse_policies("consistency: weak\nconsistency: strong\n").unwrap();
+    assert_eq!(p.consistency, cudele::Consistency::Strong);
+}
+
+#[test]
+fn policies_file_crlf_line_endings() {
+    let p = parse_policies("consistency: weak\r\ndurability: local\r\n").unwrap();
+    assert_eq!(p.consistency, cudele::Consistency::Weak);
+    assert_eq!(p.durability, cudele::Durability::Local);
+}
+
+#[test]
+fn policies_file_comment_only_lines() {
+    let p = parse_policies("# just a comment\n\n   # another\n").unwrap();
+    assert_eq!(p, Policy::default());
+}
+
+#[test]
+fn policies_file_value_containing_colon_rejected_cleanly() {
+    // split_once takes the first colon; "strong: extra" is a bad value,
+    // not a parser panic.
+    assert!(parse_policies("consistency: strong: extra").is_err());
+}
+
+// ---------------------------------------------------------------------
+// Facade corners
+// ---------------------------------------------------------------------
+
+#[test]
+fn ls_of_missing_path_is_enoent() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    assert!(matches!(
+        fs.ls(ClientId(1), "/nope"),
+        Err(FsError::Mds(cudele_mds::MdsError::NoEnt { .. }))
+    ));
+}
+
+#[test]
+fn create_paths_are_normalized() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    fs.mkdir_p("/a/b").unwrap();
+    // Doubled slashes and missing leading slash both normalize.
+    fs.create(ClientId(1), "//a//b//file").unwrap();
+    assert!(fs.exists(ClientId(1), "/a/b/file"));
+    fs.create(ClientId(1), "a/b/file2").unwrap();
+    assert!(fs.exists(ClientId(1), "/a/b/file2"));
+}
+
+#[test]
+fn mkdir_p_is_idempotent() {
+    let mut fs = CudeleFs::new();
+    let i1 = fs.mkdir_p("/x/y/z").unwrap();
+    let i2 = fs.mkdir_p("/x/y/z").unwrap();
+    assert_eq!(i1, i2);
+    assert_eq!(fs.mkdir_p("/x").unwrap(), fs.namespace().resolve("/x").unwrap());
+}
+
+#[test]
+fn create_at_root_level() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    fs.create(ClientId(1), "/top-level").unwrap();
+    assert!(fs.exists(ClientId(1), "/top-level"));
+    // Creating "/" itself is an error, not a panic.
+    assert!(fs.create(ClientId(1), "/").is_err());
+}
+
+#[test]
+fn merge_of_empty_decoupled_subtree_is_cheap_noop() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    fs.mkdir_p("/idle").unwrap();
+    fs.decouple(ClientId(1), "/idle", &Policy::batchfs()).unwrap();
+    let report = fs.merge(ClientId(1), "/idle").unwrap();
+    assert_eq!(report.events, 0);
+    // local_persist of an empty journal + volatile apply of nothing.
+    assert!(report.elapsed < Nanos::from_millis(10));
+}
+
+#[test]
+fn double_merge_does_not_duplicate() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    fs.mount(ClientId(2)).unwrap();
+    fs.mkdir_p("/d").unwrap();
+    fs.decouple(ClientId(1), "/d", &Policy::batchfs()).unwrap();
+    fs.create(ClientId(1), "/d/once").unwrap();
+    fs.merge(ClientId(1), "/d").unwrap();
+    let second = fs.merge(ClientId(1), "/d").unwrap();
+    assert_eq!(second.events, 0, "journal drained by first merge");
+    assert_eq!(fs.ls(ClientId(2), "/d").unwrap(), vec!["once"]);
+}
+
+#[test]
+fn decouple_of_missing_path_fails() {
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    assert!(fs.decouple(ClientId(1), "/ghost", &Policy::batchfs()).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Store corners
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_name_dentries_never_created_by_facade() {
+    // The store itself permits any non-path name; the facade rejects
+    // trailing-slash creates before they reach it.
+    let mut fs = CudeleFs::new();
+    fs.mount(ClientId(1)).unwrap();
+    fs.mkdir_p("/d").unwrap();
+    assert!(fs.create(ClientId(1), "/d/").is_err());
+}
+
+#[test]
+fn deep_paths_resolve() {
+    let mut ms = MetadataStore::new();
+    let mut parent = InodeId::ROOT;
+    let mut path = String::new();
+    for depth in 0..64u64 {
+        let ino = InodeId(0x1000 + depth);
+        ms.mkdir(parent, &format!("d{depth}"), ino, Attrs::dir_default()).unwrap();
+        path.push_str(&format!("/d{depth}"));
+        parent = ino;
+    }
+    assert_eq!(ms.resolve(&path).unwrap(), InodeId(0x1000 + 63));
+    assert!(ms.is_within(InodeId(0x1000 + 63), InodeId::ROOT));
+    assert!(ms.is_within(InodeId(0x1000 + 63), InodeId(0x1000 + 30)));
+    assert!(!ms.is_within(InodeId(0x1000 + 30), InodeId(0x1000 + 63)));
+}
+
+#[test]
+fn names_with_exotic_characters() {
+    let mut ms = MetadataStore::new();
+    for (i, name) in ["with space", "tab\there", "émoji-😀", "dot.", "..hidden", "-"]
+        .iter()
+        .enumerate()
+    {
+        ms.create(InodeId::ROOT, name, InodeId(0x1000 + i as u64), Attrs::file_default()).unwrap();
+    }
+    assert_eq!(ms.readdir(InodeId::ROOT).unwrap().len(), 6);
+    // And they round-trip the codec inside journals.
+    let events: Vec<JournalEvent> = ms
+        .snapshot()
+        .into_iter()
+        .map(|(path, (ino, _))| JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: path.trim_start_matches('/').to_string(),
+            ino,
+            attrs: Attrs::file_default(),
+        })
+        .collect();
+    let blob = encode_journal(&events);
+    assert_eq!(cudele_journal::decode_journal(&blob).unwrap().len(), 6);
+}
+
+// ---------------------------------------------------------------------
+// Engine corners
+// ---------------------------------------------------------------------
+
+#[test]
+fn engine_with_no_processes_finishes_at_zero() {
+    let eng: Engine<()> = Engine::new(());
+    let ((), report) = eng.run();
+    assert_eq!(report.end_time, Nanos::ZERO);
+    assert_eq!(report.steps, 0);
+    assert!(report.completions.is_empty());
+}
+
+#[test]
+fn zero_op_client_completes_immediately() {
+    use cudele_sim::ClosedLoopClient;
+    let mut eng = Engine::new(());
+    eng.add_process(Box::new(ClosedLoopClient::new("idle", 0, |now, _: &mut ()| now)));
+    let (_, report) = eng.run();
+    assert_eq!(report.slowest(), Nanos::ZERO);
+}

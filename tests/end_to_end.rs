@@ -1,0 +1,296 @@
+//! Cross-crate integration tests: full Cudele lifecycles spanning the
+//! facade, metadata server, clients, journal, and object store.
+
+use cudele::{
+    Consistency, CudeleFs, Durability, FsError, InterferePolicy, Policy,
+};
+use cudele_mds::{ClientId, MdsError};
+
+const A: ClientId = ClientId(1);
+const B: ClientId = ClientId(2);
+const C: ClientId = ClientId(3);
+
+fn cluster() -> CudeleFs {
+    let mut fs = CudeleFs::new();
+    for c in [A, B, C] {
+        fs.mount(c).unwrap();
+    }
+    for d in ["/home", "/batch", "/scratch"] {
+        fs.mkdir_p(d).unwrap();
+    }
+    fs
+}
+
+#[test]
+fn three_tenants_with_different_semantics_coexist() {
+    let mut fs = cluster();
+    // A: POSIX home. B: BatchFS job. C: RAMDisk scratch.
+    fs.decouple(A, "/home", &Policy::posix()).unwrap();
+    fs.decouple(
+        B,
+        "/batch",
+        &Policy {
+            allocated_inodes: 500,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    fs.decouple(C, "/scratch", &Policy::ramdisk()).unwrap();
+
+    for i in 0..20 {
+        fs.create(A, &format!("/home/doc{i}")).unwrap();
+        fs.create(B, &format!("/batch/out{i}")).unwrap();
+        fs.create(C, &format!("/scratch/tmp{i}")).unwrap();
+    }
+
+    // Strong subtrees are mutually visible immediately.
+    assert_eq!(fs.ls(B, "/home").unwrap().len(), 20);
+    assert_eq!(fs.ls(A, "/scratch").unwrap().len(), 20);
+    // The decoupled subtree is not.
+    assert!(fs.ls(A, "/batch").unwrap().is_empty());
+
+    // Merge brings it in.
+    let report = fs.merge(B, "/batch").unwrap();
+    assert_eq!(report.events, 20);
+    assert_eq!(fs.ls(A, "/batch").unwrap().len(), 20);
+}
+
+#[test]
+fn deep_nested_decoupled_tree_merges_completely() {
+    let mut fs = cluster();
+    fs.decouple(
+        B,
+        "/batch",
+        &Policy {
+            allocated_inodes: 1000,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    // Build a 3-level tree client-side.
+    for j in 0..3 {
+        fs.mkdir(B, &format!("/batch/job{j}")).unwrap();
+        for s in 0..3 {
+            fs.mkdir(B, &format!("/batch/job{j}/stage{s}")).unwrap();
+            for f in 0..5 {
+                fs.create(B, &format!("/batch/job{j}/stage{s}/part{f}")).unwrap();
+            }
+        }
+    }
+    assert!(fs.exists(B, "/batch/job2/stage2/part4"));
+    assert!(!fs.exists(A, "/batch/job2/stage2/part4"));
+
+    fs.merge(B, "/batch").unwrap();
+    // Global namespace has the exact tree.
+    assert_eq!(fs.ls(A, "/batch").unwrap().len(), 3);
+    assert_eq!(fs.ls(A, "/batch/job1").unwrap().len(), 3);
+    assert_eq!(fs.ls(A, "/batch/job1/stage1").unwrap().len(), 5);
+}
+
+#[test]
+fn interfere_block_lifecycle() {
+    let mut fs = cluster();
+    let mut policy = Policy::batchfs();
+    policy.interfere = InterferePolicy::Block;
+    policy.allocated_inodes = 100;
+    fs.decouple(B, "/batch", &policy).unwrap();
+
+    // All request types bounce for non-owners.
+    assert!(matches!(
+        fs.create(A, "/batch/x"),
+        Err(FsError::Mds(MdsError::Busy { .. }))
+    ));
+    assert!(matches!(
+        fs.ls(A, "/batch"),
+        Err(FsError::Mds(MdsError::Busy { .. }))
+    ));
+    assert!(matches!(
+        fs.mkdir(A, "/batch/d"),
+        Err(FsError::Mds(MdsError::Busy { .. }))
+    ));
+
+    // Owner is unaffected, including nested dirs created after the block.
+    fs.mkdir(B, "/batch/sub").unwrap();
+    fs.create(B, "/batch/sub/f").unwrap();
+
+    // The rest of the namespace is untouched by the block.
+    fs.create(A, "/home/fine").unwrap();
+
+    fs.merge(B, "/batch").unwrap();
+    // Block lifted.
+    fs.create(A, "/batch/now-allowed").unwrap();
+    assert!(fs.exists(A, "/batch/now-allowed"));
+}
+
+#[test]
+fn allow_policy_conflicts_resolved_in_favor_of_decoupled() {
+    let mut fs = cluster();
+    fs.decouple(
+        B,
+        "/batch",
+        &Policy {
+            allocated_inodes: 50,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    // Both write the same names; A through RPCs, B decoupled.
+    for i in 0..10 {
+        fs.create(B, &format!("/batch/f{i}")).unwrap();
+        fs.create(A, &format!("/batch/f{i}")).unwrap(); // allowed interference
+    }
+    // Pre-merge the global namespace holds A's versions.
+    let pre: Vec<_> = fs.ls(C, "/batch").unwrap();
+    assert_eq!(pre.len(), 10);
+    fs.merge(B, "/batch").unwrap();
+    // Post-merge B's inodes won (the decoupled computation "is more
+    // accurate").
+    let b_client_created = fs.decoupled_client(B, "/batch").is_some();
+    assert!(b_client_created);
+    assert_eq!(fs.ls(C, "/batch").unwrap().len(), 10);
+}
+
+#[test]
+fn policy_transitions_cycle_weak_strong_weak() {
+    let mut fs = cluster();
+    fs.decouple(B, "/batch", &Policy::batchfs()).unwrap();
+    fs.create(B, "/batch/phase1").unwrap();
+    // weak -> strong (merges first).
+    fs.transition(B, "/batch", &Policy::posix()).unwrap();
+    assert!(fs.exists(A, "/batch/phase1"));
+    fs.create(B, "/batch/phase2").unwrap();
+    assert!(fs.exists(A, "/batch/phase2"));
+    // strong -> weak again (nothing to merge).
+    fs.transition(B, "/batch", &Policy::batchfs()).unwrap();
+    fs.create(B, "/batch/phase3").unwrap();
+    assert!(!fs.exists(A, "/batch/phase3"));
+    fs.merge(B, "/batch").unwrap();
+    assert!(fs.exists(A, "/batch/phase3"));
+    // Monitor recorded every change.
+    assert!(fs.monitor().version() >= 3);
+}
+
+#[test]
+fn embeddable_policies_nested_subtrees() {
+    // Paper future work #3: child subtrees with specialized semantics
+    // under a policied parent. A strong parent with a weak child: the
+    // child's policy shadows the parent's inside its subtree; outside it
+    // the parent's applies (longest-prefix inheritance).
+    let mut fs = cluster();
+    fs.mkdir_p("/batch/fast").unwrap();
+    fs.decouple(A, "/batch", &Policy::posix()).unwrap();
+    fs.decouple(
+        B,
+        "/batch/fast",
+        &Policy {
+            allocated_inodes: 100,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+
+    // Parent subtree behaves POSIX.
+    fs.create(A, "/batch/strong-file").unwrap();
+    assert!(fs.exists(B, "/batch/strong-file"));
+    // Child subtree behaves BatchFS for its owner.
+    fs.create(B, "/batch/fast/weak-file").unwrap();
+    assert!(!fs.exists(A, "/batch/fast/weak-file"));
+    fs.merge(B, "/batch/fast").unwrap();
+    assert!(fs.exists(A, "/batch/fast/weak-file"));
+
+    // Monitor resolves by longest prefix.
+    let (root, p) = fs.monitor().resolve("/batch/fast/deep/file").unwrap();
+    assert_eq!(root, "/batch/fast");
+    assert_eq!(p.consistency, Consistency::Weak);
+    let (root, p) = fs.monitor().resolve("/batch/other").unwrap();
+    assert_eq!(root, "/batch");
+    assert_eq!(p.consistency, Consistency::Strong);
+}
+
+#[test]
+fn policies_survive_in_large_inodes() {
+    // The policy blob travels with the subtree root inode and is
+    // journaled, so it survives an MDS restart.
+    let mut fs = cluster();
+    fs.decouple(B, "/batch", &Policy::deltafs()).unwrap();
+    let ino = fs.namespace().resolve("/batch").unwrap();
+    assert!(fs.namespace().inode(ino).unwrap().policy.is_some());
+    // Restart the MDS.
+    fs.server_mut().flush_journal();
+    fs.server_mut().crash_and_recover().unwrap();
+    let inode = fs.namespace().inode(ino).expect("policied inode journaled");
+    let blob = inode.policy.as_deref().expect("policy blob survived");
+    let policy = cudele::policy_from_blob(blob).unwrap();
+    assert_eq!(policy.consistency, Consistency::Invisible);
+    assert_eq!(policy.durability, Durability::Local);
+}
+
+#[test]
+fn allocated_inode_contract_enforced_and_refreshable() {
+    let mut fs = cluster();
+    fs.decouple(
+        B,
+        "/batch",
+        &Policy {
+            allocated_inodes: 5,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    for i in 0..5 {
+        fs.create(B, &format!("/batch/f{i}")).unwrap();
+    }
+    // Range exhausted.
+    assert!(matches!(
+        fs.create(B, "/batch/f5"),
+        Err(FsError::Mds(MdsError::NoInodes))
+    ));
+    // Merging and re-decoupling grants a fresh range.
+    fs.merge(B, "/batch").unwrap();
+    fs.decouple(
+        B,
+        "/batch",
+        &Policy {
+            allocated_inodes: 5,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    fs.create(B, "/batch/f5").unwrap();
+    fs.merge(B, "/batch").unwrap();
+    assert_eq!(fs.ls(A, "/batch").unwrap().len(), 6);
+}
+
+#[test]
+fn hundredfold_scale_smoke() {
+    // A moderately large end-to-end run: 3 decoupled writers, 3000 files
+    // each, single merge wave; checks counts and namespace integrity.
+    let mut fs = CudeleFs::new();
+    for i in 0..3u32 {
+        fs.mount(ClientId(i)).unwrap();
+        fs.mkdir_p(&format!("/job{i}")).unwrap();
+        fs.decouple(
+            ClientId(i),
+            &format!("/job{i}"),
+            &Policy {
+                allocated_inodes: 3000,
+                ..Policy::batchfs()
+            },
+        )
+        .unwrap();
+    }
+    for i in 0..3u32 {
+        for f in 0..3000 {
+            fs.create(ClientId(i), &format!("/job{i}/file-{f:05}")).unwrap();
+        }
+    }
+    for i in 0..3u32 {
+        let r = fs.merge(ClientId(i), &format!("/job{i}")).unwrap();
+        assert_eq!(r.events, 3000);
+    }
+    for i in 0..3u32 {
+        assert_eq!(fs.ls(ClientId(0), &format!("/job{i}")).unwrap().len(), 3000);
+    }
+    // 9000 files + 3 dirs + root.
+    assert_eq!(fs.namespace().inode_count(), 9000 + 3 + 1);
+}

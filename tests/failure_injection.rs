@@ -1,0 +1,265 @@
+//! Failure injection: crash clients, client nodes, the MDS, and OSDs at
+//! every stage of each mechanism, and verify that exactly the promised
+//! durability/consistency class survives.
+//!
+//! The paper's framing: "None is different than local durability because
+//! regardless of the type of failure, metadata will be lost when
+//! components die in a None configuration"; local survives *recoverable*
+//! node failures; global survives everything.
+
+use std::sync::Arc;
+
+use cudele::{achieved_durability, execute_merge, Composition, Durability, ExecEnv};
+use cudele_client::{DecoupledClient, LocalDisk};
+use cudele_journal::InodeRange;
+use cudele_mds::{ClientId, MetadataServer};
+use cudele_rados::InMemoryStore;
+
+const CLIENT: ClientId = ClientId(1);
+
+struct Rig {
+    server: MetadataServer,
+    os: Arc<InMemoryStore>,
+    disk: LocalDisk,
+    client: DecoupledClient,
+}
+
+fn rig(events: u64) -> Rig {
+    let os = Arc::new(InMemoryStore::paper_default());
+    let mut server = MetadataServer::new(os.clone());
+    server.open_session(CLIENT);
+    server.setup_dir("/job").unwrap();
+    let (client, _) = DecoupledClient::decouple(&mut server, CLIENT, "/job", events + 10);
+    let mut client = client.unwrap();
+    for i in 0..events {
+        client.create(client.root, &format!("f{i}")).unwrap();
+    }
+    Rig {
+        server,
+        os,
+        disk: LocalDisk::new(),
+        client,
+    }
+}
+
+fn merge(rig: &mut Rig, comp: &str) {
+    let comp: Composition = comp.parse().unwrap();
+    execute_merge(
+        &comp,
+        &mut rig.client,
+        &mut ExecEnv {
+            server: &mut rig.server,
+            os: rig.os.as_ref(),
+            disk: &mut rig.disk,
+        },
+    )
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Durability classes under node failure
+// ---------------------------------------------------------------------
+
+#[test]
+fn none_durability_loses_everything_on_any_failure() {
+    let mut r = rig(50);
+    // No persist ran. Node crash (even recoverable) loses the in-memory
+    // journal — there is nothing on disk to replay.
+    r.disk.crash();
+    r.disk.recover();
+    assert!(DecoupledClient::recover_from_local_disk(
+        CLIENT,
+        r.client.root,
+        InodeRange::new(r.client.events()[0].allocates().unwrap(), 60),
+        &r.disk
+    )
+    .is_err());
+    assert_eq!(
+        achieved_durability(&r.client, &r.disk, r.os.as_ref()),
+        Durability::None
+    );
+}
+
+#[test]
+fn local_durability_survives_recoverable_crash_only() {
+    let mut r = rig(50);
+    merge(&mut r, "local_persist");
+    // Recoverable crash: journal comes back.
+    r.disk.crash();
+    assert_eq!(
+        achieved_durability(&r.client, &r.disk, r.os.as_ref()),
+        Durability::Local
+    );
+    r.disk.recover();
+    let recovered = DecoupledClient::recover_from_local_disk(
+        CLIENT,
+        r.client.root,
+        InodeRange::new(r.client.events()[0].allocates().unwrap(), 60),
+        &r.disk,
+    )
+    .unwrap();
+    assert_eq!(recovered.events(), r.client.events());
+
+    // Permanent node loss: gone. "If the client fails and stays down then
+    // computation must be done again."
+    r.disk.destroy();
+    assert_eq!(
+        achieved_durability(&r.client, &r.disk, r.os.as_ref()),
+        Durability::None
+    );
+}
+
+#[test]
+fn global_durability_survives_client_loss_and_osd_failure() {
+    let mut r = rig(50);
+    merge(&mut r, "global_persist");
+    // The client node evaporates.
+    r.disk.destroy();
+    assert_eq!(
+        achieved_durability(&r.client, &r.disk, r.os.as_ref()),
+        Durability::Global
+    );
+    // The journal can be fetched from the object store with zero client
+    // state.
+    let events = cudele_journal::read_journal(r.os.as_ref(), r.client.journal_id()).unwrap();
+    assert_eq!(events.len(), 50);
+}
+
+#[test]
+fn replicated_object_store_survives_single_osd_failure() {
+    // With replication 2, one OSD down does not lose the globally
+    // persisted journal.
+    let os = Arc::new(InMemoryStore::new(3, 2));
+    let mut server = MetadataServer::new(os.clone());
+    server.open_session(CLIENT);
+    server.setup_dir("/job").unwrap();
+    let (client, _) = DecoupledClient::decouple(&mut server, CLIENT, "/job", 30);
+    let mut client = client.unwrap();
+    for i in 0..20 {
+        client.create(client.root, &format!("f{i}")).unwrap();
+    }
+    client
+        .global_persist(os.as_ref(), server.cost_model())
+        .unwrap();
+    for osd in 0..3 {
+        os.fail_osd(osd);
+        let events = cudele_journal::read_journal(os.as_ref(), client.journal_id()).unwrap();
+        assert_eq!(events.len(), 20, "journal unreadable with OSD {osd} down");
+        os.revive_osd(osd);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MDS crashes
+// ---------------------------------------------------------------------
+
+#[test]
+fn mds_crash_before_merge_preserves_nothing_of_the_decoupled_job() {
+    let mut r = rig(50);
+    // The MDS knows nothing about the decoupled updates; a crash+recover
+    // leaves the global namespace without them (by design — invisible).
+    r.server.flush_journal();
+    r.server.crash_and_recover().unwrap();
+    assert!(r.server.store().readdir(r.client.root).map(|v| v.len()).unwrap_or(0) == 0);
+    // The client journal is intact client-side; the merge can run later.
+    assert_eq!(r.client.event_count(), 50);
+}
+
+#[test]
+fn mds_crash_after_volatile_apply_loses_merge_without_stream_flush() {
+    let mut r = rig(50);
+    merge(&mut r, "volatile_apply");
+    assert_eq!(r.server.store().readdir(r.client.root).unwrap().len(), 50);
+    // Volatile apply wrote only MDS memory. Crash without flushing: gone.
+    // (crash_and_recover does not flush — that is the point.)
+    r.server.crash_and_recover().unwrap();
+    let survived = r
+        .server
+        .store()
+        .readdir(r.client.root)
+        .map(|v| v.len())
+        .unwrap_or(0);
+    assert_eq!(survived, 0, "volatile apply must not survive an MDS crash");
+}
+
+#[test]
+fn mds_crash_after_nonvolatile_apply_preserves_merge() {
+    let mut r = rig(50);
+    merge(&mut r, "nonvolatile_apply");
+    // NVA wrote the object store representation; crash+recover again and
+    // the files are still there.
+    r.server.crash_and_recover().unwrap();
+    assert_eq!(r.server.store().readdir(r.client.root).unwrap().len(), 50);
+}
+
+#[test]
+fn global_persist_plus_volatile_apply_recoverable_end_to_end() {
+    // The weak/global cell: after GP||VA, even if the MDS crashes the
+    // journal is in the object store, so the merge can be replayed.
+    let mut r = rig(50);
+    merge(&mut r, "global_persist||volatile_apply");
+    r.server.crash_and_recover().unwrap();
+    // In-memory merge lost...
+    let after_crash = r
+        .server
+        .store()
+        .readdir(r.client.root)
+        .map(|v| v.len())
+        .unwrap_or(0);
+    assert_eq!(after_crash, 0);
+    // ...but the journal is global: re-apply it.
+    let events = cudele_journal::read_journal(r.os.as_ref(), r.client.journal_id()).unwrap();
+    r.server.open_session(CLIENT);
+    let applied = r.server.volatile_apply(CLIENT, &events).result.unwrap();
+    assert_eq!(applied, 50);
+    assert_eq!(r.server.store().readdir(r.client.root).unwrap().len(), 50);
+}
+
+#[test]
+fn stream_flush_boundary_is_exactly_what_survives() {
+    // RPC-path creates with Stream on: everything flushed to the journal
+    // survives an MDS crash; everything after the last flush is lost.
+    let os = Arc::new(InMemoryStore::paper_default());
+    let mut server = MetadataServer::new(os);
+    server.open_session(CLIENT);
+    let dir = server.setup_dir("/posix").unwrap();
+    let sub = server.mkdir(CLIENT, dir, "work").result.unwrap();
+    for i in 0..30 {
+        server.create(CLIENT, sub.ino, &format!("pre-{i}")).result.unwrap();
+    }
+    server.flush_journal(); // checkpoint
+    for i in 0..30 {
+        server.create(CLIENT, sub.ino, &format!("post-{i}")).result.unwrap();
+    }
+    // Crash without flushing the post-writes.
+    server.crash_and_recover().unwrap();
+    let entries = server.store().readdir(sub.ino).unwrap();
+    let pre = entries.iter().filter(|(n, _)| n.starts_with("pre-")).count();
+    let post = entries.iter().filter(|(n, _)| n.starts_with("post-")).count();
+    assert_eq!(pre, 30, "flushed updates must survive");
+    assert_eq!(post, 0, "unflushed updates must be lost");
+}
+
+// ---------------------------------------------------------------------
+// Crash *during* a composition: "we make no guarantees while
+// transitioning between policies ... the semantics are guaranteed once
+// the mechanism completes"
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_mid_composition_leaves_previous_class() {
+    let mut r = rig(50);
+    // Local persist completes, then the node dies before global persist
+    // could run: the achieved class is Local, not Global — and after the
+    // node is destroyed, None. No intermediate state claims Global.
+    merge(&mut r, "local_persist");
+    assert_eq!(
+        achieved_durability(&r.client, &r.disk, r.os.as_ref()),
+        Durability::Local
+    );
+    r.disk.destroy();
+    assert_eq!(
+        achieved_durability(&r.client, &r.disk, r.os.as_ref()),
+        Durability::None
+    );
+}

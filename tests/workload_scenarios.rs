@@ -1,0 +1,180 @@
+//! Workload-level integration: the paper's motivating workloads driven
+//! end-to-end through the `CudeleFs` facade under different subtree
+//! semantics.
+
+use cudele::{CudeleFs, Policy};
+use cudele_mds::ClientId;
+use cudele_workloads::{
+    compile_phases, CheckpointPattern, CheckpointWorkload, PhaseOp,
+};
+
+const BUILDER: ClientId = ClientId(1);
+const OBSERVER: ClientId = ClientId(2);
+
+/// Replays the metadata ops of the kernel-compile trace through the
+/// facade, inside `root`. Returns (creates, mkdirs) performed.
+fn replay_compile(fs: &mut CudeleFs, root: &str, scale: f64) -> (u64, u64) {
+    let mut dirs: Vec<String> = vec![root.to_string()];
+    let (mut creates, mut mkdirs) = (0, 0);
+    for phase in compile_phases(scale) {
+        for op in &phase.ops {
+            match op {
+                PhaseOp::Mkdir { dir, name } => {
+                    let parent = dirs[*dir as usize % dirs.len()].clone();
+                    let path = format!("{parent}/{name}");
+                    fs.mkdir(BUILDER, &path).unwrap();
+                    dirs.push(path);
+                    mkdirs += 1;
+                }
+                PhaseOp::Create { dir, name } => {
+                    let parent = &dirs[(*dir as usize + 1) % dirs.len()];
+                    fs.create(BUILDER, &format!("{parent}/{name}")).unwrap();
+                    creates += 1;
+                }
+                // Reads and data writes don't change the namespace.
+                PhaseOp::Lookup { .. } | PhaseOp::Stat { .. } | PhaseOp::DataWrite { .. } => {}
+            }
+        }
+    }
+    (creates, mkdirs)
+}
+
+#[test]
+fn kernel_compile_on_posix_subtree() {
+    let mut fs = CudeleFs::new();
+    fs.mount(BUILDER).unwrap();
+    fs.mount(OBSERVER).unwrap();
+    fs.mkdir_p("/build").unwrap();
+    // Default semantics: strong/global. Everything is immediately visible.
+    let (creates, mkdirs) = replay_compile(&mut fs, "/build", 0.01);
+    assert!(creates > 500 && mkdirs >= 40, "{creates} creates, {mkdirs} mkdirs");
+    // Observer sees the full tree right away.
+    assert!(fs.exists(OBSERVER, "/build/linux.tar.xz"));
+    assert!(
+        fs.namespace().shape().len() as u64 > creates,
+        "full tree visible"
+    );
+}
+
+#[test]
+fn kernel_compile_on_decoupled_subtree_then_merge() {
+    let mut fs = CudeleFs::new();
+    fs.mount(BUILDER).unwrap();
+    fs.mount(OBSERVER).unwrap();
+    fs.mkdir_p("/build").unwrap();
+    fs.decouple(
+        BUILDER,
+        "/build",
+        &Policy {
+            allocated_inodes: 10_000,
+            ..Policy::batchfs()
+        },
+    )
+    .unwrap();
+    let (creates, mkdirs) = replay_compile(&mut fs, "/build", 0.01);
+    // Invisible pre-merge.
+    assert!(fs.ls(OBSERVER, "/build").unwrap().is_empty());
+    // Builder reads its own writes throughout.
+    assert!(fs.exists(BUILDER, "/build/linux.tar.xz"));
+    // Merge publishes the identical tree.
+    let report = fs.merge(BUILDER, "/build").unwrap();
+    assert_eq!(report.events, creates + mkdirs);
+    assert!(fs.exists(OBSERVER, "/build/linux.tar.xz"));
+    assert!(fs.namespace().shape().len() as u64 > creates);
+}
+
+#[test]
+fn posix_and_decoupled_compile_trees_are_identical() {
+    // Same trace through both semantics must produce the same namespace
+    // shape — the whole point of programmable subtrees being transparent
+    // to the application.
+    let mut posix = CudeleFs::new();
+    posix.mount(BUILDER).unwrap();
+    posix.mkdir_p("/build").unwrap();
+    replay_compile(&mut posix, "/build", 0.005);
+
+    let mut decoupled = CudeleFs::new();
+    decoupled.mount(BUILDER).unwrap();
+    decoupled.mkdir_p("/build").unwrap();
+    decoupled
+        .decouple(
+            BUILDER,
+            "/build",
+            &Policy {
+                allocated_inodes: 10_000,
+                ..Policy::batchfs()
+            },
+        )
+        .unwrap();
+    replay_compile(&mut decoupled, "/build", 0.005);
+    decoupled.merge(BUILDER, "/build").unwrap();
+
+    assert_eq!(posix.namespace().shape(), decoupled.namespace().shape());
+}
+
+#[test]
+fn n_to_n_checkpointing_through_facade() {
+    let w = CheckpointWorkload {
+        ranks: 4,
+        steps: 25,
+        pattern: CheckpointPattern::NToN,
+    };
+    let mut fs = CudeleFs::new();
+    for r in 0..w.ranks {
+        fs.mount(ClientId(r)).unwrap();
+        let dir = w.dir_for_rank(r);
+        fs.mkdir_p(&dir).unwrap();
+        fs.decouple(
+            ClientId(r),
+            &dir,
+            &Policy {
+                allocated_inodes: w.steps as u64 + 1,
+                ..Policy::deltafs()
+            },
+        )
+        .unwrap();
+    }
+    for s in 0..w.steps {
+        for r in 0..w.ranks {
+            fs.create(ClientId(r), &format!("{}/{}", w.dir_for_rank(r), w.file_name(r, s)))
+                .unwrap();
+        }
+    }
+    // DeltaFS semantics: nothing global, each rank owns its truth.
+    fs.mount(ClientId(99)).unwrap();
+    for r in 0..w.ranks {
+        assert!(fs.ls(ClientId(99), &w.dir_for_rank(r)).unwrap().is_empty());
+        assert!(fs.exists(ClientId(r), &format!("{}/{}", w.dir_for_rank(r), w.file_name(r, 0))));
+    }
+}
+
+#[test]
+fn n_to_1_checkpointing_contends_but_completes() {
+    // All ranks share one directory through the RPC path: maximum false
+    // sharing, everything strongly consistent.
+    let w = CheckpointWorkload {
+        ranks: 4,
+        steps: 25,
+        pattern: CheckpointPattern::NTo1,
+    };
+    let mut fs = CudeleFs::new();
+    fs.mkdir_p("/ckpt/shared").unwrap();
+    for r in 0..w.ranks {
+        fs.mount(ClientId(r)).unwrap();
+    }
+    for s in 0..w.steps {
+        for r in 0..w.ranks {
+            fs.create(ClientId(r), &format!("/ckpt/shared/{}", w.file_name(r, s)))
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        fs.ls(ClientId(0), "/ckpt/shared").unwrap().len() as u64,
+        w.total_ops()
+    );
+    // Interleaved writers churned the directory's capability: the first
+    // foreign write revokes the cap, and with 4 writers alternating it is
+    // never re-granted, so almost every create pays a lookup.
+    assert!(fs.server().caps().revocations() >= 1);
+    assert!(fs.server().counters().lookups as u64 > w.total_ops() / 2);
+}
