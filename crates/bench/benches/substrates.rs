@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cudele::{parse_policies, Composition};
-use cudele_journal::{encode_journal, decode_journal, Attrs, InodeId, JournalEvent};
+use cudele_journal::{decode_journal, encode_journal, Attrs, InodeId, JournalEvent};
 use cudele_mds::{CapTable, ClientId, Dir, MetadataStore};
 use cudele_rados::{InMemoryStore, ObjectId, ObjectStore, PoolId};
 

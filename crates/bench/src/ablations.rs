@@ -112,6 +112,9 @@ pub fn regrant_threshold_ablation() -> (Vec<(u64, u64)>, String) {
     for threshold in [10u64, 50, 100, 500, 2000] {
         let os = Arc::new(InMemoryStore::paper_default());
         let mut server = MetadataServer::new(os);
+        if let Some(reg) = crate::obs_out::session() {
+            server.attach_obs(&reg);
+        }
         // Install a cap table with the ablated threshold.
         server.set_cap_regrant_after(threshold);
         let (mut victim, _) = RpcClient::mount(&mut server, ClientId(1));
@@ -119,12 +122,18 @@ pub fn regrant_threshold_ablation() -> (Vec<(u64, u64)>, String) {
         let dir = server.setup_dir("/d").unwrap();
         // Victim warms up, intruder touches once, victim continues.
         for i in 0..10 {
-            victim.create(&mut server, dir, &format!("w{i}")).result.unwrap();
+            victim
+                .create(&mut server, dir, &format!("w{i}"))
+                .result
+                .unwrap();
         }
         intruder.create(&mut server, dir, "x").result.unwrap();
         let before = victim.lookups_sent;
         for i in 0..4000 {
-            victim.create(&mut server, dir, &format!("v{i}")).result.unwrap();
+            victim
+                .create(&mut server, dir, &format!("v{i}"))
+                .result
+                .unwrap();
         }
         rows.push((threshold, victim.lookups_sent - before));
     }

@@ -4,10 +4,12 @@
 
 fn main() {
     let scale = cudele_bench::Scale::from_args();
+    let obs = cudele_bench::ObsSession::from_env();
     let (_, arrival) = cudele_bench::ablations::run_arrival_ablation(scale);
     println!("{arrival}");
     let (_, regrant) = cudele_bench::ablations::regrant_threshold_ablation();
     println!("{regrant}");
     let (_, split) = cudele_bench::ablations::split_threshold_ablation();
     println!("{split}");
+    obs.finish().expect("writing observability snapshots");
 }

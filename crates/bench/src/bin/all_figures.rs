@@ -3,8 +3,11 @@
 
 fn main() {
     let scale = cudele_bench::Scale::from_args();
-    println!("Cudele reproduction — all experiments (files/client = {}, runs = {})\n",
-             scale.files_per_client, scale.runs);
+    let obs = cudele_bench::ObsSession::from_env();
+    println!(
+        "Cudele reproduction — all experiments (files/client = {}, runs = {})\n",
+        scale.files_per_client, scale.runs
+    );
     println!("{}", cudele_bench::fig2::run(scale).rendered);
     println!("{}", cudele_bench::fig3a::run(scale).rendered);
     println!("{}", cudele_bench::fig3b::run(scale).rendered);
@@ -14,4 +17,5 @@ fn main() {
     println!("{}", cudele_bench::fig6b::run(scale).rendered);
     println!("{}", cudele_bench::fig6c::run(scale).rendered);
     println!("{}", cudele_bench::table1::run(scale).rendered);
+    obs.finish().expect("writing observability snapshots");
 }

@@ -3,6 +3,8 @@
 
 fn main() {
     let scale = cudele_bench::Scale::from_args();
+    let obs = cudele_bench::ObsSession::from_env();
     let out = cudele_bench::fig3c::run(scale);
     println!("{}", out.rendered);
+    obs.finish().expect("writing observability snapshots");
 }

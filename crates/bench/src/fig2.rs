@@ -64,6 +64,9 @@ pub fn run(scale: Scale) -> Fig2 {
     let trace_scale = scale.files_per_client as f64 / 100_000.0;
     let os = Arc::new(InMemoryStore::paper_default());
     let mut server = MetadataServer::new(os.clone());
+    if let Some(reg) = crate::obs_out::session() {
+        server.attach_obs(&reg);
+    }
     let mut mds = FifoServer::new("mds-cpu");
     let (mut rpc, _) = RpcClient::mount(&mut server, ClientId(1));
     let cm = server.cost_model().clone();
@@ -210,7 +213,11 @@ mod tests {
         // Create-heavy with zero think time: the MDS CPU is the
         // bottleneck's neighbour — well above everything else.
         let untar = f.phase("untar");
-        assert!(untar.mds_cpu_util > 0.15, "untar cpu {}", untar.mds_cpu_util);
+        assert!(
+            untar.mds_cpu_util > 0.15,
+            "untar cpu {}",
+            untar.mds_cpu_util
+        );
         let make = f.phase("make");
         assert!(untar.mds_cpu_util > 2.0 * make.mds_cpu_util);
     }

@@ -91,7 +91,7 @@ pub fn run(scale: Scale) -> Fig3a {
          off (lower is better)\n\n",
     );
     rendered.push_str(&render_table("clients", &series));
-    rendered.push_str("\n");
+    rendered.push('\n');
     rendered.push_str(&render_plot(&series, 60, 16));
     Fig3a { series, rendered }
 }
@@ -132,7 +132,11 @@ mod tests {
         for s in &f.series {
             let first = s.points.first().unwrap().1;
             let last = s.points.last().unwrap().1;
-            assert!(last > 2.0 * first, "{} did not degrade: {first} -> {last}", s.label);
+            assert!(
+                last > 2.0 * first,
+                "{} did not degrade: {first} -> {last}",
+                s.label
+            );
         }
 
         // The no-journal curve saturates against the ~3000 ops/s MDS peak:

@@ -164,7 +164,7 @@ pub fn run(scale: Scale) -> Fig3b {
          isolation, journal on; lower and less variable is better)\n\n",
     );
     rendered.push_str(&render_table("clients", &series));
-    rendered.push_str("\n");
+    rendered.push('\n');
     rendered.push_str(&render_plot(&series, 60, 16));
     rendered.push_str(&format!(
         "\nCurve averages: no-interference {:.2}x (σ {:.3}); interference \

@@ -120,7 +120,7 @@ pub fn run(scale: Scale) -> Fig3c {
 mod tests {
     use super::*;
 
-    fn split_at<'a>(s: &'a Series, t: f64) -> (Vec<f64>, Vec<f64>) {
+    fn split_at(s: &Series, t: f64) -> (Vec<f64>, Vec<f64>) {
         let before: Vec<f64> = s
             .points
             .iter()

@@ -234,7 +234,11 @@ mod tests {
     fn rendered_table_lists_all_bars() {
         let f = quick();
         for label in ["rpcs", "stream", "batchfs", "deltafs"] {
-            assert!(f.rendered.contains(label), "{label} missing:\n{}", f.rendered);
+            assert!(
+                f.rendered.contains(label),
+                "{label} missing:\n{}",
+                f.rendered
+            );
         }
     }
 }

@@ -30,7 +30,9 @@ pub struct Fig6a {
 }
 
 fn fresh_world() -> World {
-    World::new(MetadataServer::new(Arc::new(InMemoryStore::paper_default())))
+    World::new(MetadataServer::new(
+        Arc::new(InMemoryStore::paper_default()),
+    ))
 }
 
 /// Total-job duration for N RPC clients.
@@ -111,7 +113,7 @@ pub fn run(scale: Scale) -> Fig6a {
          using RPCs (higher is better)\n\n",
     );
     rendered.push_str(&render_table("clients", &series));
-    rendered.push_str("\n");
+    rendered.push('\n');
     rendered.push_str(&render_plot(&series, 60, 16));
     rendered.push_str(&format!(
         "\nAt max clients: decoupled-create is {create_speedup:.1}x RPCs \
@@ -147,7 +149,11 @@ mod tests {
         // decoupled 1-client normalized rate.
         let c1 = create.points[0].1;
         let c20 = create.last_y().unwrap();
-        assert!((c20 / c1 - 20.0).abs() < 1.0, "create linearity {}", c20 / c1);
+        assert!(
+            (c20 / c1 - 20.0).abs() < 1.0,
+            "create linearity {}",
+            c20 / c1
+        );
 
         // Headline speedups.
         assert!(

@@ -42,16 +42,13 @@ impl Fig6b {
 
 /// Runs the figure at `scale`.
 pub fn run(scale: Scale) -> Fig6b {
-    let series = sweep(
-        scale,
-        &[Mode::Isolated, Mode::Interference, Mode::Blocked],
-    );
+    let series = sweep(scale, &[Mode::Isolated, Mode::Interference, Mode::Blocked]);
     let mut rendered = String::from(
         "Figure 6b: slowdown of the slowest victim with interference\n\
          allowed vs. blocked (-EBUSY), normalized to 1 client in isolation\n\n",
     );
     rendered.push_str(&render_table("clients", &series));
-    rendered.push_str("\n");
+    rendered.push('\n');
     rendered.push_str(&render_plot(&series, 60, 16));
     rendered.push_str(&format!(
         "\nCurve averages: no-interference {:.2}x (σ {:.3}); interference \

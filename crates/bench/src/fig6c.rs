@@ -107,7 +107,7 @@ pub fn run(_scale: Scale) -> Fig6c {
          the namespace every N seconds (lower is better)\n\n",
     );
     rendered.push_str(&render_table("interval (s)", &[s.clone(), batches]));
-    rendered.push_str("\n");
+    rendered.push('\n');
     rendered.push_str(&render_plot(&[s], 60, 14));
     let opt = points
         .iter()
@@ -145,7 +145,11 @@ mod tests {
             opt.interval.as_secs_f64()
         );
         // ~2% at the optimum.
-        assert!((opt.overhead_pct - 2.0).abs() < 1.0, "optimal {}", opt.overhead_pct);
+        assert!(
+            (opt.overhead_pct - 2.0).abs() < 1.0,
+            "optimal {}",
+            opt.overhead_pct
+        );
         // ~9% at 1s.
         let one = f.overhead_at(1);
         assert!((one - 9.0).abs() < 1.5, "1s overhead {one}");
@@ -162,7 +166,11 @@ mod tests {
         let f = fig();
         // At 25s intervals the paper ships ~278K updates per sync in 3-4
         // pauses.
-        let p25 = f.points.iter().find(|p| p.interval == Nanos::from_secs(25)).unwrap();
+        let p25 = f
+            .points
+            .iter()
+            .find(|p| p.interval == Nanos::from_secs(25))
+            .unwrap();
         assert!(
             (p25.max_batch as f64 - 278_000.0).abs() < 15_000.0,
             "25s batch {}",

@@ -16,9 +16,12 @@ pub mod fig5;
 pub mod fig6a;
 pub mod fig6b;
 pub mod fig6c;
+pub mod mdbench;
+pub mod obs_out;
 pub mod table1;
 pub mod world;
 
+pub use obs_out::ObsSession;
 pub use world::{DecoupledCreateProcess, InterfererProcess, RpcCreateProcess, World};
 
 /// Scale for a figure run: `files_per_client` 100_000 reproduces the paper

@@ -1,0 +1,259 @@
+//! `mdbench` — an mdtest-style metadata benchmark for the simulated
+//! cluster, with a policy knob.
+//!
+//! Sweeps nothing; runs exactly one configuration and prints absolute
+//! virtual-time throughput, so administrators can explore the policy
+//! space interactively:
+//!
+//! ```text
+//! $ mdbench --clients 8 --files 50000 --policy batchfs
+//! $ mdbench --clients 8 --files 50000 --policy posix
+//! $ mdbench --clients 4 --files 10000 --policy custom \
+//!           --composition "append_client_journal+global_persist||volatile_apply"
+//! $ mdbench --policy deltafs --metrics-out metrics.json --trace-out trace.json
+//! ```
+//!
+//! The logic lives here (rather than in the binary) so the workspace can
+//! expose `mdbench` both as a root-package binary and to integration
+//! tests, which run the same configuration twice to assert byte-identical
+//! observability output.
+
+use std::sync::Arc;
+
+use cudele::{Composition, Policy};
+use cudele_mds::MetadataServer;
+use cudele_rados::InMemoryStore;
+use cudele_sim::{Engine, Nanos, RunReport};
+use cudele_workloads::client_dir;
+
+use crate::obs_out::ObsSession;
+use crate::{DecoupledCreateProcess, RpcCreateProcess, World};
+
+/// One mdbench configuration, as parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Concurrent client processes.
+    pub clients: u32,
+    /// Creates per client.
+    pub files: u64,
+    /// Policy name: posix|ramdisk|batchfs|deltafs|hdfs|custom.
+    pub policy: String,
+    /// DSL composition (required when `policy` is `custom`).
+    pub composition: Option<String>,
+    /// Write a JSON metrics snapshot here when the run finishes.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome trace-event JSON file here when the run finishes.
+    pub trace_out: Option<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            clients: 4,
+            files: 10_000,
+            policy: "posix".to_string(),
+            composition: None,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+}
+
+/// The usage string printed on `--help` or a bad invocation.
+pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
+     [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
+     [--composition DSL] [--metrics-out PATH] [--trace-out PATH]";
+
+/// Parses an argument list (element 0 is the program name). `Err` carries
+/// the message to print before the usage string; `--help` yields
+/// `Err(String::new())`.
+pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
+    let mut cfg = BenchConfig::default();
+    let mut i = 1;
+    let value = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 2;
+        argv.get(*i - 1)
+            .cloned()
+            .ok_or_else(|| format!("{what} requires a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--clients" => {
+                cfg.clients = value(&mut i, "--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--files" => {
+                cfg.files = value(&mut i, "--files")?
+                    .parse()
+                    .map_err(|e| format!("bad --files: {e}"))?;
+            }
+            "--policy" => cfg.policy = value(&mut i, "--policy")?,
+            "--composition" => cfg.composition = Some(value(&mut i, "--composition")?),
+            "--metrics-out" => cfg.metrics_out = Some(value(&mut i, "--metrics-out")?),
+            "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn resolve_policy(cfg: &BenchConfig) -> Result<Policy, String> {
+    match cfg.policy.as_str() {
+        "posix" | "cephfs" => Ok(Policy::posix()),
+        "ramdisk" => Ok(Policy::ramdisk()),
+        "batchfs" => Ok(Policy::batchfs()),
+        "deltafs" => Ok(Policy::deltafs()),
+        "hdfs" => Ok(Policy::hdfs()),
+        "custom" => {
+            let dsl = cfg
+                .composition
+                .clone()
+                .ok_or_else(|| "--policy custom requires --composition".to_string())?;
+            let comp: Composition = dsl.parse().map_err(|e| format!("bad composition: {e}"))?;
+            let mut p = Policy::batchfs();
+            p.custom_composition = Some(comp);
+            Ok(p)
+        }
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+/// What one mdbench run measured.
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    /// End of the create phase (virtual time).
+    pub create_end: Nanos,
+    /// End of the merge phase (equals `create_end` when no merge runs).
+    pub merge_end: Nanos,
+    /// Engine report of the create phase.
+    pub report: RunReport,
+    /// The human-readable summary that the binary prints.
+    pub rendered: String,
+}
+
+/// Runs one configuration. Writes the `--metrics-out`/`--trace-out`
+/// snapshots (if requested) before returning.
+pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
+    let policy = resolve_policy(cfg)?;
+    let obs = ObsSession::with_paths(cfg.metrics_out.clone(), cfg.trace_out.clone());
+
+    let mut rendered = format!(
+        "mdbench: {} clients x {} creates under `{}`\n",
+        cfg.clients,
+        cfg.files,
+        policy.composition()
+    );
+
+    let os = Arc::new(InMemoryStore::paper_default());
+    let journal_on = policy.composition().contains(cudele::Mechanism::Stream);
+    let mdlog = if journal_on {
+        Some(cudele_mds::MdLogConfig::default())
+    } else if policy.operation_mode() == cudele::OperationMode::Rpcs {
+        None // rpcs without stream: journal off
+    } else {
+        Some(cudele_mds::MdLogConfig::default())
+    };
+    let mut world = World::new(MetadataServer::with_config(
+        os,
+        cudele_sim::CostModel::calibrated(),
+        mdlog,
+    ));
+    for c in 0..cfg.clients {
+        world.server.setup_dir(&client_dir(c)).unwrap();
+    }
+    let dirs: Vec<_> = (0..cfg.clients)
+        .map(|c| world.server.store().resolve(&client_dir(c)).unwrap())
+        .collect();
+
+    let total_ops = cfg.clients as u64 * cfg.files;
+    let (create_end, merge_end, report) = match policy.operation_mode() {
+        cudele::OperationMode::Rpcs => {
+            let mut eng = Engine::new(world);
+            for c in 0..cfg.clients {
+                let p = RpcCreateProcess::new(eng.world_mut(), c, dirs[c as usize], cfg.files);
+                eng.add_process(Box::new(p));
+            }
+            let (_, report) = eng.run();
+            (report.slowest(), report.slowest(), report)
+        }
+        cudele::OperationMode::Decoupled => {
+            let mut eng = Engine::new(world);
+            for c in 0..cfg.clients {
+                let p = DecoupledCreateProcess::new(eng.world_mut(), c, &client_dir(c), cfg.files);
+                eng.add_process(Box::new(p));
+            }
+            let (mut world, report) = eng.run();
+            let create_end = report.slowest();
+            let mut merge_end = create_end;
+            if policy
+                .merge_composition()
+                .is_some_and(|m| m.contains(cudele::Mechanism::VolatileApply))
+            {
+                for c in 0..cfg.clients {
+                    let mut p =
+                        DecoupledCreateProcess::new(&mut world, 100 + c, &client_dir(c), cfg.files);
+                    for i in 0..cfg.files {
+                        p.client
+                            .create(p.client.root, &cudele_workloads::file_name(100 + c, i))
+                            .unwrap();
+                    }
+                    merge_end = merge_end.max(p.merge_at(&mut world, create_end, cfg.clients));
+                }
+            }
+            (create_end, merge_end, report)
+        }
+    };
+
+    use std::fmt::Write as _;
+    let rate = |t: Nanos| total_ops as f64 / t.as_secs_f64();
+    let _ = writeln!(
+        rendered,
+        "  create phase : {create_end} ({:.0} creates/s aggregate)",
+        rate(create_end)
+    );
+    if merge_end > create_end {
+        let _ = writeln!(
+            rendered,
+            "  with merge   : {merge_end} ({:.0} creates/s end-to-end)",
+            rate(merge_end)
+        );
+    }
+    let _ = writeln!(rendered, "  run          : {}", report.summary_json());
+
+    obs.finish()
+        .map_err(|e| format!("writing snapshots: {e}"))?;
+    Ok(BenchOutcome {
+        create_end,
+        merge_end,
+        report,
+        rendered,
+    })
+}
+
+/// The binary entry point: parse argv, run, print, exit non-zero on error.
+pub fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let cfg = match parse_args(&argv) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if msg.is_empty() {
+                // --help
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match run(&cfg) {
+        Ok(out) => print!("{}", out.rendered),
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Metrics/trace output plumbing shared by every experiment binary.
+//!
+//! Any figure binary (and `mdbench`) accepts:
+//!
+//! * `--metrics-out <path>` — write a JSON metrics snapshot
+//!   ([`Registry::metrics_json`]) when the run finishes.
+//! * `--trace-out <path>` — write a Chrome trace-event JSON file
+//!   ([`Registry::chrome_trace_json`]), loadable in Perfetto /
+//!   `chrome://tracing`, with virtual timestamps.
+//!
+//! When either flag is present, a single *session registry* is installed
+//! and every [`crate::World`] built afterwards shares it, so the snapshot
+//! covers the whole run regardless of how many worlds the harness builds.
+//! Without the flags each world keeps its own private registry and nothing
+//! is written. Both outputs are deterministic for a fixed configuration
+//! and seed: metric names are sorted, spans are in execution order, and
+//! all timestamps are virtual.
+
+use std::sync::{Arc, Mutex};
+
+use cudele_obs::Registry;
+
+static SESSION: Mutex<Option<Arc<Registry>>> = Mutex::new(None);
+
+/// Installs (replacing any previous) the shared session registry and
+/// returns it. Subsequent [`crate::World::new`] calls attach to it.
+pub fn install_session() -> Arc<Registry> {
+    let reg = Arc::new(Registry::new());
+    *SESSION.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&reg));
+    reg
+}
+
+/// Clears the shared session registry; later worlds get private ones.
+pub fn clear_session() {
+    *SESSION.lock().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+/// The currently installed session registry, if any.
+pub fn session() -> Option<Arc<Registry>> {
+    SESSION.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Observability sinks parsed from the command line, plus the session
+/// registry they activated. See the module docs for the flags.
+pub struct ObsSession {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    reg: Option<Arc<Registry>>,
+}
+
+impl ObsSession {
+    /// Parses `--metrics-out`/`--trace-out` from the process arguments and,
+    /// if either is present, installs a fresh session registry.
+    pub fn from_env() -> ObsSession {
+        let argv: Vec<String> = std::env::args().collect();
+        ObsSession::from_argv(&argv)
+    }
+
+    /// [`ObsSession::from_env`] over an explicit argument list (element 0
+    /// is ignored as the program name).
+    pub fn from_argv(argv: &[String]) -> ObsSession {
+        let mut metrics_out = None;
+        let mut trace_out = None;
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--metrics-out" => {
+                    metrics_out = argv.get(i + 1).cloned();
+                    i += 2;
+                }
+                "--trace-out" => {
+                    trace_out = argv.get(i + 1).cloned();
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        ObsSession::with_paths(metrics_out, trace_out)
+    }
+
+    /// Builds the session from already-parsed paths.
+    pub fn with_paths(metrics_out: Option<String>, trace_out: Option<String>) -> ObsSession {
+        let reg = if metrics_out.is_some() || trace_out.is_some() {
+            Some(install_session())
+        } else {
+            None
+        };
+        ObsSession {
+            metrics_out,
+            trace_out,
+            reg,
+        }
+    }
+
+    /// The session registry, when a sink was requested.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.reg.as_ref()
+    }
+
+    /// Writes the requested snapshots and uninstalls the session registry.
+    /// A no-op when no sink was requested.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let Some(reg) = &self.reg else { return Ok(()) };
+        let write = |path: &str, body: String| {
+            std::fs::write(path, body)
+                .map_err(|e| std::io::Error::new(e.kind(), format!("{path}: {e}")))
+        };
+        if let Some(path) = &self.metrics_out {
+            write(path, reg.metrics_json())?;
+            eprintln!("metrics snapshot written to {path}");
+        }
+        if let Some(path) = &self.trace_out {
+            write(path, reg.chrome_trace_json())?;
+            eprintln!("chrome trace written to {path}");
+        }
+        clear_session();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flags_no_session() {
+        clear_session();
+        let argv = vec!["prog".to_string(), "--quick".to_string()];
+        let s = ObsSession::from_argv(&argv);
+        assert!(s.registry().is_none());
+        assert!(session().is_none());
+        s.finish().unwrap();
+    }
+
+    #[test]
+    fn flags_install_and_finish_clears() {
+        let dir = std::env::temp_dir();
+        let mpath = dir.join("cudele-obs-out-test-metrics.json");
+        let argv = vec![
+            "prog".to_string(),
+            "--metrics-out".to_string(),
+            mpath.to_string_lossy().into_owned(),
+        ];
+        let s = ObsSession::from_argv(&argv);
+        let reg = s.registry().expect("session installed").clone();
+        assert!(Arc::ptr_eq(&reg, &session().unwrap()));
+        reg.counter("bench.test.counter").add(3);
+        s.finish().unwrap();
+        assert!(session().is_none());
+        let written = std::fs::read_to_string(&mpath).unwrap();
+        cudele_obs::json::validate(&written).expect("valid JSON");
+        assert!(written.contains("\"bench.test.counter\": 3"));
+        let _ = std::fs::remove_file(&mpath);
+    }
+}

@@ -44,7 +44,9 @@ impl Table1 {
 
     /// Whether every cell passed both semantic checks.
     pub fn all_verified(&self) -> bool {
-        self.cells.iter().all(|c| c.visibility_ok && c.durability_ok)
+        self.cells
+            .iter()
+            .all(|c| c.visibility_ok && c.durability_ok)
     }
 }
 
@@ -56,6 +58,9 @@ fn run_cell(c: Consistency, d: Durability, files: u64) -> Cell {
     let composition = policy.composition().to_string();
 
     let mut fs = CudeleFs::new();
+    if let Some(reg) = crate::obs_out::session() {
+        fs.server_mut().attach_obs(&reg);
+    }
     fs.mount(WRITER).unwrap();
     fs.mount(OBSERVER).unwrap();
     fs.mkdir_p("/subtree").unwrap();
@@ -226,7 +231,9 @@ mod tests {
         // persist must cost more than no persist.
         let none = t.cell(Consistency::Invisible, Durability::None).merge_time;
         let local = t.cell(Consistency::Invisible, Durability::Local).merge_time;
-        let global = t.cell(Consistency::Invisible, Durability::Global).merge_time;
+        let global = t
+            .cell(Consistency::Invisible, Durability::Global)
+            .merge_time;
         assert!(local > none);
         assert!(global > local);
     }

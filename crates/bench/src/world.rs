@@ -3,10 +3,12 @@
 //! closed-loop client processes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cudele_client::RpcClient;
 use cudele_journal::InodeId;
 use cudele_mds::{ClientId, MdsError, MetadataServer, OpCost};
+use cudele_obs::{observe_mechanism, Registry};
 use cudele_sim::{FifoServer, Nanos, Process, Step};
 use cudele_workloads::{client_dir, file_name, Interference};
 
@@ -18,23 +20,44 @@ pub struct World {
     pub mds: FifoServer,
     /// Named time series recorded by processes, for time-trace figures.
     pub traces: HashMap<&'static str, Vec<(Nanos, f64)>>,
+    /// The run's metrics/trace registry. Attached to the server (and so to
+    /// the object store, mdlog, and journal writers) at construction; the
+    /// world's processes add per-mechanism spans on top.
+    pub obs: Arc<Registry>,
 }
 
 impl World {
-    pub fn new(server: MetadataServer) -> World {
+    /// Builds the world and attaches a metrics registry to every layer:
+    /// the session registry when one is installed (see [`crate::obs_out`]),
+    /// else a private one.
+    pub fn new(mut server: MetadataServer) -> World {
+        let obs = crate::obs_out::session().unwrap_or_else(|| Arc::new(Registry::new()));
+        server.attach_obs(&obs);
         World {
             server,
             mds: FifoServer::new("mds-cpu"),
             traces: HashMap::new(),
+            obs,
         }
     }
 
     /// Charges one client-visible operation: each RPC queues on the MDS
     /// CPU, then the client waits out its non-CPU latency. Returns the
     /// completion instant.
-    pub fn charge(&mut self, mut t: Nanos, costs: &[OpCost]) -> Nanos {
+    pub fn charge(&mut self, t: Nanos, costs: &[OpCost]) -> Nanos {
+        self.charge_as(0, t, costs)
+    }
+
+    /// [`World::charge`], attributed to trace track `tid` (usually the
+    /// client index): each charged RPC cost emits an `rpcs` mechanism span
+    /// covering its queue wait + service + client-visible latency.
+    pub fn charge_as(&mut self, tid: u32, mut t: Nanos, costs: &[OpCost]) -> Nanos {
         for c in costs {
+            let start = t;
             t = self.mds.serve(t, c.mds_cpu) + c.client_extra;
+            if c.rpcs > 0 {
+                observe_mechanism(&self.obs, "rpcs", tid, start, t - start);
+            }
         }
         t
     }
@@ -86,12 +109,13 @@ impl Process<World> for RpcCreateProcess {
             return Step::Done;
         }
         let name = file_name(self.idx, self.done);
+        world.server.set_now(now);
         let out = self.client.create(&mut world.server, self.dir, &name);
         match out.result {
             Ok(_) => {}
             Err(e) => panic!("client {} create failed: {e}", self.idx),
         }
-        let t = world.charge(now, &out.costs);
+        let t = world.charge_as(self.idx, now, &out.costs);
         self.done += 1;
         if self.record_trace {
             world.trace("victim-lookups", t, self.client.lookups_sent as f64);
@@ -132,8 +156,10 @@ impl DecoupledCreateProcess {
             total,
         );
         let append = world.server.cost_model().client_append;
+        let mut client = dc.expect("decouple");
+        client.attach_obs(&world.obs);
         DecoupledCreateProcess {
-            client: dc.expect("decouple"),
+            client,
             idx,
             total,
             done: 0,
@@ -152,14 +178,24 @@ impl DecoupledCreateProcess {
             .server
             .cost_model()
             .volatile_apply_concurrency_factor(concurrent);
+        world.server.set_now(t);
         let (result, cost, transfer) = self.client.volatile_apply(&mut world.server);
         result.expect("merge");
-        world.mds.serve(t + transfer, cost.mds_cpu.scale(factor)) + cost.client_extra
+        let arrive = t + transfer;
+        let done = world.mds.serve(arrive, cost.mds_cpu.scale(factor)) + cost.client_extra;
+        observe_mechanism(
+            &world.obs,
+            "volatile_apply",
+            self.idx,
+            arrive,
+            done - arrive,
+        );
+        done
     }
 }
 
 impl Process<World> for DecoupledCreateProcess {
-    fn step(&mut self, now: Nanos, _world: &mut World) -> Step {
+    fn step(&mut self, now: Nanos, world: &mut World) -> Step {
         if self.done >= self.total {
             return Step::Done;
         }
@@ -175,6 +211,8 @@ impl Process<World> for DecoupledCreateProcess {
             self.done += 1;
         }
         let t = now + self.append * batch;
+        // One span per batch: the whole window is client-local append CPU.
+        observe_mechanism(&world.obs, "append_client_journal", self.idx, now, t - now);
         if self.done >= self.total {
             // The final batch's time still elapses; model it by one last
             // wake-up that immediately completes.
@@ -196,6 +234,7 @@ impl Process<World> for DecoupledCreateProcess {
 /// interferer keeps going (and the rejects still cost MDS cycles).
 pub struct InterfererProcess {
     client: RpcClient,
+    id: u32,
     dirs: Vec<InodeId>,
     files_per_dir: u64,
     issued: u64,
@@ -215,6 +254,7 @@ impl InterfererProcess {
         let order = spec.visit_order(victim_dirs.len() as u32);
         InterfererProcess {
             client,
+            id,
             dirs: order.into_iter().map(|d| victim_dirs[d as usize]).collect(),
             files_per_dir: spec.files_per_dir,
             issued: 0,
@@ -236,13 +276,14 @@ impl Process<World> for InterfererProcess {
         let i = self.issued % self.files_per_dir;
         let dir = self.dirs[dir_idx];
         let name = format!("intruder.{dir_idx}.{i}");
+        world.server.set_now(now);
         let out = self.client.create(&mut world.server, dir, &name);
         match out.result {
             Ok(_) => {}
             Err(MdsError::Busy { .. }) => self.rejected += 1,
             Err(e) => panic!("interferer create failed: {e}"),
         }
-        let t = world.charge(now, &out.costs);
+        let t = world.charge_as(self.id, now, &out.costs);
         self.issued += 1;
         if self.issued >= self.total() {
             Step::Done
@@ -310,7 +351,9 @@ mod tests {
     use std::sync::Arc;
 
     fn world() -> World {
-        World::new(MetadataServer::new(Arc::new(InMemoryStore::paper_default())))
+        World::new(MetadataServer::new(
+            Arc::new(InMemoryStore::paper_default()),
+        ))
     }
 
     #[test]
@@ -443,7 +486,9 @@ mod tests {
         let t = Nanos::ZERO;
         for p in ps.iter_mut() {
             for i in 0..1000u64 {
-                p.client.create(p.client.root, &file_name(p.idx, i)).unwrap();
+                p.client
+                    .create(p.client.root, &file_name(p.idx, i))
+                    .unwrap();
             }
         }
         let end0 = ps[0].merge_at(w, t, 2);

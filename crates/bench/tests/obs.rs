@@ -1,0 +1,158 @@
+//! Observability acceptance tests: every Figure-4 mechanism is traced, and
+//! same-seed runs produce byte-identical metrics/trace snapshots.
+//!
+//! `mdbench::run` installs a process-global session registry while it runs,
+//! so tests that build `World`s and tests that call `mdbench::run` must not
+//! interleave — they serialize on [`OBS_LOCK`].
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cudele::{execute_merge_at, Composition, ExecEnv};
+use cudele_bench::mdbench::{self, BenchConfig};
+use cudele_bench::{DecoupledCreateProcess, RpcCreateProcess, World};
+use cudele_client::LocalDisk;
+use cudele_mds::{MdLogConfig, MetadataServer};
+use cudele_rados::InMemoryStore;
+use cudele_sim::{CostModel, Engine};
+use cudele_workloads::client_dir;
+
+fn obs_lock() -> &'static Mutex<()> {
+    static OBS_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    OBS_LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// All seven mechanisms of the paper's Figure 4.
+const MECHANISMS: [&str; 7] = [
+    "rpcs",
+    "stream",
+    "append_client_journal",
+    "volatile_apply",
+    "local_persist",
+    "global_persist",
+    "nonvolatile_apply",
+];
+
+#[test]
+fn all_seven_mechanisms_emit_spans_and_counters() {
+    let _guard = obs_lock().lock().unwrap();
+
+    // Journal-on server so RPC creates also exercise Stream.
+    let os = Arc::new(InMemoryStore::paper_default());
+    let mut world = World::new(MetadataServer::with_config(
+        os.clone(),
+        CostModel::calibrated(),
+        Some(MdLogConfig::default()),
+    ));
+    for c in 0..3 {
+        world.server.setup_dir(&client_dir(c)).unwrap();
+    }
+    let rpc_dir = world.server.store().resolve(&client_dir(0)).unwrap();
+
+    // rpcs + stream: synchronous creates against the journaling MDS.
+    let mut eng = Engine::new(world);
+    let p = RpcCreateProcess::new(eng.world_mut(), 0, rpc_dir, 64);
+    eng.add_process(Box::new(p));
+    let (world, _) = eng.run();
+
+    // append_client_journal: decoupled creates run through the engine.
+    let mut eng = Engine::new(world);
+    let p = DecoupledCreateProcess::new(eng.world_mut(), 1, &client_dir(1), 64);
+    eng.add_process(Box::new(p));
+    let (mut world, report) = eng.run();
+
+    // volatile_apply: a fresh decoupled client ships its journal to the MDS.
+    let mut merger = DecoupledCreateProcess::new(&mut world, 10, &client_dir(1), 32);
+    for i in 0..32 {
+        merger
+            .client
+            .create(merger.client.root, &format!("m{i}"))
+            .unwrap();
+    }
+    merger.merge_at(&mut world, report.slowest(), 1);
+
+    // local_persist + global_persist + nonvolatile_apply: merge-time
+    // mechanisms via the traced executor, on the shared world registry.
+    let mut persister = DecoupledCreateProcess::new(&mut world, 11, &client_dir(2), 32);
+    for i in 0..32 {
+        persister
+            .client
+            .create(persister.client.root, &format!("p{i}"))
+            .unwrap();
+    }
+    let comp: Composition = "local_persist+global_persist+nonvolatile_apply"
+        .parse()
+        .unwrap();
+    let mut disk = LocalDisk::new();
+    execute_merge_at(
+        &comp,
+        &mut persister.client,
+        &mut ExecEnv {
+            server: &mut world.server,
+            os: os.as_ref(),
+            disk: &mut disk,
+        },
+        Some(&world.obs),
+        11,
+        report.slowest(),
+    )
+    .unwrap();
+
+    for name in MECHANISMS {
+        let runs = world
+            .obs
+            .counter_value(&format!("core.mechanism.{name}.runs"))
+            .unwrap_or(0);
+        assert!(runs >= 1, "{name}: expected >= 1 run, got {runs}");
+        assert!(world.obs.has_span(name), "{name}: expected a span");
+    }
+    assert_eq!(world.obs.spans_dropped(), 0);
+    cudele_obs::json::validate(&world.obs.metrics_json()).unwrap();
+    cudele_obs::json::validate(&world.obs.chrome_trace_json()).unwrap();
+}
+
+fn snapshot_paths(label: &str) -> (String, String) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    (
+        dir.join(format!("cudele_obs_{pid}_{label}_metrics.json"))
+            .to_string_lossy()
+            .into_owned(),
+        dir.join(format!("cudele_obs_{pid}_{label}_trace.json"))
+            .to_string_lossy()
+            .into_owned(),
+    )
+}
+
+fn run_with_snapshots(policy: &str, label: &str) -> (String, Vec<u8>, Vec<u8>) {
+    let (metrics, trace) = snapshot_paths(label);
+    let cfg = BenchConfig {
+        clients: 2,
+        files: 500,
+        policy: policy.to_string(),
+        composition: None,
+        metrics_out: Some(metrics.clone()),
+        trace_out: Some(trace.clone()),
+    };
+    let out = mdbench::run(&cfg).unwrap();
+    let metrics_bytes = std::fs::read(&metrics).unwrap();
+    let trace_bytes = std::fs::read(&trace).unwrap();
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
+    (out.rendered, metrics_bytes, trace_bytes)
+}
+
+#[test]
+fn same_config_runs_are_byte_identical() {
+    let _guard = obs_lock().lock().unwrap();
+
+    for policy in ["posix", "batchfs"] {
+        let (rendered_a, metrics_a, trace_a) = run_with_snapshots(policy, "a");
+        let (rendered_b, metrics_b, trace_b) = run_with_snapshots(policy, "b");
+        assert_eq!(rendered_a, rendered_b, "{policy}: rendered output differs");
+        assert_eq!(metrics_a, metrics_b, "{policy}: metrics snapshot differs");
+        assert_eq!(trace_a, trace_b, "{policy}: trace snapshot differs");
+        cudele_obs::json::validate(std::str::from_utf8(&metrics_a).unwrap()).unwrap();
+        cudele_obs::json::validate(std::str::from_utf8(&trace_a).unwrap()).unwrap();
+        assert!(!metrics_a.is_empty() && !trace_a.is_empty());
+    }
+}

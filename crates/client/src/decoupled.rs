@@ -13,10 +13,26 @@ use cudele_journal::{
     JournalWriter,
 };
 use cudele_mds::{ClientId, MdsError, MetadataServer, MetadataStore, OpCost, Rpc};
+use cudele_obs::{Counter, Registry};
 use cudele_rados::ObjectStore;
 use cudele_sim::{transfer_time, CostModel, Nanos};
 
 use crate::local_disk::{DiskError, LocalDisk};
+
+/// Metric handles for a decoupled client, published under
+/// `client.journal.*` (plus `journal.writer.*` for Global Persist I/O).
+#[derive(Debug, Clone)]
+struct ClientObs {
+    /// `client.journal.appends` — events appended via Append Client
+    /// Journal (create/mkdir/unlink/rename on the local journal).
+    appends: Counter,
+    /// `client.journal.local_persists` — Local Persist invocations.
+    local_persists: Counter,
+    /// `client.journal.global_persists` — Global Persist invocations.
+    global_persists: Counter,
+    /// Handles passed to the Global Persist [`JournalWriter`].
+    writer: cudele_journal::JournalObs,
+}
 
 /// A client operating on a decoupled subtree.
 #[derive(Debug)]
@@ -33,6 +49,7 @@ pub struct DecoupledClient {
     journal: Vec<JournalEvent>,
     /// Local mirror of the subtree (gives the client read-your-writes).
     local_ns: MetadataStore,
+    obs: Option<ClientObs>,
 }
 
 impl DecoupledClient {
@@ -60,10 +77,7 @@ impl DecoupledClient {
         };
         let Rpc { result, cost } = server.alloc_inodes(client, allocated_inodes);
         match result {
-            Ok(range) => (
-                Ok(DecoupledClient::new(client, root, range)),
-                cost,
-            ),
+            Ok(range) => (Ok(DecoupledClient::new(client, root, range)), cost),
             Err(e) => (Err(e), cost),
         }
     }
@@ -78,6 +92,23 @@ impl DecoupledClient {
             used: 0,
             journal: Vec::new(),
             local_ns: MetadataStore::new(),
+            obs: None,
+        }
+    }
+
+    /// Points the client's metric handles at `reg` (`client.journal.*`).
+    pub fn attach_obs(&mut self, reg: &Registry) {
+        self.obs = Some(ClientObs {
+            appends: reg.counter("client.journal.appends"),
+            local_persists: reg.counter("client.journal.local_persists"),
+            global_persists: reg.counter("client.journal.global_persists"),
+            writer: cudele_journal::JournalObs::attach(reg),
+        });
+    }
+
+    fn obs_append(&self) {
+        if let Some(o) = &self.obs {
+            o.appends.inc();
         }
     }
 
@@ -103,6 +134,7 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
+        self.obs_append();
         Ok(ino)
     }
 
@@ -117,6 +149,7 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
+        self.obs_append();
         Ok(ino)
     }
 
@@ -128,10 +161,17 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
+        self.obs_append();
     }
 
     /// Appends a rename.
-    pub fn rename(&mut self, src_parent: InodeId, src_name: &str, dst_parent: InodeId, dst_name: &str) {
+    pub fn rename(
+        &mut self,
+        src_parent: InodeId,
+        src_name: &str,
+        dst_parent: InodeId,
+        dst_name: &str,
+    ) {
         let event = JournalEvent::Rename {
             src_parent,
             src_name: src_name.to_string(),
@@ -140,6 +180,7 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
+        self.obs_append();
     }
 
     /// Events appended so far.
@@ -184,13 +225,12 @@ impl DecoupledClient {
     /// Local Persist: serialize the journal to the client's local disk.
     /// Returns the time charged (local disk bandwidth over the journal's
     /// calibrated size).
-    pub fn local_persist(
-        &self,
-        disk: &mut LocalDisk,
-        cm: &CostModel,
-    ) -> Result<Nanos, DiskError> {
+    pub fn local_persist(&self, disk: &mut LocalDisk, cm: &CostModel) -> Result<Nanos, DiskError> {
         let blob = encode_journal(&self.journal);
         disk.write(&format!("client{}-journal.bin", self.id.0), &blob)?;
+        if let Some(o) = &self.obs {
+            o.local_persists.inc();
+        }
         Ok(cm.local_persist_time(self.event_count()))
     }
 
@@ -206,13 +246,20 @@ impl DecoupledClient {
         // Replace any previous persist of this journal.
         cudele_journal::delete_journal(os, id)?;
         let mut w = JournalWriter::open(os, id)?;
+        if let Some(o) = &self.obs {
+            o.global_persists.inc();
+            w.set_obs(o.writer.clone());
+        }
         w.append(&self.journal)?;
         Ok(cm.global_persist_time(self.event_count()))
     }
 
     /// The object-store journal id this client persists to.
     pub fn journal_id(&self) -> JournalId {
-        JournalId::new(cudele_rados::PoolId::METADATA, 0x1000_0000 + self.id.0 as u64)
+        JournalId::new(
+            cudele_rados::PoolId::METADATA,
+            0x1000_0000 + self.id.0 as u64,
+        )
     }
 
     /// Recovers a client journal from its local disk after a node restart
@@ -306,7 +353,7 @@ mod tests {
         assert_eq!(applied.unwrap(), 11);
         assert!(cost.mds_cpu > Nanos::ZERO);
         assert!(transfer > Nanos::ZERO);
-        assert_eq!(srv.store().resolve("/batch/run0/out9").unwrap().0 > 0, true);
+        assert!(srv.store().resolve("/batch/run0/out9").unwrap().0 > 0);
         // Merged namespace matches the client's local view of the subtree.
         assert_eq!(srv.store().readdir(sub).unwrap().len(), 10);
     }
@@ -329,9 +376,13 @@ mod tests {
         // Node crashes and recovers: journal reconstructed from disk.
         disk.crash();
         disk.recover();
-        let recovered =
-            DecoupledClient::recover_from_local_disk(ClientId(1), c.root, InodeRange::new(c.range.start, 50), &disk)
-                .unwrap();
+        let recovered = DecoupledClient::recover_from_local_disk(
+            ClientId(1),
+            c.root,
+            InodeRange::new(c.range.start, 50),
+            &disk,
+        )
+        .unwrap();
         assert_eq!(recovered.events(), c.events());
         assert_eq!(recovered.inodes_remaining(), c.inodes_remaining());
 
@@ -373,8 +424,39 @@ mod tests {
     }
 
     #[test]
+    fn attached_registry_counts_appends_and_persists() {
+        let reg = Registry::new();
+        let mut c = DecoupledClient::new(
+            ClientId(7),
+            InodeId::ROOT,
+            InodeRange::new(InodeId(0x1000), 10),
+        );
+        c.attach_obs(&reg);
+        let d = c.mkdir(InodeId::ROOT, "d").unwrap();
+        c.create(d, "a").unwrap();
+        c.rename(d, "a", InodeId::ROOT, "b");
+        c.unlink(InodeId::ROOT, "b");
+        assert_eq!(reg.counter_value("client.journal.appends"), Some(4));
+
+        let os = InMemoryStore::paper_default();
+        let cm = CostModel::calibrated();
+        c.global_persist(&os, &cm).unwrap();
+        assert_eq!(reg.counter_value("client.journal.global_persists"), Some(1));
+        assert_eq!(reg.counter_value("journal.writer.appends"), Some(1));
+        assert_eq!(reg.counter_value("journal.writer.events"), Some(4));
+
+        let mut disk = LocalDisk::new();
+        c.local_persist(&mut disk, &cm).unwrap();
+        assert_eq!(reg.counter_value("client.journal.local_persists"), Some(1));
+    }
+
+    #[test]
     fn journal_bytes_use_calibrated_size() {
-        let mut c = DecoupledClient::new(ClientId(1), InodeId::ROOT, InodeRange::new(InodeId(0x1000), 10));
+        let mut c = DecoupledClient::new(
+            ClientId(1),
+            InodeId::ROOT,
+            InodeRange::new(InodeId(0x1000), 10),
+        );
         c.create(InodeId::ROOT, "f").unwrap();
         let cm = CostModel::calibrated();
         assert_eq!(c.journal_bytes(&cm), cm.journal_bytes_per_event);
@@ -382,7 +464,11 @@ mod tests {
 
     #[test]
     fn unlink_and_rename_tracked_locally() {
-        let mut c = DecoupledClient::new(ClientId(1), InodeId::ROOT, InodeRange::new(InodeId(0x1000), 10));
+        let mut c = DecoupledClient::new(
+            ClientId(1),
+            InodeId::ROOT,
+            InodeRange::new(InodeId(0x1000), 10),
+        );
         let d = c.mkdir(InodeId::ROOT, "d").unwrap();
         c.create(d, "a").unwrap();
         c.rename(d, "a", InodeId::ROOT, "b");

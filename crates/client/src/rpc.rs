@@ -174,11 +174,7 @@ impl RpcClient {
 
     /// Polls a directory's entry count with `readdir` (the "check progress
     /// with ls" pattern of the read-while-writing use case).
-    pub fn poll_progress(
-        &mut self,
-        server: &mut MetadataServer,
-        dir: InodeId,
-    ) -> OpOutcome<usize> {
+    pub fn poll_progress(&mut self, server: &mut MetadataServer, dir: InodeId) -> OpOutcome<usize> {
         let rpc = server.readdir(self.id, dir);
         OpOutcome {
             result: rpc.result.map(|v| v.len()),
@@ -231,7 +227,10 @@ mod tests {
         // Subsequent creates pay the lookup until the server re-grants.
         let before = victim.lookups_sent;
         for i in 2..10 {
-            victim.create(&mut srv, dir, &format!("v{i}")).result.unwrap();
+            victim
+                .create(&mut srv, dir, &format!("v{i}"))
+                .result
+                .unwrap();
         }
         assert!(victim.lookups_sent > before);
     }
@@ -246,12 +245,18 @@ mod tests {
         interferer.create(&mut srv, dir, "i0").result.unwrap();
         // Victim creates alone until the server re-grants (default 100).
         for i in 0..150 {
-            victim.create(&mut srv, dir, &format!("w{i}")).result.unwrap();
+            victim
+                .create(&mut srv, dir, &format!("w{i}"))
+                .result
+                .unwrap();
         }
         assert!(victim.believes_cached(dir));
         let lookups = victim.lookups_sent;
         victim.create(&mut srv, dir, "final").result.unwrap();
-        assert_eq!(victim.lookups_sent, lookups, "no more lookups after regrant");
+        assert_eq!(
+            victim.lookups_sent, lookups,
+            "no more lookups after regrant"
+        );
     }
 
     #[test]
@@ -285,7 +290,9 @@ mod tests {
         let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
         let dir = srv.setup_dir("/job").unwrap();
         for i in 0..7 {
-            c.create(&mut srv, dir, &format!("part-{i}")).result.unwrap();
+            c.create(&mut srv, dir, &format!("part-{i}"))
+                .result
+                .unwrap();
         }
         let (mut enduser, _) = RpcClient::mount(&mut srv, ClientId(2));
         assert_eq!(enduser.poll_progress(&mut srv, dir).result.unwrap(), 7);

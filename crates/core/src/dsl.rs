@@ -61,7 +61,10 @@ impl fmt::Display for DslWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DslWarning::RedundantOperationModes => {
-                write!(f, "append_client_journal and rpcs both route the same updates")
+                write!(
+                    f,
+                    "append_client_journal and rpcs both route the same updates"
+                )
             }
             DslWarning::DominatedDurability => {
                 write!(f, "stream already provides global durability; local_persist adds cost without strengthening the guarantee")
@@ -248,14 +251,14 @@ mod tests {
         let c: Composition = "rpcs+stream".parse().unwrap();
         assert!(c.validate().is_empty());
         let c: Composition = "local_persist+local_persist".parse().unwrap();
-        assert!(c
-            .validate()
-            .contains(&DslWarning::Duplicate(LocalPersist)));
+        assert!(c.validate().contains(&DslWarning::Duplicate(LocalPersist)));
     }
 
     #[test]
     fn mechanisms_iterates_in_order() {
-        let c: Composition = "append_client_journal+global_persist||volatile_apply".parse().unwrap();
+        let c: Composition = "append_client_journal+global_persist||volatile_apply"
+            .parse()
+            .unwrap();
         let v: Vec<Mechanism> = c.mechanisms().collect();
         assert_eq!(v, vec![AppendClientJournal, GlobalPersist, VolatileApply]);
     }

@@ -9,6 +9,7 @@
 use cudele_client::{DecoupledClient, DiskError, LocalDisk};
 use cudele_journal::{JournalIoError, JournalTool};
 use cudele_mds::{MdsError, MetadataServer, ObjectStoreSink, PersistError};
+use cudele_obs::{observe_mechanism, Registry};
 use cudele_rados::{ObjectStore, PoolId};
 use cudele_sim::Nanos;
 
@@ -137,7 +138,8 @@ fn run_mechanism(
                 cudele_journal::ApplyError::Io(io) => ExecError::Journal(io),
                 cudele_journal::ApplyError::Sink(p) => ExecError::Persist(p),
             })?;
-            elapsed += cm.object_op_latency * (sink.counters.object_reads + sink.counters.object_writes);
+            elapsed +=
+                cm.object_op_latency * (sink.counters.object_reads + sink.counters.object_writes);
             let _ = applied;
             // "...and restarts the metadata servers. When the metadata
             // servers re-initialize, they notice new journal updates in the
@@ -160,13 +162,33 @@ pub fn execute_merge(
     client: &mut DecoupledClient,
     env: &mut ExecEnv<'_>,
 ) -> Result<MergeReport, ExecError> {
+    execute_merge_at(comp, client, env, None, 0, Nanos::ZERO)
+}
+
+/// [`execute_merge`] with tracing: when `reg` is given, every executed
+/// mechanism emits a span (and `core.mechanism.<name>.runs`/`.ns` metrics)
+/// anchored at virtual time `at`, on trace track `tid`. Parallel stage
+/// members share a start instant; serial stages are laid out end to end by
+/// each stage's maximum, matching the time accounting.
+pub fn execute_merge_at(
+    comp: &Composition,
+    client: &mut DecoupledClient,
+    env: &mut ExecEnv<'_>,
+    reg: Option<&Registry>,
+    tid: u32,
+    at: Nanos,
+) -> Result<MergeReport, ExecError> {
     let events = client.event_count();
     let mut per_mechanism = Vec::new();
     let mut elapsed = Nanos::ZERO;
     for stage in comp.stages() {
+        let stage_start = at + elapsed;
         let mut stage_max = Nanos::ZERO;
         for &m in stage {
             let t = run_mechanism(m, client, env)?;
+            if let Some(reg) = reg {
+                observe_mechanism(reg, m.name(), tid, stage_start, t);
+            }
             per_mechanism.push((m, t));
             stage_max = stage_max.max(t);
         }
@@ -228,7 +250,12 @@ mod tests {
     use cudele_rados::InMemoryStore;
     use std::sync::Arc;
 
-    fn setup() -> (MetadataServer, Arc<InMemoryStore>, LocalDisk, DecoupledClient) {
+    fn setup() -> (
+        MetadataServer,
+        Arc<InMemoryStore>,
+        LocalDisk,
+        DecoupledClient,
+    ) {
         let os = Arc::new(InMemoryStore::paper_default());
         let mut server = MetadataServer::new(os.clone());
         server.open_session(ClientId(1));
@@ -291,12 +318,7 @@ mod tests {
             },
         )
         .unwrap();
-        let max = t_par
-            .per_mechanism
-            .iter()
-            .map(|&(_, t)| t)
-            .max()
-            .unwrap();
+        let max = t_par.per_mechanism.iter().map(|&(_, t)| t).max().unwrap();
         assert_eq!(t_par.elapsed, max);
         assert!(t_par.elapsed < t_serial.elapsed);
     }
@@ -336,6 +358,59 @@ mod tests {
         assert_eq!(server_a.store().shape(), server_b.store().shape());
         // NVA clearly inferior in time.
         assert!(report_a.elapsed > report_b.elapsed.scale(10.0));
+    }
+
+    #[test]
+    fn traced_merge_emits_span_per_mechanism() {
+        let (mut server, os, mut disk, mut client) = setup();
+        let reg = Registry::new();
+        // All four merge-time mechanisms across three stages: the NVA stage
+        // starts after local_persist; the parallel pair shares a start.
+        let comp: Composition = "local_persist+global_persist||volatile_apply+nonvolatile_apply"
+            .parse()
+            .unwrap();
+        let at = Nanos::from_millis(5);
+        let report = execute_merge_at(
+            &comp,
+            &mut client,
+            &mut ExecEnv {
+                server: &mut server,
+                os: os.as_ref(),
+                disk: &mut disk,
+            },
+            Some(&reg),
+            3,
+            at,
+        )
+        .unwrap();
+        for name in [
+            "local_persist",
+            "global_persist",
+            "volatile_apply",
+            "nonvolatile_apply",
+        ] {
+            assert_eq!(
+                reg.counter_value(&format!("core.mechanism.{name}.runs")),
+                Some(1),
+                "{name}"
+            );
+            assert!(reg.has_span(name), "{name}");
+        }
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 4);
+        let lp = spans.iter().find(|s| s.name == "local_persist").unwrap();
+        let gp = spans.iter().find(|s| s.name == "global_persist").unwrap();
+        let va = spans.iter().find(|s| s.name == "volatile_apply").unwrap();
+        let nva = spans
+            .iter()
+            .find(|s| s.name == "nonvolatile_apply")
+            .unwrap();
+        assert_eq!(lp.start, at);
+        assert_eq!(gp.start, at + lp.dur);
+        assert_eq!(va.start, gp.start); // parallel stage members share a start
+        assert_eq!(nva.start, gp.start + gp.dur.max(va.dur));
+        assert_eq!(nva.start + nva.dur, at + report.elapsed);
+        assert!(spans.iter().all(|s| s.tid == 3 && s.cat == "mechanism"));
     }
 
     #[test]

@@ -153,11 +153,11 @@ impl CudeleFs {
         self.monitor.set_policy(&norm, policy.clone());
         // The monitor persists every map change (Ceph MONs quorum-commit
         // theirs; ours writes straight to the object store).
-        self.monitor
-            .persist(self.os.as_ref())
-            .map_err(|e| FsError::Mds(MdsError::NoEnt {
+        self.monitor.persist(self.os.as_ref()).map_err(|e| {
+            FsError::Mds(MdsError::NoEnt {
                 what: format!("monmap persist ({e})"),
-            }))?;
+            })
+        })?;
         let block = policy.interfere == InterferePolicy::Block
             && policy.operation_mode() == OperationMode::Decoupled;
         let rpc = self
@@ -205,7 +205,10 @@ impl CudeleFs {
             }
             Route::Rpc => {
                 let parent = self.server.store().resolve(dir_path)?;
-                let mount = self.mounts.get_mut(&client).ok_or(FsError::NotMounted(client))?;
+                let mount = self
+                    .mounts
+                    .get_mut(&client)
+                    .ok_or(FsError::NotMounted(client))?;
                 let out = mount.rpc.create(&mut self.server, parent, name);
                 out.result?;
                 Ok(())
@@ -231,7 +234,10 @@ impl CudeleFs {
             }
             Route::Rpc => {
                 let parent = self.server.store().resolve(dir_path)?;
-                let mount = self.mounts.get_mut(&client).ok_or(FsError::NotMounted(client))?;
+                let mount = self
+                    .mounts
+                    .get_mut(&client)
+                    .ok_or(FsError::NotMounted(client))?;
                 let out = mount.rpc.mkdir(&mut self.server, parent, name);
                 out.result?;
                 Ok(())

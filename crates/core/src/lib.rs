@@ -48,7 +48,10 @@ pub mod policies_file;
 pub mod policy;
 
 pub use dsl::{Composition, DslError, DslWarning};
-pub use executor::{achieved_durability, execute_merge, visible_in_global, ExecEnv, ExecError, MergeReport};
+pub use executor::{
+    achieved_durability, execute_merge, execute_merge_at, visible_in_global, ExecEnv, ExecError,
+    MergeReport,
+};
 pub use fs::{CudeleFs, FsError, FsResult};
 pub use mechanism::Mechanism;
 pub use monitor::{normalize_path, Monitor, MonitorRecoveryError};

@@ -123,9 +123,15 @@ mod tests {
 
     #[test]
     fn parsing_is_forgiving() {
-        assert_eq!("Append Client Journal".parse::<Mechanism>().unwrap(), Mechanism::AppendClientJournal);
+        assert_eq!(
+            "Append Client Journal".parse::<Mechanism>().unwrap(),
+            Mechanism::AppendClientJournal
+        );
         assert_eq!("  RPCs ".parse::<Mechanism>().unwrap(), Mechanism::Rpcs);
-        assert_eq!("global-persist".parse::<Mechanism>().unwrap(), Mechanism::GlobalPersist);
+        assert_eq!(
+            "global-persist".parse::<Mechanism>().unwrap(),
+            Mechanism::GlobalPersist
+        );
         assert!("teleport".parse::<Mechanism>().is_err());
     }
 

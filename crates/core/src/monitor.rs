@@ -147,9 +147,9 @@ impl Monitor {
         for (path, value) in os.omap_list(&obj).map_err(MonitorRecoveryError::Rados)? {
             let text = std::str::from_utf8(&value)
                 .map_err(|_| MonitorRecoveryError::Corrupt(format!("non-utf8 entry {path}")))?;
-            let (v, file) = text
-                .split_once('\n')
-                .ok_or_else(|| MonitorRecoveryError::Corrupt(format!("unversioned entry {path}")))?;
+            let (v, file) = text.split_once('\n').ok_or_else(|| {
+                MonitorRecoveryError::Corrupt(format!("unversioned entry {path}"))
+            })?;
             let v: u64 = v
                 .parse()
                 .map_err(|_| MonitorRecoveryError::Corrupt(format!("bad version for {path}")))?;
@@ -199,6 +199,47 @@ mod tests {
         assert_eq!(normalize_path("/"), "/");
         assert_eq!(normalize_path("a/b"), "/a/b");
         assert_eq!(normalize_path("/a//b/"), "/a/b");
+    }
+
+    #[test]
+    fn normalization_edge_cases() {
+        // Repeated and trailing separators collapse entirely.
+        assert_eq!(normalize_path("//a//b/"), "/a/b");
+        assert_eq!(normalize_path("///"), "/");
+        assert_eq!(normalize_path("a"), "/a");
+        assert_eq!(normalize_path("/a/"), "/a");
+        // Idempotent on already-normal paths.
+        assert_eq!(normalize_path("/a/b"), "/a/b");
+        assert_eq!(normalize_path(&normalize_path("//x///y//")), "/x/y");
+    }
+
+    #[test]
+    fn resolution_normalizes_both_sides() {
+        let mut m = Monitor::new();
+        // Stored under a messy spelling, looked up under another.
+        m.set_policy("//batch///job1/", Policy::deltafs());
+        let (root, p) = m.resolve("/batch/job1//output/").unwrap();
+        assert_eq!(root, "/batch/job1");
+        assert_eq!(p.consistency, Consistency::Invisible);
+        // The subtree root itself matches, however spelled.
+        assert!(m.resolve("batch/job1").is_some());
+        // A sibling does not.
+        assert!(m.resolve("/batch").is_none());
+    }
+
+    #[test]
+    fn root_policy_matches_everything_but_specific_wins() {
+        let mut m = Monitor::new();
+        m.set_policy("/", Policy::posix());
+        m.set_policy("/a/b", Policy::batchfs());
+        // Exact root and arbitrary depth fall back to "/".
+        assert_eq!(m.resolve("/").unwrap().0, "/");
+        assert_eq!(m.resolve("/x/y/z").unwrap().0, "/");
+        // The deeper entry shadows the root for its subtree.
+        assert_eq!(m.resolve("/a/b").unwrap().0, "/a/b");
+        assert_eq!(m.resolve("/a/b/c").unwrap().0, "/a/b");
+        // A path sharing only a string prefix with "/a/b" uses the root.
+        assert_eq!(m.resolve("/a/bc").unwrap().0, "/");
     }
 
     #[test]

@@ -126,7 +126,9 @@ interfere: block
 
     #[test]
     fn composition_override() {
-        let p = parse_policies("composition: append_client_journal+global_persist||volatile_apply\n").unwrap();
+        let p =
+            parse_policies("composition: append_client_journal+global_persist||volatile_apply\n")
+                .unwrap();
         assert_eq!(
             p.composition().to_string(),
             "append_client_journal+global_persist||volatile_apply"
@@ -140,7 +142,13 @@ interfere: block
         let err = parse_policies("\n\nflavor: vanilla").unwrap_err();
         assert!(matches!(err, PolicyParseError::BadLine { line: 3, .. }));
         let err = parse_policies("allocated_inodes: many").unwrap_err();
-        assert!(matches!(err, PolicyParseError::BadValue { key: "allocated_inodes", .. }));
+        assert!(matches!(
+            err,
+            PolicyParseError::BadValue {
+                key: "allocated_inodes",
+                ..
+            }
+        ));
         let err = parse_policies("composition: rpcs+warp").unwrap_err();
         assert!(matches!(err, PolicyParseError::BadComposition(_)));
     }
@@ -156,8 +164,11 @@ interfere: block
                 let mut p = Policy::hdfs();
                 p.allocated_inodes = 12345;
                 p.interfere = InterferePolicy::Block;
-                p.custom_composition =
-                    Some("append_client_journal+local_persist||volatile_apply".parse().unwrap());
+                p.custom_composition = Some(
+                    "append_client_journal+local_persist||volatile_apply"
+                        .parse()
+                        .unwrap(),
+                );
                 p
             },
         ] {

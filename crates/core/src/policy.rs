@@ -23,7 +23,11 @@ pub enum Consistency {
 
 impl Consistency {
     /// The three consistency levels, weakest first.
-    pub const ALL: [Consistency; 3] = [Consistency::Invisible, Consistency::Weak, Consistency::Strong];
+    pub const ALL: [Consistency; 3] = [
+        Consistency::Invisible,
+        Consistency::Weak,
+        Consistency::Strong,
+    ];
 
     /// The policies-file spelling.
     pub fn name(self) -> &'static str {
@@ -326,16 +330,31 @@ mod tests {
     #[test]
     fn table1_matches_paper() {
         let cell = |c, d| table1_cell(c, d).to_string();
-        assert_eq!(cell(Consistency::Invisible, Durability::None), "append_client_journal");
-        assert_eq!(cell(Consistency::Weak, Durability::None), "append_client_journal+volatile_apply");
+        assert_eq!(
+            cell(Consistency::Invisible, Durability::None),
+            "append_client_journal"
+        );
+        assert_eq!(
+            cell(Consistency::Weak, Durability::None),
+            "append_client_journal+volatile_apply"
+        );
         assert_eq!(cell(Consistency::Strong, Durability::None), "rpcs");
-        assert_eq!(cell(Consistency::Invisible, Durability::Local), "append_client_journal+local_persist");
+        assert_eq!(
+            cell(Consistency::Invisible, Durability::Local),
+            "append_client_journal+local_persist"
+        );
         assert_eq!(
             cell(Consistency::Weak, Durability::Local),
             "append_client_journal+local_persist+volatile_apply"
         );
-        assert_eq!(cell(Consistency::Strong, Durability::Local), "rpcs+local_persist");
-        assert_eq!(cell(Consistency::Invisible, Durability::Global), "append_client_journal+global_persist");
+        assert_eq!(
+            cell(Consistency::Strong, Durability::Local),
+            "rpcs+local_persist"
+        );
+        assert_eq!(
+            cell(Consistency::Invisible, Durability::Global),
+            "append_client_journal+global_persist"
+        );
         assert_eq!(
             cell(Consistency::Weak, Durability::Global),
             "append_client_journal+global_persist+volatile_apply"
@@ -348,7 +367,10 @@ mod tests {
         for c in Consistency::ALL {
             for d in Durability::ALL {
                 let comp = table1_cell(c, d);
-                assert!(comp.validate().is_empty(), "cell ({c},{d}) = {comp} has warnings");
+                assert!(
+                    comp.validate().is_empty(),
+                    "cell ({c},{d}) = {comp} has warnings"
+                );
             }
         }
     }
@@ -409,9 +431,15 @@ mod tests {
 
     #[test]
     fn enum_parsing() {
-        assert_eq!("Strong".parse::<Consistency>().unwrap(), Consistency::Strong);
+        assert_eq!(
+            "Strong".parse::<Consistency>().unwrap(),
+            Consistency::Strong
+        );
         assert_eq!("LOCAL".parse::<Durability>().unwrap(), Durability::Local);
-        assert_eq!("block".parse::<InterferePolicy>().unwrap(), InterferePolicy::Block);
+        assert_eq!(
+            "block".parse::<InterferePolicy>().unwrap(),
+            InterferePolicy::Block
+        );
         assert!("sideways".parse::<Consistency>().is_err());
         assert!("sorta".parse::<Durability>().is_err());
         assert!("maybe".parse::<InterferePolicy>().is_err());

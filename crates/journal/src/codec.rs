@@ -300,7 +300,7 @@ pub fn decode_frames(mut rest: &[u8]) -> Result<Vec<JournalEvent>, CodecError> {
         if rest.len() < 8 {
             return Err(CodecError::UnexpectedEof);
         }
-        let len = (&rest[0..4]).to_vec();
+        let len = rest[0..4].to_vec();
         let len = u32::from_le_bytes([len[0], len[1], len[2], len[3]]) as usize;
         let crc_stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         if rest.len() < 8 + len {

@@ -156,7 +156,10 @@ mod tests {
     fn sequence_numbers_increase() {
         let segs = segment_events((0..10).map(create), 4);
         assert_eq!(segs.len(), 3); // 4 + 4 + 2
-        assert_eq!(segs.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            segs.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(segs[2].update_count(), 2);
         // Total updates preserved.
         let total: u64 = segs.iter().map(|s| s.update_count()).sum();

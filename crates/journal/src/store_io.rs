@@ -7,6 +7,7 @@
 //! where multiple journal updates can reside on the same object."
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cudele_obs::{Counter, Registry};
 use cudele_rados::{ObjectId, ObjectStore, PoolId, RadosError};
 
 use crate::codec::{self, CodecError};
@@ -107,6 +108,35 @@ fn decode_header(data: &[u8]) -> Result<Header, JournalIoError> {
     })
 }
 
+/// Observability handles for journal writes. Attach one to a
+/// [`JournalWriter`] (writers are transient, the handles are cheap clones)
+/// to count append batches, events, bytes, and stripe rollovers under
+/// `journal.writer.*`.
+#[derive(Debug, Clone)]
+pub struct JournalObs {
+    /// `journal.writer.appends` — append batches issued.
+    pub appends: Counter,
+    /// `journal.writer.events` — events written.
+    pub events: Counter,
+    /// `journal.writer.bytes` — encoded journal bytes written.
+    pub bytes: Counter,
+    /// `journal.writer.stripe_rollovers` — times a stripe filled and a new
+    /// stripe object was opened.
+    pub stripe_rollovers: Counter,
+}
+
+impl JournalObs {
+    /// Creates (or re-binds) the `journal.writer.*` counters in `reg`.
+    pub fn attach(reg: &Registry) -> JournalObs {
+        JournalObs {
+            appends: reg.counter("journal.writer.appends"),
+            events: reg.counter("journal.writer.events"),
+            bytes: reg.counter("journal.writer.bytes"),
+            stripe_rollovers: reg.counter("journal.writer.stripe_rollovers"),
+        }
+    }
+}
+
 /// Appends journal events to striped objects.
 pub struct JournalWriter<'a, S: ObjectStore + ?Sized> {
     store: &'a S,
@@ -114,6 +144,7 @@ pub struct JournalWriter<'a, S: ObjectStore + ?Sized> {
     stripe_bytes: usize,
     header: Header,
     current_stripe_len: usize,
+    obs: Option<JournalObs>,
 }
 
 impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
@@ -153,22 +184,28 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
             stripe_bytes,
             header,
             current_stripe_len,
+            obs: None,
         })
+    }
+
+    /// Attaches observability counters to this writer.
+    pub fn set_obs(&mut self, obs: JournalObs) {
+        self.obs = Some(obs);
     }
 
     /// Appends a batch of events, rolling stripes as needed, and persists
     /// the header. Returns the number of bytes written (data only).
     pub fn append(&mut self, events: &[JournalEvent]) -> Result<u64, JournalIoError> {
         let mut written = 0u64;
+        let mut rollovers = 0u64;
         let mut buf = BytesMut::with_capacity(256);
         for e in events {
             buf.clear();
             codec::encode_event(&mut buf, e);
-            if self.header.stripes == 0
-                || self.current_stripe_len + buf.len() > self.stripe_bytes
-            {
+            if self.header.stripes == 0 || self.current_stripe_len + buf.len() > self.stripe_bytes {
                 self.header.stripes += 1;
                 self.current_stripe_len = 0;
+                rollovers += 1;
             }
             let stripe = self.id.stripe_object(self.header.stripes - 1);
             self.store.append(&stripe, &buf)?;
@@ -177,6 +214,12 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
         }
         self.store
             .write_full(&self.id.header_object(), &encode_header(self.header))?;
+        if let Some(obs) = &self.obs {
+            obs.appends.inc();
+            obs.events.add(events.len() as u64);
+            obs.bytes.add(written);
+            obs.stripe_rollovers.add(rollovers);
+        }
         Ok(written)
     }
 
@@ -372,6 +415,24 @@ mod tests {
         assert_eq!(read_journal(&store, jid()).unwrap(), events[4..].to_vec());
         trim_journal(&store, jid(), 100).unwrap(); // over-trim clamps
         assert_eq!(read_journal(&store, jid()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn writer_obs_counts_appends_and_rollovers() {
+        let store = InMemoryStore::paper_default();
+        let reg = Registry::new();
+        let mut w = JournalWriter::open_with_stripe(&store, jid(), 128).unwrap();
+        w.set_obs(JournalObs::attach(&reg));
+        let events: Vec<_> = (0..20).map(create).collect();
+        let bytes = w.append(&events).unwrap();
+        assert_eq!(reg.counter_value("journal.writer.appends"), Some(1));
+        assert_eq!(reg.counter_value("journal.writer.events"), Some(20));
+        assert_eq!(reg.counter_value("journal.writer.bytes"), Some(bytes));
+        let rolls = reg
+            .counter_value("journal.writer.stripe_rollovers")
+            .unwrap();
+        assert_eq!(rolls, w.stripes(), "every stripe was opened by a rollover");
+        assert!(rolls > 1);
     }
 
     #[test]

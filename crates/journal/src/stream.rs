@@ -55,8 +55,8 @@ impl Iterator for EventStream<'_> {
             self.failed = true;
             return Some(Err(CodecError::UnexpectedEof));
         }
-        let len = u32::from_le_bytes([self.rest[0], self.rest[1], self.rest[2], self.rest[3]])
-            as usize;
+        let len =
+            u32::from_le_bytes([self.rest[0], self.rest[1], self.rest[2], self.rest[3]]) as usize;
         if self.rest.len() < 8 + len {
             self.failed = true;
             return Some(Err(CodecError::UnexpectedEof));
@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn stream_rejects_bad_magic() {
-        assert!(matches!(EventStream::new(b"nope"), Err(CodecError::BadMagic)));
+        assert!(matches!(
+            EventStream::new(b"nope"),
+            Err(CodecError::BadMagic)
+        ));
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
         let id = JournalId::new(PoolId::METADATA, 0x900);
         let mut events: Vec<_> = (0..n).map(create).collect();
         events.push(JournalEvent::SegmentBoundary { seq: 0 });
-        JournalWriter::open(store, id).unwrap().append(&events).unwrap();
+        JournalWriter::open(store, id)
+            .unwrap()
+            .append(&events)
+            .unwrap();
         id
     }
 

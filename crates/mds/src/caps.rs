@@ -90,7 +90,7 @@ impl CapTable {
     pub fn holds_cache(&self, dir: InodeId, client: ClientId) -> bool {
         self.dirs
             .get(&dir)
-            .map_or(false, |d| d.cache_holder == Some(client))
+            .is_some_and(|d| d.cache_holder == Some(client))
     }
 
     /// Records a write (create/unlink/...) into `dir` by `client` and
@@ -230,7 +230,7 @@ mod tests {
         let mut t = CapTable::with_regrant_after(5);
         t.on_dir_write(DIR, C1);
         t.on_dir_write(DIR, C2); // revoke
-        // C1 writes alone; after 5 consecutive ops it gets the cap back.
+                                 // C1 writes alone; after 5 consecutive ops it gets the cap back.
         let mut granted_at = None;
         for i in 0..10 {
             let o = t.on_dir_write(DIR, C1);

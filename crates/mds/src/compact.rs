@@ -37,9 +37,7 @@ pub fn emit_canonical(store: &MetadataStore) -> Vec<JournalEvent> {
     use cudele_journal::{Attrs, FileType, InodeId};
 
     let mut out = Vec::new();
-    let root = store
-        .inode(InodeId::ROOT)
-        .expect("store always has a root");
+    let root = store.inode(InodeId::ROOT).expect("store always has a root");
     if root.attrs != Attrs::dir_default() {
         out.push(JournalEvent::SetAttr {
             ino: InodeId::ROOT,
@@ -57,7 +55,9 @@ pub fn emit_canonical(store: &MetadataStore) -> Vec<JournalEvent> {
     // output for deterministic inputs.
     let mut stack = vec![InodeId::ROOT];
     while let Some(dir_ino) = stack.pop() {
-        let Some(dir) = store.dir(dir_ino) else { continue };
+        let Some(dir) = store.dir(dir_ino) else {
+            continue;
+        };
         for (name, dentry) in dir.entries() {
             let inode = store
                 .inode(dentry.ino)
@@ -247,7 +247,9 @@ mod tests {
         // Parent-before-child: a *checked* replay must succeed too.
         let mut strict = MetadataStore::new();
         for e in &compacted {
-            strict.apply_checked(e).expect("canonical order is checked-safe");
+            strict
+                .apply_checked(e)
+                .expect("canonical order is checked-safe");
         }
         assert_eq!(strict.snapshot(), replay(&events).snapshot());
     }
@@ -282,8 +284,14 @@ mod tests {
         let b = replay(&events);
         assert_eq!(a.snapshot(), b.snapshot());
         assert_eq!(a.inode(InodeId::ROOT).unwrap().attrs.mode, 0o700);
-        assert_eq!(a.inode(InodeId::ROOT).unwrap().policy.as_deref(), Some(&[9u8][..]));
-        assert_eq!(a.inode(InodeId(0x1000)).unwrap().policy.as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(
+            a.inode(InodeId::ROOT).unwrap().policy.as_deref(),
+            Some(&[9u8][..])
+        );
+        assert_eq!(
+            a.inode(InodeId(0x1000)).unwrap().policy.as_deref(),
+            Some(&[1u8, 2, 3][..])
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl std::fmt::Display for MdsError {
             MdsError::NoInodes => write!(f, "allocated inode range exhausted"),
             MdsError::NoSession { client } => write!(f, "no session for client {client}"),
             MdsError::InodeCollision { ino } => {
-                write!(f, "inode {ino} already in use (allocation contract violated)")
+                write!(
+                    f,
+                    "inode {ino} already in use (allocation contract violated)"
+                )
             }
         }
     }
@@ -86,8 +89,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(MdsError::NoEnt { what: "/a/b".into() }.to_string().contains("ENOENT"));
-        assert!(MdsError::Busy { ino: InodeId::ROOT }.to_string().contains("EBUSY"));
+        assert!(MdsError::NoEnt {
+            what: "/a/b".into()
+        }
+        .to_string()
+        .contains("ENOENT"));
+        assert!(MdsError::Busy { ino: InodeId::ROOT }
+            .to_string()
+            .contains("EBUSY"));
         assert!(MdsError::Exists {
             parent: InodeId::ROOT,
             name: "f".into()

@@ -21,8 +21,10 @@
 use std::collections::VecDeque;
 
 use cudele_journal::{
-    trim_journal, JournalEvent, JournalId, JournalIoError, JournalWriter, Segment, SegmentBuilder,
+    trim_journal, JournalEvent, JournalId, JournalIoError, JournalObs, JournalWriter, Segment,
+    SegmentBuilder,
 };
+use cudele_obs::{Counter, Registry};
 use cudele_rados::ObjectStore;
 
 use crate::persist;
@@ -65,6 +67,37 @@ pub struct MdLogStats {
     pub trims: u64,
 }
 
+/// Metric handles for the mdlog, published under `mds.mdlog.*`.
+///
+/// Mirrors [`MdLogStats`] but accumulates into a shared
+/// [`cudele_obs::Registry`] instead of being drained by the timing layer.
+#[derive(Debug, Clone)]
+pub struct MdLogObs {
+    /// `mds.mdlog.events` — events submitted.
+    pub events: Counter,
+    /// `mds.mdlog.segments_flushed` — segments flushed to the object store.
+    pub segments_flushed: Counter,
+    /// `mds.mdlog.bytes_flushed` — functional journal bytes written.
+    pub bytes_flushed: Counter,
+    /// `mds.mdlog.trims` — trim passes performed.
+    pub trims: Counter,
+    /// Handles for the transient [`JournalWriter`]s the flush path opens.
+    pub writer: JournalObs,
+}
+
+impl MdLogObs {
+    /// Creates (or re-binds) the `mds.mdlog.*` metric handles on `reg`.
+    pub fn attach(reg: &Registry) -> MdLogObs {
+        MdLogObs {
+            events: reg.counter("mds.mdlog.events"),
+            segments_flushed: reg.counter("mds.mdlog.segments_flushed"),
+            bytes_flushed: reg.counter("mds.mdlog.bytes_flushed"),
+            trims: reg.counter("mds.mdlog.trims"),
+            writer: JournalObs::attach(reg),
+        }
+    }
+}
+
 /// The MDS journal.
 pub struct MdLog {
     config: MdLogConfig,
@@ -77,6 +110,7 @@ pub struct MdLog {
     /// trim — exactly the journal prefix a trim may skip.
     flushed_events_since_trim: u64,
     stats: MdLogStats,
+    obs: Option<MdLogObs>,
 }
 
 impl MdLog {
@@ -95,7 +129,13 @@ impl MdLog {
             updates_since_trim: 0,
             flushed_events_since_trim: 0,
             stats: MdLogStats::default(),
+            obs: None,
         }
+    }
+
+    /// Points the mdlog's metric handles at `reg` (`mds.mdlog.*`).
+    pub fn set_obs(&mut self, reg: &Registry) {
+        self.obs = Some(MdLogObs::attach(reg));
     }
 
     /// The journal id this mdlog writes.
@@ -116,6 +156,9 @@ impl MdLog {
         event: JournalEvent,
     ) -> Result<(), JournalIoError> {
         self.stats.events += 1;
+        if let Some(obs) = &self.obs {
+            obs.events.inc();
+        }
         if let Some(seg) = self.builder.push(event) {
             self.sealed.push_back(seg);
         }
@@ -139,10 +182,17 @@ impl MdLog {
             return Ok(());
         }
         let mut writer = JournalWriter::open(os, self.id)?;
+        if let Some(obs) = &self.obs {
+            writer.set_obs(obs.writer.clone());
+        }
         while let Some(seg) = self.sealed.pop_front() {
             let bytes = writer.append(&seg.events)?;
             self.stats.bytes_flushed += bytes;
             self.stats.segments_flushed += 1;
+            if let Some(obs) = &self.obs {
+                obs.bytes_flushed.add(bytes);
+                obs.segments_flushed.inc();
+            }
             self.updates_since_trim += seg.update_count();
             self.flushed_events_since_trim += seg.events.len() as u64;
         }
@@ -163,19 +213,23 @@ impl MdLog {
         if self.updates_since_trim < threshold {
             return Ok(false);
         }
-        persist::flush_store(store, os, self.id.pool)
-            .map_err(|e| JournalIoError::Rados(match e {
+        persist::flush_store(store, os, self.id.pool).map_err(|e| {
+            JournalIoError::Rados(match e {
                 persist::PersistError::Rados(r) => r,
                 persist::PersistError::Corrupt(m) => {
                     panic!("metadata store corrupt during trim: {m}")
                 }
-            }))?;
+            })
+        })?;
         // Everything flushed so far is covered by the persisted image, so
         // replay may skip exactly that journal prefix.
         trim_journal(os, self.id, self.flushed_events_since_trim)?;
         self.updates_since_trim = 0;
         self.flushed_events_since_trim = 0;
         self.stats.trims += 1;
+        if let Some(obs) = &self.obs {
+            obs.trims.inc();
+        }
         Ok(true)
     }
 
@@ -230,7 +284,7 @@ mod tests {
         }
         assert_eq!(log.stats().segments_flushed, 0);
         assert_eq!(log.unflushed_events(), 5 + 3); // 4 events + boundary, 3 pending
-        // 8th event seals segment 2 -> window of 2 flushes.
+                                                   // 8th event seals segment 2 -> window of 2 flushes.
         log.submit(&os, create(7)).unwrap();
         assert_eq!(log.stats().segments_flushed, 2);
         assert_eq!(log.unflushed_events(), 0);
@@ -293,6 +347,29 @@ mod tests {
         // Not all 12 updates remain in the journal.
         let rest = read_journal(&os, JournalId::MDLOG).unwrap();
         assert!(rest.iter().filter(|e| e.is_update()).count() < 12);
+    }
+
+    #[test]
+    fn obs_mirrors_stats() {
+        let os = InMemoryStore::paper_default();
+        let reg = Registry::new();
+        let mut log = MdLog::new(config(2, 1));
+        log.set_obs(&reg);
+        for i in 0..4 {
+            log.submit(&os, create(i)).unwrap();
+        }
+        let s = log.stats();
+        assert_eq!(reg.counter_value("mds.mdlog.events"), Some(s.events));
+        assert_eq!(
+            reg.counter_value("mds.mdlog.segments_flushed"),
+            Some(s.segments_flushed)
+        );
+        assert_eq!(
+            reg.counter_value("mds.mdlog.bytes_flushed"),
+            Some(s.bytes_flushed)
+        );
+        // The transient writers the flush path opens report too.
+        assert!(reg.counter_value("journal.writer.appends").unwrap() > 0);
     }
 
     #[test]

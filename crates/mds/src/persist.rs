@@ -82,8 +82,11 @@ fn encode_record(ino: InodeId, ftype: FileType, attrs: &Attrs, policy: Option<&[
     b.to_vec()
 }
 
+/// A decoded dentry record: inode, type, attrs, optional policy blob.
+type DentryRecord = (InodeId, FileType, Attrs, Option<Vec<u8>>);
+
 /// Decodes a dentry record.
-fn decode_record(mut data: &[u8]) -> Result<(InodeId, FileType, Attrs, Option<Vec<u8>>), PersistError> {
+fn decode_record(mut data: &[u8]) -> Result<DentryRecord, PersistError> {
     let need = |n: usize, data: &[u8]| {
         if data.len() < n {
             Err(PersistError::Corrupt("record truncated".into()))
@@ -186,7 +189,12 @@ pub fn flush_store<S: ObjectStore + ?Sized>(
                 os.omap_set(
                     &obj,
                     name,
-                    &encode_record(dentry.ino, dentry.ftype, &inode.attrs, inode.policy.as_deref()),
+                    &encode_record(
+                        dentry.ino,
+                        dentry.ftype,
+                        &inode.attrs,
+                        inode.policy.as_deref(),
+                    ),
                 )?;
                 os.omap_set(
                     &backtrace_object(pool),
@@ -361,7 +369,10 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
         Ok(Some(ino))
     }
 
-    fn lookup_backtrace(&mut self, ino: InodeId) -> Result<Option<(InodeId, String)>, PersistError> {
+    fn lookup_backtrace(
+        &mut self,
+        ino: InodeId,
+    ) -> Result<Option<(InodeId, String)>, PersistError> {
         let v = match self
             .os
             .omap_get(&backtrace_object(self.pool), &format!("{:x}", ino.0))
@@ -478,8 +489,11 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                 self.counters.object_reads += 1;
                 if let Some(value) = existing {
                     let (i, ftype, attrs, _) = decode_record(&value)?;
-                    self.os
-                        .omap_set(&obj, &name, &encode_record(i, ftype, &attrs, Some(policy)))?;
+                    self.os.omap_set(
+                        &obj,
+                        &name,
+                        &encode_record(i, ftype, &attrs, Some(policy)),
+                    )?;
                     self.counters.object_writes += 1;
                 }
                 Ok(())
@@ -513,8 +527,15 @@ mod tests {
 
     fn populated() -> MetadataStore {
         let mut ms = MetadataStore::new();
-        ms.mkdir(InodeId::ROOT, "home", InodeId(0x1000), Attrs::dir_default()).unwrap();
-        ms.mkdir(InodeId(0x1000), "alice", InodeId(0x1001), Attrs::dir_default()).unwrap();
+        ms.mkdir(InodeId::ROOT, "home", InodeId(0x1000), Attrs::dir_default())
+            .unwrap();
+        ms.mkdir(
+            InodeId(0x1000),
+            "alice",
+            InodeId(0x1001),
+            Attrs::dir_default(),
+        )
+        .unwrap();
         for i in 0..50u64 {
             ms.create(
                 InodeId(0x1001),
@@ -544,7 +565,10 @@ mod tests {
         let loaded = load_store(&os, PoolId::METADATA).unwrap();
         assert_eq!(loaded.snapshot(), ms.snapshot());
         // Policy and attrs survive.
-        assert_eq!(loaded.inode(InodeId(0x1001)).unwrap().policy.as_deref(), Some(&[42u8, 43][..]));
+        assert_eq!(
+            loaded.inode(InodeId(0x1001)).unwrap().policy.as_deref(),
+            Some(&[42u8, 43][..])
+        );
         assert_eq!(loaded.inode(InodeId(0x2000)).unwrap().attrs.size, 777);
     }
 
@@ -583,7 +607,10 @@ mod tests {
         };
         let with = encode_record(InodeId(9), FileType::Dir, &attrs, Some(&[1, 2]));
         let (ino, ft, a, p) = decode_record(&with).unwrap();
-        assert_eq!((ino, ft, a, p.as_deref()), (InodeId(9), FileType::Dir, attrs, Some(&[1u8, 2][..])));
+        assert_eq!(
+            (ino, ft, a, p.as_deref()),
+            (InodeId(9), FileType::Dir, attrs, Some(&[1u8, 2][..]))
+        );
         let without = encode_record(InodeId(9), FileType::File, &attrs, None);
         let (_, _, _, p) = decode_record(&without).unwrap();
         assert!(p.is_none());
@@ -724,7 +751,13 @@ mod tests {
         })
         .unwrap();
         let ms = load_store(&os, PoolId::METADATA).unwrap();
-        assert_eq!(ms.inode(InodeId::ROOT).unwrap().policy.as_deref(), Some(&[1u8][..]));
-        assert_eq!(ms.inode(InodeId(0x1000)).unwrap().policy.as_deref(), Some(&[2u8][..]));
+        assert_eq!(
+            ms.inode(InodeId::ROOT).unwrap().policy.as_deref(),
+            Some(&[1u8][..])
+        );
+        assert_eq!(
+            ms.inode(InodeId(0x1000)).unwrap().policy.as_deref(),
+            Some(&[2u8][..])
+        );
     }
 }

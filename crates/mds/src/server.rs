@@ -10,10 +10,11 @@
 use std::sync::Arc;
 
 use cudele_journal::{Attrs, InodeId, InodeRange, JournalEvent};
+use cudele_obs::{observe_mechanism, Counter, Histogram, Registry};
 use cudele_rados::{ObjectStore, PoolId};
 use cudele_sim::{CostModel, Nanos};
 
-use crate::caps::{CapTable, ClientId};
+use crate::caps::{CapOutcome, CapTable, ClientId};
 use crate::dirfrag::Dentry;
 use crate::error::{MdsError, Result};
 use crate::mdlog::{MdLog, MdLogConfig, MdLogStats};
@@ -65,10 +66,6 @@ pub struct Rpc<T> {
 }
 
 impl<T> Rpc<T> {
-    fn new(result: Result<T>, cost: OpCost) -> Rpc<T> {
-        Rpc { result, cost }
-    }
-
     /// Unwraps the result, panicking with context on error (tests).
     pub fn expect_ok(self) -> T
     where
@@ -110,6 +107,59 @@ pub struct ServerCounters {
 /// session when it runs dry (CephFS similarly hands sessions inode ranges).
 const SESSION_PREALLOC: u64 = 1 << 16;
 
+/// Metric handles published under `mds.*` once a registry is attached.
+/// Functional counters ([`ServerCounters`]) are unaffected — this layer
+/// only mirrors activity into the shared [`Registry`].
+struct MdsObs {
+    reg: Arc<Registry>,
+    /// `mds.rpc.service_ns` — per-request service time (MDS CPU + extra
+    /// client-visible latency), the RPC latency histogram.
+    service_ns: Histogram,
+    rpcs: Counter,
+    creates: Counter,
+    lookups: Counter,
+    rejects: Counter,
+    cap_grants: Counter,
+    cap_revocations: Counter,
+    cap_cache_hits: Counter,
+    merges: Counter,
+    merged_events: Counter,
+    /// Virtual-time hint supplied by the harness via
+    /// [`MetadataServer::set_now`]; anchors server-side Stream spans.
+    now: Nanos,
+}
+
+impl MdsObs {
+    fn attach(reg: &Arc<Registry>) -> MdsObs {
+        MdsObs {
+            reg: Arc::clone(reg),
+            service_ns: reg.histogram("mds.rpc.service_ns"),
+            rpcs: reg.counter("mds.rpc.total"),
+            creates: reg.counter("mds.rpc.creates"),
+            lookups: reg.counter("mds.rpc.lookups"),
+            rejects: reg.counter("mds.rpc.rejects"),
+            cap_grants: reg.counter("mds.caps.grants"),
+            cap_revocations: reg.counter("mds.caps.revocations"),
+            cap_cache_hits: reg.counter("mds.caps.cache_hits"),
+            merges: reg.counter("mds.merge.runs"),
+            merged_events: reg.counter("mds.merge.merged_events"),
+            now: Nanos::ZERO,
+        }
+    }
+
+    fn note_caps(&self, c: &CapOutcome) {
+        if c.granted {
+            self.cap_grants.inc();
+        }
+        if c.revoked_from.is_some() {
+            self.cap_revocations.inc();
+        }
+        if c.writer_has_cache && !c.granted {
+            self.cap_cache_hits.inc();
+        }
+    }
+}
+
 /// The metadata server.
 pub struct MetadataServer {
     cost: CostModel,
@@ -123,6 +173,7 @@ pub struct MetadataServer {
     /// Decoupled subtrees with interfere=block: subtree root -> owner.
     blocked: Vec<(InodeId, ClientId)>,
     counters: ServerCounters,
+    obs: Option<MdsObs>,
 }
 
 impl MetadataServer {
@@ -150,6 +201,33 @@ impl MetadataServer {
             pool: PoolId::METADATA,
             blocked: Vec::new(),
             counters: ServerCounters::default(),
+            obs: None,
+        }
+    }
+
+    /// Points the server's metric handles at `reg` (`mds.*`), and cascades
+    /// to the object store (`rados.*`) and the mdlog (`mds.mdlog.*`,
+    /// `journal.writer.*`). Attach before the workload; re-attaching swaps
+    /// the registry.
+    pub fn attach_obs(&mut self, reg: &Arc<Registry>) {
+        self.os.attach_obs(reg);
+        if let Some(log) = self.mdlog.as_mut() {
+            log.set_obs(reg);
+        }
+        self.obs = Some(MdsObs::attach(reg));
+    }
+
+    /// The attached registry, if any.
+    pub fn obs_registry(&self) -> Option<Arc<Registry>> {
+        self.obs.as_ref().map(|o| Arc::clone(&o.reg))
+    }
+
+    /// Virtual-time hint from the harness. The MDS itself is time-agnostic;
+    /// this only anchors server-side trace spans (Stream) at the current
+    /// simulated instant.
+    pub fn set_now(&mut self, now: Nanos) {
+        if let Some(o) = self.obs.as_mut() {
+            o.now = now;
         }
     }
 
@@ -180,7 +258,10 @@ impl MetadataServer {
 
     /// Drains mdlog counters (events journaled, segments/bytes flushed).
     pub fn take_mdlog_stats(&mut self) -> MdLogStats {
-        self.mdlog.as_mut().map(MdLog::take_stats).unwrap_or_default()
+        self.mdlog
+            .as_mut()
+            .map(MdLog::take_stats)
+            .unwrap_or_default()
     }
 
     /// Reconfigures the capability re-grant cool-down (ablation knob).
@@ -204,12 +285,30 @@ impl MetadataServer {
                 // size" — run the trimmer when configured.
                 log.maybe_trim(self.os.as_ref(), &self.store)
                     .expect("journal trim failed");
-                (
-                    self.cost.stream_mds_cpu_at_dispatch(dispatch),
-                    self.cost.stream_client_latency,
-                )
+                let cpu = self.cost.stream_mds_cpu_at_dispatch(dispatch);
+                if let Some(o) = &self.obs {
+                    observe_mechanism(&o.reg, "stream", 0, o.now, cpu);
+                }
+                (cpu, self.cost.stream_client_latency)
             }
             None => (Nanos::ZERO, Nanos::ZERO),
+        }
+    }
+
+    /// Builds the reply, mirroring cost and outcome into the registry when
+    /// one is attached. Every handler funnels through here.
+    fn reply<T>(&self, result: Result<T>, cost: OpCost) -> Rpc<T> {
+        if let Some(o) = &self.obs {
+            o.rpcs.inc();
+            o.service_ns.record((cost.mds_cpu + cost.client_extra).0);
+        }
+        Rpc { result, cost }
+    }
+
+    /// Runs `f` against the metric handles when a registry is attached.
+    fn obs(&self, f: impl FnOnce(&MdsObs)) {
+        if let Some(o) = &self.obs {
+            f(o);
         }
     }
 
@@ -249,7 +348,7 @@ impl MetadataServer {
     pub fn open_session(&mut self, client: ClientId) -> Rpc<()> {
         self.counters.rpcs += 1;
         self.sessions.open(client);
-        Rpc::new(
+        self.reply(
             Ok(()),
             OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
         )
@@ -261,7 +360,7 @@ impl MetadataServer {
         self.sessions.close(client);
         self.caps.drop_client(client);
         self.blocked.retain(|&(_, owner)| owner != client);
-        Rpc::new(
+        self.reply(
             Ok(()),
             OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
         )
@@ -274,7 +373,7 @@ impl MetadataServer {
         let cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
         let range = self.alloc.allocate(count);
         let result = self.sessions.grant_range(client, range).map(|()| range);
-        Rpc::new(result, cost)
+        self.reply(result, cost)
     }
 
     // ------------------------------------------------------------------
@@ -287,28 +386,31 @@ impl MetadataServer {
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
-            return Rpc::new(
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
             );
         }
         self.counters.creates += 1;
+        self.obs(|o| o.creates.inc());
         let mut mds_cpu = self.cost.mds_create_cpu;
         let mut client_extra = self.cost.rpc_overhead;
 
         let ino = match self.take_session_inode(client) {
             Ok(ino) => ino,
-            Err(e) => return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
         };
 
         let caps = self.caps.on_dir_write(parent, client);
+        self.obs(|o| o.note_caps(&caps));
         if caps.revoked_from.is_some() {
             mds_cpu += self.cost.mds_cap_revoke_cpu;
         }
 
         let attrs = Attrs::file_default();
         if let Err(e) = self.store.create(parent, name, ino, attrs) {
-            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+            return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
         let (jcpu, jlat) = self.journal(JournalEvent::Create {
             parent,
@@ -318,7 +420,7 @@ impl MetadataServer {
         });
         mds_cpu += jcpu;
         client_extra += jlat;
-        Rpc::new(
+        self.reply(
             Ok(CreateReply {
                 ino,
                 has_cache: caps.writer_has_cache,
@@ -332,7 +434,8 @@ impl MetadataServer {
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
-            return Rpc::new(
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
             );
@@ -341,15 +444,16 @@ impl MetadataServer {
         let mut client_extra = self.cost.rpc_overhead;
         let ino = match self.take_session_inode(client) {
             Ok(ino) => ino,
-            Err(e) => return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
         };
         let caps = self.caps.on_dir_write(parent, client);
+        self.obs(|o| o.note_caps(&caps));
         if caps.revoked_from.is_some() {
             mds_cpu += self.cost.mds_cap_revoke_cpu;
         }
         let attrs = Attrs::dir_default();
         if let Err(e) = self.store.mkdir(parent, name, ino, attrs) {
-            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+            return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
         let (jcpu, jlat) = self.journal(JournalEvent::Mkdir {
             parent,
@@ -359,7 +463,7 @@ impl MetadataServer {
         });
         mds_cpu += jcpu;
         client_extra += jlat;
-        Rpc::new(
+        self.reply(
             Ok(CreateReply {
                 ino,
                 has_cache: caps.writer_has_cache,
@@ -374,19 +478,21 @@ impl MetadataServer {
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
-            return Rpc::new(
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
             );
         }
         self.counters.lookups += 1;
+        self.obs(|o| o.lookups.inc());
         let cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
         let result = match self.store.lookup(parent, name) {
             Ok(d) => Ok(Some(d)),
             Err(MdsError::NoEnt { .. }) => Ok(None),
             Err(e) => Err(e),
         };
-        Rpc::new(result, cost)
+        self.reply(result, cost)
     }
 
     /// Removes a file.
@@ -394,7 +500,8 @@ impl MetadataServer {
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
-            return Rpc::new(
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
             );
@@ -402,11 +509,12 @@ impl MetadataServer {
         let mut mds_cpu = self.cost.mds_create_cpu;
         let mut client_extra = self.cost.rpc_overhead;
         let caps = self.caps.on_dir_write(parent, client);
+        self.obs(|o| o.note_caps(&caps));
         if caps.revoked_from.is_some() {
             mds_cpu += self.cost.mds_cap_revoke_cpu;
         }
         if let Err(e) = self.store.unlink(parent, name) {
-            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+            return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
         let (jcpu, jlat) = self.journal(JournalEvent::Unlink {
             parent,
@@ -414,7 +522,7 @@ impl MetadataServer {
         });
         mds_cpu += jcpu;
         client_extra += jlat;
-        Rpc::new(Ok(()), OpCost::rpc(mds_cpu, client_extra))
+        self.reply(Ok(()), OpCost::rpc(mds_cpu, client_extra))
     }
 
     /// Renames within the namespace.
@@ -430,7 +538,8 @@ impl MetadataServer {
         for dir in [src_parent, dst_parent] {
             if let Err(e) = self.check_blocked(dir, client) {
                 self.counters.rejects += 1;
-                return Rpc::new(
+                self.obs(|o| o.rejects.inc());
+                return self.reply(
                     Err(e),
                     OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
                 );
@@ -440,12 +549,16 @@ impl MetadataServer {
         let mut client_extra = self.cost.rpc_overhead;
         for dir in [src_parent, dst_parent] {
             let caps = self.caps.on_dir_write(dir, client);
+            self.obs(|o| o.note_caps(&caps));
             if caps.revoked_from.is_some() {
                 mds_cpu += self.cost.mds_cap_revoke_cpu;
             }
         }
-        if let Err(e) = self.store.rename(src_parent, src_name, dst_parent, dst_name) {
-            return Rpc::new(Err(e), OpCost::rpc(mds_cpu, client_extra));
+        if let Err(e) = self
+            .store
+            .rename(src_parent, src_name, dst_parent, dst_name)
+        {
+            return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
         let (jcpu, jlat) = self.journal(JournalEvent::Rename {
             src_parent,
@@ -455,7 +568,7 @@ impl MetadataServer {
         });
         mds_cpu += jcpu;
         client_extra += jlat;
-        Rpc::new(Ok(()), OpCost::rpc(mds_cpu, client_extra))
+        self.reply(Ok(()), OpCost::rpc(mds_cpu, client_extra))
     }
 
     /// Stats an inode.
@@ -463,7 +576,8 @@ impl MetadataServer {
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(ino, client) {
             self.counters.rejects += 1;
-            return Rpc::new(
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
             );
@@ -476,7 +590,7 @@ impl MetadataServer {
             .ok_or_else(|| MdsError::NoEnt {
                 what: format!("inode {ino}"),
             });
-        Rpc::new(result, cost)
+        self.reply(result, cost)
     }
 
     /// Lists a directory ("ls" — "notoriously heavy-weight"): MDS CPU
@@ -485,7 +599,8 @@ impl MetadataServer {
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(ino, client) {
             self.counters.rejects += 1;
-            return Rpc::new(
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
             );
@@ -497,9 +612,9 @@ impl MetadataServer {
                     .cost
                     .mds_lookup_cpu
                     .scale(1.0 + entries.len() as f64 / 64.0);
-                Rpc::new(Ok(entries), OpCost::rpc(scan, self.cost.rpc_overhead))
+                self.reply(Ok(entries), OpCost::rpc(scan, self.cost.rpc_overhead))
             }
-            Err(e) => Rpc::new(
+            Err(e) => self.reply(
                 Err(e),
                 OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
             ),
@@ -524,17 +639,17 @@ impl MetadataServer {
         let cost = OpCost::rpc(self.cost.mds_create_cpu, self.cost.rpc_overhead);
         let ino = match self.store.resolve(path) {
             Ok(ino) => ino,
-            Err(e) => return Rpc::new(Err(e), cost),
+            Err(e) => return self.reply(Err(e), cost),
         };
         if let Err(e) = self.store.set_policy(ino, policy.clone()) {
-            return Rpc::new(Err(e), cost);
+            return self.reply(Err(e), cost);
         }
         let _ = self.journal(JournalEvent::SetPolicy { ino, policy });
         if block_for_others {
             self.blocked.retain(|&(root, _)| root != ino);
             self.blocked.push((ino, client));
         }
-        Rpc::new(Ok(ino), cost)
+        self.reply(Ok(ino), cost)
     }
 
     /// Lifts an interfere=block registration (merge completed).
@@ -562,11 +677,15 @@ impl MetadataServer {
             }
         }
         self.counters.merged_events += applied;
+        self.obs(|o| {
+            o.merges.inc();
+            o.merged_events.add(applied);
+        });
         let _ = client;
         let mds_cpu = self.cost.volatile_apply_per_event * applied;
         // One bulk message; network transfer time is charged separately by
         // the harness from the journal's byte size.
-        Rpc::new(Ok(applied), OpCost::rpc(mds_cpu, self.cost.rpc_overhead))
+        self.reply(Ok(applied), OpCost::rpc(mds_cpu, self.cost.rpc_overhead))
     }
 
     // ------------------------------------------------------------------
@@ -587,17 +706,17 @@ impl MetadataServer {
     /// Unflushed journal events are lost — exactly the durability gap the
     /// Stream/none configurations trade away.
     pub fn crash_and_recover(&mut self) -> Result<()> {
-        let mut store =
-            persist::load_store(self.os.as_ref(), self.pool).map_err(MdsError::from)?;
+        let mut store = persist::load_store(self.os.as_ref(), self.pool).map_err(MdsError::from)?;
         let journal_id = self
             .mdlog
             .as_ref()
             .map(|l| l.journal_id())
             .unwrap_or(cudele_journal::JournalId::MDLOG);
-        let events = cudele_journal::read_journal(self.os.as_ref(), journal_id)
-            .map_err(|e| MdsError::NoEnt {
+        let events = cudele_journal::read_journal(self.os.as_ref(), journal_id).map_err(|e| {
+            MdsError::NoEnt {
                 what: format!("mdlog replay ({e})"),
-            })?;
+            }
+        })?;
         for e in &events {
             store.apply_blind(e);
         }
@@ -608,13 +727,15 @@ impl MetadataServer {
             // Fresh in-memory journal state; the persisted stripes remain.
             *log = MdLog::with_id(
                 MdLogConfig {
-                    events_per_segment:
-                        cudele_journal::SegmentBuilder::DEFAULT_EVENTS_PER_SEGMENT,
+                    events_per_segment: cudele_journal::SegmentBuilder::DEFAULT_EVENTS_PER_SEGMENT,
                     dispatch_size: log.dispatch_size(),
                     trim_after_updates: None,
                 },
                 log.journal_id(),
             );
+            if let Some(o) = &self.obs {
+                log.set_obs(&o.reg);
+            }
         }
         Ok(())
     }
@@ -698,6 +819,51 @@ mod tests {
         assert!(r.cost.mds_cpu >= s.cost_model().mds_create_cpu);
         assert!(r.cost.client_extra > s.cost_model().rpc_overhead); // + stream wait
         assert_eq!(s.store().lookup(dir, "f0").unwrap().ino, reply.ino);
+    }
+
+    #[test]
+    fn attached_registry_sees_rpcs_caps_and_stream() {
+        let mut s = server();
+        let reg = Arc::new(Registry::new());
+        s.attach_obs(&reg);
+        s.open_session(C1);
+        s.open_session(C2);
+        let dir = s.setup_dir("/work").unwrap();
+        s.set_now(Nanos::from_micros(10));
+        s.create(C1, dir, "a").expect_ok();
+        s.create(C2, dir, "b").expect_ok(); // contended dir: revocation
+        s.lookup(C1, dir, "a").expect_ok();
+        let c = s.counters();
+        assert_eq!(reg.counter_value("mds.rpc.total"), Some(c.rpcs));
+        assert_eq!(reg.counter_value("mds.rpc.creates"), Some(c.creates));
+        assert_eq!(reg.counter_value("mds.rpc.lookups"), Some(c.lookups));
+        assert!(reg.counter_value("mds.caps.grants").unwrap() >= 1);
+        assert!(reg.counter_value("mds.caps.revocations").unwrap() >= 1);
+        // Every journaled update emits a Stream mechanism span + counter.
+        assert!(reg.counter_value("core.mechanism.stream.runs").unwrap() >= 2);
+        assert!(reg.has_span("stream"));
+        // The latency histogram saw every request.
+        let h = reg.histogram("mds.rpc.service_ns");
+        assert_eq!(h.count(), c.rpcs);
+        assert!(h.p99() > 0.0);
+        // Cascade reached the object store: journal flush traffic is not
+        // guaranteed yet (dispatch window may not have filled), but the
+        // handles exist.
+        assert!(reg.counter_value("rados.store.write_ops").is_some());
+    }
+
+    #[test]
+    fn blocked_subtree_rejection_counted_in_registry() {
+        let mut s = server_no_journal();
+        let reg = Arc::new(Registry::new());
+        s.attach_obs(&reg);
+        s.open_session(C1);
+        s.open_session(C2);
+        let dir = s.setup_dir("/priv").unwrap();
+        s.set_subtree_policy(C1, "/priv", vec![1], true).expect_ok();
+        assert!(s.create(C2, dir, "x").result.is_err());
+        assert_eq!(reg.counter_value("mds.rpc.rejects"), Some(1));
+        assert_eq!(reg.counter_value("core.mechanism.stream.runs"), None);
     }
 
     #[test]
@@ -874,7 +1040,10 @@ mod tests {
             Some(cudele_mds_mdlog_config_small()),
         );
         s.open_session(C1);
-        let dir = s.mkdir(C1, cudele_journal::InodeId::ROOT, "work").result.unwrap();
+        let dir = s
+            .mkdir(C1, cudele_journal::InodeId::ROOT, "work")
+            .result
+            .unwrap();
         for i in 0..200 {
             s.create(C1, dir.ino, &format!("f{i}")).result.unwrap();
         }

@@ -168,7 +168,8 @@ mod tests {
         let mut m = SessionMap::new();
         let c = ClientId(1);
         m.open(c);
-        m.grant_range(c, InodeRange::new(InodeId(0x1000), 3)).unwrap();
+        m.grant_range(c, InodeRange::new(InodeId(0x1000), 3))
+            .unwrap();
         let s = m.get_mut(c).unwrap();
         assert_eq!(s.take_inode(), Some(InodeId(0x1000)));
         assert_eq!(s.take_inode(), Some(InodeId(0x1001)));
@@ -183,9 +184,11 @@ mod tests {
         let mut m = SessionMap::new();
         let c = ClientId(1);
         m.open(c);
-        m.grant_range(c, InodeRange::new(InodeId(0x1000), 1)).unwrap();
+        m.grant_range(c, InodeRange::new(InodeId(0x1000), 1))
+            .unwrap();
         m.get_mut(c).unwrap().take_inode();
-        m.grant_range(c, InodeRange::new(InodeId(0x2000), 2)).unwrap();
+        m.grant_range(c, InodeRange::new(InodeId(0x2000), 2))
+            .unwrap();
         let s = m.get_mut(c).unwrap();
         assert_eq!(s.take_inode(), Some(InodeId(0x2000)));
         assert_eq!(s.ranges.len(), 2);
@@ -198,7 +201,9 @@ mod tests {
             m.get_mut(ClientId(9)),
             Err(MdsError::NoSession { client: 9 })
         ));
-        assert!(m.grant_range(ClientId(9), InodeRange::new(InodeId(1), 1)).is_err());
+        assert!(m
+            .grant_range(ClientId(9), InodeRange::new(InodeId(1), 1))
+            .is_err());
     }
 
     #[test]

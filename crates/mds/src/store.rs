@@ -103,9 +103,7 @@ impl MetadataStore {
                 what: format!("directory {ino}"),
             });
         }
-        self.dirs
-            .get_mut(&ino)
-            .ok_or(MdsError::NotDir { ino })
+        self.dirs.get_mut(&ino).ok_or(MdsError::NotDir { ino })
     }
 
     // ------------------------------------------------------------------
@@ -114,7 +112,13 @@ impl MetadataStore {
 
     /// Creates a regular file. Fails with EEXIST if the name is taken and
     /// with an allocation-contract error if the inode number is in use.
-    pub fn create(&mut self, parent: InodeId, name: &str, ino: InodeId, attrs: Attrs) -> Result<()> {
+    pub fn create(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        ino: InodeId,
+        attrs: Attrs,
+    ) -> Result<()> {
         if self.inodes.contains_key(&ino) {
             return Err(MdsError::InodeCollision { ino });
         }
@@ -187,7 +191,7 @@ impl MetadataStore {
         if dentry.ftype != FileType::Dir {
             return Err(MdsError::NotDir { ino: dentry.ino });
         }
-        if !self.dirs.get(&dentry.ino).map_or(true, |d| d.is_empty()) {
+        if !self.dirs.get(&dentry.ino).is_none_or(|d| d.is_empty()) {
             return Err(MdsError::NotEmpty { ino: dentry.ino });
         }
         self.dir_mut(parent)?.remove(name);
@@ -546,7 +550,8 @@ mod tests {
     #[test]
     fn create_and_lookup() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
         let d = s.lookup(InodeId::ROOT, "f").unwrap();
         assert_eq!(d.ino, InodeId(0x1000));
         assert_eq!(d.ftype, FileType::File);
@@ -556,25 +561,34 @@ mod tests {
     #[test]
     fn duplicate_create_is_eexist() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
-        let err = s.create(InodeId::ROOT, "f", InodeId(0x1001), attrs()).unwrap_err();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
+        let err = s
+            .create(InodeId::ROOT, "f", InodeId(0x1001), attrs())
+            .unwrap_err();
         assert!(matches!(err, MdsError::Exists { .. }));
     }
 
     #[test]
     fn inode_reuse_is_collision() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "a", InodeId(0x1000), attrs()).unwrap();
-        let err = s.create(InodeId::ROOT, "b", InodeId(0x1000), attrs()).unwrap_err();
+        s.create(InodeId::ROOT, "a", InodeId(0x1000), attrs())
+            .unwrap();
+        let err = s
+            .create(InodeId::ROOT, "b", InodeId(0x1000), attrs())
+            .unwrap_err();
         assert!(matches!(err, MdsError::InodeCollision { .. }));
     }
 
     #[test]
     fn mkdir_then_nested_create_and_resolve() {
         let mut s = MetadataStore::new();
-        s.mkdir(InodeId::ROOT, "a", InodeId(0x1000), Attrs::dir_default()).unwrap();
-        s.mkdir(InodeId(0x1000), "b", InodeId(0x1001), Attrs::dir_default()).unwrap();
-        s.create(InodeId(0x1001), "f", InodeId(0x1002), attrs()).unwrap();
+        s.mkdir(InodeId::ROOT, "a", InodeId(0x1000), Attrs::dir_default())
+            .unwrap();
+        s.mkdir(InodeId(0x1000), "b", InodeId(0x1001), Attrs::dir_default())
+            .unwrap();
+        s.create(InodeId(0x1001), "f", InodeId(0x1002), attrs())
+            .unwrap();
         assert_eq!(s.resolve("/a/b/f").unwrap(), InodeId(0x1002));
         assert_eq!(s.resolve("/").unwrap(), InodeId::ROOT);
         assert_eq!(s.resolve("").unwrap(), InodeId::ROOT);
@@ -584,16 +598,21 @@ mod tests {
     #[test]
     fn create_in_file_is_notdir() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
-        let err = s.create(InodeId(0x1000), "g", InodeId(0x1001), attrs()).unwrap_err();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
+        let err = s
+            .create(InodeId(0x1000), "g", InodeId(0x1001), attrs())
+            .unwrap_err();
         assert!(matches!(err, MdsError::NotDir { .. }));
     }
 
     #[test]
     fn unlink_semantics() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
-        s.mkdir(InodeId::ROOT, "d", InodeId(0x1001), Attrs::dir_default()).unwrap();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1001), Attrs::dir_default())
+            .unwrap();
         assert!(matches!(
             s.unlink(InodeId::ROOT, "d").unwrap_err(),
             MdsError::IsDir { .. }
@@ -609,8 +628,10 @@ mod tests {
     #[test]
     fn rmdir_requires_empty() {
         let mut s = MetadataStore::new();
-        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default()).unwrap();
-        s.create(InodeId(0x1000), "f", InodeId(0x1001), attrs()).unwrap();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default())
+            .unwrap();
+        s.create(InodeId(0x1000), "f", InodeId(0x1001), attrs())
+            .unwrap();
         assert!(matches!(
             s.rmdir(InodeId::ROOT, "d").unwrap_err(),
             MdsError::NotEmpty { .. }
@@ -623,18 +644,27 @@ mod tests {
     #[test]
     fn rename_moves_and_replaces_files() {
         let mut s = MetadataStore::new();
-        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default()).unwrap();
-        s.create(InodeId::ROOT, "src", InodeId(0x1001), attrs()).unwrap();
-        s.create(InodeId(0x1000), "dst", InodeId(0x1002), attrs()).unwrap();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default())
+            .unwrap();
+        s.create(InodeId::ROOT, "src", InodeId(0x1001), attrs())
+            .unwrap();
+        s.create(InodeId(0x1000), "dst", InodeId(0x1002), attrs())
+            .unwrap();
         // Move + overwrite.
-        s.rename(InodeId::ROOT, "src", InodeId(0x1000), "dst").unwrap();
+        s.rename(InodeId::ROOT, "src", InodeId(0x1000), "dst")
+            .unwrap();
         assert!(s.lookup(InodeId::ROOT, "src").is_err());
-        assert_eq!(s.lookup(InodeId(0x1000), "dst").unwrap().ino, InodeId(0x1001));
+        assert_eq!(
+            s.lookup(InodeId(0x1000), "dst").unwrap().ino,
+            InodeId(0x1001)
+        );
         assert!(!s.inode_in_use(InodeId(0x1002)));
         // Renaming onto a directory fails.
-        s.create(InodeId::ROOT, "f", InodeId(0x1003), attrs()).unwrap();
+        s.create(InodeId::ROOT, "f", InodeId(0x1003), attrs())
+            .unwrap();
         assert!(matches!(
-            s.rename(InodeId::ROOT, "f", InodeId::ROOT, "d").unwrap_err(),
+            s.rename(InodeId::ROOT, "f", InodeId::ROOT, "d")
+                .unwrap_err(),
             MdsError::IsDir { .. }
         ));
     }
@@ -642,7 +672,8 @@ mod tests {
     #[test]
     fn setattr_and_policy() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
         s.setattr(
             InodeId(0x1000),
             Attrs {
@@ -653,15 +684,20 @@ mod tests {
         .unwrap();
         assert_eq!(s.inode(InodeId(0x1000)).unwrap().attrs.size, 99);
         s.set_policy(InodeId::ROOT, vec![7]).unwrap();
-        assert_eq!(s.inode(InodeId::ROOT).unwrap().policy.as_deref(), Some(&[7u8][..]));
+        assert_eq!(
+            s.inode(InodeId::ROOT).unwrap().policy.as_deref(),
+            Some(&[7u8][..])
+        );
         assert!(s.setattr(InodeId(0xdead), attrs()).is_err());
     }
 
     #[test]
     fn effective_policy_walks_up() {
         let mut s = MetadataStore::new();
-        s.mkdir(InodeId::ROOT, "a", InodeId(0x1000), Attrs::dir_default()).unwrap();
-        s.mkdir(InodeId(0x1000), "b", InodeId(0x1001), Attrs::dir_default()).unwrap();
+        s.mkdir(InodeId::ROOT, "a", InodeId(0x1000), Attrs::dir_default())
+            .unwrap();
+        s.mkdir(InodeId(0x1000), "b", InodeId(0x1001), Attrs::dir_default())
+            .unwrap();
         assert_eq!(s.effective_policy("/a/b").unwrap(), None);
         s.set_policy(InodeId(0x1000), vec![1]).unwrap();
         // /a/b inherits /a's policy.
@@ -681,7 +717,8 @@ mod tests {
     #[test]
     fn blind_apply_overwrites() {
         let mut s = MetadataStore::new();
-        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs()).unwrap();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
         // A decoupled client also created "f" with its own inode; its
         // update wins at merge.
         s.apply_blind(&JournalEvent::Create {
@@ -721,8 +758,10 @@ mod tests {
     #[test]
     fn snapshot_lists_full_paths() {
         let mut s = MetadataStore::new();
-        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default()).unwrap();
-        s.create(InodeId(0x1000), "f", InodeId(0x1001), attrs()).unwrap();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1000), Attrs::dir_default())
+            .unwrap();
+        s.create(InodeId(0x1000), "f", InodeId(0x1001), attrs())
+            .unwrap();
         let snap = s.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap["/d"].1, FileType::Dir);
@@ -752,7 +791,8 @@ mod tests {
     fn readdir_sorted() {
         let mut s = MetadataStore::new();
         for (i, n) in ["c", "a", "b"].iter().enumerate() {
-            s.create(InodeId::ROOT, n, InodeId(0x1000 + i as u64), attrs()).unwrap();
+            s.create(InodeId::ROOT, n, InodeId(0x1000 + i as u64), attrs())
+                .unwrap();
         }
         let names: Vec<String> = s
             .readdir(InodeId::ROOT)
@@ -767,10 +807,19 @@ mod tests {
     fn large_directory_fragments_and_stays_correct() {
         let mut s = MetadataStore::with_split_threshold(64);
         for i in 0..1000u64 {
-            s.create(InodeId::ROOT, &format!("f{i}"), InodeId(0x1000 + i), attrs()).unwrap();
+            s.create(
+                InodeId::ROOT,
+                &format!("f{i}"),
+                InodeId(0x1000 + i),
+                attrs(),
+            )
+            .unwrap();
         }
         assert!(s.dir(InodeId::ROOT).unwrap().frag_count() > 1);
         assert_eq!(s.readdir(InodeId::ROOT).unwrap().len(), 1000);
-        assert_eq!(s.lookup(InodeId::ROOT, "f999").unwrap().ino, InodeId(0x1000 + 999));
+        assert_eq!(
+            s.lookup(InodeId::ROOT, "f999").unwrap().ino,
+            InodeId(0x1000 + 999)
+        );
     }
 }

@@ -1,0 +1,656 @@
+#![warn(missing_docs)]
+
+//! Deterministic observability for the Cudele stack: a metrics registry
+//! (counters, gauges, log-bucketed histograms) plus a span tracer keyed to
+//! the *virtual* clock ([`cudele_sim::time::Nanos`]).
+//!
+//! Everything here is deterministic by construction: metric names are kept
+//! in [`BTreeMap`]s (sorted output), spans are kept in insertion order
+//! (the simulation engine is deterministic, so insertion order is too),
+//! and no wall-clock time or addresses ever leak into the output. Two runs
+//! with the same seed therefore serialize to byte-identical JSON — the
+//! property the determinism tests in `cudele-bench` pin.
+//!
+//! Naming convention: `<crate>.<subsystem>.<name>`, e.g.
+//! `rados.osd.0.bytes_written`, `mds.rpc.service_ns`,
+//! `core.mechanism.local_persist.runs`.
+//!
+//! Exporters:
+//! * [`Registry::chrome_trace_json`] — Chrome trace-event JSON (`ph:"X"`
+//!   complete events, virtual timestamps as microseconds), loadable in
+//!   Perfetto / `chrome://tracing`.
+//! * [`Registry::metrics_json`] — a flat snapshot of every counter, gauge
+//!   and histogram (with p50/p95/p99), hand-rolled — no serde.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cudele_sim::Nanos;
+
+pub mod json;
+
+/// A monotonically increasing event counter. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point value (utilizations, ratios). Cloning
+/// shares the cell; the value is stored as `f64` bits in an atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two of
+/// the 64-bit value range.
+const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistData {
+    /// `buckets[0]` counts zeros; `buckets[k]` counts values in
+    /// `[2^(k-1), 2^k)`.
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistData {
+    fn new() -> HistData {
+        HistData {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Inclusive value bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+/// Buckets are powers of two, so `record` is O(1) and percentiles are
+/// bucket-interpolated approximations clamped to the exact observed
+/// `[min, max]`. Cloning shares the underlying data.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<Mutex<HistData>>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(Mutex::new(HistData::new())))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let mut d = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        let idx = (64 - v.leading_zeros()) as usize;
+        d.buckets[idx] += 1;
+        d.count += 1;
+        d.sum = d.sum.saturating_add(v);
+        d.min = d.min.min(v);
+        d.max = d.max.max(v);
+    }
+
+    /// Records a virtual duration as nanoseconds.
+    pub fn record_nanos(&self, d: Nanos) {
+        self.record(d.0);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        let d = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        if d.count == 0 {
+            0
+        } else {
+            d.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).max
+    }
+
+    /// The `q`-th percentile (`q` in `[0, 100]`), interpolated within the
+    /// owning bucket and clamped to the observed range. `NaN` when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let d = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        if d.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q / 100.0).clamp(0.0, 1.0) * (d.count as f64 - 1.0);
+        let mut cum = 0u64;
+        for (i, &c) in d.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 - 1.0 >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = if c > 1 {
+                    ((rank - cum as f64) / (c as f64 - 1.0)).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                };
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.clamp(d.min as f64, d.max as f64);
+            }
+            cum += c;
+        }
+        d.max as f64
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+}
+
+/// One completed span on the virtual timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Event name (e.g. a mechanism name like `volatile_apply`).
+    pub name: String,
+    /// Category (e.g. `mechanism`, `rpc`, `journal`).
+    pub cat: String,
+    /// Track id — by convention the acting client/process index.
+    pub tid: u32,
+    /// Virtual start instant.
+    pub start: Nanos,
+    /// Virtual duration.
+    pub dur: Nanos,
+    /// Extra key/value payload rendered into the trace event's `args`.
+    pub args: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct SpanLog {
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The central sink for one run's metrics and spans.
+///
+/// Per-run instances (no process globals): each harness creates an
+/// `Arc<Registry>` and hands clones to every layer it instruments, so
+/// parallel tests never share state and runs stay reproducible.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<SpanLog>,
+}
+
+/// Spans retained per registry by default; further spans are counted as
+/// dropped (deterministically — insertion order decides who survives).
+pub const DEFAULT_SPAN_CAPACITY: usize = 262_144;
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry with the default span capacity.
+    pub fn new() -> Registry {
+        Registry::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A registry retaining at most `capacity` spans.
+    pub fn with_span_capacity(capacity: usize) -> Registry {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(SpanLog {
+                spans: Vec::new(),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Current value of counter `name`, if it exists.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let m = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        m.get(name).map(Counter::get)
+    }
+
+    /// Current value of gauge `name`, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let m = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        m.get(name).map(Gauge::get)
+    }
+
+    /// Records a fully built span.
+    pub fn record_span(&self, span: Span) {
+        let mut log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        if log.spans.len() < log.capacity {
+            log.spans.push(span);
+        } else {
+            log.dropped += 1;
+        }
+    }
+
+    /// Records a span without extra args.
+    pub fn span(&self, name: &str, cat: &str, tid: u32, start: Nanos, dur: Nanos) {
+        self.record_span(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            tid,
+            start,
+            dur,
+            args: Vec::new(),
+        });
+    }
+
+    /// Number of retained spans.
+    pub fn span_count(&self) -> usize {
+        let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        log.spans.len()
+    }
+
+    /// Number of spans dropped after the capacity filled.
+    pub fn spans_dropped(&self) -> u64 {
+        let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        log.dropped
+    }
+
+    /// A copy of the retained spans, in recording order.
+    pub fn spans(&self) -> Vec<Span> {
+        let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        log.spans.clone()
+    }
+
+    /// Whether any retained span carries `name`.
+    pub fn has_span(&self, name: &str) -> bool {
+        let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        log.spans.iter().any(|s| s.name == name)
+    }
+
+    // ------------------------------------------------------------------
+    // Exporters
+    // ------------------------------------------------------------------
+
+    /// Serializes the span log as Chrome trace-event JSON (`ph:"X"`
+    /// complete events). Virtual timestamps become microseconds with
+    /// nanosecond precision (`ts`/`dur` are fractional µs), so the trace
+    /// loads directly into Perfetto or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::with_capacity(64 + log.spans.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in log.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(&escape_json(&s.name));
+            out.push_str("\",\"cat\":\"");
+            out.push_str(&escape_json(&s.cat));
+            out.push_str("\",\"ph\":\"X\",\"ts\":");
+            push_micros(&mut out, s.start.0);
+            out.push_str(",\"dur\":");
+            push_micros(&mut out, s.dur.0);
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&s.tid.to_string());
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in s.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape_json(k));
+                    out.push_str("\":\"");
+                    out.push_str(&escape_json(v));
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+
+    /// Serializes every metric as one JSON document: counters and gauges
+    /// as flat name→value maps, histograms with count/sum/min/max and
+    /// interpolated p50/p95/p99, plus the span-log accounting.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        {
+            let m = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+            for (i, (name, c)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                out.push_str(&escape_json(name));
+                out.push_str("\": ");
+                out.push_str(&c.get().to_string());
+            }
+            if !m.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"gauges\": {");
+        {
+            let m = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+            for (i, (name, g)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                out.push_str(&escape_json(name));
+                out.push_str("\": ");
+                push_f64(&mut out, g.get());
+            }
+            if !m.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"histograms\": {");
+        {
+            let m = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+            for (i, (name, h)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                out.push_str(&escape_json(name));
+                out.push_str("\": {\"count\": ");
+                out.push_str(&h.count().to_string());
+                out.push_str(", \"sum\": ");
+                out.push_str(&h.sum().to_string());
+                out.push_str(", \"min\": ");
+                out.push_str(&h.min().to_string());
+                out.push_str(", \"max\": ");
+                out.push_str(&h.max().to_string());
+                out.push_str(", \"p50\": ");
+                push_f64(&mut out, h.p50());
+                out.push_str(", \"p95\": ");
+                push_f64(&mut out, h.p95());
+                out.push_str(", \"p99\": ");
+                push_f64(&mut out, h.p99());
+                out.push('}');
+            }
+            if !m.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"spans\": {\"recorded\": ");
+        {
+            let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+            out.push_str(&log.spans.len().to_string());
+            out.push_str(", \"dropped\": ");
+            out.push_str(&log.dropped.to_string());
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Observes one executed mechanism (any of the paper's Figure 4 seven):
+/// bumps `core.mechanism.<name>.runs`, records the duration into
+/// `core.mechanism.<name>.ns`, and emits a `mechanism`-category span.
+///
+/// Lives here (keyed by the mechanism's DSL spelling) so layers below
+/// `cudele` core — the MDS observing Stream, the bench world observing
+/// RPCs and Append Client Journal — can report executions without a
+/// dependency cycle.
+pub fn observe_mechanism(reg: &Registry, name: &str, tid: u32, start: Nanos, dur: Nanos) {
+    reg.counter(&format!("core.mechanism.{name}.runs")).inc();
+    reg.histogram(&format!("core.mechanism.{name}.ns"))
+        .record(dur.0);
+    reg.span(name, "mechanism", tid, start, dur);
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `ns` nanoseconds as fractional microseconds (`123.456`),
+/// digit-exact and locale-free — the trace's `ts`/`dur` unit.
+fn push_micros(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+/// Renders an `f64` deterministically; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip formatting is deterministic.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = Registry::new();
+        let c = reg.counter("a.b.c");
+        c.inc();
+        c.add(4);
+        // Same name returns the same cell.
+        assert_eq!(reg.counter("a.b.c").get(), 5);
+        assert_eq!(reg.counter_value("a.b.c"), Some(5));
+        assert_eq!(reg.counter_value("nope"), None);
+
+        let g = reg.gauge("u");
+        g.set(0.75);
+        assert_eq!(reg.gauge_value("u"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_percentiles_interpolate() {
+        let h = Histogram::default();
+        assert!(h.percentile(50.0).is_nan());
+        h.record(100);
+        assert_eq!(h.p50(), 100.0); // single sample clamps to min==max
+        let h = Histogram::default();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.p50();
+        assert!((10.0..=90.0).contains(&p50), "p50 {p50}");
+        let p99 = h.p99();
+        assert!(p99 > p50, "p99 {p99} <= p50 {p50}");
+        assert!(p99 <= 1000.0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturating
+    }
+
+    #[test]
+    fn span_capacity_drops_deterministically() {
+        let reg = Registry::with_span_capacity(2);
+        for i in 0..5u64 {
+            reg.span(&format!("s{i}"), "t", 0, Nanos(i), Nanos(1));
+        }
+        assert_eq!(reg.span_count(), 2);
+        assert_eq!(reg.spans_dropped(), 3);
+        assert!(reg.has_span("s0") && reg.has_span("s1") && !reg.has_span("s2"));
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_validity() {
+        let reg = Registry::new();
+        reg.record_span(Span {
+            name: "create \"x\"".into(),
+            cat: "rpc".into(),
+            tid: 3,
+            start: Nanos(1_234_567),
+            dur: Nanos(890),
+            args: vec![("events".into(), "7".into())],
+        });
+        let trace = reg.chrome_trace_json();
+        json::validate(&trace).expect("valid JSON");
+        assert!(trace.contains("\"ts\":1234.567"));
+        assert!(trace.contains("\"dur\":0.890"));
+        assert!(trace.contains("\"tid\":3"));
+        assert!(trace.contains("\\\"x\\\""));
+        assert!(trace.contains("\"args\":{\"events\":\"7\"}"));
+    }
+
+    #[test]
+    fn metrics_json_sorted_and_valid() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(2);
+        reg.gauge("mid").set(1.5);
+        reg.histogram("h.ns").record(1000);
+        let m = reg.metrics_json();
+        json::validate(&m).expect("valid JSON");
+        let a = m.find("a.first").unwrap();
+        let z = m.find("z.last").unwrap();
+        assert!(a < z, "counters must serialize sorted");
+        assert!(m.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn identical_recordings_serialize_identically() {
+        let run = || {
+            let reg = Registry::new();
+            for i in 0..100u64 {
+                reg.counter("ops").inc();
+                reg.histogram("lat").record(i * 37 + 5);
+                reg.span("op", "rpc", (i % 4) as u32, Nanos(i * 10), Nanos(7));
+            }
+            reg.gauge("util").set(0.123_456_789);
+            (reg.metrics_json(), reg.chrome_trace_json())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observe_mechanism_emits_all_three() {
+        let reg = Registry::new();
+        observe_mechanism(&reg, "local_persist", 2, Nanos(10), Nanos(500));
+        assert_eq!(
+            reg.counter_value("core.mechanism.local_persist.runs"),
+            Some(1)
+        );
+        assert_eq!(reg.histogram("core.mechanism.local_persist.ns").count(), 1);
+        assert!(reg.has_span("local_persist"));
+    }
+
+    #[test]
+    fn empty_registry_exports_are_valid() {
+        let reg = Registry::new();
+        json::validate(&reg.metrics_json()).unwrap();
+        json::validate(&reg.chrome_trace_json()).unwrap();
+    }
+}

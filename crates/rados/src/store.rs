@@ -18,6 +18,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use cudele_obs::{Counter, Gauge, Registry};
 use parking_lot::RwLock;
 
 use crate::types::{ObjectId, PoolId, RadosError, Result};
@@ -106,6 +107,12 @@ pub trait ObjectStore: Send + Sync {
 
     /// Drains accumulated I/O counters (for time accounting).
     fn take_io_delta(&self) -> IoDelta;
+
+    /// Attaches an observability registry: implementations that support it
+    /// start mirroring their I/O accounting into `rados.store.*` counters
+    /// and per-OSD `rados.osd.<i>.*` counters/gauges. Default: no-op, so
+    /// plain stores and test doubles need not care.
+    fn attach_obs(&self, _reg: &Registry) {}
 }
 
 #[derive(Debug, Default)]
@@ -135,6 +142,28 @@ struct Inner {
     osds: Vec<OsdStats>,
 }
 
+/// Per-OSD observability handles.
+#[derive(Debug, Clone)]
+struct OsdObs {
+    ops: Counter,
+    bytes_written: Counter,
+    bytes_read: Counter,
+    /// Fraction of the cluster's written bytes that landed on this OSD —
+    /// a balance indicator, refreshed on every write that touches it.
+    share: Gauge,
+}
+
+/// Store-wide observability handles (mirrors of the `IoDelta` atomics,
+/// except these are cumulative and never drained).
+#[derive(Debug, Clone)]
+struct StoreObs {
+    read_ops: Counter,
+    write_ops: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    per_osd: Vec<OsdObs>,
+}
+
 /// In-memory replicated object store ("the RADOS cluster").
 ///
 /// Thread safe; all methods take `&self`. The paper's testbed ran 3 OSDs,
@@ -146,6 +175,7 @@ pub struct InMemoryStore {
     write_ops: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    obs: RwLock<Option<StoreObs>>,
 }
 
 impl InMemoryStore {
@@ -169,6 +199,7 @@ impl InMemoryStore {
             write_ops: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            obs: RwLock::new(None),
         }
     }
 
@@ -211,7 +242,43 @@ impl InMemoryStore {
     /// Sum of all object data-blob sizes (excludes omap; excludes
     /// replication — this is logical bytes).
     pub fn logical_bytes(&self) -> u64 {
-        self.inner.read().objects.values().map(|o| o.data.len() as u64).sum()
+        self.inner
+            .read()
+            .objects
+            .values()
+            .map(|o| o.data.len() as u64)
+            .sum()
+    }
+
+    /// Mirrors a write into the attached registry, if any: store-wide
+    /// counters plus per-replica OSD counters and balance gauges.
+    fn obs_charge_write(&self, placement: &[usize], write_bytes: u64) {
+        let guard = self.obs.read();
+        let Some(obs) = guard.as_ref() else { return };
+        obs.write_ops.inc();
+        obs.bytes_written.add(write_bytes * placement.len() as u64);
+        let total = obs.bytes_written.get();
+        for &o in placement {
+            if let Some(oo) = obs.per_osd.get(o) {
+                oo.ops.inc();
+                oo.bytes_written.add(write_bytes);
+                if total > 0 {
+                    oo.share.set(oo.bytes_written.get() as f64 / total as f64);
+                }
+            }
+        }
+    }
+
+    /// Mirrors a read into the attached registry, if any.
+    fn obs_charge_read(&self, primary: usize, read_bytes: u64) {
+        let guard = self.obs.read();
+        let Some(obs) = guard.as_ref() else { return };
+        obs.read_ops.inc();
+        obs.bytes_read.add(read_bytes);
+        if let Some(oo) = obs.per_osd.get(primary) {
+            oo.ops.inc();
+            oo.bytes_read.add(read_bytes);
+        }
     }
 
     fn placement_for(name: &str, osd_count: usize, replication: usize, up: &[bool]) -> Vec<usize> {
@@ -277,19 +344,18 @@ impl InMemoryStore {
         }
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(replicated, Ordering::Relaxed);
+        self.obs_charge_write(&object.placement, write_bytes);
         Ok((r, version))
     }
 
     /// Runs `f` with a shared reference to the object and charges
     /// `read_bytes` to its primary.
-    fn inspect<R>(
-        &self,
-        id: &ObjectId,
-        f: impl FnOnce(&Object) -> (R, u64),
-    ) -> Result<R> {
+    fn inspect<R>(&self, id: &ObjectId, f: impl FnOnce(&Object) -> (R, u64)) -> Result<R> {
         let mut inner = self.inner.write();
         let Inner { objects, osds } = &mut *inner;
-        let object = objects.get(id).ok_or_else(|| RadosError::NoEnt(id.clone()))?;
+        let object = objects
+            .get(id)
+            .ok_or_else(|| RadosError::NoEnt(id.clone()))?;
         let live = object.placement.iter().copied().find(|&o| osds[o].up);
         let Some(primary) = live else {
             return Err(RadosError::Unavailable(id.clone()));
@@ -299,6 +365,7 @@ impl InMemoryStore {
         osds[primary].ops += 1;
         self.read_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(read_bytes, Ordering::Relaxed);
+        self.obs_charge_read(primary, read_bytes);
         Ok(r)
     }
 }
@@ -362,6 +429,7 @@ impl ObjectStore for InMemoryStore {
         }
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(replicated, Ordering::Relaxed);
+        self.obs_charge_write(&object.placement, bytes);
         Ok(version)
     }
 
@@ -422,7 +490,8 @@ impl ObjectStore for InMemoryStore {
     fn omap_set(&self, id: &ObjectId, key: &str, value: &[u8]) -> Result<u64> {
         let bytes = (key.len() + value.len()) as u64;
         let ((), v) = self.mutate(id, bytes, |o| {
-            o.omap.insert(key.to_string(), Bytes::copy_from_slice(value));
+            o.omap
+                .insert(key.to_string(), Bytes::copy_from_slice(value));
         })?;
         Ok(v)
     }
@@ -457,6 +526,25 @@ impl ObjectStore for InMemoryStore {
             bytes_written: self.bytes_written.swap(0, Ordering::Relaxed),
         }
     }
+
+    fn attach_obs(&self, reg: &Registry) {
+        let osd_count = self.inner.read().osds.len();
+        let per_osd = (0..osd_count)
+            .map(|i| OsdObs {
+                ops: reg.counter(&format!("rados.osd.{i}.ops")),
+                bytes_written: reg.counter(&format!("rados.osd.{i}.bytes_written")),
+                bytes_read: reg.counter(&format!("rados.osd.{i}.bytes_read")),
+                share: reg.gauge(&format!("rados.osd.{i}.write_share")),
+            })
+            .collect();
+        *self.obs.write() = Some(StoreObs {
+            read_ops: reg.counter("rados.store.read_ops"),
+            write_ops: reg.counter("rados.store.write_ops"),
+            bytes_read: reg.counter("rados.store.bytes_read"),
+            bytes_written: reg.counter("rados.store.bytes_written"),
+            per_osd,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +564,50 @@ mod tests {
         let s = store();
         s.write_full(&oid("a"), b"hello").unwrap();
         assert_eq!(s.read(&oid("a")).unwrap().as_ref(), b"hello");
+    }
+
+    #[test]
+    fn attached_registry_mirrors_io() {
+        let s = store(); // 3 OSDs, replication 2
+        let reg = Registry::new();
+        s.attach_obs(&reg);
+        s.write_full(&oid("a"), b"hello").unwrap();
+        s.read(&oid("a")).unwrap();
+        assert_eq!(reg.counter_value("rados.store.write_ops"), Some(1));
+        assert_eq!(reg.counter_value("rados.store.read_ops"), Some(1));
+        // 5 bytes x 2 replicas.
+        assert_eq!(reg.counter_value("rados.store.bytes_written"), Some(10));
+        assert_eq!(reg.counter_value("rados.store.bytes_read"), Some(5));
+        // Per-OSD counters sum to the store-wide totals and the write-share
+        // gauges of the replicas sum to 1.
+        let per_osd_written: u64 = (0..3)
+            .map(|i| {
+                reg.counter_value(&format!("rados.osd.{i}.bytes_written"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(per_osd_written, 10);
+        let share: f64 = (0..3)
+            .map(|i| {
+                reg.gauge_value(&format!("rados.osd.{i}.write_share"))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert!((share - 1.0).abs() < 1e-9, "shares sum to {share}");
+        // The drainable IoDelta is unaffected by mirroring.
+        let d = s.take_io_delta();
+        assert_eq!(d.bytes_written, 10);
+    }
+
+    #[test]
+    fn cas_write_charges_obs_too() {
+        let s = store();
+        let reg = Registry::new();
+        s.attach_obs(&reg);
+        let v = s.cas_write_full(&oid("a"), 0, b"abc").unwrap();
+        s.cas_write_full(&oid("a"), v, b"defg").unwrap();
+        assert_eq!(reg.counter_value("rados.store.write_ops"), Some(2));
+        assert_eq!(reg.counter_value("rados.store.bytes_written"), Some(14));
     }
 
     #[test]
@@ -511,7 +643,10 @@ mod tests {
         let id = oid("dirfrag");
         s.omap_set(&id, "file-b", b"ino2").unwrap();
         s.omap_set(&id, "file-a", b"ino1").unwrap();
-        assert_eq!(s.omap_get(&id, "file-a").unwrap().unwrap().as_ref(), b"ino1");
+        assert_eq!(
+            s.omap_get(&id, "file-a").unwrap().unwrap().as_ref(),
+            b"ino1"
+        );
         assert_eq!(s.omap_get(&id, "file-z").unwrap(), None);
         // Listing is sorted by key.
         let all = s.omap_list(&id).unwrap();
@@ -528,7 +663,8 @@ mod tests {
         s.write_full(&oid("200.00000000"), b"j").unwrap();
         s.write_full(&oid("200.00000001"), b"j").unwrap();
         s.write_full(&oid("300.00000000"), b"j").unwrap();
-        s.write_full(&ObjectId::new(PoolId::DATA, "200.00000009"), b"d").unwrap();
+        s.write_full(&ObjectId::new(PoolId::DATA, "200.00000009"), b"d")
+            .unwrap();
         let js = s.list(PoolId::METADATA, "200.");
         assert_eq!(js.len(), 2);
         assert_eq!(js[0].name, "200.00000000"); // sorted
@@ -611,7 +747,11 @@ mod tests {
         assert_eq!(s.read(&oid("a")).unwrap().as_ref(), b"first");
         // Stale expectation fails and reports the actual version.
         match s.cas_write_full(&oid("a"), 0, b"clobber") {
-            Err(RadosError::VersionMismatch { expected: 0, actual, .. }) => {
+            Err(RadosError::VersionMismatch {
+                expected: 0,
+                actual,
+                ..
+            }) => {
                 assert_eq!(actual, v1)
             }
             other => panic!("expected mismatch, got {other:?}"),

@@ -93,7 +93,10 @@ impl fmt::Display for RadosError {
                 object,
                 expected,
                 actual,
-            } => write!(f, "object {object} version mismatch: expected {expected}, found {actual}"),
+            } => write!(
+                f,
+                "object {object} version mismatch: expected {expected}, found {actual}"
+            ),
         }
     }
 }
@@ -126,8 +129,12 @@ mod tests {
     #[test]
     fn error_display() {
         let o = ObjectId::new(PoolId::METADATA, "x");
-        assert!(RadosError::NoEnt(o.clone()).to_string().contains("does not exist"));
-        assert!(RadosError::Unavailable(o.clone()).to_string().contains("unavailable"));
+        assert!(RadosError::NoEnt(o.clone())
+            .to_string()
+            .contains("does not exist"));
+        assert!(RadosError::Unavailable(o.clone())
+            .to_string()
+            .contains("unavailable"));
         let e = RadosError::VersionMismatch {
             object: o,
             expected: 1,

@@ -116,21 +116,21 @@ impl CostModel {
     pub fn calibrated() -> Self {
         let client_append = per_op(11_000.0); // 90_909 ns
         let mds_create_cpu = per_op(3_000.0); // 333_333 ns
-        // The paper's per-figure absolute baselines (654/513/549 creates/s)
-        // were measured in separate runs and are not mutually consistent
-        // with its headline ratios; we calibrate to the *ratios*, which are
-        // what the paper claims. RPCs is 17.9x the append baseline
-        // (Figure 5), so one journal-off RPC create cycle is
-        // 17.9 * client_append (~1.63 ms -> ~614 creates/s, vs the paper's
-        // 654); subtracting the MDS CPU share leaves the client-visible
-        // overhead.
+                                              // The paper's per-figure absolute baselines (654/513/549 creates/s)
+                                              // were measured in separate runs and are not mutually consistent
+                                              // with its headline ratios; we calibrate to the *ratios*, which are
+                                              // what the paper claims. RPCs is 17.9x the append baseline
+                                              // (Figure 5), so one journal-off RPC create cycle is
+                                              // 17.9 * client_append (~1.63 ms -> ~614 creates/s, vs the paper's
+                                              // 654); subtracting the MDS CPU share leaves the client-visible
+                                              // overhead.
         let rpc_overhead = client_append.scale(17.9) - mds_create_cpu; // ~1.29 ms
-        // Stream costs 2.4x the append baseline per event (Figure 5's
-        // "journal on minus journal off"); ~71 us of it is MDS CPU (so the
-        // journal-on MDS peak lands at ~2470 ops/s, the ~4.5x plateau of
-        // Figure 6a over its ~549 c/s baseline), the rest is pipelined
-        // commit wait. One journal-on RPC cycle is then ~1.85 ms
-        // (~542 creates/s, vs the paper's 513-549).
+                                                                       // Stream costs 2.4x the append baseline per event (Figure 5's
+                                                                       // "journal on minus journal off"); ~71 us of it is MDS CPU (so the
+                                                                       // journal-on MDS peak lands at ~2470 ops/s, the ~4.5x plateau of
+                                                                       // Figure 6a over its ~549 c/s baseline), the rest is pipelined
+                                                                       // commit wait. One journal-on RPC cycle is then ~1.85 ms
+                                                                       // (~542 creates/s, vs the paper's 513-549).
         let journal_extra = client_append.scale(2.4); // ~218 us
         let stream_mds_cpu = Nanos::from_micros(71);
         let stream_client_latency = journal_extra - stream_mds_cpu;
@@ -262,7 +262,11 @@ mod tests {
         // the paper's separate runs measured 654).
         let off = (m.rpc_overhead + m.mds_create_cpu).as_secs_f64();
         assert!(close(off, 17.9 * m.client_append.as_secs_f64(), 0.001));
-        assert!(close(1.0 / off, 614.0, 0.01), "journal-off rate {}", 1.0 / off);
+        assert!(
+            close(1.0 / off, 614.0, 0.01),
+            "journal-off rate {}",
+            1.0 / off
+        );
         // Journal on adds 2.4x the append baseline (~542 c/s; the paper's
         // runs measured 513-549).
         let on = (m.rpc_overhead + m.mds_create_cpu + m.stream_mds_cpu + m.stream_client_latency)
@@ -285,7 +289,11 @@ mod tests {
         let one_client = 1.0
             / (m.rpc_overhead + m.mds_create_cpu + m.stream_mds_cpu + m.stream_client_latency)
                 .as_secs_f64();
-        assert!(close(peak / one_client, 4.5, 0.03), "plateau {}", peak / one_client);
+        assert!(
+            close(peak / one_client, 4.5, 0.03),
+            "plateau {}",
+            peak / one_client
+        );
     }
 
     #[test]
@@ -340,8 +348,8 @@ mod tests {
         let above = m.fork_cost(600 * 1024 * 1024);
         assert!(at > below);
         // Marginal cost per byte jumps past the threshold.
-        let slope_below =
-            (at.as_secs_f64() - below.as_secs_f64()) / (m.memory_pressure_threshold - 100 * 1024 * 1024) as f64;
+        let slope_below = (at.as_secs_f64() - below.as_secs_f64())
+            / (m.memory_pressure_threshold - 100 * 1024 * 1024) as f64;
         let slope_above = (above.as_secs_f64() - at.as_secs_f64())
             / (600 * 1024 * 1024 - m.memory_pressure_threshold) as f64;
         assert!(slope_above > 2.0 * slope_below);

@@ -54,7 +54,11 @@ impl RunReport {
     /// Completion instant of the slowest process — the metric the paper
     /// plots for "slowdown of the slowest client" (Figures 3b, 6b).
     pub fn slowest(&self) -> Nanos {
-        self.completions.iter().copied().max().unwrap_or(Nanos::ZERO)
+        self.completions
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Nanos::ZERO)
     }
 
     /// Completion instant of the slowest process among a subset, identified
@@ -66,6 +70,29 @@ impl RunReport {
             .map(|&i| self.completions[i])
             .max()
             .unwrap_or(Nanos::ZERO)
+    }
+
+    /// A one-object JSON summary of the run (virtual times in nanoseconds),
+    /// for embedding in `--metrics-out` snapshots. Deterministic: depends
+    /// only on the report's fields.
+    pub fn summary_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"end_time_ns\": {}, \"slowest_ns\": {}, \"steps\": {}, \"completions_ns\": [",
+            self.end_time.0,
+            self.slowest().0,
+            self.steps
+        );
+        for (i, c) in self.completions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", c.0);
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -245,9 +272,11 @@ mod tests {
             log: Vec::new(),
         };
         let mut eng = Engine::new(world);
-        eng.add_process(Box::new(ClosedLoopClient::new("c", 3, |now, w: &mut World| {
-            w.server.serve(now, Nanos(100))
-        })));
+        eng.add_process(Box::new(ClosedLoopClient::new(
+            "c",
+            3,
+            |now, w: &mut World| w.server.serve(now, Nanos(100)),
+        )));
         let (w, report) = eng.run();
         // Three back-to-back 100ns ops.
         assert_eq!(report.slowest(), Nanos(300));
@@ -305,14 +334,22 @@ mod tests {
             log: Vec::new(),
         };
         let mut eng = Engine::new(world);
-        eng.add_process(Box::new(ClosedLoopClient::new("a", 1, |now, w: &mut World| {
-            w.log.push((now, "a"));
-            now + Nanos(1)
-        })));
-        eng.add_process(Box::new(ClosedLoopClient::new("b", 1, |now, w: &mut World| {
-            w.log.push((now, "b"));
-            now + Nanos(1)
-        })));
+        eng.add_process(Box::new(ClosedLoopClient::new(
+            "a",
+            1,
+            |now, w: &mut World| {
+                w.log.push((now, "a"));
+                now + Nanos(1)
+            },
+        )));
+        eng.add_process(Box::new(ClosedLoopClient::new(
+            "b",
+            1,
+            |now, w: &mut World| {
+                w.log.push((now, "b"));
+                now + Nanos(1)
+            },
+        )));
         let (w, _) = eng.run();
         assert_eq!(w.log[0].1, "a");
         assert_eq!(w.log[1].1, "b");

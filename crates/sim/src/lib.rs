@@ -44,5 +44,8 @@ pub use cost::{dispatch_penalty, CostModel};
 pub use engine::{ClosedLoopClient, Engine, Process, RunReport, Step};
 pub use plot::render_plot;
 pub use resource::{BandwidthLink, FifoServer};
-pub use stats::{mean, render_table, slowdown, speedup, stddev, summarize, Series, Summary};
+pub use stats::{
+    mean, p50, p95, p99, percentile, render_table, slowdown, speedup, stddev, summarize, Series,
+    Summary,
+};
 pub use time::{per_op, transfer_time, Nanos};

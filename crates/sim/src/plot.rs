@@ -87,11 +87,7 @@ pub fn render_plot(series: &[Series], width: usize, height: usize) -> String {
     out.push_str(&x_right);
     out.push('\n');
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "{} {}  ",
-            GLYPHS[si % GLYPHS.len()],
-            s.label
-        ));
+        out.push_str(&format!("{} {}  ", GLYPHS[si % GLYPHS.len()], s.label));
     }
     out.push('\n');
     out

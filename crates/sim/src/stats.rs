@@ -46,6 +46,43 @@ pub fn summarize(xs: &[f64]) -> Summary {
     }
 }
 
+/// The `q`-th percentile (`0..=100`) of a sample, by linear interpolation
+/// between closest ranks (the "exclusive of extrapolation" convention
+/// numpy calls `linear`). The input need not be sorted. Returns NaN for an
+/// empty slice; a single-element slice returns that element for every `q`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 100.0);
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+/// Median ([`percentile`] at 50).
+pub fn p50(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// 95th percentile.
+pub fn p95(xs: &[f64]) -> f64 {
+    percentile(xs, 95.0)
+}
+
+/// 99th percentile.
+pub fn p99(xs: &[f64]) -> f64 {
+    percentile(xs, 99.0)
+}
+
 /// Slowdown of `t` relative to `baseline` (1.0 = as fast as baseline,
 /// 2.0 = twice as slow). This is the normalization used throughout the
 /// paper's figures.
@@ -121,7 +158,7 @@ pub fn render_table(x_label: &str, series: &[Series]) -> String {
     let mut xs: Vec<f64> = Vec::new();
     for s in series {
         for &(x, _, _) in &s.points {
-            if !xs.iter().any(|&v| v == x) {
+            if !xs.contains(&x) {
                 xs.push(x);
             }
         }
@@ -201,6 +238,36 @@ mod tests {
         // Sample std of {2,4,4,4,5,5,7,9} is ~2.138.
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         assert!((stddev(&xs) - 2.138).abs() < 0.001);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(p50(&[]).is_nan());
+        assert!(p95(&[]).is_nan());
+        assert!(p99(&[]).is_nan());
+    }
+
+    #[test]
+    fn percentile_single_element_for_all_q() {
+        for q in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // Unsorted on purpose.
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(p50(&xs), 25.0); // halfway between ranks 1 and 2
+                                    // rank = 0.95 * 3 = 2.85 -> 30 + 0.85 * 10.
+        assert!((p95(&xs) - 38.5).abs() < 1e-12);
+        assert!((p99(&xs) - 39.7).abs() < 1e-12);
+        // Out-of-range q clamps.
+        assert_eq!(percentile(&xs, -5.0), 10.0);
+        assert_eq!(percentile(&xs, 250.0), 40.0);
     }
 
     #[test]

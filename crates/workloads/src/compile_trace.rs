@@ -94,7 +94,7 @@ pub fn compile_phases(scale: f64) -> Vec<Phase> {
                 name: "linux.tar.xz".into(),
             },
             PhaseOp::DataWrite {
-                bytes: (100 << 20) / 1, // ~100 MB tarball
+                bytes: (100 << 20), // ~100 MB tarball
             },
         ],
     };
@@ -193,7 +193,10 @@ mod tests {
     fn five_phases_in_order() {
         let phases = compile_phases(0.01);
         let names: Vec<&str> = phases.iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["download", "untar", "configure", "make", "install"]);
+        assert_eq!(
+            names,
+            vec!["download", "untar", "configure", "make", "install"]
+        );
     }
 
     #[test]
@@ -223,7 +226,10 @@ mod tests {
 
     #[test]
     fn scale_scales() {
-        let small: u64 = compile_phases(0.01).iter().map(|p| p.ops.len() as u64).sum();
+        let small: u64 = compile_phases(0.01)
+            .iter()
+            .map(|p| p.ops.len() as u64)
+            .sum();
         let big: u64 = compile_phases(0.1).iter().map(|p| p.ops.len() as u64).sum();
         assert!(big > 5 * small);
     }

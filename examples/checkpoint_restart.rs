@@ -69,7 +69,10 @@ fn main() {
         t_persist = t_persist.max(client.local_persist(disk, &cm).unwrap());
     }
 
-    println!("checkpoint-restart: {} ranks x {} steps = {} creates", workload.ranks, workload.steps, total);
+    println!(
+        "checkpoint-restart: {} ranks x {} steps = {} creates",
+        workload.ranks, workload.steps, total
+    );
     println!("  POSIX (RPCs)          : {t_rpcs}");
     println!("  decoupled create      : {t_create} (+{t_persist} local persist)");
     println!(
@@ -95,7 +98,10 @@ fn main() {
     )
     .unwrap();
     assert_eq!(recovered.events(), clients[crashed].events());
-    println!("rank {crashed} recovered: {} checkpoint events replayed from local disk", recovered.event_count());
+    println!(
+        "rank {crashed} recovered: {} checkpoint events replayed from local disk",
+        recovered.event_count()
+    );
 
     // Rank 5's node stays down: its checkpoints are gone — "this scenario
     // is a disaster for checkpoint-restart where missed cycles may cause
@@ -109,7 +115,9 @@ fn main() {
         &disks[lost],
     );
     assert!(result.is_err());
-    println!("rank {lost} stayed down: checkpoints lost, rank must recompute (local durability's limit)");
+    println!(
+        "rank {lost} stayed down: checkpoints lost, rank must recompute (local durability's limit)"
+    );
 
     // --- Merge the surviving ranks into the global namespace --------------
     let mut merged = 0;

@@ -48,7 +48,8 @@ fn main() {
 
     // Both users work...
     for i in 0..50 {
-        fs.create(ALICE, &format!("/home/alice/run-{i}.dat")).unwrap();
+        fs.create(ALICE, &format!("/home/alice/run-{i}.dat"))
+            .unwrap();
         fs.create(BOB, &format!("/home/bob/run-{i}.dat")).unwrap();
     }
 

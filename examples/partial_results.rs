@@ -51,7 +51,9 @@ fn main() {
         // Produce a batch of results.
         let batch = 1000.min(spec.total_updates - produced);
         for _ in 0..batch {
-            writer.create(writer.root, &format!("part-{produced:07}")).unwrap();
+            writer
+                .create(writer.root, &format!("part-{produced:07}"))
+                .unwrap();
             produced += 1;
         }
         t += cm.client_append * batch;

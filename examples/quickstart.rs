@@ -39,7 +39,10 @@ fn main() {
     .unwrap();
     fs.decouple(BOB, "/ramdisk", &Policy::ramdisk()).unwrap();
 
-    println!("subtree policies (monitor map, version {}):", fs.monitor().version());
+    println!(
+        "subtree policies (monitor map, version {}):",
+        fs.monitor().version()
+    );
     for (path, policy, v) in fs.monitor().subtrees() {
         println!(
             "  v{v} {path:<10} {}/{}  ->  {}",

@@ -130,16 +130,20 @@ fn main() {
     for t in 0..TASKS_PER_WORKER {
         for w in 0..WORKERS {
             let dir = format!("/jobs/stage-weak/worker-{w}");
-            fs.create(worker(w), &format!("{dir}/part-{t:04}.tmp")).unwrap();
+            fs.create(worker(w), &format!("{dir}/part-{t:04}.tmp"))
+                .unwrap();
             fs.create(worker(w), &format!("{dir}/part-{t:04}")).unwrap();
-            fs.create(worker(w), &format!("{dir}/part-{t:04}.DONE")).unwrap();
+            fs.create(worker(w), &format!("{dir}/part-{t:04}.DONE"))
+                .unwrap();
         }
     }
     // Stage commit: each worker merges once; global durability comes from
     // the HDFS cell's global_persist.
     let mut total_merge_events = 0;
     for w in 0..WORKERS {
-        let report = fs.merge(worker(w), &format!("/jobs/stage-weak/worker-{w}")).unwrap();
+        let report = fs
+            .merge(worker(w), &format!("/jobs/stage-weak/worker-{w}"))
+            .unwrap();
         total_merge_events += report.events;
     }
     let rpcs_weak = fs.server().counters().rpcs;
@@ -154,7 +158,8 @@ fn main() {
 
     // The metadata bill, in calibrated time: per task, POSIX pays ~3 RPC
     // round trips; decoupled pays ~3 in-memory appends.
-    let posix_per_task = (cm.rpc_overhead + cm.mds_create_cpu + cm.stream_mds_cpu + cm.stream_client_latency) * 3;
+    let posix_per_task =
+        (cm.rpc_overhead + cm.mds_create_cpu + cm.stream_mds_cpu + cm.stream_client_latency) * 3;
     let weak_per_task = cm.client_append * 3;
     println!(
         "\nmetadata cost per task: posix ~{posix_per_task}, decoupled ~{weak_per_task} ({:.0}x less)",

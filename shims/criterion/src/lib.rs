@@ -1,0 +1,185 @@
+//! Minimal stand-in for the `criterion` crate (offline build environment).
+//!
+//! Provides the API surface the workspace's `benches/` use — groups,
+//! `bench_function`, `iter`/`iter_batched`, throughput annotation — with a
+//! plain wall-clock timing loop instead of criterion's statistical engine.
+//! Good enough to smoke-run the benches and eyeball relative costs; not a
+//! rigorous measurement tool.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    /// When invoked via `cargo test --benches`, cargo passes `--test`:
+    /// run one iteration per benchmark, just to prove it executes.
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+            smoke_only: self.smoke_only,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let smoke = self.smoke_only;
+        run_one(name, None, 10, smoke, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    smoke_only: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, self.sample_size, self.smoke_only, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    smoke_only: bool,
+    mut f: F,
+) {
+    // Keep total runtime bounded: a handful of samples, not criterion's
+    // hundreds. `--test` mode does a single pass.
+    let samples = if smoke_only { 1 } else { sample_size.min(10) };
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed / b.iters.max(1) as u32;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    let mut line = format!("{name:<40} time: {best:>12.3?}/iter");
+    if let Some(t) = throughput {
+        let secs = best.as_secs_f64();
+        if secs > 0.0 {
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} elem/s", n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} B/s", n as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { smoke_only: true };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("iter", |b| b.iter(|| count += 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal stand-in for `crossbeam` (offline build environment), covering
+//! only `crossbeam::thread::scope` + `Scope::spawn` as used by the
+//! concurrency tests. Built on `std::thread::scope` (stable since 1.63).
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Token passed to spawned closures. crossbeam passes `&Scope` so nested
+    /// spawns are possible; every call site in this workspace ignores the
+    /// argument (`|_| …`), so a zero-sized token suffices.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ScopeToken;
+
+    /// Scope handle: spawn threads that may borrow from the enclosing stack
+    /// frame; all are joined before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(std_thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(ScopeToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(ScopeToken)))
+        }
+    }
+
+    /// Like `crossbeam::thread::scope`: child panics surface as `Err`, not
+    /// as a panic in the caller, preserving the `scope(...).unwrap()` idiom.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let n = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

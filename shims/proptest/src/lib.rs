@@ -1,0 +1,711 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so the real crate cannot be fetched.
+//! This shim keeps the property-test suites running with the same API:
+//! `proptest!` blocks, `Strategy` combinators (`prop_map`, tuples, ranges,
+//! regex-ish string generation, collections, `prop_oneof!`), and the
+//! `prop_assert*` macros. Differences from real proptest: generation is a
+//! fixed deterministic seed schedule (no env-var seeds, no persisted
+//! failures) and there is **no shrinking** — a failure reports the case
+//! number instead of a minimized input.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 stream driving all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `[0, bound)`; `bound` must be non-zero.
+        pub fn index(&mut self, bound: usize) -> usize {
+            debug_assert!(bound > 0);
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The input was rejected (treated as a skip, not a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { strat: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        strat: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strat.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy (`Rc` so generators built from clones stay cheap).
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.index(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// A `&str` literal is a regex strategy, as in real proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .expect("invalid regex strategy literal")
+                .generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = sample_size(&self.size, rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = sample_size(&self.size, rng);
+            let mut out = BTreeSet::new();
+            // Duplicates collapse; retry a bounded number of times so the
+            // minimum size is honored for any non-degenerate element domain.
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 16 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = sample_size(&self.size, rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 16 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    fn sample_size(range: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(range.start < range.end, "empty collection size range");
+        range.start + rng.index(range.end - range.start)
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    pub fn hash_set<S: Strategy>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { elem, size }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// Error from parsing a regex strategy pattern.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct RegexError(pub String);
+
+    impl fmt::Display for RegexError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unsupported regex strategy: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for RegexError {}
+
+    /// One `[class]{m,n}` (or literal) piece of a branch.
+    #[derive(Clone, Debug)]
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generator for the supported regex subset: alternation (`|`) of
+    /// sequences of character classes / literals with `{m}` / `{m,n}`
+    /// quantifiers. That covers every pattern used in this workspace.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        branches: Vec<Vec<Piece>>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let branch = &self.branches[rng.index(self.branches.len())];
+            let mut out = String::new();
+            for piece in branch {
+                let n = piece.min + rng.index(piece.max - piece.min + 1);
+                for _ in 0..n {
+                    out.push(piece.chars[rng.index(piece.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, RegexError> {
+        let mut branches = Vec::new();
+        for branch in pattern.split('|') {
+            branches.push(parse_branch(branch)?);
+        }
+        if branches.is_empty() {
+            return Err(RegexError(pattern.to_string()));
+        }
+        Ok(RegexGeneratorStrategy { branches })
+    }
+
+    fn parse_branch(branch: &str) -> Result<Vec<Piece>, RegexError> {
+        let mut pieces = Vec::new();
+        let mut it = branch.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => parse_class(&mut it)?,
+                '\\' => {
+                    let lit = it.next().ok_or_else(|| RegexError(branch.into()))?;
+                    vec![lit]
+                }
+                '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' => {
+                    return Err(RegexError(branch.into()));
+                }
+                lit => vec![lit],
+            };
+            if chars.is_empty() {
+                return Err(RegexError(branch.into()));
+            }
+            let (min, max) = parse_quantifier(&mut it, branch)?;
+            pieces.push(Piece { chars, min, max });
+        }
+        Ok(pieces)
+    }
+
+    fn parse_class(
+        it: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Vec<char>, RegexError> {
+        let mut chars = Vec::new();
+        loop {
+            let c = it
+                .next()
+                .ok_or_else(|| RegexError("unterminated [".into()))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let lit = it
+                        .next()
+                        .ok_or_else(|| RegexError("dangling escape".into()))?;
+                    chars.push(lit);
+                }
+                lo => {
+                    if it.peek() == Some(&'-') {
+                        let mut ahead = it.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&']') | None => chars.push(lo), // trailing '-': literal next loop
+                            Some(&hi) => {
+                                it.next(); // '-'
+                                it.next(); // hi
+                                for u in (lo as u32)..=(hi as u32) {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        chars.push(ch);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        chars.push(lo);
+                    }
+                }
+            }
+        }
+        Ok(chars)
+    }
+
+    fn parse_quantifier(
+        it: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        branch: &str,
+    ) -> Result<(usize, usize), RegexError> {
+        if it.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        it.next(); // '{'
+        let mut body = String::new();
+        loop {
+            match it.next() {
+                Some('}') => break,
+                Some(c) => body.push(c),
+                None => return Err(RegexError(branch.into())),
+            }
+        }
+        let parts: Vec<&str> = body.split(',').collect();
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| RegexError(branch.into()))
+        };
+        match parts.as_slice() {
+            [n] => {
+                let n = parse(n)?;
+                Ok((n, n))
+            }
+            [m, n] => {
+                let (m, n) = (parse(m)?, parse(n)?);
+                if m > n {
+                    return Err(RegexError(branch.into()));
+                }
+                Ok((m, n))
+            }
+            _ => Err(RegexError(branch.into())),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            __lhs,
+            __rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)*),
+            __lhs,
+            __rhs
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs != *__rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            __lhs,
+            __rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs != *__rhs,
+            "{}: both were `{:?}`",
+            format!($($fmt)*),
+            __lhs
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ( $($strat,)* );
+            for __case in 0u32..__config.cases {
+                // Fixed seed schedule: deterministic across runs/machines.
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    0xC0DE_1EAF_u64
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(__case as u64),
+                );
+                let ( $(ref $arg,)* ) = __strategies;
+                let ( $($arg,)* ) = (
+                    $($crate::strategy::Strategy::generate($arg, &mut __rng),)*
+                );
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err(__e) => {
+                        panic!("proptest case #{} failed: {}", __case, __e);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let strat = crate::string::string_regex("[a-z]{1,6}").unwrap();
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        let alt = crate::string::string_regex("[a-zA-Z0-9._\\-]{1,24}|[α-ωあ-ん]{1,8}").unwrap();
+        for _ in 0..100 {
+            let s = alt.generate(&mut rng);
+            assert!(!s.is_empty());
+            assert!(!s.contains('/'));
+        }
+    }
+
+    #[test]
+    fn collections_honor_min_size() {
+        let strat = crate::collection::hash_set("[a-z]{1,6}", 5..9);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.len() >= 5 && s.len() < 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_strategies_and_asserts(
+            x in 0u32..10,
+            ys in crate::collection::vec(0u64..5, 1..4),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!(!ys.is_empty() && ys.len() < 4);
+            for y in ys {
+                prop_assert_ne!(y, 99);
+            }
+            prop_assert_eq!(x + 1, x + 1, "arith sanity {}", x);
+        }
+    }
+}

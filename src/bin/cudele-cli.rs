@@ -211,7 +211,14 @@ commands:
         }
         Some("tree") => {
             for (path, ftype) in fs.namespace().shape() {
-                println!("{path}{}", if matches!(ftype, cudele_journal::FileType::Dir) { "/" } else { "" });
+                println!(
+                    "{path}{}",
+                    if matches!(ftype, cudele_journal::FileType::Dir) {
+                        "/"
+                    } else {
+                        ""
+                    }
+                );
             }
             Ok(())
         }
@@ -221,7 +228,9 @@ commands:
             Ok(())
         }
         Some("crash-mds") => {
-            fs.server_mut().crash_and_recover().map_err(|e| e.to_string())?;
+            fs.server_mut()
+                .crash_and_recover()
+                .map_err(|e| e.to_string())?;
             println!("MDS crashed and recovered from the object store");
             Ok(())
         }

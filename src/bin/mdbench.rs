@@ -1,0 +1,6 @@
+//! Root-package `mdbench` entry point, so `cargo run --bin mdbench` works
+//! from the workspace root. The benchmark lives in [`cudele_bench::mdbench`].
+
+fn main() {
+    cudele_bench::mdbench::main()
+}

@@ -120,7 +120,9 @@ fn mds_behind_a_lock_with_parallel_clients() {
             s.spawn(move |_| {
                 server.lock().open_session(ClientId(t));
                 for i in 0..per_thread {
-                    let r = server.lock().create(ClientId(t), dir, &format!("t{t}-f{i}"));
+                    let r = server
+                        .lock()
+                        .create(ClientId(t), dir, &format!("t{t}-f{i}"));
                     r.result.unwrap();
                 }
                 // Also contend on one shared name: exactly one wins.

@@ -68,7 +68,10 @@ fn mkdir_p_is_idempotent() {
     let i1 = fs.mkdir_p("/x/y/z").unwrap();
     let i2 = fs.mkdir_p("/x/y/z").unwrap();
     assert_eq!(i1, i2);
-    assert_eq!(fs.mkdir_p("/x").unwrap(), fs.namespace().resolve("/x").unwrap());
+    assert_eq!(
+        fs.mkdir_p("/x").unwrap(),
+        fs.namespace().resolve("/x").unwrap()
+    );
 }
 
 #[test]
@@ -86,7 +89,8 @@ fn merge_of_empty_decoupled_subtree_is_cheap_noop() {
     let mut fs = CudeleFs::new();
     fs.mount(ClientId(1)).unwrap();
     fs.mkdir_p("/idle").unwrap();
-    fs.decouple(ClientId(1), "/idle", &Policy::batchfs()).unwrap();
+    fs.decouple(ClientId(1), "/idle", &Policy::batchfs())
+        .unwrap();
     let report = fs.merge(ClientId(1), "/idle").unwrap();
     assert_eq!(report.events, 0);
     // local_persist of an empty journal + volatile apply of nothing.
@@ -111,7 +115,9 @@ fn double_merge_does_not_duplicate() {
 fn decouple_of_missing_path_fails() {
     let mut fs = CudeleFs::new();
     fs.mount(ClientId(1)).unwrap();
-    assert!(fs.decouple(ClientId(1), "/ghost", &Policy::batchfs()).is_err());
+    assert!(fs
+        .decouple(ClientId(1), "/ghost", &Policy::batchfs())
+        .is_err());
 }
 
 // ---------------------------------------------------------------------
@@ -135,7 +141,8 @@ fn deep_paths_resolve() {
     let mut path = String::new();
     for depth in 0..64u64 {
         let ino = InodeId(0x1000 + depth);
-        ms.mkdir(parent, &format!("d{depth}"), ino, Attrs::dir_default()).unwrap();
+        ms.mkdir(parent, &format!("d{depth}"), ino, Attrs::dir_default())
+            .unwrap();
         path.push_str(&format!("/d{depth}"));
         parent = ino;
     }
@@ -148,11 +155,24 @@ fn deep_paths_resolve() {
 #[test]
 fn names_with_exotic_characters() {
     let mut ms = MetadataStore::new();
-    for (i, name) in ["with space", "tab\there", "émoji-😀", "dot.", "..hidden", "-"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "with space",
+        "tab\there",
+        "émoji-😀",
+        "dot.",
+        "..hidden",
+        "-",
+    ]
+    .iter()
+    .enumerate()
     {
-        ms.create(InodeId::ROOT, name, InodeId(0x1000 + i as u64), Attrs::file_default()).unwrap();
+        ms.create(
+            InodeId::ROOT,
+            name,
+            InodeId(0x1000 + i as u64),
+            Attrs::file_default(),
+        )
+        .unwrap();
     }
     assert_eq!(ms.readdir(InodeId::ROOT).unwrap().len(), 6);
     // And they round-trip the codec inside journals.
@@ -187,7 +207,11 @@ fn engine_with_no_processes_finishes_at_zero() {
 fn zero_op_client_completes_immediately() {
     use cudele_sim::ClosedLoopClient;
     let mut eng = Engine::new(());
-    eng.add_process(Box::new(ClosedLoopClient::new("idle", 0, |now, _: &mut ()| now)));
+    eng.add_process(Box::new(ClosedLoopClient::new(
+        "idle",
+        0,
+        |now, _: &mut ()| now,
+    )));
     let (_, report) = eng.run();
     assert_eq!(report.slowest(), Nanos::ZERO);
 }

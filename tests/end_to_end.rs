@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full Cudele lifecycles spanning the
 //! facade, metadata server, clients, journal, and object store.
 
-use cudele::{
-    Consistency, CudeleFs, Durability, FsError, InterferePolicy, Policy,
-};
+use cudele::{Consistency, CudeleFs, Durability, FsError, InterferePolicy, Policy};
 use cudele_mds::{ClientId, MdsError};
 
 const A: ClientId = ClientId(1);
@@ -73,7 +71,8 @@ fn deep_nested_decoupled_tree_merges_completely() {
         for s in 0..3 {
             fs.mkdir(B, &format!("/batch/job{j}/stage{s}")).unwrap();
             for f in 0..5 {
-                fs.create(B, &format!("/batch/job{j}/stage{s}/part{f}")).unwrap();
+                fs.create(B, &format!("/batch/job{j}/stage{s}/part{f}"))
+                    .unwrap();
             }
         }
     }
@@ -281,7 +280,8 @@ fn hundredfold_scale_smoke() {
     }
     for i in 0..3u32 {
         for f in 0..3000 {
-            fs.create(ClientId(i), &format!("/job{i}/file-{f:05}")).unwrap();
+            fs.create(ClientId(i), &format!("/job{i}/file-{f:05}"))
+                .unwrap();
         }
     }
     for i in 0..3u32 {

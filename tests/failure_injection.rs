@@ -160,7 +160,14 @@ fn mds_crash_before_merge_preserves_nothing_of_the_decoupled_job() {
     // leaves the global namespace without them (by design — invisible).
     r.server.flush_journal();
     r.server.crash_and_recover().unwrap();
-    assert!(r.server.store().readdir(r.client.root).map(|v| v.len()).unwrap_or(0) == 0);
+    assert!(
+        r.server
+            .store()
+            .readdir(r.client.root)
+            .map(|v| v.len())
+            .unwrap_or(0)
+            == 0
+    );
     // The client journal is intact client-side; the merge can run later.
     assert_eq!(r.client.event_count(), 50);
 }
@@ -225,17 +232,29 @@ fn stream_flush_boundary_is_exactly_what_survives() {
     let dir = server.setup_dir("/posix").unwrap();
     let sub = server.mkdir(CLIENT, dir, "work").result.unwrap();
     for i in 0..30 {
-        server.create(CLIENT, sub.ino, &format!("pre-{i}")).result.unwrap();
+        server
+            .create(CLIENT, sub.ino, &format!("pre-{i}"))
+            .result
+            .unwrap();
     }
     server.flush_journal(); // checkpoint
     for i in 0..30 {
-        server.create(CLIENT, sub.ino, &format!("post-{i}")).result.unwrap();
+        server
+            .create(CLIENT, sub.ino, &format!("post-{i}"))
+            .result
+            .unwrap();
     }
     // Crash without flushing the post-writes.
     server.crash_and_recover().unwrap();
     let entries = server.store().readdir(sub.ino).unwrap();
-    let pre = entries.iter().filter(|(n, _)| n.starts_with("pre-")).count();
-    let post = entries.iter().filter(|(n, _)| n.starts_with("post-")).count();
+    let pre = entries
+        .iter()
+        .filter(|(n, _)| n.starts_with("pre-"))
+        .count();
+    let post = entries
+        .iter()
+        .filter(|(n, _)| n.starts_with("post-"))
+        .count();
     assert_eq!(pre, 30, "flushed updates must survive");
     assert_eq!(post, 0, "unflushed updates must be lost");
 }

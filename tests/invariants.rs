@@ -130,7 +130,10 @@ fn check_store_consistency(ms: &MetadataStore) -> Result<(), TestCaseError> {
         if let Some(dir) = ms.dir(ino) {
             for (name, dentry) in dir.entries() {
                 reachable += 1;
-                prop_assert!(ms.inode(dentry.ino).is_some(), "dangling dentry {prefix}/{name}");
+                prop_assert!(
+                    ms.inode(dentry.ino).is_some(),
+                    "dangling dentry {prefix}/{name}"
+                );
                 prop_assert_eq!(
                     ms.parent_of(dentry.ino),
                     Some(ino),

@@ -10,10 +10,8 @@
 use proptest::prelude::*;
 
 use cudele::{parse_policies, render_policies, Composition, Policy};
-use cudele_journal::{
-    decode_journal, encode_journal, Attrs, InodeId, JournalEvent,
-};
-use cudele_mds::{compact_with_report, load_store, flush_store, MetadataStore, ObjectStoreSink};
+use cudele_journal::{decode_journal, encode_journal, Attrs, InodeId, JournalEvent};
+use cudele_mds::{compact_with_report, flush_store, load_store, MetadataStore, ObjectStoreSink};
 use cudele_rados::{InMemoryStore, PoolId};
 use cudele_sim::Nanos;
 
@@ -27,15 +25,20 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_attrs() -> impl Strategy<Value = Attrs> {
-    (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-        |(mode, uid, gid, size, mtime)| Attrs {
+    (
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(mode, uid, gid, size, mtime)| Attrs {
             mode: mode as u32,
             uid,
             gid,
             size: size as u64,
             mtime: Nanos(mtime as u64),
-        },
-    )
+        })
 }
 
 fn arb_event() -> impl Strategy<Value = JournalEvent> {
@@ -77,50 +80,48 @@ fn arb_event() -> impl Strategy<Value = JournalEvent> {
 /// A *well-formed* workload: a sequence of creates/mkdirs/unlinks against
 /// an evolving namespace, so checked-apply always succeeds.
 fn arb_workload() -> impl Strategy<Value = Vec<JournalEvent>> {
-    proptest::collection::vec((any::<u16>(), arb_name(), any::<u8>()), 1..120).prop_map(
-        |steps| {
-            let mut events = Vec::new();
-            let mut dirs = vec![InodeId::ROOT];
-            let mut files: Vec<(InodeId, String)> = Vec::new();
-            let mut next_ino = 0x1000u64;
-            for (sel, name, action) in steps {
-                let parent = dirs[sel as usize % dirs.len()];
-                match action % 4 {
-                    0 => {
-                        // mkdir (fresh unique name via ino suffix)
-                        let ino = InodeId(next_ino);
-                        next_ino += 1;
-                        let name = format!("{name}.d{next_ino}");
-                        events.push(JournalEvent::Mkdir {
-                            parent,
-                            name,
-                            ino,
-                            attrs: Attrs::dir_default(),
-                        });
-                        dirs.push(ino);
-                    }
-                    1 | 2 => {
-                        let ino = InodeId(next_ino);
-                        next_ino += 1;
-                        let name = format!("{name}.f{next_ino}");
-                        events.push(JournalEvent::Create {
-                            parent,
-                            name: name.clone(),
-                            ino,
-                            attrs: Attrs::file_default(),
-                        });
-                        files.push((parent, name));
-                    }
-                    _ => {
-                        if let Some((parent, name)) = files.pop() {
-                            events.push(JournalEvent::Unlink { parent, name });
-                        }
+    proptest::collection::vec((any::<u16>(), arb_name(), any::<u8>()), 1..120).prop_map(|steps| {
+        let mut events = Vec::new();
+        let mut dirs = vec![InodeId::ROOT];
+        let mut files: Vec<(InodeId, String)> = Vec::new();
+        let mut next_ino = 0x1000u64;
+        for (sel, name, action) in steps {
+            let parent = dirs[sel as usize % dirs.len()];
+            match action % 4 {
+                0 => {
+                    // mkdir (fresh unique name via ino suffix)
+                    let ino = InodeId(next_ino);
+                    next_ino += 1;
+                    let name = format!("{name}.d{next_ino}");
+                    events.push(JournalEvent::Mkdir {
+                        parent,
+                        name,
+                        ino,
+                        attrs: Attrs::dir_default(),
+                    });
+                    dirs.push(ino);
+                }
+                1 | 2 => {
+                    let ino = InodeId(next_ino);
+                    next_ino += 1;
+                    let name = format!("{name}.f{next_ino}");
+                    events.push(JournalEvent::Create {
+                        parent,
+                        name: name.clone(),
+                        ino,
+                        attrs: Attrs::file_default(),
+                    });
+                    files.push((parent, name));
+                }
+                _ => {
+                    if let Some((parent, name)) = files.pop() {
+                        events.push(JournalEvent::Unlink { parent, name });
                     }
                 }
             }
-            events
-        },
-    )
+        }
+        events
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -151,10 +152,7 @@ proptest! {
         // Decode must either fail or, if the flip landed in a length field
         // making framing misalign, still not panic. It must never silently
         // return the original events with different bytes accepted.
-        match decode_journal(&bad) {
-            Ok(decoded) => prop_assert_ne!(decoded, events, "corruption at {} accepted", pos),
-            Err(_) => {}
-        }
+        if let Ok(decoded) = decode_journal(&bad) { prop_assert_ne!(decoded, events, "corruption at {} accepted", pos) }
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use cudele::{CudeleFs, Policy};
 use cudele_mds::ClientId;
-use cudele_workloads::{
-    compile_phases, CheckpointPattern, CheckpointWorkload, PhaseOp,
-};
+use cudele_workloads::{compile_phases, CheckpointPattern, CheckpointWorkload, PhaseOp};
 
 const BUILDER: ClientId = ClientId(1);
 const OBSERVER: ClientId = ClientId(2);
@@ -47,7 +45,10 @@ fn kernel_compile_on_posix_subtree() {
     fs.mkdir_p("/build").unwrap();
     // Default semantics: strong/global. Everything is immediately visible.
     let (creates, mkdirs) = replay_compile(&mut fs, "/build", 0.01);
-    assert!(creates > 500 && mkdirs >= 40, "{creates} creates, {mkdirs} mkdirs");
+    assert!(
+        creates > 500 && mkdirs >= 40,
+        "{creates} creates, {mkdirs} mkdirs"
+    );
     // Observer sees the full tree right away.
     assert!(fs.exists(OBSERVER, "/build/linux.tar.xz"));
     assert!(
@@ -136,15 +137,21 @@ fn n_to_n_checkpointing_through_facade() {
     }
     for s in 0..w.steps {
         for r in 0..w.ranks {
-            fs.create(ClientId(r), &format!("{}/{}", w.dir_for_rank(r), w.file_name(r, s)))
-                .unwrap();
+            fs.create(
+                ClientId(r),
+                &format!("{}/{}", w.dir_for_rank(r), w.file_name(r, s)),
+            )
+            .unwrap();
         }
     }
     // DeltaFS semantics: nothing global, each rank owns its truth.
     fs.mount(ClientId(99)).unwrap();
     for r in 0..w.ranks {
         assert!(fs.ls(ClientId(99), &w.dir_for_rank(r)).unwrap().is_empty());
-        assert!(fs.exists(ClientId(r), &format!("{}/{}", w.dir_for_rank(r), w.file_name(r, 0))));
+        assert!(fs.exists(
+            ClientId(r),
+            &format!("{}/{}", w.dir_for_rank(r), w.file_name(r, 0))
+        ));
     }
 }
 
@@ -176,5 +183,5 @@ fn n_to_1_checkpointing_contends_but_completes() {
     // foreign write revokes the cap, and with 4 writers alternating it is
     // never re-granted, so almost every create pays a lookup.
     assert!(fs.server().caps().revocations() >= 1);
-    assert!(fs.server().counters().lookups as u64 > w.total_ops() / 2);
+    assert!(fs.server().counters().lookups > w.total_ops() / 2);
 }
