@@ -44,6 +44,16 @@ pub struct BenchConfig {
     pub metrics_out: Option<String>,
     /// Write a Chrome trace-event JSON file here when the run finishes.
     pub trace_out: Option<String>,
+    /// Fault-injection spec (see `cudele_faults::FaultConfig::parse`),
+    /// e.g. `seed=7,eagain_ppm=20000,osd_outage=3@1ms..5ms`.
+    pub faults: Option<String>,
+    /// Override the mdlog's events-per-segment (default 1024). Smaller
+    /// segments flush to the object store sooner — useful with `--faults`
+    /// so short runs still exercise store I/O.
+    pub mdlog_segment: Option<usize>,
+    /// Override the mdlog's dispatch size (sealed segments flushed
+    /// together; the paper's recommended value, and the default, is 40).
+    pub mdlog_dispatch: Option<u32>,
 }
 
 impl Default for BenchConfig {
@@ -55,6 +65,9 @@ impl Default for BenchConfig {
             composition: None,
             metrics_out: None,
             trace_out: None,
+            faults: None,
+            mdlog_segment: None,
+            mdlog_dispatch: None,
         }
     }
 }
@@ -62,7 +75,10 @@ impl Default for BenchConfig {
 /// The usage string printed on `--help` or a bad invocation.
 pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
-     [--composition DSL] [--metrics-out PATH] [--trace-out PATH]";
+     [--composition DSL] [--metrics-out PATH] [--trace-out PATH] \
+     [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
+osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL] \
+     [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS]";
 
 /// Parses an argument list (element 0 is the program name). `Err` carries
 /// the message to print before the usage string; `--help` yields
@@ -92,6 +108,21 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
             "--composition" => cfg.composition = Some(value(&mut i, "--composition")?),
             "--metrics-out" => cfg.metrics_out = Some(value(&mut i, "--metrics-out")?),
             "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
+            "--faults" => cfg.faults = Some(value(&mut i, "--faults")?),
+            "--mdlog-segment" => {
+                cfg.mdlog_segment = Some(
+                    value(&mut i, "--mdlog-segment")?
+                        .parse()
+                        .map_err(|e| format!("bad --mdlog-segment: {e}"))?,
+                );
+            }
+            "--mdlog-dispatch" => {
+                cfg.mdlog_dispatch = Some(
+                    value(&mut i, "--mdlog-dispatch")?
+                        .parse()
+                        .map_err(|e| format!("bad --mdlog-dispatch: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -146,20 +177,34 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         policy.composition()
     );
 
-    let os = Arc::new(InMemoryStore::paper_default());
+    let mut cost = cudele_sim::CostModel::calibrated();
+    let os: Arc<dyn cudele_rados::ObjectStore> = match &cfg.faults {
+        None => Arc::new(InMemoryStore::paper_default()),
+        Some(spec) => {
+            let fc = cudele_faults::FaultConfig::parse(spec)
+                .map_err(|e| format!("bad --faults: {e}"))?;
+            let (store, degraded) =
+                cudele_faults::wire_faults(Arc::new(InMemoryStore::paper_default()), fc, &cost);
+            cost = degraded;
+            store
+        }
+    };
     let journal_on = policy.composition().contains(cudele::Mechanism::Stream);
+    let mut mdlog_config = cudele_mds::MdLogConfig::default();
+    if let Some(seg) = cfg.mdlog_segment {
+        mdlog_config.events_per_segment = seg.max(1);
+    }
+    if let Some(d) = cfg.mdlog_dispatch {
+        mdlog_config.dispatch_size = d.max(1);
+    }
     let mdlog = if journal_on {
-        Some(cudele_mds::MdLogConfig::default())
+        Some(mdlog_config)
     } else if policy.operation_mode() == cudele::OperationMode::Rpcs {
         None // rpcs without stream: journal off
     } else {
-        Some(cudele_mds::MdLogConfig::default())
+        Some(mdlog_config)
     };
-    let mut world = World::new(MetadataServer::with_config(
-        os,
-        cudele_sim::CostModel::calibrated(),
-        mdlog,
-    ));
+    let mut world = World::new(MetadataServer::with_config(os, cost, mdlog));
     for c in 0..cfg.clients {
         world.server.setup_dir(&client_dir(c)).unwrap();
     }

@@ -124,6 +124,14 @@ fn snapshot_paths(label: &str) -> (String, String) {
 }
 
 fn run_with_snapshots(policy: &str, label: &str) -> (String, Vec<u8>, Vec<u8>) {
+    run_faulted_snapshots(policy, label, None)
+}
+
+fn run_faulted_snapshots(
+    policy: &str,
+    label: &str,
+    faults: Option<&str>,
+) -> (String, Vec<u8>, Vec<u8>) {
     let (metrics, trace) = snapshot_paths(label);
     let cfg = BenchConfig {
         clients: 2,
@@ -132,6 +140,11 @@ fn run_with_snapshots(policy: &str, label: &str) -> (String, Vec<u8>, Vec<u8>) {
         composition: None,
         metrics_out: Some(metrics.clone()),
         trace_out: Some(trace.clone()),
+        faults: faults.map(str::to_string),
+        // Small mdlog windows so faulted runs flush to the store often
+        // enough for the plan to actually fire within 500 creates.
+        mdlog_segment: faults.map(|_| 32),
+        mdlog_dispatch: faults.map(|_| 4),
     };
     let out = mdbench::run(&cfg).unwrap();
     let metrics_bytes = std::fs::read(&metrics).unwrap();
@@ -155,4 +168,40 @@ fn same_config_runs_are_byte_identical() {
         cudele_obs::json::validate(std::str::from_utf8(&trace_a).unwrap()).unwrap();
         assert!(!metrics_a.is_empty() && !trace_a.is_empty());
     }
+}
+
+/// Determinism regression for the fault layer: the same `--faults` plan
+/// (seed + rates + windows) must reproduce byte-identical observability
+/// snapshots across two runs, including the `faults.injected.*` and retry
+/// counters the plan perturbs.
+#[test]
+fn same_fault_plan_runs_are_byte_identical() {
+    let _guard = obs_lock().lock().unwrap();
+
+    let spec = "seed=42,eagain_ppm=5000,slow=2.5@0..10ms";
+    let (rendered_a, metrics_a, trace_a) = run_faulted_snapshots("posix", "fa", Some(spec));
+    let (rendered_b, metrics_b, trace_b) = run_faulted_snapshots("posix", "fb", Some(spec));
+    assert_eq!(rendered_a, rendered_b, "faulted rendered output differs");
+    assert_eq!(metrics_a, metrics_b, "faulted metrics snapshot differs");
+    assert_eq!(trace_a, trace_b, "faulted trace snapshot differs");
+    // The plan actually fired: injections and absorbed retries show up in
+    // the metrics snapshot with nonzero values.
+    let metrics = String::from_utf8(metrics_a).unwrap();
+    let counter = |name: &str| -> u64 {
+        let key = format!("\"{name}\": ");
+        let at = metrics
+            .find(&key)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        metrics[at + key.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert!(counter("faults.injected.eagain") > 0, "plan never fired");
+    assert!(
+        counter("journal.io.retries") > 0,
+        "mdlog writer should have absorbed some transients"
+    );
 }

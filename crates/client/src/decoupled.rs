@@ -251,7 +251,9 @@ impl DecoupledClient {
             w.set_obs(o.writer.clone());
         }
         w.append(&self.journal)?;
-        Ok(cm.global_persist_time(self.event_count()))
+        // Retries against a faulty store cost virtual time: charge the
+        // writer's accumulated backoff on top of the streaming transfer.
+        Ok(cm.global_persist_time(self.event_count()) + w.backoff)
     }
 
     /// The object-store journal id this client persists to.

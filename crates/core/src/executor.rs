@@ -99,6 +99,7 @@ fn run_mechanism(
     m: Mechanism,
     client: &mut DecoupledClient,
     env: &mut ExecEnv<'_>,
+    reg: Option<&Registry>,
 ) -> Result<Nanos, ExecError> {
     match m {
         Mechanism::LocalPersist => {
@@ -133,6 +134,9 @@ fn run_mechanism(
             // Iterate the journal, pulling/updating/pushing the affected
             // dirfrag object and the root object per event.
             let mut sink = ObjectStoreSink::new(env.os, PoolId::METADATA);
+            if let Some(reg) = reg {
+                sink.set_obs(reg);
+            }
             let tool = JournalTool::new(env.os, jid);
             let applied = tool.apply(&mut sink).map_err(|e| match e {
                 cudele_journal::ApplyError::Io(io) => ExecError::Journal(io),
@@ -140,6 +144,8 @@ fn run_mechanism(
             })?;
             elapsed +=
                 cm.object_op_latency * (sink.counters.object_reads + sink.counters.object_writes);
+            // Transient-fault retries in the sink are paid for in backoff.
+            elapsed += sink.backoff;
             let _ = applied;
             // "...and restarts the metadata servers. When the metadata
             // servers re-initialize, they notice new journal updates in the
@@ -185,7 +191,7 @@ pub fn execute_merge_at(
         let stage_start = at + elapsed;
         let mut stage_max = Nanos::ZERO;
         for &m in stage {
-            let t = run_mechanism(m, client, env)?;
+            let t = run_mechanism(m, client, env, reg)?;
             if let Some(reg) = reg {
                 observe_mechanism(reg, m.name(), tid, stage_start, t);
             }

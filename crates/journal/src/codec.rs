@@ -293,28 +293,85 @@ pub fn decode_journal(blob: &[u8]) -> Result<Vec<JournalEvent>, CodecError> {
 
 /// Decodes a sequence of framed events with no magic prefix (the format of
 /// journal stripe objects, which only the header object prefixes).
-pub fn decode_frames(mut rest: &[u8]) -> Result<Vec<JournalEvent>, CodecError> {
-    let mut out = Vec::new();
-    let mut offset = 0usize;
-    while !rest.is_empty() {
-        if rest.len() < 8 {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let len = rest[0..4].to_vec();
-        let len = u32::from_le_bytes([len[0], len[1], len[2], len[3]]) as usize;
-        let crc_stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
-        if rest.len() < 8 + len {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let payload = &rest[8..8 + len];
-        if crc32(payload) != crc_stored {
-            return Err(CodecError::BadCrc { offset });
-        }
-        out.push(decode_payload(payload)?);
-        offset += 8 + len;
-        rest = &rest[8 + len..];
+pub fn decode_frames(rest: &[u8]) -> Result<Vec<JournalEvent>, CodecError> {
+    let scan = decode_frames_lossy(rest);
+    match scan.damage {
+        None => Ok(scan.events),
+        Some(d) => Err(d.error),
     }
-    Ok(out)
+}
+
+/// Where a frame stream went bad, as reported by [`decode_frames_lossy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDamage {
+    /// Byte offset of the first damaged frame within the event stream.
+    pub offset: usize,
+    /// What was wrong at that offset.
+    pub error: CodecError,
+}
+
+/// Result of a lossy scan: the longest cleanly-decodable event prefix plus
+/// (if the stream was damaged) where decoding had to stop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameScan {
+    /// Events decoded before the first damage.
+    pub events: Vec<JournalEvent>,
+    /// `None` when the whole stream decoded cleanly.
+    pub damage: Option<FrameDamage>,
+}
+
+/// Like [`decode_frames`], but damage (torn frame, bad CRC, bad payload)
+/// stops the scan instead of failing it: everything before the damage is
+/// returned, with the damage location alongside. This is what the journal
+/// tool's `inspect` and recovery paths build on — a torn write or bit flip
+/// must never discard the valid prefix.
+pub fn decode_frames_lossy(rest: &[u8]) -> FrameScan {
+    let mut events = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let tail = &rest[offset..];
+        if tail.is_empty() {
+            return FrameScan {
+                events,
+                damage: None,
+            };
+        }
+        let error = match decode_one_frame(tail) {
+            Ok((event, consumed)) => {
+                events.push(event);
+                offset += consumed;
+                continue;
+            }
+            Err(e) => match e {
+                // Report the CRC failure at the stream offset, as
+                // `decode_frames` would.
+                CodecError::BadCrc { .. } => CodecError::BadCrc { offset },
+                other => other,
+            },
+        };
+        return FrameScan {
+            events,
+            damage: Some(FrameDamage { offset, error }),
+        };
+    }
+}
+
+/// Decodes the frame at the head of `rest`; returns the event and the
+/// frame's total size.
+fn decode_one_frame(rest: &[u8]) -> Result<(JournalEvent, usize), CodecError> {
+    if rest.len() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let crc_stored = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    if rest.len() < 8 + len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let payload = &rest[8..8 + len];
+    if crc32(payload) != crc_stored {
+        return Err(CodecError::BadCrc { offset: 0 });
+    }
+    Ok((decode_payload(payload)?, 8 + len))
 }
 
 /// Serialized size in bytes of one framed event. (The cost model separately
@@ -458,6 +515,47 @@ mod tests {
             encode_event(&mut buf, e);
         }
         assert_eq!(decode_frames(&buf).unwrap(), events);
+    }
+
+    #[test]
+    fn lossy_scan_returns_longest_valid_prefix() {
+        let events = sample_events();
+        let mut buf = BytesMut::new();
+        for e in &events {
+            encode_event(&mut buf, e);
+        }
+        // Clean stream: everything, no damage.
+        let scan = decode_frames_lossy(&buf);
+        assert_eq!(scan.events, events);
+        assert_eq!(scan.damage, None);
+
+        // Corrupt the third frame's payload: the first two survive.
+        let frame_offset: usize = events[..2].iter().map(framed_len).sum();
+        let mut corrupt = buf.to_vec();
+        corrupt[frame_offset + 8] ^= 0x01;
+        let scan = decode_frames_lossy(&corrupt);
+        assert_eq!(scan.events, events[..2].to_vec());
+        assert_eq!(
+            scan.damage,
+            Some(FrameDamage {
+                offset: frame_offset,
+                error: CodecError::BadCrc {
+                    offset: frame_offset
+                },
+            })
+        );
+
+        // Torn tail (mid-frame truncation): prefix survives, EOF reported.
+        let torn = &buf[..frame_offset + 5];
+        let scan = decode_frames_lossy(torn);
+        assert_eq!(scan.events, events[..2].to_vec());
+        assert_eq!(
+            scan.damage,
+            Some(FrameDamage {
+                offset: frame_offset,
+                error: CodecError::UnexpectedEof,
+            })
+        );
     }
 
     #[test]

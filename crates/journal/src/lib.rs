@@ -40,14 +40,16 @@ pub mod stream;
 pub mod tool;
 
 pub use codec::{
-    decode_frames, decode_journal, encode_event, encode_journal, framed_len, CodecError,
+    decode_frames, decode_frames_lossy, decode_journal, encode_event, encode_journal, framed_len,
+    CodecError, FrameDamage, FrameScan,
 };
 pub use crc::crc32;
 pub use event::{Attrs, EventSink, FileType, InodeId, InodeRange, JournalEvent};
 pub use segment::{segment_events, Segment, SegmentBuilder};
 pub use store_io::{
-    delete_journal, journal_exists, read_journal, rewrite_journal, trim_journal, JournalId,
-    JournalIoError, JournalObs, JournalWriter, DEFAULT_STRIPE_BYTES,
+    delete_journal, journal_exists, read_journal, rewrite_journal, scan_journal, trim_journal,
+    JournalDamage, JournalId, JournalIoError, JournalObs, JournalScan, JournalWriter,
+    DEFAULT_STRIPE_BYTES,
 };
 pub use stream::{stream_stats, EventStream, StreamStats};
 pub use tool::{decode_export, ApplyError, JournalSummary, JournalTool};

@@ -7,11 +7,22 @@
 //! where multiple journal updates can reside on the same object."
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cudele_faults::RetryPolicy;
 use cudele_obs::{Counter, Registry};
 use cudele_rados::{ObjectId, ObjectStore, PoolId, RadosError};
+use cudele_sim::Nanos;
 
 use crate::codec::{self, CodecError};
 use crate::event::JournalEvent;
+
+/// Retries `f` on transient object-store errors with the default policy,
+/// discarding the backoff accounting. Free functions use this: they have no
+/// virtual-clock context to charge, while [`JournalWriter`] accounts its
+/// own retries and backoff for callers that do.
+fn with_retry<T>(f: impl FnMut() -> cudele_rados::Result<T>) -> cudele_rados::Result<T> {
+    let (mut retries, mut backoff) = (0, Nanos::ZERO);
+    RetryPolicy::default().run(&mut retries, &mut backoff, f)
+}
 
 /// Default stripe capacity in bytes — 4 MiB, the RADOS default object size.
 pub const DEFAULT_STRIPE_BYTES: usize = 4 << 20;
@@ -123,6 +134,9 @@ pub struct JournalObs {
     /// `journal.writer.stripe_rollovers` — times a stripe filled and a new
     /// stripe object was opened.
     pub stripe_rollovers: Counter,
+    /// `journal.io.retries` — transient object-store failures absorbed by
+    /// the writer's retry policy.
+    pub retries: Counter,
 }
 
 impl JournalObs {
@@ -133,11 +147,19 @@ impl JournalObs {
             events: reg.counter("journal.writer.events"),
             bytes: reg.counter("journal.writer.bytes"),
             stripe_rollovers: reg.counter("journal.writer.stripe_rollovers"),
+            retries: reg.counter("journal.io.retries"),
         }
     }
 }
 
 /// Appends journal events to striped objects.
+///
+/// Writes ride a [`RetryPolicy`]: transient object-store failures are
+/// retried with exponential backoff charged to [`JournalWriter::backoff`]
+/// (virtual time — callers fold it into their clocks), and a torn append is
+/// repaired before its retry by truncating the stripe back to the last
+/// acknowledged length. An `Ok` from [`JournalWriter::append`] therefore
+/// means every event in the batch is durably framed.
 pub struct JournalWriter<'a, S: ObjectStore + ?Sized> {
     store: &'a S,
     id: JournalId,
@@ -145,6 +167,11 @@ pub struct JournalWriter<'a, S: ObjectStore + ?Sized> {
     header: Header,
     current_stripe_len: usize,
     obs: Option<JournalObs>,
+    retry: RetryPolicy,
+    /// Transient failures absorbed by retries over this writer's lifetime.
+    pub retries: u64,
+    /// Virtual-time backoff accumulated by those retries.
+    pub backoff: Nanos,
 }
 
 impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
@@ -161,7 +188,7 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
         stripe_bytes: usize,
     ) -> Result<Self, JournalIoError> {
         assert!(stripe_bytes > 0);
-        let header = match store.read(&id.header_object()) {
+        let header = match with_retry(|| store.read(&id.header_object())) {
             Ok(data) => decode_header(&data)?,
             Err(RadosError::NoEnt(_)) => Header {
                 stripes: 0,
@@ -172,7 +199,7 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
         let current_stripe_len = if header.stripes == 0 {
             0
         } else {
-            match store.stat(&id.stripe_object(header.stripes - 1)) {
+            match with_retry(|| store.stat(&id.stripe_object(header.stripes - 1))) {
                 Ok(s) => s.size as usize,
                 Err(RadosError::NoEnt(_)) => 0,
                 Err(e) => return Err(e.into()),
@@ -185,6 +212,9 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
             header,
             current_stripe_len,
             obs: None,
+            retry: RetryPolicy::default(),
+            retries: 0,
+            backoff: Nanos::ZERO,
         })
     }
 
@@ -193,9 +223,62 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
         self.obs = Some(obs);
     }
 
+    /// Overrides the writer's retry policy (tests shrink the budget).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Runs one store operation under the writer's retry policy, charging
+    /// retries and backoff to the writer's accounting.
+    fn io<T>(
+        &mut self,
+        mut f: impl FnMut(&S) -> cudele_rados::Result<T>,
+    ) -> cudele_rados::Result<T> {
+        let store = self.store;
+        let policy = self.retry;
+        policy.run(&mut self.retries, &mut self.backoff, || f(store))
+    }
+
+    /// Appends `buf` to `stripe` with retries. A torn append may leave a
+    /// partial frame behind before failing transiently, so each retry first
+    /// truncates the stripe back to the last acknowledged length.
+    fn append_one(&mut self, stripe: &ObjectId, buf: &[u8]) -> Result<(), JournalIoError> {
+        let mut attempt = 0;
+        loop {
+            match self.store.append(stripe, buf) {
+                Ok(_) => return Ok(()),
+                Err(RadosError::Transient(_)) if attempt < self.retry.max_retries => {
+                    self.retries += 1;
+                    self.backoff += self.retry.backoff(attempt);
+                    attempt += 1;
+                    self.repair_stripe(stripe)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Truncates `stripe` back to the acknowledged length if a torn append
+    /// left extra bytes. `write_full` is atomic per object, so the repair
+    /// cannot itself tear the known-good prefix.
+    fn repair_stripe(&mut self, stripe: &ObjectId) -> Result<(), JournalIoError> {
+        let actual = match self.io(|s| s.stat(stripe)) {
+            Ok(st) => st.size as usize,
+            Err(RadosError::NoEnt(_)) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        if actual > self.current_stripe_len {
+            let keep = self.current_stripe_len;
+            let data = self.io(|s| s.read(stripe))?;
+            self.io(|s| s.write_full(stripe, &data[..keep]))?;
+        }
+        Ok(())
+    }
+
     /// Appends a batch of events, rolling stripes as needed, and persists
     /// the header. Returns the number of bytes written (data only).
     pub fn append(&mut self, events: &[JournalEvent]) -> Result<u64, JournalIoError> {
+        let retries_before = self.retries;
         let mut written = 0u64;
         let mut rollovers = 0u64;
         let mut buf = BytesMut::with_capacity(256);
@@ -208,17 +291,19 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
                 rollovers += 1;
             }
             let stripe = self.id.stripe_object(self.header.stripes - 1);
-            self.store.append(&stripe, &buf)?;
+            self.append_one(&stripe, &buf)?;
             self.current_stripe_len += buf.len();
             written += buf.len() as u64;
         }
-        self.store
-            .write_full(&self.id.header_object(), &encode_header(self.header))?;
+        let header_object = self.id.header_object();
+        let header_bytes = encode_header(self.header);
+        self.io(|s| s.write_full(&header_object, &header_bytes))?;
         if let Some(obs) = &self.obs {
             obs.appends.inc();
             obs.events.add(events.len() as u64);
             obs.bytes.add(written);
             obs.stripe_rollovers.add(rollovers);
+            obs.retries.add(self.retries - retries_before);
         }
         Ok(written)
     }
@@ -229,12 +314,14 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
     }
 }
 
-/// Reads a whole journal back from its stripes.
+/// Reads a whole journal back from its stripes. Any damage (torn frame,
+/// CRC failure) is a hard error; use [`scan_journal`] for the lenient read
+/// that recovery builds on.
 pub fn read_journal<S: ObjectStore + ?Sized>(
     store: &S,
     id: JournalId,
 ) -> Result<Vec<JournalEvent>, JournalIoError> {
-    let header = match store.read(&id.header_object()) {
+    let header = match with_retry(|| store.read(&id.header_object())) {
         Ok(data) => decode_header(&data)?,
         Err(RadosError::NoEnt(_)) => return Ok(Vec::new()),
         Err(e) => return Err(e.into()),
@@ -242,7 +329,7 @@ pub fn read_journal<S: ObjectStore + ?Sized>(
     let mut events = Vec::new();
     for seq in 0..header.stripes {
         let stripe = id.stripe_object(seq);
-        match store.read(&stripe) {
+        match with_retry(|| store.read(&stripe)) {
             Ok(data) => events.extend(codec::decode_frames(&data)?),
             // A stripe fully trimmed away is fine.
             Err(RadosError::NoEnt(_)) => {}
@@ -257,6 +344,84 @@ pub fn read_journal<S: ObjectStore + ?Sized>(
     Ok(events)
 }
 
+/// Where a stored journal first fails to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDamage {
+    /// Stripe sequence number holding the first damaged frame.
+    pub stripe: u64,
+    /// Byte offset of the damage within that stripe.
+    pub offset: usize,
+    /// The decode error at that position.
+    pub error: CodecError,
+}
+
+impl std::fmt::Display for JournalDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stripe {} byte {}: {}",
+            self.stripe, self.offset, self.error
+        )
+    }
+}
+
+/// A lenient journal read: the longest cleanly-decodable event prefix, and
+/// where decoding had to stop if the journal is damaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalScan {
+    /// Events decoded before the first damage, with the trimmed prefix
+    /// already dropped.
+    pub events: Vec<JournalEvent>,
+    /// `None` when every stripe decoded cleanly.
+    pub damage: Option<JournalDamage>,
+}
+
+/// Reads a journal leniently: decoding stops at the first damaged frame
+/// (torn write, bit flip) and everything before it is returned alongside
+/// the damage location. Stripes after a damaged one are not decoded — a
+/// journal is a sequential log, so events past the damage cannot be trusted
+/// to be a prefix-consistent history.
+pub fn scan_journal<S: ObjectStore + ?Sized>(
+    store: &S,
+    id: JournalId,
+) -> Result<JournalScan, JournalIoError> {
+    let header = match with_retry(|| store.read(&id.header_object())) {
+        Ok(data) => decode_header(&data)?,
+        Err(RadosError::NoEnt(_)) => {
+            return Ok(JournalScan {
+                events: Vec::new(),
+                damage: None,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let mut events = Vec::new();
+    let mut damage = None;
+    for seq in 0..header.stripes {
+        let stripe = id.stripe_object(seq);
+        let data = match with_retry(|| store.read(&stripe)) {
+            Ok(data) => data,
+            Err(RadosError::NoEnt(_)) => continue, // fully trimmed away
+            Err(e) => return Err(e.into()),
+        };
+        let scan = codec::decode_frames_lossy(&data);
+        events.extend(scan.events);
+        if let Some(d) = scan.damage {
+            damage = Some(JournalDamage {
+                stripe: seq,
+                offset: d.offset,
+                error: d.error,
+            });
+            break;
+        }
+    }
+    let skip = header.trimmed_events.min(events.len() as u64) as usize;
+    if skip > 0 {
+        events.drain(..skip);
+    }
+    Ok(JournalScan { events, damage })
+}
+
 /// Whether any journal state exists for `id`.
 pub fn journal_exists<S: ObjectStore + ?Sized>(store: &S, id: JournalId) -> bool {
     store.exists(&id.header_object())
@@ -267,18 +432,18 @@ pub fn delete_journal<S: ObjectStore + ?Sized>(
     store: &S,
     id: JournalId,
 ) -> Result<(), JournalIoError> {
-    let header = match store.read(&id.header_object()) {
+    let header = match with_retry(|| store.read(&id.header_object())) {
         Ok(data) => decode_header(&data)?,
         Err(RadosError::NoEnt(_)) => return Ok(()),
         Err(e) => return Err(e.into()),
     };
     for seq in 0..header.stripes {
-        match store.remove(&id.stripe_object(seq)) {
+        match with_retry(|| store.remove(&id.stripe_object(seq))) {
             Ok(()) | Err(RadosError::NoEnt(_)) => {}
             Err(e) => return Err(e.into()),
         }
     }
-    match store.remove(&id.header_object()) {
+    match with_retry(|| store.remove(&id.header_object())) {
         Ok(()) | Err(RadosError::NoEnt(_)) => Ok(()),
         Err(e) => Err(e.into()),
     }
@@ -305,13 +470,13 @@ pub fn trim_journal<S: ObjectStore + ?Sized>(
     id: JournalId,
     n: u64,
 ) -> Result<(), JournalIoError> {
-    let mut header = match store.read(&id.header_object()) {
+    let mut header = match with_retry(|| store.read(&id.header_object())) {
         Ok(data) => decode_header(&data)?,
         Err(RadosError::NoEnt(_)) => return Ok(()),
         Err(e) => return Err(e.into()),
     };
     header.trimmed_events += n;
-    store.write_full(&id.header_object(), &encode_header(header))?;
+    with_retry(|| store.write_full(&id.header_object(), &encode_header(header)))?;
     Ok(())
 }
 
@@ -433,6 +598,101 @@ mod tests {
             .unwrap();
         assert_eq!(rolls, w.stripes(), "every stripe was opened by a rollover");
         assert!(rolls > 1);
+    }
+
+    #[test]
+    fn scan_is_lenient_where_read_is_strict() {
+        let store = InMemoryStore::paper_default();
+        let events: Vec<_> = (0..10).map(create).collect();
+        let mut w = JournalWriter::open(&store, jid()).unwrap();
+        w.append(&events).unwrap();
+        // Clean journal: scan agrees with read.
+        let scan = scan_journal(&store, jid()).unwrap();
+        assert_eq!(scan.events, events);
+        assert_eq!(scan.damage, None);
+        // Flip a byte in the middle of the stripe: read hard-fails, scan
+        // returns the valid prefix plus the damage location.
+        let stripe = jid().stripe_object(0);
+        let mut data = store.read(&stripe).unwrap().to_vec();
+        let frame_offset: usize = events[..4].iter().map(codec::framed_len).sum();
+        data[frame_offset + 8] ^= 0x10;
+        store.write_full(&stripe, &data).unwrap();
+        assert!(matches!(
+            read_journal(&store, jid()),
+            Err(JournalIoError::Codec(CodecError::BadCrc { .. }))
+        ));
+        let scan = scan_journal(&store, jid()).unwrap();
+        assert_eq!(scan.events, events[..4].to_vec());
+        let damage = scan.damage.unwrap();
+        assert_eq!(damage.stripe, 0);
+        assert_eq!(damage.offset, frame_offset);
+        assert!(matches!(damage.error, CodecError::BadCrc { .. }));
+    }
+
+    #[test]
+    fn scan_respects_trim() {
+        let store = InMemoryStore::paper_default();
+        let events: Vec<_> = (0..10).map(create).collect();
+        let mut w = JournalWriter::open(&store, jid()).unwrap();
+        w.append(&events).unwrap();
+        trim_journal(&store, jid(), 3).unwrap();
+        let scan = scan_journal(&store, jid()).unwrap();
+        assert_eq!(scan.events, events[3..].to_vec());
+        assert_eq!(scan.damage, None);
+    }
+
+    #[test]
+    fn writer_retries_absorb_transient_faults() {
+        use cudele_faults::{FaultConfig, FaultPlan, FaultyStore};
+        use std::sync::Arc;
+        // 20% of ops fail EAGAIN: with an 8-retry budget every append batch
+        // still lands, and the writer accounts its retries and backoff.
+        let store = FaultyStore::new(
+            Arc::new(InMemoryStore::paper_default()),
+            Arc::new(FaultPlan::new(FaultConfig {
+                seed: 11,
+                eagain_ppm: 200_000,
+                ..FaultConfig::default()
+            })),
+        );
+        let reg = Registry::new();
+        let events: Vec<_> = (0..200).map(create).collect();
+        let mut w = JournalWriter::open(&store, jid()).unwrap();
+        w.set_obs(JournalObs::attach(&reg));
+        w.append(&events).unwrap();
+        assert!(w.retries > 0, "a 20% fault rate must trigger retries");
+        assert!(w.backoff > Nanos::ZERO);
+        assert_eq!(
+            reg.counter_value("journal.io.retries"),
+            Some(w.retries),
+            "writer retries surface in obs"
+        );
+        assert_eq!(read_journal(&store, jid()).unwrap(), events);
+    }
+
+    #[test]
+    fn torn_appends_are_repaired_before_retry() {
+        use cudele_faults::{FaultConfig, FaultPlan, FaultyStore};
+        use std::sync::Arc;
+        // 30% of stripe appends tear: a prefix lands, the op fails, and the
+        // writer must truncate back before retrying. No acknowledged event
+        // may be lost or duplicated.
+        let store = FaultyStore::new(
+            Arc::new(InMemoryStore::paper_default()),
+            Arc::new(FaultPlan::new(FaultConfig {
+                seed: 23,
+                torn_write_ppm: 300_000,
+                ..FaultConfig::default()
+            })),
+        );
+        let events: Vec<_> = (0..300).map(create).collect();
+        let mut w = JournalWriter::open_with_stripe(&store, jid(), 512).unwrap();
+        w.append(&events).unwrap();
+        let (_, torn, _) = store.injected();
+        assert!(torn > 0, "a 30% tear rate must inject tears");
+        assert_eq!(read_journal(&store, jid()).unwrap(), events);
+        let scan = scan_journal(&store, jid()).unwrap();
+        assert_eq!(scan.damage, None, "repair leaves no partial frames");
     }
 
     #[test]

@@ -13,12 +13,13 @@ use cudele_rados::ObjectStore;
 
 use crate::codec::{self, CodecError};
 use crate::event::{EventSink, JournalEvent};
-use crate::store_io::{self, JournalId, JournalIoError};
+use crate::store_io::{self, JournalDamage, JournalId, JournalIoError};
 
 /// Summary of a journal's contents (the tool's `inspect` command).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalSummary {
-    /// Total decoded events, including segment boundaries.
+    /// Total decoded events, including segment boundaries. When the journal
+    /// is damaged this counts the recoverable prefix only.
     pub events: u64,
     /// Events that mutate the namespace.
     pub updates: u64,
@@ -26,6 +27,8 @@ pub struct JournalSummary {
     pub segments: u64,
     /// Serialized size of the journal body (functional bytes).
     pub bytes: u64,
+    /// Where decoding first failed, if the journal is damaged.
+    pub damage: Option<JournalDamage>,
 }
 
 /// A handle on one journal in the object store.
@@ -60,18 +63,38 @@ impl<'a, S: ObjectStore + ?Sized> JournalTool<'a, S> {
         Ok(events.len() as u64)
     }
 
-    /// Summarizes the journal without mutating it.
+    /// Summarizes the journal without mutating it. Damage (a torn frame or
+    /// failed CRC) does not fail the inspection: the summary covers the
+    /// recoverable prefix and flags where decoding stopped.
     pub fn inspect(&self) -> Result<JournalSummary, JournalIoError> {
-        let events = self.read()?;
-        let updates = events.iter().filter(|e| e.is_update()).count() as u64;
-        let segments = events.len() as u64 - updates;
-        let bytes = events.iter().map(|e| codec::framed_len(e) as u64).sum();
+        let scan = store_io::scan_journal(self.store, self.id)?;
+        let updates = scan.events.iter().filter(|e| e.is_update()).count() as u64;
+        let segments = scan.events.len() as u64 - updates;
+        let bytes = scan
+            .events
+            .iter()
+            .map(|e| codec::framed_len(e) as u64)
+            .sum();
         Ok(JournalSummary {
-            events: events.len() as u64,
+            events: scan.events.len() as u64,
             updates,
             segments,
             bytes,
+            damage: scan.damage,
         })
+    }
+
+    /// Repairs a damaged journal in place: decodes the longest valid event
+    /// prefix, erases the corrupt region by rewriting the journal as
+    /// exactly that prefix, and returns the surviving events. A clean
+    /// journal is returned unchanged (no rewrite). This is the recovery
+    /// path the MDS takes when replay hits a torn write or bit flip.
+    pub fn recover(&self) -> Result<Vec<JournalEvent>, JournalIoError> {
+        let scan = store_io::scan_journal(self.store, self.id)?;
+        if scan.damage.is_some() {
+            store_io::rewrite_journal(self.store, self.id, &scan.events)?;
+        }
+        Ok(scan.events)
     }
 
     /// Erases events `[from, to)` by index (the tool's `event splice`),
@@ -189,6 +212,38 @@ mod tests {
         assert_eq!(s.updates, 8);
         assert_eq!(s.segments, 1);
         assert!(s.bytes > 0);
+        assert_eq!(s.damage, None);
+    }
+
+    #[test]
+    fn inspect_flags_damage_and_recover_erases_it() {
+        let store = InMemoryStore::paper_default();
+        let id = seeded(&store, 8);
+        let tool = JournalTool::new(&store, id);
+        let all = tool.read().unwrap();
+
+        // Corrupt the 6th event's frame in place.
+        let stripe = cudele_rados::ObjectId::journal_stripe(id.pool, id.ino, 0);
+        let mut data = store.read(&stripe).unwrap().to_vec();
+        let offset: usize = all[..5].iter().map(codec::framed_len).sum();
+        data[offset + 8] ^= 0x40;
+        store.write_full(&stripe, &data).unwrap();
+
+        // Strict read fails; inspect survives and localizes the damage.
+        assert!(tool.read().is_err());
+        let s = tool.inspect().unwrap();
+        assert_eq!(s.events, 5);
+        let damage = s.damage.expect("damage must be flagged");
+        assert_eq!(damage.stripe, 0);
+        assert_eq!(damage.offset, offset);
+
+        // Recovery keeps exactly the valid prefix and heals the journal.
+        let recovered = tool.recover().unwrap();
+        assert_eq!(recovered, all[..5].to_vec());
+        assert_eq!(tool.read().unwrap(), all[..5].to_vec());
+        assert_eq!(tool.inspect().unwrap().damage, None);
+        // Recovering a clean journal is a no-op.
+        assert_eq!(tool.recover().unwrap(), all[..5].to_vec());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! that makes it 78x slower than the append baseline.
 
 use bytes::{Buf, BufMut, BytesMut};
+use cudele_faults::RetryPolicy;
 use cudele_journal::{Attrs, EventSink, FileType, InodeId, JournalEvent};
+use cudele_obs::{Counter, Registry};
 use cudele_rados::{ObjectId, ObjectStore, PoolId, RadosError};
 use cudele_sim::Nanos;
 
@@ -26,6 +28,15 @@ use crate::dirfrag::Dentry;
 use crate::error::MdsError;
 use crate::inode::Inode;
 use crate::store::MetadataStore;
+
+/// Retries `f` on transient object-store errors with the default policy,
+/// discarding the backoff accounting. The flush/load paths use this;
+/// [`ObjectStoreSink`] charges retries and backoff to its own accounting so
+/// Nonvolatile Apply can bill them to the virtual clock.
+fn with_retry<T>(f: impl FnMut() -> cudele_rados::Result<T>) -> cudele_rados::Result<T> {
+    let (mut retries, mut backoff) = (0, Nanos::ZERO);
+    RetryPolicy::default().run(&mut retries, &mut backoff, f)
+}
 
 /// Errors from persistence and recovery.
 #[derive(Debug)]
@@ -154,17 +165,15 @@ pub fn flush_store<S: ObjectStore + ?Sized>(
     // directories do not resurrect on recovery.
     for id in os.list(pool, "") {
         if id.name.ends_with("_head") {
-            let _ = os.remove(&id);
+            let _ = with_retry(|| os.remove(&id));
         }
     }
     let root = ms
         .inode(InodeId::ROOT)
         .expect("store always has a root inode");
-    os.write_full(
-        &root_inode_object(pool),
-        &encode_record(root.ino, root.ftype, &root.attrs, root.policy.as_deref()),
-    )?;
-    let _ = os.remove(&backtrace_object(pool));
+    let root_record = encode_record(root.ino, root.ftype, &root.attrs, root.policy.as_deref());
+    with_retry(|| os.write_full(&root_inode_object(pool), &root_record))?;
+    let _ = with_retry(|| os.remove(&backtrace_object(pool)));
 
     // Walk every directory and persist its fragments.
     let mut stack = vec![InodeId::ROOT];
@@ -181,26 +190,26 @@ pub fn flush_store<S: ObjectStore + ?Sized>(
             let obj = ObjectId::dirfrag(pool, dir_ino.0, frag_idx);
             // Ensure the object exists even when empty (frag 0 marks the
             // directory itself).
-            os.write_full(&obj, b"")?;
+            with_retry(|| os.write_full(&obj, b""))?;
             for (name, dentry) in frag.iter() {
                 let inode = ms.inode(dentry.ino).ok_or_else(|| {
                     PersistError::Corrupt(format!("dangling dentry {name} -> {}", dentry.ino))
                 })?;
-                os.omap_set(
-                    &obj,
-                    name,
-                    &encode_record(
-                        dentry.ino,
-                        dentry.ftype,
-                        &inode.attrs,
-                        inode.policy.as_deref(),
-                    ),
-                )?;
-                os.omap_set(
-                    &backtrace_object(pool),
-                    &format!("{:x}", dentry.ino.0),
-                    &encode_backtrace(dir_ino, name),
-                )?;
+                let record = encode_record(
+                    dentry.ino,
+                    dentry.ftype,
+                    &inode.attrs,
+                    inode.policy.as_deref(),
+                );
+                with_retry(|| os.omap_set(&obj, name, &record))?;
+                let backtrace = encode_backtrace(dir_ino, name);
+                with_retry(|| {
+                    os.omap_set(
+                        &backtrace_object(pool),
+                        &format!("{:x}", dentry.ino.0),
+                        &backtrace,
+                    )
+                })?;
                 if dentry.ftype == FileType::Dir {
                     stack.push(dentry.ino);
                 }
@@ -217,7 +226,7 @@ pub fn load_store<S: ObjectStore + ?Sized>(
     pool: PoolId,
 ) -> Result<MetadataStore, PersistError> {
     let mut ms = MetadataStore::new();
-    match os.read(&root_inode_object(pool)) {
+    match with_retry(|| os.read(&root_inode_object(pool))) {
         Ok(data) => {
             let (_, _, attrs, policy) = decode_record(&data)?;
             let root = ms
@@ -246,7 +255,7 @@ pub fn load_store<S: ObjectStore + ?Sized>(
         if ms.inode(dir_ino).is_none() {
             ms.raw_insert_inode(Inode::dir(dir_ino, Attrs::dir_default()));
         }
-        for (name, value) in os.omap_list(&obj)? {
+        for (name, value) in with_retry(|| os.omap_list(&obj))? {
             let (ino, ftype, attrs, policy) = decode_record(&value)?;
             ms.raw_insert_dentry(dir_ino, &name, Dentry { ino, ftype });
             let mut inode = match ftype {
@@ -282,6 +291,13 @@ pub struct ObjectStoreSink<'a, S: ObjectStore + ?Sized> {
     pool: PoolId,
     /// Object-operation counters (4 per event, the paper's 78×).
     pub counters: NvaCounters,
+    retry: RetryPolicy,
+    /// Transient object-store failures absorbed by retries.
+    pub retries: u64,
+    /// Virtual-time backoff those retries accumulated; callers charge this
+    /// to their clock.
+    pub backoff: Nanos,
+    retry_counter: Option<Counter>,
 }
 
 impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
@@ -291,13 +307,39 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
             os,
             pool,
             counters: NvaCounters::default(),
+            retry: RetryPolicy::default(),
+            retries: 0,
+            backoff: Nanos::ZERO,
+            retry_counter: None,
         }
+    }
+
+    /// Mirrors the sink's retries into `mds.persist.retries` in `reg`.
+    pub fn set_obs(&mut self, reg: &Registry) {
+        self.retry_counter = Some(reg.counter("mds.persist.retries"));
+    }
+
+    /// Runs one store operation under the sink's retry policy, charging
+    /// retries and backoff to the sink's accounting.
+    fn io<T>(
+        &mut self,
+        mut f: impl FnMut(&S) -> cudele_rados::Result<T>,
+    ) -> cudele_rados::Result<T> {
+        let os = self.os;
+        let policy = self.retry;
+        let before = self.retries;
+        let r = policy.run(&mut self.retries, &mut self.backoff, || f(os));
+        if let Some(c) = &self.retry_counter {
+            c.add(self.retries - before);
+        }
+        r
     }
 
     /// Pulls and pushes the root-inode object unchanged — the redundant
     /// traffic the paper calls out as the reason NVA is "clearly inferior".
     fn touch_root(&mut self) -> Result<(), PersistError> {
-        let data = match self.os.read(&root_inode_object(self.pool)) {
+        let root_obj = root_inode_object(self.pool);
+        let data = match self.io(|os| os.read(&root_obj)) {
             Ok(d) => d.to_vec(),
             Err(RadosError::NoEnt(_)) => {
                 let root = Inode::root();
@@ -306,7 +348,7 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
             Err(e) => return Err(e.into()),
         };
         self.counters.object_reads += 1;
-        self.os.write_full(&root_inode_object(self.pool), &data)?;
+        self.io(|os| os.write_full(&root_obj, &data))?;
         self.counters.object_writes += 1;
         Ok(())
     }
@@ -331,28 +373,26 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
         // Pull the dirfrag object (the tool reads the object it will
         // touch). Functionally a stat suffices — the *time* of pulling the
         // whole object is what the cost model charges per read op.
-        match self.os.stat(&obj) {
+        match self.io(|os| os.stat(&obj)) {
             Ok(_) => {}
             Err(RadosError::NoEnt(_)) => {
-                self.os.write_full(&obj, b"")?;
+                self.io(|os| os.write_full(&obj, b""))?;
             }
             Err(e) => return Err(e.into()),
         }
         self.counters.object_reads += 1;
-        self.os
-            .omap_set(&obj, name, &encode_record(ino, ftype, attrs, policy))?;
+        let record = encode_record(ino, ftype, attrs, policy);
+        self.io(|os| os.omap_set(&obj, name, &record))?;
         self.counters.object_writes += 1;
-        self.os.omap_set(
-            &backtrace_object(self.pool),
-            &format!("{:x}", ino.0),
-            &encode_backtrace(dir, name),
-        )?;
+        let bt_obj = backtrace_object(self.pool);
+        let bt = encode_backtrace(dir, name);
+        self.io(|os| os.omap_set(&bt_obj, &format!("{:x}", ino.0), &bt))?;
         Ok(())
     }
 
     fn remove_dentry(&mut self, dir: InodeId, name: &str) -> Result<Option<InodeId>, PersistError> {
         let obj = self.dirfrag(dir);
-        let existing = match self.os.omap_get(&obj, name) {
+        let existing = match self.io(|os| os.omap_get(&obj, name)) {
             Ok(v) => v,
             Err(RadosError::NoEnt(_)) => None,
             Err(e) => return Err(e.into()),
@@ -362,10 +402,10 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
             return Ok(None);
         };
         let (ino, _, _, _) = decode_record(&value)?;
-        self.os.omap_remove(&obj, name)?;
+        self.io(|os| os.omap_remove(&obj, name))?;
         self.counters.object_writes += 1;
-        self.os
-            .omap_remove(&backtrace_object(self.pool), &format!("{:x}", ino.0))?;
+        let bt_obj = backtrace_object(self.pool);
+        self.io(|os| os.omap_remove(&bt_obj, &format!("{:x}", ino.0)))?;
         Ok(Some(ino))
     }
 
@@ -373,10 +413,8 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
         &mut self,
         ino: InodeId,
     ) -> Result<Option<(InodeId, String)>, PersistError> {
-        let v = match self
-            .os
-            .omap_get(&backtrace_object(self.pool), &format!("{:x}", ino.0))
-        {
+        let bt_obj = backtrace_object(self.pool);
+        let v = match self.io(|os| os.omap_get(&bt_obj, &format!("{:x}", ino.0))) {
             Ok(v) => v,
             Err(RadosError::NoEnt(_)) => None,
             Err(e) => return Err(e.into()),
@@ -414,7 +452,7 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                 dst_name,
             } => {
                 let obj = self.dirfrag(*src_parent);
-                let existing = match self.os.omap_get(&obj, src_name) {
+                let existing = match self.io(|os| os.omap_get(&obj, src_name)) {
                     Ok(v) => v,
                     Err(RadosError::NoEnt(_)) => None,
                     Err(e) => return Err(e.into()),
@@ -424,17 +462,16 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                     return Ok(());
                 };
                 let (ino, ftype, attrs, policy) = decode_record(&value)?;
-                self.os.omap_remove(&obj, src_name)?;
+                self.io(|os| os.omap_remove(&obj, src_name))?;
                 self.counters.object_writes += 1;
                 self.set_dentry(*dst_parent, dst_name, ino, ftype, &attrs, policy.as_deref())
             }
             JournalEvent::SetAttr { ino, attrs } => {
                 if *ino == InodeId::ROOT {
                     let root = Inode::root();
-                    self.os.write_full(
-                        &root_inode_object(self.pool),
-                        &encode_record(root.ino, root.ftype, attrs, None),
-                    )?;
+                    let root_obj = root_inode_object(self.pool);
+                    let record = encode_record(root.ino, root.ftype, attrs, None);
+                    self.io(|os| os.write_full(&root_obj, &record))?;
                     self.counters.object_writes += 1;
                     return Ok(());
                 }
@@ -442,7 +479,7 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                     return Ok(());
                 };
                 let obj = self.dirfrag(parent);
-                let existing = match self.os.omap_get(&obj, &name) {
+                let existing = match self.io(|os| os.omap_get(&obj, &name)) {
                     Ok(v) => v,
                     Err(RadosError::NoEnt(_)) => None,
                     Err(e) => return Err(e.into()),
@@ -450,18 +487,16 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                 self.counters.object_reads += 1;
                 if let Some(value) = existing {
                     let (_, ftype, _, policy) = decode_record(&value)?;
-                    self.os.omap_set(
-                        &obj,
-                        &name,
-                        &encode_record(*ino, ftype, attrs, policy.as_deref()),
-                    )?;
+                    let record = encode_record(*ino, ftype, attrs, policy.as_deref());
+                    self.io(|os| os.omap_set(&obj, &name, &record))?;
                     self.counters.object_writes += 1;
                 }
                 Ok(())
             }
             JournalEvent::SetPolicy { ino, policy } => {
                 if *ino == InodeId::ROOT {
-                    let data = match self.os.read(&root_inode_object(self.pool)) {
+                    let root_obj = root_inode_object(self.pool);
+                    let data = match self.io(|os| os.read(&root_obj)) {
                         Ok(d) => decode_record(&d)?,
                         Err(RadosError::NoEnt(_)) => {
                             let r = Inode::root();
@@ -470,10 +505,8 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                         Err(e) => return Err(e.into()),
                     };
                     self.counters.object_reads += 1;
-                    self.os.write_full(
-                        &root_inode_object(self.pool),
-                        &encode_record(data.0, data.1, &data.2, Some(policy)),
-                    )?;
+                    let record = encode_record(data.0, data.1, &data.2, Some(policy));
+                    self.io(|os| os.write_full(&root_obj, &record))?;
                     self.counters.object_writes += 1;
                     return Ok(());
                 }
@@ -481,7 +514,7 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                     return Ok(());
                 };
                 let obj = self.dirfrag(parent);
-                let existing = match self.os.omap_get(&obj, &name) {
+                let existing = match self.io(|os| os.omap_get(&obj, &name)) {
                     Ok(v) => v,
                     Err(RadosError::NoEnt(_)) => None,
                     Err(e) => return Err(e.into()),
@@ -489,11 +522,8 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                 self.counters.object_reads += 1;
                 if let Some(value) = existing {
                     let (i, ftype, attrs, _) = decode_record(&value)?;
-                    self.os.omap_set(
-                        &obj,
-                        &name,
-                        &encode_record(i, ftype, &attrs, Some(policy)),
-                    )?;
+                    let record = encode_record(i, ftype, &attrs, Some(policy));
+                    self.io(|os| os.omap_set(&obj, &name, &record))?;
                     self.counters.object_writes += 1;
                 }
                 Ok(())
@@ -727,6 +757,51 @@ mod tests {
         let g = ms.resolve("/b/g").unwrap();
         assert_eq!(g, InodeId(0x2000));
         assert_eq!(ms.inode(g).unwrap().attrs.size, 123);
+    }
+
+    #[test]
+    fn sink_and_flush_retry_transient_faults() {
+        use cudele_faults::{FaultConfig, FaultPlan, FaultyStore};
+        use std::sync::Arc;
+        let os = FaultyStore::new(
+            Arc::new(InMemoryStore::paper_default()),
+            Arc::new(FaultPlan::new(FaultConfig {
+                seed: 17,
+                eagain_ppm: 150_000, // 15% of ops fail EAGAIN
+                ..FaultConfig::default()
+            })),
+        );
+        let reg = Registry::new();
+        let mut sink = ObjectStoreSink::new(&os, PoolId::METADATA);
+        sink.set_obs(&reg);
+        sink.apply_event(&JournalEvent::Mkdir {
+            parent: InodeId::ROOT,
+            name: "d".into(),
+            ino: InodeId(0x1000),
+            attrs: Attrs::dir_default(),
+        })
+        .unwrap();
+        for i in 0..60u64 {
+            sink.apply_event(&JournalEvent::Create {
+                parent: InodeId(0x1000),
+                name: format!("f{i}"),
+                ino: InodeId(0x2000 + i),
+                attrs: Attrs::file_default(),
+            })
+            .unwrap();
+        }
+        assert!(sink.retries > 0, "15% fault rate must trigger retries");
+        assert!(sink.backoff > Nanos::ZERO);
+        assert_eq!(
+            reg.counter_value("mds.persist.retries"),
+            Some(sink.retries),
+            "sink retries surface in obs"
+        );
+        // flush/load round-trip under the same fault rate.
+        let ms = populated();
+        flush_store(&ms, &os, PoolId::METADATA).unwrap();
+        let loaded = load_store(&os, PoolId::METADATA).unwrap();
+        assert_eq!(loaded.snapshot(), ms.snapshot());
     }
 
     #[test]

@@ -705,6 +705,11 @@ impl MetadataServer {
     /// persisted metadata image plus a blind replay of the mdlog journal).
     /// Unflushed journal events are lost — exactly the durability gap the
     /// Stream/none configurations trade away.
+    ///
+    /// A journal damaged on disk (torn stripe write, bit flip caught by the
+    /// frame CRC) does not abort recovery: replay falls back to the journal
+    /// tool, which erases the corrupt region and applies the surviving
+    /// prefix — the `cephfs-journal-tool` disaster-recovery workflow.
     pub fn crash_and_recover(&mut self) -> Result<()> {
         let mut store = persist::load_store(self.os.as_ref(), self.pool).map_err(MdsError::from)?;
         let journal_id = self
@@ -712,11 +717,21 @@ impl MetadataServer {
             .as_ref()
             .map(|l| l.journal_id())
             .unwrap_or(cudele_journal::JournalId::MDLOG);
-        let events = cudele_journal::read_journal(self.os.as_ref(), journal_id).map_err(|e| {
-            MdsError::NoEnt {
-                what: format!("mdlog replay ({e})"),
+        let events = match cudele_journal::read_journal(self.os.as_ref(), journal_id) {
+            Ok(events) => events,
+            Err(cudele_journal::JournalIoError::Codec(_)) => {
+                cudele_journal::JournalTool::new(self.os.as_ref(), journal_id)
+                    .recover()
+                    .map_err(|e| MdsError::NoEnt {
+                        what: format!("mdlog recovery ({e})"),
+                    })?
             }
-        })?;
+            Err(e) => {
+                return Err(MdsError::NoEnt {
+                    what: format!("mdlog replay ({e})"),
+                })
+            }
+        };
         for e in &events {
             store.apply_blind(e);
         }
@@ -1029,6 +1044,51 @@ mod tests {
         // inode instead of path.
         assert!(s.store().inode(sub.ino).is_some());
         assert!(s.store().dir(sub.ino).map(|d| d.len()).unwrap_or(0) == 10);
+    }
+
+    #[test]
+    fn corrupt_mdlog_recovers_valid_prefix_via_tool() {
+        let os = Arc::new(InMemoryStore::paper_default());
+        let mut s = MetadataServer::with_config(
+            os.clone(),
+            CostModel::calibrated(),
+            Some(MdLogConfig {
+                events_per_segment: 8,
+                dispatch_size: 2,
+                trim_after_updates: None,
+            }),
+        );
+        s.open_session(C1);
+        let dir = s
+            .mkdir(C1, cudele_journal::InodeId::ROOT, "work")
+            .result
+            .unwrap();
+        for i in 0..20 {
+            s.create(C1, dir.ino, &format!("f{i}")).result.unwrap();
+        }
+        s.flush_journal();
+
+        // Flip a bit deep in the persisted mdlog: a strict replay fails.
+        let journal_id = cudele_journal::JournalId::MDLOG;
+        let stripe = cudele_rados::ObjectId::journal_stripe(journal_id.pool, journal_id.ino, 0);
+        let mut data = os.read(&stripe).unwrap().to_vec();
+        let cut = data.len() * 3 / 4;
+        data[cut] ^= 0x08;
+        os.write_full(&stripe, &data).unwrap();
+        assert!(cudele_journal::read_journal(os.as_ref(), journal_id).is_err());
+
+        // Recovery falls back to the journal tool: the corrupt suffix is
+        // erased, the valid prefix replays, and the journal is healed.
+        s.crash_and_recover().unwrap();
+        let recovered = s.store().dir(dir.ino).map(|d| d.len()).unwrap_or(0);
+        assert!(
+            recovered < 20,
+            "corruption must cost some tail events, kept {recovered}"
+        );
+        assert!(
+            cudele_journal::read_journal(os.as_ref(), journal_id).is_ok(),
+            "recovery heals the on-disk journal"
+        );
     }
 
     #[test]

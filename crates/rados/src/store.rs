@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use cudele_obs::{Counter, Gauge, Registry};
+use cudele_sim::Nanos;
 use parking_lot::RwLock;
 
 use crate::types::{ObjectId, PoolId, RadosError, Result};
@@ -140,6 +141,23 @@ pub struct OsdStats {
 struct Inner {
     objects: HashMap<ObjectId, Object>,
     osds: Vec<OsdStats>,
+    /// Per-OSD outage windows `[from, until)` in virtual nanoseconds. An
+    /// OSD is down at instant `t` iff some window contains `t`; the stored
+    /// `OsdStats::up` flag is derived from these at snapshot time.
+    outages: Vec<Vec<(u64, u64)>>,
+}
+
+/// Whether `osd` is outside every outage window at instant `now`.
+fn osd_up_in(outages: &[Vec<(u64, u64)>], osd: usize, now: u64) -> bool {
+    outages
+        .get(osd)
+        .is_none_or(|ws| !ws.iter().any(|&(from, until)| from <= now && now < until))
+}
+
+impl Inner {
+    fn osd_up(&self, osd: usize, now: u64) -> bool {
+        osd_up_in(&self.outages, osd, now)
+    }
 }
 
 /// Per-OSD observability handles.
@@ -171,6 +189,8 @@ struct StoreObs {
 pub struct InMemoryStore {
     inner: RwLock<Inner>,
     replication: usize,
+    /// Current virtual time (ns); outage windows are evaluated against it.
+    now: AtomicU64,
     read_ops: AtomicU64,
     write_ops: AtomicU64,
     bytes_read: AtomicU64,
@@ -193,8 +213,10 @@ impl InMemoryStore {
                     };
                     osds
                 ],
+                outages: vec![Vec::new(); osds],
             }),
             replication: replication.clamp(1, osds),
+            now: AtomicU64::new(0),
             read_ops: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
@@ -211,27 +233,68 @@ impl InMemoryStore {
         InMemoryStore::new(3, 1)
     }
 
-    /// Marks an OSD down. Objects whose every replica is down become
-    /// unavailable; new objects avoid down OSDs.
+    /// Advances the store's virtual clock; outage windows are evaluated
+    /// against it. Time never runs backwards (stale calls are ignored).
+    pub fn set_now(&self, now: Nanos) {
+        self.now.fetch_max(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// The store's current virtual time.
+    pub fn now(&self) -> Nanos {
+        Nanos(self.now.load(Ordering::Relaxed))
+    }
+
+    /// Schedules an outage window `[from, until)` for `osd`. The OSD is
+    /// down whenever the store's virtual time falls inside any scheduled
+    /// window; objects whose every replica is inside a window become
+    /// unavailable, and new objects avoid currently-down OSDs.
+    pub fn schedule_outage(&self, osd: usize, from: Nanos, until: Nanos) {
+        let mut inner = self.inner.write();
+        if osd < inner.outages.len() && from < until {
+            inner.outages[osd].push((from.as_nanos(), until.as_nanos()));
+        }
+    }
+
+    /// Marks an OSD down from the current virtual time onward (an open
+    /// outage window, ended by [`InMemoryStore::revive_osd`]).
     pub fn fail_osd(&self, osd: usize) {
-        let mut inner = self.inner.write();
-        if let Some(s) = inner.osds.get_mut(osd) {
-            s.up = false;
-        }
+        let now = Nanos(self.now.load(Ordering::Relaxed));
+        self.schedule_outage(osd, now, Nanos::MAX);
     }
 
-    /// Brings an OSD back up (its data was never lost — RADOS recovers
-    /// replicas on revival, which we model as instantaneous).
+    /// Brings an OSD back up at the current virtual time: the active window
+    /// is truncated to end now and any future windows are cancelled (its
+    /// data was never lost — RADOS recovers replicas on revival, which we
+    /// model as instantaneous).
     pub fn revive_osd(&self, osd: usize) {
+        let now = self.now.load(Ordering::Relaxed);
         let mut inner = self.inner.write();
-        if let Some(s) = inner.osds.get_mut(osd) {
-            s.up = true;
+        if let Some(ws) = inner.outages.get_mut(osd) {
+            ws.retain_mut(|w| {
+                if w.0 <= now {
+                    w.1 = w.1.min(now);
+                    w.0 < w.1
+                } else {
+                    false // future window: cancelled
+                }
+            });
         }
     }
 
-    /// Per-OSD counters snapshot.
+    /// Per-OSD counters snapshot; `up` reflects outage windows at the
+    /// store's current virtual time.
     pub fn osd_stats(&self) -> Vec<OsdStats> {
-        self.inner.read().osds.clone()
+        let now = self.now.load(Ordering::Relaxed);
+        let inner = self.inner.read();
+        inner
+            .osds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| OsdStats {
+                up: inner.osd_up(i, now),
+                ..*s
+            })
+            .collect()
     }
 
     /// Number of objects currently stored.
@@ -321,16 +384,23 @@ impl InMemoryStore {
         write_bytes: u64,
         f: impl FnOnce(&mut Object) -> R,
     ) -> Result<(R, u64)> {
+        let now = self.now.load(Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let Inner { objects, osds } = &mut *inner;
+        let Inner {
+            objects,
+            osds,
+            outages,
+        } = &mut *inner;
         let object = objects.entry(id.clone()).or_insert_with(|| {
-            let up: Vec<bool> = osds.iter().map(|s| s.up).collect();
+            let up: Vec<bool> = (0..osds.len())
+                .map(|i| osd_up_in(outages, i, now))
+                .collect();
             Object {
                 placement: Self::placement_for(&id.name, osds.len(), self.replication, &up),
                 ..Object::default()
             }
         });
-        if !object.placement.iter().any(|&o| osds[o].up) {
+        if !object.placement.iter().any(|&o| osd_up_in(outages, o, now)) {
             return Err(RadosError::Unavailable(id.clone()));
         }
         let r = f(object);
@@ -351,12 +421,21 @@ impl InMemoryStore {
     /// Runs `f` with a shared reference to the object and charges
     /// `read_bytes` to its primary.
     fn inspect<R>(&self, id: &ObjectId, f: impl FnOnce(&Object) -> (R, u64)) -> Result<R> {
+        let now = self.now.load(Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let Inner { objects, osds } = &mut *inner;
+        let Inner {
+            objects,
+            osds,
+            outages,
+        } = &mut *inner;
         let object = objects
             .get(id)
             .ok_or_else(|| RadosError::NoEnt(id.clone()))?;
-        let live = object.placement.iter().copied().find(|&o| osds[o].up);
+        let live = object
+            .placement
+            .iter()
+            .copied()
+            .find(|&o| osd_up_in(outages, o, now));
         let Some(primary) = live else {
             return Err(RadosError::Unavailable(id.clone()));
         };
@@ -396,8 +475,13 @@ impl ObjectStore for InMemoryStore {
         // A writer could slip in between the check and the mutate; re-check
         // inside the mutate closure is not possible (mutate bumps first),
         // so take the write path manually.
+        let now = self.now.load(Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let Inner { objects, osds } = &mut *inner;
+        let Inner {
+            objects,
+            osds,
+            outages,
+        } = &mut *inner;
         let actual = objects.get(id).map_or(0, |o| o.version);
         if actual != expected {
             return Err(RadosError::VersionMismatch {
@@ -407,13 +491,15 @@ impl ObjectStore for InMemoryStore {
             });
         }
         let object = objects.entry(id.clone()).or_insert_with(|| {
-            let up: Vec<bool> = osds.iter().map(|s| s.up).collect();
+            let up: Vec<bool> = (0..osds.len())
+                .map(|i| osd_up_in(outages, i, now))
+                .collect();
             Object {
                 placement: Self::placement_for(&id.name, osds.len(), self.replication, &up),
                 ..Object::default()
             }
         });
-        if !object.placement.iter().any(|&o| osds[o].up) {
+        if !object.placement.iter().any(|&o| osd_up_in(outages, o, now)) {
             return Err(RadosError::Unavailable(id.clone()));
         }
         object.data.clear();
@@ -468,9 +554,10 @@ impl ObjectStore for InMemoryStore {
     }
 
     fn exists(&self, id: &ObjectId) -> bool {
+        let now = self.now.load(Ordering::Relaxed);
         let inner = self.inner.read();
         match inner.objects.get(id) {
-            Some(o) => o.placement.iter().any(|&i| inner.osds[i].up),
+            Some(o) => o.placement.iter().any(|&i| inner.osd_up(i, now)),
             None => false,
         }
     }
@@ -710,6 +797,69 @@ mod tests {
         s.revive_osd(0);
         s.revive_osd(1);
         assert_eq!(s.read(&oid("a")).unwrap().as_ref(), b"x");
+    }
+
+    #[test]
+    fn outage_window_is_virtual_time_aware() {
+        let s = InMemoryStore::new(2, 1);
+        s.write_full(&oid("a"), b"x").unwrap();
+        // Find the single OSD holding "a" by failing each in turn.
+        let holder = (0..2)
+            .find(|&o| {
+                s.fail_osd(o);
+                let down = s.read(&oid("a")).is_err();
+                s.revive_osd(o);
+                down
+            })
+            .unwrap();
+        // An outage window in the future has no effect now...
+        s.schedule_outage(holder, Nanos::from_millis(10), Nanos::from_millis(20));
+        assert!(s.read(&oid("a")).is_ok());
+        assert!(s.exists(&oid("a")));
+        // ...kicks in when virtual time enters it...
+        s.set_now(Nanos::from_millis(15));
+        assert!(matches!(s.read(&oid("a")), Err(RadosError::Unavailable(_))));
+        assert!(!s.exists(&oid("a")));
+        assert!(!s.osd_stats()[holder].up);
+        // ...and expires when time moves past it — no revive call needed.
+        s.set_now(Nanos::from_millis(20));
+        assert_eq!(s.read(&oid("a")).unwrap().as_ref(), b"x");
+        assert!(s.osd_stats()[holder].up);
+    }
+
+    #[test]
+    fn reads_served_from_surviving_replica_during_outage() {
+        let s = InMemoryStore::new(3, 2);
+        s.write_full(&oid("a"), b"safe").unwrap();
+        // With replication 2 of 3 OSDs, any single outage window leaves a
+        // live replica to serve reads.
+        for osd in 0..3 {
+            s.schedule_outage(
+                osd,
+                Nanos::from_millis(osd as u64 * 10),
+                Nanos::from_millis(osd as u64 * 10 + 5),
+            );
+        }
+        for t in [0u64, 10, 20] {
+            s.set_now(Nanos::from_millis(t));
+            assert_eq!(s.read(&oid("a")).unwrap().as_ref(), b"safe", "at {t}ms");
+        }
+    }
+
+    #[test]
+    fn revive_cancels_active_and_future_windows() {
+        let s = InMemoryStore::new(2, 1);
+        s.write_full(&oid("a"), b"x").unwrap();
+        s.fail_osd(0);
+        s.fail_osd(1);
+        s.schedule_outage(0, Nanos::from_secs(1), Nanos::from_secs(2));
+        assert!(s.read(&oid("a")).is_err());
+        s.revive_osd(0);
+        s.revive_osd(1);
+        assert!(s.read(&oid("a")).is_ok());
+        // The future window on OSD 0 was cancelled by the revive.
+        s.set_now(Nanos::from_secs(1) + Nanos::MILLI);
+        assert!(s.read(&oid("a")).is_ok());
     }
 
     #[test]

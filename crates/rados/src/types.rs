@@ -73,6 +73,10 @@ pub enum RadosError {
     /// Not enough replicas of the object are on live OSDs to serve a read,
     /// or no live OSD can accept a write.
     Unavailable(ObjectId),
+    /// A transient `EAGAIN`-style failure: the operation did not (fully)
+    /// complete but is safe to retry. Injected by fault plans; real RADOS
+    /// surfaces the same class for momentary OSD overload or map churn.
+    Transient(ObjectId),
     /// A comparison guard (e.g. version check) failed.
     VersionMismatch {
         /// The guarded object.
@@ -89,6 +93,9 @@ impl fmt::Display for RadosError {
         match self {
             RadosError::NoEnt(o) => write!(f, "object {o} does not exist"),
             RadosError::Unavailable(o) => write!(f, "object {o} unavailable (OSDs down)"),
+            RadosError::Transient(o) => {
+                write!(f, "object {o} transient failure (EAGAIN, retry)")
+            }
             RadosError::VersionMismatch {
                 object,
                 expected,
@@ -135,6 +142,9 @@ mod tests {
         assert!(RadosError::Unavailable(o.clone())
             .to_string()
             .contains("unavailable"));
+        assert!(RadosError::Transient(o.clone())
+            .to_string()
+            .contains("retry"));
         let e = RadosError::VersionMismatch {
             object: o,
             expected: 1,

@@ -201,6 +201,19 @@ impl CostModel {
         cost
     }
 
+    /// A copy of this model with the object store degraded by `factor`
+    /// (slow-OSD fault windows): per-op round trips take `factor` times
+    /// longer and streaming bandwidth drops by the same factor. Factors
+    /// below 1.0 are clamped to 1.0 — fault injection never speeds the
+    /// store up.
+    pub fn with_object_store_slowdown(&self, factor: f64) -> CostModel {
+        let factor = factor.max(1.0);
+        let mut m = self.clone();
+        m.object_op_latency = m.object_op_latency.scale(factor);
+        m.object_store_bw /= factor;
+        m
+    }
+
     /// MDS CPU per journaled event at a given dispatch size (Figure 3a).
     ///
     /// The penalty curve encodes the paper's qualitative findings: dispatch
@@ -366,6 +379,20 @@ mod tests {
         // yields the paper's ~15x create+merge plateau.
         let eff = m.volatile_apply_per_event.as_secs_f64() * f20;
         assert!((eff - 117e-6).abs() < 2e-6, "{eff}");
+    }
+
+    #[test]
+    fn slowdown_degrades_store_only() {
+        let m = CostModel::calibrated();
+        let slow = m.with_object_store_slowdown(3.0);
+        assert_eq!(slow.object_op_latency, m.object_op_latency.scale(3.0));
+        assert!(close(slow.object_store_bw, m.object_store_bw / 3.0, 1e-9));
+        // Everything else is untouched.
+        assert_eq!(slow.client_append, m.client_append);
+        assert!(close(slow.local_disk_bw, m.local_disk_bw, 1e-12));
+        // Sub-unity factors are clamped: faults never speed the store up.
+        let clamped = m.with_object_store_slowdown(0.5);
+        assert_eq!(clamped.object_op_latency, m.object_op_latency);
     }
 
     #[test]
