@@ -1,0 +1,46 @@
+//! `cudele-bench` — the benchmark driver binary. Its one subcommand,
+//! `regress`, runs the continuous benchmark regression pipeline (see
+//! [`cudele_bench::regress`]) and exits non-zero when the measured
+//! snapshot violates the committed baseline's tolerance bands.
+
+use cudele_bench::regress;
+
+const USAGE: &str = "usage: cudele-bench regress [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    match argv.get(1).map(String::as_str) {
+        Some("regress") => {
+            let cfg = match regress::parse_args(&argv[2..]) {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    if msg.is_empty() {
+                        println!("{}", regress::USAGE);
+                        return;
+                    }
+                    eprintln!("{msg}");
+                    eprintln!("{}", regress::USAGE);
+                    std::process::exit(2);
+                }
+            };
+            match regress::run(&cfg) {
+                Ok(out) => {
+                    print!("{}", out.rendered);
+                    if !out.violations.is_empty() {
+                        std::process::exit(1);
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("--help") | Some("-h") | None => println!("{USAGE}"),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -18,6 +18,7 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod mdbench;
 pub mod obs_out;
+pub mod regress;
 pub mod table1;
 pub mod world;
 

@@ -44,6 +44,9 @@ pub struct BenchConfig {
     pub metrics_out: Option<String>,
     /// Write a Chrome trace-event JSON file here when the run finishes.
     pub trace_out: Option<String>,
+    /// Bound the session span buffer; extra spans are dropped and
+    /// counted in `obs.spans_dropped`. `None` keeps the default.
+    pub span_capacity: Option<usize>,
     /// Fault-injection spec (see `cudele_faults::FaultConfig::parse`),
     /// e.g. `seed=7,eagain_ppm=20000,osd_outage=3@1ms..5ms`.
     pub faults: Option<String>,
@@ -65,6 +68,7 @@ impl Default for BenchConfig {
             composition: None,
             metrics_out: None,
             trace_out: None,
+            span_capacity: None,
             faults: None,
             mdlog_segment: None,
             mdlog_dispatch: None,
@@ -76,6 +80,7 @@ impl Default for BenchConfig {
 pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
      [--composition DSL] [--metrics-out PATH] [--trace-out PATH] \
+     [--span-capacity N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
 osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL] \
      [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS]";
@@ -108,6 +113,13 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
             "--composition" => cfg.composition = Some(value(&mut i, "--composition")?),
             "--metrics-out" => cfg.metrics_out = Some(value(&mut i, "--metrics-out")?),
             "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
+            "--span-capacity" => {
+                cfg.span_capacity = Some(
+                    value(&mut i, "--span-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --span-capacity: {e}"))?,
+                );
+            }
             "--faults" => cfg.faults = Some(value(&mut i, "--faults")?),
             "--mdlog-segment" => {
                 cfg.mdlog_segment = Some(
@@ -168,7 +180,11 @@ pub struct BenchOutcome {
 /// snapshots (if requested) before returning.
 pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     let policy = resolve_policy(cfg)?;
-    let obs = ObsSession::with_paths(cfg.metrics_out.clone(), cfg.trace_out.clone());
+    let obs = ObsSession::with_capacity(
+        cfg.metrics_out.clone(),
+        cfg.trace_out.clone(),
+        cfg.span_capacity,
+    );
 
     let mut rendered = format!(
         "mdbench: {} clients x {} creates under `{}`\n",

@@ -7,6 +7,9 @@
 //! * `--trace-out <path>` — write a Chrome trace-event JSON file
 //!   ([`Registry::chrome_trace_json`]), loadable in Perfetto /
 //!   `chrome://tracing`, with virtual timestamps.
+//! * `--span-capacity <N>` — bound the session span buffer at `N`
+//!   spans; later spans are dropped (counted in `obs.spans_dropped`
+//!   in the metrics snapshot) instead of growing memory.
 //!
 //! When either flag is present, a single *session registry* is installed
 //! and every [`crate::World`] built afterwards shares it, so the snapshot
@@ -25,7 +28,17 @@ static SESSION: Mutex<Option<Arc<Registry>>> = Mutex::new(None);
 /// Installs (replacing any previous) the shared session registry and
 /// returns it. Subsequent [`crate::World::new`] calls attach to it.
 pub fn install_session() -> Arc<Registry> {
-    let reg = Arc::new(Registry::new());
+    install_session_with_capacity(None)
+}
+
+/// [`install_session`] with an explicit span-buffer capacity; `None`
+/// keeps the registry default. Spans past the capacity are dropped and
+/// counted in `obs.spans_dropped`.
+pub fn install_session_with_capacity(span_capacity: Option<usize>) -> Arc<Registry> {
+    let reg = Arc::new(match span_capacity {
+        Some(cap) => Registry::with_span_capacity(cap),
+        None => Registry::new(),
+    });
     *SESSION.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&reg));
     reg
 }
@@ -61,6 +74,7 @@ impl ObsSession {
     pub fn from_argv(argv: &[String]) -> ObsSession {
         let mut metrics_out = None;
         let mut trace_out = None;
+        let mut span_capacity = None;
         let mut i = 1;
         while i < argv.len() {
             match argv[i].as_str() {
@@ -72,16 +86,30 @@ impl ObsSession {
                     trace_out = argv.get(i + 1).cloned();
                     i += 2;
                 }
+                "--span-capacity" => {
+                    span_capacity = argv.get(i + 1).and_then(|v| v.parse().ok());
+                    i += 2;
+                }
                 _ => i += 1,
             }
         }
-        ObsSession::with_paths(metrics_out, trace_out)
+        ObsSession::with_capacity(metrics_out, trace_out, span_capacity)
     }
 
     /// Builds the session from already-parsed paths.
     pub fn with_paths(metrics_out: Option<String>, trace_out: Option<String>) -> ObsSession {
+        ObsSession::with_capacity(metrics_out, trace_out, None)
+    }
+
+    /// [`ObsSession::with_paths`] with an explicit span-buffer capacity
+    /// (`--span-capacity`); `None` keeps the registry default.
+    pub fn with_capacity(
+        metrics_out: Option<String>,
+        trace_out: Option<String>,
+        span_capacity: Option<usize>,
+    ) -> ObsSession {
         let reg = if metrics_out.is_some() || trace_out.is_some() {
-            Some(install_session())
+            Some(install_session_with_capacity(span_capacity))
         } else {
             None
         };

@@ -1,0 +1,584 @@
+//! `cudele-bench regress` — the continuous benchmark regression pipeline.
+//!
+//! Runs a fixed, seeded set of workloads entirely in virtual time:
+//!
+//! 1. `mdbench` at a small scale under the posix, batchfs and deltafs
+//!    policies (throughput plus p50/p95/p99 virtual op latency),
+//! 2. a traced run exercising all seven Figure-4 mechanisms, profiled
+//!    with [`cudele_obs::critpath`] (per-mechanism mean latency and
+//!    per-layer critical-path shares),
+//! 3. the Figure-5 normalized slowdowns.
+//!
+//! The results are written as a schema-versioned `BENCH_cudele.json`
+//! (byte-identical across same-seed runs) and compared against a
+//! committed baseline with tolerance bands; any band violation is a
+//! regression and the binary exits non-zero, which is what CI gates on.
+//!
+//! Tolerances: throughput ±10 %, latency percentiles and mechanism means
+//! ±20 %, Figure-5 ratios ±10 %, critical-path layer shares ±0.15
+//! absolute. Mechanism run counts must match exactly (the workloads are
+//! deterministic).
+
+use std::sync::Arc;
+
+use cudele::{execute_merge_at, Composition, ExecEnv};
+use cudele_client::LocalDisk;
+use cudele_mds::{MdLogConfig, MetadataServer};
+use cudele_obs::critpath::{self, MechanismBreakdown};
+use cudele_obs::json::{self, Value};
+use cudele_rados::InMemoryStore;
+use cudele_sim::{CostModel, Engine};
+use cudele_workloads::client_dir;
+
+use crate::mdbench::{self, BenchConfig};
+use crate::obs_out;
+use crate::{DecoupledCreateProcess, RpcCreateProcess, Scale, World};
+
+/// Version tag of the `BENCH_cudele.json` layout. Bump on any change to
+/// the emitted structure; the comparator refuses mismatched schemas.
+pub const SCHEMA: &str = "cudele-bench-regress/v1";
+
+/// Default path of the freshly measured snapshot.
+pub const DEFAULT_OUT: &str = "BENCH_cudele.json";
+
+/// Default path of the committed baseline to compare against.
+pub const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+
+/// Usage string for the `regress` subcommand.
+pub const USAGE: &str = "usage: cudele-bench regress [--out PATH] \
+     [--baseline PATH] [--write-baseline] [--span-capacity N] \
+     [--trace-out PATH] [--folded-out PATH]";
+
+/// Command-line configuration of one `regress` invocation.
+#[derive(Debug, Clone)]
+pub struct RegressConfig {
+    /// Where to write the measured snapshot.
+    pub out: String,
+    /// Baseline to compare against (unless `write_baseline`).
+    pub baseline: String,
+    /// Write the snapshot as the new baseline instead of comparing.
+    pub write_baseline: bool,
+    /// Span-buffer bound for the mdbench session registries.
+    pub span_capacity: Option<usize>,
+    /// Also write the traced-mechanisms run as a Chrome trace here.
+    pub trace_out: Option<String>,
+    /// Also write the traced-mechanisms run as folded stacks here.
+    pub folded_out: Option<String>,
+}
+
+impl Default for RegressConfig {
+    fn default() -> RegressConfig {
+        RegressConfig {
+            out: DEFAULT_OUT.to_string(),
+            baseline: DEFAULT_BASELINE.to_string(),
+            write_baseline: false,
+            span_capacity: None,
+            trace_out: None,
+            folded_out: None,
+        }
+    }
+}
+
+/// Parses the arguments after the `regress` subcommand word. `Err`
+/// carries the message to print before [`USAGE`]; `--help` yields
+/// `Err(String::new())`.
+pub fn parse_args(args: &[String]) -> Result<RegressConfig, String> {
+    let mut cfg = RegressConfig::default();
+    let mut i = 0;
+    let value = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 2;
+        args.get(*i - 1)
+            .cloned()
+            .ok_or_else(|| format!("{what} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => cfg.out = value(&mut i, "--out")?,
+            "--baseline" => cfg.baseline = value(&mut i, "--baseline")?,
+            "--write-baseline" => {
+                cfg.write_baseline = true;
+                i += 1;
+            }
+            "--span-capacity" => {
+                cfg.span_capacity = Some(
+                    value(&mut i, "--span-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --span-capacity: {e}"))?,
+                );
+            }
+            "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
+            "--folded-out" => cfg.folded_out = Some(value(&mut i, "--folded-out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// One mdbench workload's measurements.
+struct MdbenchRow {
+    policy: &'static str,
+    clients: u32,
+    files: u64,
+    create_ops_per_s: f64,
+    end_to_end_ops_per_s: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+}
+
+const MDBENCH_POLICIES: [&str; 3] = ["posix", "batchfs", "deltafs"];
+const MDBENCH_CLIENTS: u32 = 2;
+const MDBENCH_FILES: u64 = 500;
+
+fn run_mdbench_workload(
+    policy: &'static str,
+    span_capacity: Option<usize>,
+) -> Result<MdbenchRow, String> {
+    // Install the session registry ourselves: `mdbench::run` without
+    // `--metrics-out`/`--trace-out` leaves the installed session alone,
+    // so every world it builds attaches here and we can read the
+    // latency histogram after the run.
+    let reg = obs_out::install_session_with_capacity(span_capacity);
+    let cfg = BenchConfig {
+        clients: MDBENCH_CLIENTS,
+        files: MDBENCH_FILES,
+        policy: policy.to_string(),
+        composition: None,
+        metrics_out: None,
+        trace_out: None,
+        span_capacity: None,
+        faults: None,
+        mdlog_segment: None,
+        mdlog_dispatch: None,
+    };
+    let out = mdbench::run(&cfg);
+    obs_out::clear_session();
+    let out = out?;
+    let ops = (MDBENCH_CLIENTS as u64 * MDBENCH_FILES) as f64;
+    let h = reg.histogram("bench.op_latency.ns");
+    Ok(MdbenchRow {
+        policy,
+        clients: MDBENCH_CLIENTS,
+        files: MDBENCH_FILES,
+        create_ops_per_s: ops / out.create_end.as_secs_f64(),
+        end_to_end_ops_per_s: ops / out.merge_end.as_secs_f64(),
+        p50_ns: h.p50(),
+        p95_ns: h.p95(),
+        p99_ns: h.p99(),
+    })
+}
+
+/// Drives all seven Figure-4 mechanisms in one traced run on a private
+/// registry and returns the critical-path breakdown plus the raw trace
+/// exports (Chrome JSON and folded stacks).
+fn run_traced_mechanisms() -> (Vec<MechanismBreakdown>, String, String) {
+    obs_out::clear_session();
+    let os = Arc::new(InMemoryStore::paper_default());
+    let mut world = World::new(MetadataServer::with_config(
+        os.clone(),
+        CostModel::calibrated(),
+        Some(MdLogConfig::default()),
+    ));
+    for c in 0..3 {
+        world.server.setup_dir(&client_dir(c)).unwrap();
+    }
+    let rpc_dir = world.server.store().resolve(&client_dir(0)).unwrap();
+
+    // rpcs + stream.
+    let mut eng = Engine::new(world);
+    let p = RpcCreateProcess::new(eng.world_mut(), 0, rpc_dir, 64);
+    eng.add_process(Box::new(p));
+    let (world, _) = eng.run();
+
+    // append_client_journal.
+    let mut eng = Engine::new(world);
+    let p = DecoupledCreateProcess::new(eng.world_mut(), 1, &client_dir(1), 64);
+    eng.add_process(Box::new(p));
+    let (mut world, report) = eng.run();
+
+    // volatile_apply.
+    let mut merger = DecoupledCreateProcess::new(&mut world, 10, &client_dir(1), 32);
+    for i in 0..32 {
+        merger
+            .client
+            .create(merger.client.root, &format!("m{i}"))
+            .unwrap();
+    }
+    merger.merge_at(&mut world, report.slowest(), 1);
+
+    // local_persist + global_persist + nonvolatile_apply.
+    let mut persister = DecoupledCreateProcess::new(&mut world, 11, &client_dir(2), 32);
+    for i in 0..32 {
+        persister
+            .client
+            .create(persister.client.root, &format!("p{i}"))
+            .unwrap();
+    }
+    let comp: Composition = "local_persist+global_persist+nonvolatile_apply"
+        .parse()
+        .unwrap();
+    let mut disk = LocalDisk::new();
+    execute_merge_at(
+        &comp,
+        &mut persister.client,
+        &mut ExecEnv {
+            server: &mut world.server,
+            os: os.as_ref(),
+            disk: &mut disk,
+        },
+        Some(&world.obs),
+        11,
+        report.slowest(),
+    )
+    .unwrap();
+
+    let spans = world.obs.spans();
+    let analysis = critpath::analyze(&spans);
+    let mut rows = critpath::mechanism_breakdown(&analysis);
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    (
+        rows,
+        world.obs.chrome_trace_json(),
+        critpath::folded(&analysis),
+    )
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(
+    mdbench_rows: &[MdbenchRow],
+    fig5: &crate::fig5::Fig5,
+    mechanisms: &[MechanismBreakdown],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+
+    out.push_str("  \"mdbench\": [\n");
+    for (i, r) in mdbench_rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"policy\": \"{}\",\n", r.policy));
+        out.push_str(&format!("      \"clients\": {},\n", r.clients));
+        out.push_str(&format!("      \"files\": {},\n", r.files));
+        out.push_str(&format!(
+            "      \"create_ops_per_s\": {},\n",
+            fmt_f64(r.create_ops_per_s)
+        ));
+        out.push_str(&format!(
+            "      \"end_to_end_ops_per_s\": {},\n",
+            fmt_f64(r.end_to_end_ops_per_s)
+        ));
+        out.push_str(&format!(
+            "      \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}\n",
+            fmt_f64(r.p50_ns),
+            fmt_f64(r.p95_ns),
+            fmt_f64(r.p99_ns)
+        ));
+        out.push_str(if i + 1 < mdbench_rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"fig5_slowdowns\": {\n");
+    for (i, b) in fig5.bars.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            b.label,
+            fmt_f64(b.slowdown),
+            if i + 1 < fig5.bars.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+
+    out.push_str("  \"mechanisms\": [\n");
+    for (i, m) in mechanisms.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        out.push_str(&format!("      \"runs\": {},\n", m.runs));
+        let mean = if m.runs > 0 {
+            m.total_ns as f64 / m.runs as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("      \"mean_ns\": {},\n", fmt_f64(mean)));
+        out.push_str("      \"layer_shares\": {");
+        let shares = m.shares();
+        for (j, (layer, share)) in shares.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {}{}",
+                layer,
+                fmt_f64(*share),
+                if j + 1 < shares.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        out.push_str(if i + 1 < mechanisms.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn rel_close(cur: f64, base: f64, tol: f64) -> bool {
+    (cur - base).abs() <= tol * base.abs().max(1e-9)
+}
+
+fn check_rel(violations: &mut Vec<String>, what: &str, cur: f64, base: f64, tol: f64) {
+    if !rel_close(cur, base, tol) {
+        violations.push(format!(
+            "{what}: {cur} vs baseline {base} (tolerance ±{:.0}%)",
+            tol * 100.0
+        ));
+    }
+}
+
+fn f64_at(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+/// Compares a measured snapshot against a baseline (both JSON text).
+/// Returns the list of tolerance violations — empty means no regression.
+pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
+    let cur = json::parse(current).map_err(|e| format!("current snapshot: {e}"))?;
+    let base = json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let mut v = Vec::new();
+
+    let schema = |j: &Value| j.get("schema").and_then(Value::as_str).map(str::to_string);
+    let (cs, bs) = (schema(&cur), schema(&base));
+    if cs != bs {
+        return Err(format!(
+            "schema mismatch: current {cs:?} vs baseline {bs:?}"
+        ));
+    }
+
+    // mdbench workloads, matched by policy name.
+    let rows = |j: &Value| {
+        j.get("mdbench")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::to_vec)
+    };
+    let (crows, brows) = (
+        rows(&cur).ok_or("current: mdbench missing")?,
+        rows(&base).ok_or("baseline: mdbench missing")?,
+    );
+    for b in &brows {
+        let policy = b.get("policy").and_then(Value::as_str).unwrap_or("?");
+        let Some(c) = crows
+            .iter()
+            .find(|c| c.get("policy").and_then(Value::as_str) == Some(policy))
+        else {
+            v.push(format!("mdbench[{policy}]: missing from current run"));
+            continue;
+        };
+        for key in ["create_ops_per_s", "end_to_end_ops_per_s"] {
+            check_rel(
+                &mut v,
+                &format!("mdbench[{policy}].{key}"),
+                f64_at(c, key),
+                f64_at(b, key),
+                0.10,
+            );
+        }
+        let (cl, bl) = (c.get("latency_ns"), b.get("latency_ns"));
+        if let (Some(cl), Some(bl)) = (cl, bl) {
+            for key in ["p50", "p95", "p99"] {
+                check_rel(
+                    &mut v,
+                    &format!("mdbench[{policy}].latency_ns.{key}"),
+                    f64_at(cl, key),
+                    f64_at(bl, key),
+                    0.20,
+                );
+            }
+        }
+    }
+
+    // Figure-5 slowdowns, matched by bar label.
+    let bars = |j: &Value| {
+        j.get("fig5_slowdowns")
+            .and_then(Value::as_obj)
+            .map(<[(String, Value)]>::to_vec)
+    };
+    let (cbars, bbars) = (
+        bars(&cur).ok_or("current: fig5_slowdowns missing")?,
+        bars(&base).ok_or("baseline: fig5_slowdowns missing")?,
+    );
+    for (label, bval) in &bbars {
+        match cbars.iter().find(|(l, _)| l == label) {
+            None => v.push(format!("fig5[{label}]: missing from current run")),
+            Some((_, cval)) => check_rel(
+                &mut v,
+                &format!("fig5[{label}]"),
+                cval.as_f64().unwrap_or(f64::NAN),
+                bval.as_f64().unwrap_or(f64::NAN),
+                0.10,
+            ),
+        }
+    }
+
+    // Mechanism critical-path profiles, matched by mechanism name.
+    let mechs = |j: &Value| {
+        j.get("mechanisms")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::to_vec)
+    };
+    let (cmechs, bmechs) = (
+        mechs(&cur).ok_or("current: mechanisms missing")?,
+        mechs(&base).ok_or("baseline: mechanisms missing")?,
+    );
+    for b in &bmechs {
+        let name = b.get("name").and_then(Value::as_str).unwrap_or("?");
+        let Some(c) = cmechs
+            .iter()
+            .find(|c| c.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            v.push(format!("mechanisms[{name}]: missing from current run"));
+            continue;
+        };
+        let (cruns, bruns) = (
+            c.get("runs").and_then(Value::as_u64),
+            b.get("runs").and_then(Value::as_u64),
+        );
+        if cruns != bruns {
+            v.push(format!(
+                "mechanisms[{name}].runs: {cruns:?} vs baseline {bruns:?} (exact match required)"
+            ));
+        }
+        check_rel(
+            &mut v,
+            &format!("mechanisms[{name}].mean_ns"),
+            f64_at(c, "mean_ns"),
+            f64_at(b, "mean_ns"),
+            0.20,
+        );
+        let shares = |j: &Value| {
+            j.get("layer_shares")
+                .and_then(Value::as_obj)
+                .map(<[(String, Value)]>::to_vec)
+                .unwrap_or_default()
+        };
+        let (cshares, bshares) = (shares(c), shares(b));
+        let share_of = |set: &[(String, Value)], layer: &str| {
+            set.iter()
+                .find(|(l, _)| l == layer)
+                .and_then(|(_, s)| s.as_f64())
+                .unwrap_or(0.0)
+        };
+        let mut layers: Vec<&str> = bshares
+            .iter()
+            .chain(cshares.iter())
+            .map(|(l, _)| l.as_str())
+            .collect();
+        layers.sort_unstable();
+        layers.dedup();
+        for layer in layers {
+            let (cs, bs) = (share_of(&cshares, layer), share_of(&bshares, layer));
+            if (cs - bs).abs() > 0.15 {
+                v.push(format!(
+                    "mechanisms[{name}].layer_shares.{layer}: {cs} vs baseline {bs} \
+                     (tolerance ±0.15 absolute)"
+                ));
+            }
+        }
+    }
+
+    Ok(v)
+}
+
+/// What one `regress` invocation produced.
+pub struct RegressOutcome {
+    /// The measured snapshot (also written to `cfg.out`).
+    pub json: String,
+    /// Tolerance violations against the baseline (empty = pass, and
+    /// always empty under `--write-baseline`).
+    pub violations: Vec<String>,
+    /// Human-readable report for the terminal.
+    pub rendered: String,
+}
+
+/// Runs the whole pipeline: measure, write the snapshot (and optional
+/// trace/folded exports), then either install the baseline or compare
+/// against it.
+pub fn run(cfg: &RegressConfig) -> Result<RegressOutcome, String> {
+    let mut rendered = String::new();
+
+    let (mech_rows, trace_json, folded) = run_traced_mechanisms();
+    let mut mdbench_rows = Vec::new();
+    for policy in MDBENCH_POLICIES {
+        mdbench_rows.push(run_mdbench_workload(policy, cfg.span_capacity)?);
+    }
+    let fig5 = crate::fig5::run(Scale {
+        files_per_client: 2_000,
+        runs: 1,
+    });
+
+    let json = render_json(&mdbench_rows, &fig5, &mech_rows);
+    let write =
+        |path: &str, body: &str| std::fs::write(path, body).map_err(|e| format!("{path}: {e}"));
+    write(&cfg.out, &json)?;
+    if let Some(path) = &cfg.trace_out {
+        write(path, &trace_json)?;
+    }
+    if let Some(path) = &cfg.folded_out {
+        write(path, &folded)?;
+    }
+
+    rendered.push_str(&critpath::render_breakdown_table(&mech_rows));
+    rendered.push('\n');
+    for r in &mdbench_rows {
+        rendered.push_str(&format!(
+            "mdbench {:<8} {:>8.0} creates/s (end-to-end {:>8.0}/s, p99 {:.1} us)\n",
+            r.policy,
+            r.create_ops_per_s,
+            r.end_to_end_ops_per_s,
+            r.p99_ns / 1000.0
+        ));
+    }
+    rendered.push_str(&format!("snapshot written to {}\n", cfg.out));
+
+    let violations = if cfg.write_baseline {
+        write(&cfg.baseline, &json)?;
+        rendered.push_str(&format!("baseline written to {}\n", cfg.baseline));
+        Vec::new()
+    } else {
+        let baseline = std::fs::read_to_string(&cfg.baseline).map_err(|e| {
+            format!(
+                "baseline {}: {e} (run with --write-baseline to create it)",
+                cfg.baseline
+            )
+        })?;
+        let violations = compare(&json, &baseline)?;
+        if violations.is_empty() {
+            rendered.push_str(&format!("no regressions against {}\n", cfg.baseline));
+        } else {
+            rendered.push_str(&format!(
+                "REGRESSION: {} tolerance violation(s) against {}:\n",
+                violations.len(),
+                cfg.baseline
+            ));
+            for violation in &violations {
+                rendered.push_str(&format!("  - {violation}\n"));
+            }
+        }
+        violations
+    };
+
+    Ok(RegressOutcome {
+        json,
+        violations,
+        rendered,
+    })
+}

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cudele_client::RpcClient;
 use cudele_journal::InodeId;
 use cudele_mds::{ClientId, MdsError, MetadataServer, OpCost};
-use cudele_obs::{observe_mechanism, Registry};
+use cudele_obs::{observe_mechanism, observe_mechanism_at, Histogram, Registry, TraceCtx};
 use cudele_sim::{FifoServer, Nanos, Process, Step};
 use cudele_workloads::{client_dir, file_name, Interference};
 
@@ -62,6 +62,33 @@ impl World {
         t
     }
 
+    /// [`World::charge_as`] with causal tracing: each charged RPC becomes
+    /// an `rpcs` mechanism span *under `parent`* (the client op's root),
+    /// itself broken into `mds.queue_wait` (only when the MDS CPU made the
+    /// request wait), `mds.service`, and `net.rpc` layer children.
+    pub fn charge_ctx(&mut self, parent: TraceCtx, mut t: Nanos, costs: &[OpCost]) -> Nanos {
+        for c in costs {
+            let start = t;
+            let served = self.mds.serve(t, c.mds_cpu);
+            t = served + c.client_extra;
+            if c.rpcs > 0 {
+                let ctx = self.obs.trace_child(parent);
+                observe_mechanism_at(&self.obs, "rpcs", ctx, start, t - start);
+                let service_start = served - c.mds_cpu;
+                let wait = service_start - start;
+                if wait > Nanos::ZERO {
+                    self.obs
+                        .child_span(ctx, "mds.queue_wait", "mds", start, wait);
+                }
+                self.obs
+                    .child_span(ctx, "mds.service", "mds", service_start, c.mds_cpu);
+                self.obs
+                    .child_span(ctx, "net.rpc", "net", served, c.client_extra);
+            }
+        }
+        t
+    }
+
     /// Appends a point to a named trace.
     pub fn trace(&mut self, name: &'static str, t: Nanos, v: f64) {
         self.traces.entry(name).or_default().push((t, v));
@@ -84,6 +111,7 @@ pub struct RpcCreateProcess {
     dir: InodeId,
     total: u64,
     done: u64,
+    op_lat: Histogram,
     /// Record a per-op trace of the victim's behaviour (Figure 3c).
     pub record_trace: bool,
 }
@@ -98,6 +126,7 @@ impl RpcCreateProcess {
             dir,
             total,
             done: 0,
+            op_lat: world.obs.histogram("bench.op_latency.ns"),
             record_trace: false,
         }
     }
@@ -109,13 +138,27 @@ impl Process<World> for RpcCreateProcess {
             return Step::Done;
         }
         let name = file_name(self.idx, self.done);
+        // Open the client op's trace root before touching the server so
+        // server-side activity (Stream journaling) nests under it.
+        let root = world.obs.trace_root(self.idx);
         world.server.set_now(now);
+        world.server.set_trace_ctx(Some(root));
         let out = self.client.create(&mut world.server, self.dir, &name);
+        world.server.set_trace_ctx(None);
         match out.result {
             Ok(_) => {}
             Err(e) => panic!("client {} create failed: {e}", self.idx),
         }
-        let t = world.charge_as(self.idx, now, &out.costs);
+        let t = world.charge_ctx(root, now, &out.costs);
+        world.obs.end_span_args(
+            root,
+            "create",
+            "client_op",
+            now,
+            t - now,
+            vec![("file".to_string(), name)],
+        );
+        self.op_lat.record((t - now).0);
         self.done += 1;
         if self.record_trace {
             world.trace("victim-lookups", t, self.client.lookups_sent as f64);
@@ -142,6 +185,7 @@ pub struct DecoupledCreateProcess {
     total: u64,
     done: u64,
     append: Nanos,
+    op_lat: Histogram,
 }
 
 impl DecoupledCreateProcess {
@@ -164,6 +208,7 @@ impl DecoupledCreateProcess {
             total,
             done: 0,
             append,
+            op_lat: world.obs.histogram("bench.op_latency.ns"),
         }
     }
 
@@ -178,18 +223,51 @@ impl DecoupledCreateProcess {
             .server
             .cost_model()
             .volatile_apply_concurrency_factor(concurrent);
+        let root = world.obs.trace_root(self.idx);
         world.server.set_now(t);
+        world.server.set_trace_ctx(Some(root));
         let (result, cost, transfer) = self.client.volatile_apply(&mut world.server);
+        world.server.set_trace_ctx(None);
         result.expect("merge");
         let arrive = t + transfer;
-        let done = world.mds.serve(arrive, cost.mds_cpu.scale(factor)) + cost.client_extra;
-        observe_mechanism(
-            &world.obs,
-            "volatile_apply",
-            self.idx,
-            arrive,
-            done - arrive,
+        let served = world.mds.serve(arrive, cost.mds_cpu.scale(factor));
+        let done = served + cost.client_extra;
+        // The journal ships over the network, then the apply runs (and may
+        // queue) on the MDS CPU — all under one client-op root.
+        world
+            .obs
+            .child_span(root, "net.transfer", "net", t, transfer);
+        let va = world.obs.trace_child(root);
+        observe_mechanism_at(&world.obs, "volatile_apply", va, arrive, done - arrive);
+        let service_start = served - cost.mds_cpu.scale(factor);
+        let wait = service_start - arrive;
+        if wait > Nanos::ZERO {
+            world
+                .obs
+                .child_span(va, "mds.queue_wait", "mds", arrive, wait);
+        }
+        world.obs.child_span(
+            va,
+            "mds.apply",
+            "mds",
+            service_start,
+            cost.mds_cpu.scale(factor),
         );
+        world
+            .obs
+            .child_span(va, "net.reply", "net", served, cost.client_extra);
+        world.obs.end_span_args(
+            root,
+            "merge",
+            "client_op",
+            t,
+            done - t,
+            vec![("events".to_string(), self.done.to_string())],
+        );
+        world
+            .obs
+            .histogram("bench.merge_latency.ns")
+            .record((done - t).0);
         done
     }
 }
@@ -211,8 +289,25 @@ impl Process<World> for DecoupledCreateProcess {
             self.done += 1;
         }
         let t = now + self.append * batch;
-        // One span per batch: the whole window is client-local append CPU.
-        observe_mechanism(&world.obs, "append_client_journal", self.idx, now, t - now);
+        for _ in 0..batch {
+            self.op_lat.record(self.append.0);
+        }
+        // One parented tree per batch: the whole window is client-local
+        // append CPU, so the mechanism span and its client child coincide.
+        let root = world.obs.trace_root(self.idx);
+        let acj = world.obs.trace_child(root);
+        observe_mechanism_at(&world.obs, "append_client_journal", acj, now, t - now);
+        world
+            .obs
+            .child_span(acj, "client.append", "client", now, t - now);
+        world.obs.end_span_args(
+            root,
+            "append_batch",
+            "client_op",
+            now,
+            t - now,
+            vec![("ops".to_string(), batch.to_string())],
+        );
         if self.done >= self.total {
             // The final batch's time still elapses; model it by one last
             // wake-up that immediately completes.

@@ -108,6 +108,47 @@ fn all_seven_mechanisms_emit_spans_and_counters() {
     assert_eq!(world.obs.spans_dropped(), 0);
     cudele_obs::json::validate(&world.obs.metrics_json()).unwrap();
     cudele_obs::json::validate(&world.obs.chrome_trace_json()).unwrap();
+
+    // Tentpole acceptance: every mechanism span sits in a parented tree
+    // whose root is a client op, and the critical-path profiler reports
+    // layer shares for all seven mechanisms.
+    let spans = world.obs.spans();
+    let by_id: std::collections::BTreeMap<u64, &cudele_obs::Span> = spans
+        .iter()
+        .filter(|s| s.span_id != 0)
+        .map(|s| (s.span_id, s))
+        .collect();
+    for s in spans.iter().filter(|s| s.cat == "mechanism") {
+        assert_ne!(s.parent_id, 0, "{}: mechanism span has no parent", s.name);
+        let mut cur = *by_id.get(&s.span_id).unwrap();
+        while cur.parent_id != 0 {
+            cur = by_id
+                .get(&cur.parent_id)
+                .unwrap_or_else(|| panic!("{}: dangling parent id", s.name));
+        }
+        assert_eq!(cur.cat, "client_op", "{}: root is not a client op", s.name);
+    }
+    let analysis = cudele_obs::critpath::analyze(&spans);
+    assert!(!analysis.traces.is_empty());
+    let rows = cudele_obs::critpath::mechanism_breakdown(&analysis);
+    for name in MECHANISMS {
+        let row = rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("{name}: missing from breakdown"));
+        assert!(row.runs >= 1, "{name}: breakdown lost its runs");
+        if row.total_ns > 0 {
+            let covered: f64 = row.shares().values().sum();
+            assert!(
+                (covered - 1.0).abs() < 1e-9,
+                "{name}: layer shares sum to {covered}, not 1"
+            );
+        }
+    }
+    let table = cudele_obs::critpath::render_breakdown_table(&rows);
+    for name in MECHANISMS {
+        assert!(table.contains(name), "{name}: missing from rendered table");
+    }
 }
 
 fn snapshot_paths(label: &str) -> (String, String) {
@@ -140,6 +181,7 @@ fn run_faulted_snapshots(
         composition: None,
         metrics_out: Some(metrics.clone()),
         trace_out: Some(trace.clone()),
+        span_capacity: None,
         faults: faults.map(str::to_string),
         // Small mdlog windows so faulted runs flush to the store often
         // enough for the plan to actually fire within 500 creates.

@@ -1,0 +1,155 @@
+//! Regression-pipeline acceptance tests: the snapshot is byte-identical
+//! across same-seed runs, self-comparison passes, and the tolerance gate
+//! actually fires on out-of-band values.
+//!
+//! `regress::run` installs/clears the process-global session registry, so
+//! these tests serialize on a local lock (they live in their own test
+//! binary, so they cannot interleave with `tests/obs.rs`).
+
+use std::sync::{Mutex, OnceLock};
+
+use cudele_bench::regress::{self, RegressConfig};
+
+fn lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn tmp(label: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("cudele_regress_{}_{label}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run_once(label: &str) -> (String, Vec<String>) {
+    let out = tmp(&format!("{label}_out.json"));
+    let baseline = tmp(&format!("{label}_baseline.json"));
+    let cfg = RegressConfig {
+        out: out.clone(),
+        baseline: baseline.clone(),
+        write_baseline: true,
+        span_capacity: None,
+        trace_out: None,
+        folded_out: None,
+    };
+    let outcome = regress::run(&cfg).unwrap();
+    let written = std::fs::read_to_string(&out).unwrap();
+    assert_eq!(written, outcome.json, "{label}: file differs from outcome");
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&baseline);
+    (outcome.json, outcome.violations)
+}
+
+#[test]
+fn same_seed_snapshots_are_byte_identical_and_self_consistent() {
+    let _guard = lock().lock().unwrap();
+
+    let (a, va) = run_once("a");
+    let (b, vb) = run_once("b");
+    assert_eq!(a, b, "same-seed BENCH_cudele.json differs");
+    assert!(va.is_empty() && vb.is_empty());
+
+    // Schema-versioned, parseable, and covers all three sections.
+    let v = cudele_obs::json::parse(&a).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(cudele_obs::json::Value::as_str),
+        Some(regress::SCHEMA)
+    );
+    let mechs = v
+        .get("mechanisms")
+        .and_then(cudele_obs::json::Value::as_arr)
+        .unwrap();
+    assert_eq!(mechs.len(), 7, "expected all seven Figure-4 mechanisms");
+    assert_eq!(
+        v.get("mdbench")
+            .and_then(cudele_obs::json::Value::as_arr)
+            .map(<[cudele_obs::json::Value]>::len),
+        Some(3)
+    );
+    assert!(v.get("fig5_slowdowns").is_some());
+
+    // Self-comparison is trivially green.
+    assert!(regress::compare(&a, &a).unwrap().is_empty());
+}
+
+#[test]
+fn traced_run_exports_trace_and_folded_stacks() {
+    let _guard = lock().lock().unwrap();
+
+    let out = tmp("exports_out.json");
+    let baseline = tmp("exports_baseline.json");
+    let trace = tmp("exports_trace.json");
+    let folded = tmp("exports.folded");
+    let cfg = RegressConfig {
+        out: out.clone(),
+        baseline: baseline.clone(),
+        write_baseline: true,
+        span_capacity: None,
+        trace_out: Some(trace.clone()),
+        folded_out: Some(folded.clone()),
+    };
+    regress::run(&cfg).unwrap();
+
+    let trace_body = std::fs::read_to_string(&trace).unwrap();
+    cudele_obs::json::validate(&trace_body).unwrap();
+    for mech in ["rpcs", "stream", "volatile_apply", "nonvolatile_apply"] {
+        assert!(trace_body.contains(mech), "{mech} missing from trace");
+    }
+    let folded_body = std::fs::read_to_string(&folded).unwrap();
+    assert!(
+        folded_body.lines().any(|l| l.contains(';')),
+        "folded stacks have no nested frames:\n{folded_body}"
+    );
+    for p in [&out, &baseline, &trace, &folded] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn tolerance_gate_fires_on_regression() {
+    let _guard = lock().lock().unwrap();
+
+    let (snapshot, _) = run_once("gate");
+
+    // Degrade posix throughput by 2x: well outside the ±10% band.
+    let needle = "\"create_ops_per_s\": ";
+    let at = snapshot.find(needle).unwrap() + needle.len();
+    let end = at + snapshot[at..].find(',').unwrap();
+    let val: f64 = snapshot[at..end].parse().unwrap();
+    let degraded = format!("{}{}{}", &snapshot[..at], val / 2.0, &snapshot[end..]);
+
+    let violations = regress::compare(&degraded, &snapshot).unwrap();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("create_ops_per_s") && v.contains("10%")),
+        "gate did not fire: {violations:?}"
+    );
+
+    // A layer-share shift past 0.15 absolute also fires.
+    let shifted = shift_first_layer_share(&snapshot);
+    let violations = regress::compare(&shifted, &snapshot).unwrap();
+    assert!(
+        violations.iter().any(|v| v.contains("layer_shares")),
+        "layer-share gate did not fire: {violations:?}"
+    );
+
+    // Mismatched schema is an error, not a silent pass.
+    let other = snapshot.replace(regress::SCHEMA, "cudele-bench-regress/v0");
+    assert!(regress::compare(&other, &snapshot).is_err());
+}
+
+/// Rewrites the first layer-share value in the `mechanisms` section to
+/// 0.5 + its old value truncated away — enough to trip the ±0.15 band.
+fn shift_first_layer_share(snapshot: &str) -> String {
+    let mechs_at = snapshot.find("\"mechanisms\"").unwrap();
+    let needle = "\"layer_shares\": {\"";
+    let first_key = mechs_at + snapshot[mechs_at..].find(needle).unwrap() + needle.len();
+    let colon = first_key + snapshot[first_key..].find("\": ").unwrap() + 3;
+    // The share number runs until ',' or '}'.
+    let end = colon + snapshot[colon..].find([',', '}']).unwrap();
+    let old: f64 = snapshot[colon..end].parse().unwrap();
+    let new = if old > 0.5 { old - 0.5 } else { old + 0.5 };
+    format!("{}{}{}", &snapshot[..colon], new, &snapshot[end..])
+}

@@ -13,7 +13,7 @@ use cudele_journal::{
     JournalWriter,
 };
 use cudele_mds::{ClientId, MdsError, MetadataServer, MetadataStore, OpCost, Rpc};
-use cudele_obs::{Counter, Registry};
+use cudele_obs::{Counter, Registry, TraceSink};
 use cudele_rados::ObjectStore;
 use cudele_sim::{transfer_time, CostModel, Nanos};
 
@@ -242,6 +242,19 @@ impl DecoupledClient {
         os: &S,
         cm: &CostModel,
     ) -> Result<Nanos, JournalIoError> {
+        self.global_persist_traced(os, cm, None)
+    }
+
+    /// [`DecoupledClient::global_persist`] with causal tracing: when `sink`
+    /// is present, the stripe append lands as a `rados`-layer child span
+    /// (covering the streaming transfer) and every fault-injected retry as
+    /// a `faults`-layer span at the instant its backoff is charged.
+    pub fn global_persist_traced<S: ObjectStore + ?Sized>(
+        &self,
+        os: &S,
+        cm: &CostModel,
+        sink: Option<TraceSink<'_>>,
+    ) -> Result<Nanos, JournalIoError> {
         let id = self.journal_id();
         // Replace any previous persist of this journal.
         cudele_journal::delete_journal(os, id)?;
@@ -250,10 +263,26 @@ impl DecoupledClient {
             o.global_persists.inc();
             w.set_obs(o.writer.clone());
         }
+        if let Some(s) = sink {
+            w.set_trace(s);
+        }
         w.append(&self.journal)?;
+        let transfer = cm.global_persist_time(self.event_count());
+        if let Some(s) = &sink {
+            s.child_args(
+                "rados.stripe_append",
+                "rados",
+                s.at,
+                transfer,
+                vec![
+                    ("events".to_string(), self.event_count().to_string()),
+                    ("stripes".to_string(), w.stripes().to_string()),
+                ],
+            );
+        }
         // Retries against a faulty store cost virtual time: charge the
         // writer's accumulated backoff on top of the streaming transfer.
-        Ok(cm.global_persist_time(self.event_count()) + w.backoff)
+        Ok(transfer + w.backoff)
     }
 
     /// The object-store journal id this client persists to.

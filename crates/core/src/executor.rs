@@ -9,7 +9,7 @@
 use cudele_client::{DecoupledClient, DiskError, LocalDisk};
 use cudele_journal::{JournalIoError, JournalTool};
 use cudele_mds::{MdsError, MetadataServer, ObjectStoreSink, PersistError};
-use cudele_obs::{observe_mechanism, Registry};
+use cudele_obs::{observe_mechanism_at, Registry, TraceSink};
 use cudele_rados::{ObjectStore, PoolId};
 use cudele_sim::Nanos;
 
@@ -94,25 +94,44 @@ pub struct ExecEnv<'a> {
     pub disk: &'a mut LocalDisk,
 }
 
-/// Runs one mechanism; returns its virtual duration.
+/// Runs one mechanism; returns its virtual duration. When `trace` is
+/// present (its context is the mechanism's own span), the layers doing the
+/// work emit child spans: `client` (local disk), `net` (transfers), `mds`
+/// (apply CPU), `journal`/`rados` (replay and stripe I/O), and `faults`
+/// (injected-retry backoff).
 fn run_mechanism(
     m: Mechanism,
     client: &mut DecoupledClient,
     env: &mut ExecEnv<'_>,
     reg: Option<&Registry>,
+    trace: Option<TraceSink<'_>>,
 ) -> Result<Nanos, ExecError> {
     match m {
         Mechanism::LocalPersist => {
             let cm = env.server.cost_model().clone();
-            Ok(client.local_persist(env.disk, &cm)?)
+            let t = client.local_persist(env.disk, &cm)?;
+            if let Some(s) = &trace {
+                s.child("disk.write", "client", s.at, t);
+            }
+            Ok(t)
         }
         Mechanism::GlobalPersist => {
             let cm = env.server.cost_model().clone();
-            Ok(client.global_persist(env.os, &cm)?)
+            Ok(client.global_persist_traced(env.os, &cm, trace)?)
         }
         Mechanism::VolatileApply => {
             let (result, cost, transfer) = client.volatile_apply(env.server);
             result?;
+            if let Some(s) = &trace {
+                s.child("net.transfer", "net", s.at, transfer);
+                s.child("mds.apply", "mds", s.at + transfer, cost.mds_cpu);
+                s.child(
+                    "net.reply",
+                    "net",
+                    s.at + transfer + cost.mds_cpu,
+                    cost.client_extra,
+                );
+            }
             Ok(transfer + cost.mds_cpu + cost.client_extra)
         }
         Mechanism::NonvolatileApply => {
@@ -123,7 +142,7 @@ fn run_mechanism(
             // the object store").
             let jid = client.journal_id();
             if !cudele_journal::journal_exists(env.os, jid) {
-                elapsed += client.global_persist(env.os, &cm)?;
+                elapsed += client.global_persist_traced(env.os, &cm, trace)?;
             }
             // The MDS's periodic flush keeps the object-store metadata
             // image current; NVA's object-to-object replay assumes that
@@ -137,13 +156,34 @@ fn run_mechanism(
             if let Some(reg) = reg {
                 sink.set_obs(reg);
             }
+            // Allocate the replay span's identity up front so the sink's
+            // retry spans nest under it; the span itself is recorded once
+            // the replay's extent is known.
+            let replay_start = trace.as_ref().map(|s| s.at + elapsed);
+            let replay_ctx = trace.as_ref().map(|s| s.reg.trace_child(s.ctx));
+            if let (Some(s), Some(ctx), Some(start)) = (&trace, replay_ctx, replay_start) {
+                sink.set_trace(s.nested(ctx, start));
+            }
             let tool = JournalTool::new(env.os, jid);
             let applied = tool.apply(&mut sink).map_err(|e| match e {
                 cudele_journal::ApplyError::Io(io) => ExecError::Journal(io),
                 cudele_journal::ApplyError::Sink(p) => ExecError::Persist(p),
             })?;
-            elapsed +=
+            let io_time =
                 cm.object_op_latency * (sink.counters.object_reads + sink.counters.object_writes);
+            if let (Some(s), Some(ctx), Some(start)) = (&trace, replay_ctx, replay_start) {
+                // Transient-fault backoff stretches the replay window.
+                s.reg.end_span(
+                    ctx,
+                    "journal.replay",
+                    "journal",
+                    start,
+                    io_time + sink.backoff,
+                );
+                s.reg
+                    .child_span(ctx, "rados.object_io", "rados", start, io_time);
+            }
+            elapsed += io_time;
             // Transient-fault retries in the sink are paid for in backoff.
             elapsed += sink.backoff;
             let _ = applied;
@@ -171,11 +211,13 @@ pub fn execute_merge(
     execute_merge_at(comp, client, env, None, 0, Nanos::ZERO)
 }
 
-/// [`execute_merge`] with tracing: when `reg` is given, every executed
-/// mechanism emits a span (and `core.mechanism.<name>.runs`/`.ns` metrics)
-/// anchored at virtual time `at`, on trace track `tid`. Parallel stage
-/// members share a start instant; serial stages are laid out end to end by
-/// each stage's maximum, matching the time accounting.
+/// [`execute_merge`] with tracing: when `reg` is given, the merge opens a
+/// `client_op` trace root (`merge`) and every executed mechanism emits a
+/// child span (and `core.mechanism.<name>.runs`/`.ns` metrics) anchored at
+/// virtual time `at`, on trace track `tid` — with the layers below (disk,
+/// net, MDS, journal, RADOS, fault retries) nesting as grandchildren.
+/// Parallel stage members share a start instant; serial stages are laid
+/// out end to end by each stage's maximum, matching the time accounting.
 pub fn execute_merge_at(
     comp: &Composition,
     client: &mut DecoupledClient,
@@ -185,20 +227,39 @@ pub fn execute_merge_at(
     at: Nanos,
 ) -> Result<MergeReport, ExecError> {
     let events = client.event_count();
+    let root = reg.map(|r| r.trace_root(tid));
     let mut per_mechanism = Vec::new();
     let mut elapsed = Nanos::ZERO;
     for stage in comp.stages() {
         let stage_start = at + elapsed;
         let mut stage_max = Nanos::ZERO;
         for &m in stage {
-            let t = run_mechanism(m, client, env, reg)?;
-            if let Some(reg) = reg {
-                observe_mechanism(reg, m.name(), tid, stage_start, t);
+            let mctx = match (reg, root) {
+                (Some(r), Some(root)) => Some(r.trace_child(root)),
+                _ => None,
+            };
+            let trace = match (reg, mctx) {
+                (Some(r), Some(ctx)) => Some(TraceSink::new(r, ctx, stage_start)),
+                _ => None,
+            };
+            let t = run_mechanism(m, client, env, reg, trace)?;
+            if let (Some(r), Some(ctx)) = (reg, mctx) {
+                observe_mechanism_at(r, m.name(), ctx, stage_start, t);
             }
             per_mechanism.push((m, t));
             stage_max = stage_max.max(t);
         }
         elapsed += stage_max;
+    }
+    if let (Some(r), Some(root)) = (reg, root) {
+        r.end_span_args(
+            root,
+            "merge",
+            "client_op",
+            at,
+            elapsed,
+            vec![("events".to_string(), events.to_string())],
+        );
     }
     Ok(MergeReport {
         elapsed,
@@ -403,7 +464,6 @@ mod tests {
             assert!(reg.has_span(name), "{name}");
         }
         let spans = reg.spans();
-        assert_eq!(spans.len(), 4);
         let lp = spans.iter().find(|s| s.name == "local_persist").unwrap();
         let gp = spans.iter().find(|s| s.name == "global_persist").unwrap();
         let va = spans.iter().find(|s| s.name == "volatile_apply").unwrap();
@@ -416,7 +476,37 @@ mod tests {
         assert_eq!(va.start, gp.start); // parallel stage members share a start
         assert_eq!(nva.start, gp.start + gp.dur.max(va.dur));
         assert_eq!(nva.start + nva.dur, at + report.elapsed);
-        assert!(spans.iter().all(|s| s.tid == 3 && s.cat == "mechanism"));
+
+        // The whole tree roots at the client op and stays on track 3.
+        let root = spans.iter().find(|s| s.cat == "client_op").unwrap();
+        assert_eq!(root.name, "merge");
+        assert_eq!(root.start, at);
+        assert_eq!(root.dur, report.elapsed);
+        assert_eq!(root.parent_id, 0);
+        assert!(spans.iter().all(|s| s.tid == 3));
+        assert!(spans.iter().all(|s| s.trace_id == root.trace_id));
+        for m in [lp, gp, va, nva] {
+            assert_eq!(m.cat, "mechanism");
+            assert_eq!(m.parent_id, root.span_id, "{}", m.name);
+        }
+
+        // Each mechanism's layer work nests under it.
+        let child = |name: &str| spans.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(child("disk.write").parent_id, lp.span_id);
+        assert_eq!(child("disk.write").cat, "client");
+        assert_eq!(child("rados.stripe_append").parent_id, gp.span_id);
+        assert_eq!(child("net.transfer").parent_id, va.span_id);
+        assert_eq!(child("mds.apply").parent_id, va.span_id);
+        assert_eq!(child("net.reply").parent_id, va.span_id);
+        let replay = child("journal.replay");
+        assert_eq!(replay.parent_id, nva.span_id);
+        assert_eq!(child("rados.object_io").parent_id, replay.span_id);
+
+        // Layer self-times partition the root window exactly.
+        let analysis = cudele_obs::critpath::analyze(&spans);
+        assert_eq!(analysis.traces.len(), 1);
+        let total: u64 = analysis.traces[0].nodes.iter().map(|n| n.self_ns).sum();
+        assert_eq!(total, report.elapsed.0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use bytes::Bytes;
-use cudele_obs::{Counter, Registry};
+use cudele_obs::{Counter, Registry, TraceSink};
 use cudele_rados::{IoDelta, ObjectId, ObjectStat, ObjectStore, PoolId, RadosError, Result};
 use cudele_sim::{CostModel, Nanos};
 
@@ -298,14 +298,34 @@ impl RetryPolicy {
         &self,
         retries: &mut u64,
         backoff: &mut Nanos,
+        f: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        self.run_traced(retries, backoff, None, "io", f)
+    }
+
+    /// [`RetryPolicy::run`] with causal tracing: when `sink` is present,
+    /// every retry emits a `faults`-category child span named
+    /// `retry.<what>`, laid out at the sink's anchor plus the backoff
+    /// already accumulated — so injected-fault backoff shows up on the
+    /// trace timeline exactly where the caller will charge it.
+    pub fn run_traced<T>(
+        &self,
+        retries: &mut u64,
+        backoff: &mut Nanos,
+        sink: Option<TraceSink<'_>>,
+        what: &str,
         mut f: impl FnMut() -> Result<T>,
     ) -> Result<T> {
         let mut attempt = 0;
         loop {
             match f() {
                 Err(RadosError::Transient(_)) if attempt < self.max_retries => {
+                    let pause = self.backoff(attempt);
+                    if let Some(s) = &sink {
+                        s.child(&format!("retry.{what}"), "faults", s.at + *backoff, pause);
+                    }
                     *retries += 1;
-                    *backoff += self.backoff(attempt);
+                    *backoff += pause;
                     attempt += 1;
                 }
                 r => return r,

@@ -8,7 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cudele_faults::RetryPolicy;
-use cudele_obs::{Counter, Registry};
+use cudele_obs::{Counter, Registry, TraceSink};
 use cudele_rados::{ObjectId, ObjectStore, PoolId, RadosError};
 use cudele_sim::Nanos;
 
@@ -168,6 +168,7 @@ pub struct JournalWriter<'a, S: ObjectStore + ?Sized> {
     current_stripe_len: usize,
     obs: Option<JournalObs>,
     retry: RetryPolicy,
+    trace: Option<TraceSink<'a>>,
     /// Transient failures absorbed by retries over this writer's lifetime.
     pub retries: u64,
     /// Virtual-time backoff accumulated by those retries.
@@ -213,6 +214,7 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
             current_stripe_len,
             obs: None,
             retry: RetryPolicy::default(),
+            trace: None,
             retries: 0,
             backoff: Nanos::ZERO,
         })
@@ -221,6 +223,14 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
     /// Attaches observability counters to this writer.
     pub fn set_obs(&mut self, obs: JournalObs) {
         self.obs = Some(obs);
+    }
+
+    /// Attaches a causal trace sink: every transient failure this writer
+    /// absorbs emits a `faults`-category retry span under the sink's
+    /// context, placed at the sink's anchor plus the backoff accumulated
+    /// so far (where the caller will charge it on the virtual clock).
+    pub fn set_trace(&mut self, sink: TraceSink<'a>) {
+        self.trace = Some(sink);
     }
 
     /// Overrides the writer's retry policy (tests shrink the budget).
@@ -236,7 +246,14 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
     ) -> cudele_rados::Result<T> {
         let store = self.store;
         let policy = self.retry;
-        policy.run(&mut self.retries, &mut self.backoff, || f(store))
+        let trace = self.trace;
+        policy.run_traced(
+            &mut self.retries,
+            &mut self.backoff,
+            trace,
+            "journal_io",
+            || f(store),
+        )
     }
 
     /// Appends `buf` to `stripe` with retries. A torn append may leave a
@@ -248,8 +265,12 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
             match self.store.append(stripe, buf) {
                 Ok(_) => return Ok(()),
                 Err(RadosError::Transient(_)) if attempt < self.retry.max_retries => {
+                    let pause = self.retry.backoff(attempt);
+                    if let Some(t) = &self.trace {
+                        t.child("retry.stripe_append", "faults", t.at + self.backoff, pause);
+                    }
                     self.retries += 1;
-                    self.backoff += self.retry.backoff(attempt);
+                    self.backoff += pause;
                     attempt += 1;
                     self.repair_stripe(stripe)?;
                 }

@@ -20,7 +20,7 @@
 use bytes::{Buf, BufMut, BytesMut};
 use cudele_faults::RetryPolicy;
 use cudele_journal::{Attrs, EventSink, FileType, InodeId, JournalEvent};
-use cudele_obs::{Counter, Registry};
+use cudele_obs::{Counter, Registry, TraceSink};
 use cudele_rados::{ObjectId, ObjectStore, PoolId, RadosError};
 use cudele_sim::Nanos;
 
@@ -298,6 +298,7 @@ pub struct ObjectStoreSink<'a, S: ObjectStore + ?Sized> {
     /// to their clock.
     pub backoff: Nanos,
     retry_counter: Option<Counter>,
+    trace: Option<TraceSink<'a>>,
 }
 
 impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
@@ -311,12 +312,19 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
             retries: 0,
             backoff: Nanos::ZERO,
             retry_counter: None,
+            trace: None,
         }
     }
 
     /// Mirrors the sink's retries into `mds.persist.retries` in `reg`.
     pub fn set_obs(&mut self, reg: &Registry) {
         self.retry_counter = Some(reg.counter("mds.persist.retries"));
+    }
+
+    /// Attaches a causal trace sink: transient failures absorbed during
+    /// apply emit `faults`-category retry spans under the sink's context.
+    pub fn set_trace(&mut self, sink: TraceSink<'a>) {
+        self.trace = Some(sink);
     }
 
     /// Runs one store operation under the sink's retry policy, charging
@@ -328,7 +336,14 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
         let os = self.os;
         let policy = self.retry;
         let before = self.retries;
-        let r = policy.run(&mut self.retries, &mut self.backoff, || f(os));
+        let trace = self.trace;
+        let r = policy.run_traced(
+            &mut self.retries,
+            &mut self.backoff,
+            trace,
+            "object_io",
+            || f(os),
+        );
         if let Some(c) = &self.retry_counter {
             c.add(self.retries - before);
         }

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use cudele_journal::{Attrs, InodeId, InodeRange, JournalEvent};
-use cudele_obs::{observe_mechanism, Counter, Histogram, Registry};
+use cudele_obs::{observe_mechanism, observe_mechanism_at, Counter, Histogram, Registry, TraceCtx};
 use cudele_rados::{ObjectStore, PoolId};
 use cudele_sim::{CostModel, Nanos};
 
@@ -127,6 +127,10 @@ struct MdsObs {
     /// Virtual-time hint supplied by the harness via
     /// [`MetadataServer::set_now`]; anchors server-side Stream spans.
     now: Nanos,
+    /// Parent trace context supplied via [`MetadataServer::set_trace_ctx`];
+    /// when present, server-side Stream spans join the caller's trace tree
+    /// instead of opening traces of their own.
+    ctx: Option<TraceCtx>,
 }
 
 impl MdsObs {
@@ -144,6 +148,7 @@ impl MdsObs {
             merges: reg.counter("mds.merge.runs"),
             merged_events: reg.counter("mds.merge.merged_events"),
             now: Nanos::ZERO,
+            ctx: None,
         }
     }
 
@@ -231,6 +236,15 @@ impl MetadataServer {
         }
     }
 
+    /// Sets (or clears) the parent trace context for server-side spans.
+    /// Harnesses set this per request alongside [`MetadataServer::set_now`]
+    /// so Stream activity nests under the client op that caused it.
+    pub fn set_trace_ctx(&mut self, ctx: Option<TraceCtx>) {
+        if let Some(o) = self.obs.as_mut() {
+            o.ctx = ctx;
+        }
+    }
+
     /// The cost model in force.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
@@ -287,7 +301,17 @@ impl MetadataServer {
                     .expect("journal trim failed");
                 let cpu = self.cost.stream_mds_cpu_at_dispatch(dispatch);
                 if let Some(o) = &self.obs {
-                    observe_mechanism(&o.reg, "stream", 0, o.now, cpu);
+                    match o.ctx {
+                        Some(parent) => {
+                            // Nest under the client op: stream mechanism
+                            // span, with the mdlog submit as its MDS-layer
+                            // child.
+                            let ctx = o.reg.trace_child(parent);
+                            observe_mechanism_at(&o.reg, "stream", ctx, o.now, cpu);
+                            o.reg.child_span(ctx, "mds.mdlog", "mds", o.now, cpu);
+                        }
+                        None => observe_mechanism(&o.reg, "stream", 0, o.now, cpu),
+                    }
                 }
                 (cpu, self.cost.stream_client_latency)
             }

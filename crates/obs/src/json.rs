@@ -1,23 +1,101 @@
-//! A minimal JSON validity checker.
+//! A minimal JSON validator and parser.
 //!
 //! The exporters in this crate hand-roll their JSON (the workspace builds
 //! offline, with no serde); this module is the matching safety net — a
 //! strict recursive-descent parser used by tests (and callers that write
-//! `--metrics-out` files) to prove the output is well-formed. It validates
-//! only; it does not build a document tree.
+//! `--metrics-out` files) to prove the output is well-formed, and by the
+//! benchmark regression gate to read baselines back. [`validate`] checks
+//! validity only; [`parse`] builds a [`Value`] tree. Both apply the same
+//! strict grammar (no leading zeros, strict escapes, no raw control
+//! characters in strings, no trailing data).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order (duplicate keys are kept as written).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object, if present (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional parts).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's members.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
 
 /// Validates that `s` is exactly one well-formed JSON value (with optional
 /// surrounding whitespace). Returns the byte offset and a message on error.
 pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
+}
+
+/// Parses `s` as exactly one JSON value under the same strict grammar as
+/// [`validate`].
+pub fn parse(s: &str) -> Result<Value, String> {
     let b = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(b, &mut pos);
-    value(b, &mut pos)?;
+    let v = value(b, &mut pos)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(v)
 }
 
 fn err(pos: usize, msg: &str) -> String {
@@ -30,14 +108,14 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     match b.get(*pos) {
         Some(b'{') => object(b, pos),
         Some(b'[') => array(b, pos),
-        Some(b'"') => string(b, pos),
-        Some(b't') => literal(b, pos, b"true"),
-        Some(b'f') => literal(b, pos, b"false"),
-        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'"') => string(b, pos).map(Value::Str),
+        Some(b't') => literal(b, pos, b"true").map(|_| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|_| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|_| Value::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
         Some(c) => Err(err(*pos, &format!("unexpected byte {c:#x}"))),
         None => Err(err(*pos, "unexpected end of input")),
@@ -53,91 +131,159 @@ fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
+    let mut members = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Obj(members));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(err(*pos, "expected object key"));
         }
-        string(b, pos)?;
+        let key = string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(err(*pos, "expected ':'"));
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        let v = value(b, pos)?;
+        members.push((key, v));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Obj(members));
             }
             _ => return Err(err(*pos, "expected ',' or '}'")),
         }
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Arr(items));
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        items.push(value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Arr(items));
             }
             _ => return Err(err(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let mut out = String::new();
     *pos += 1; // '"'
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
-                        if b.len() < *pos + 5
-                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(err(*pos, "bad \\u escape"));
-                        }
-                        *pos += 5;
+                        let cp = hex4(b, pos)?;
+                        // Combine UTF-16 surrogate pairs; a lone surrogate
+                        // decodes to U+FFFD rather than failing.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 1;
+                                let lo = hex4(b, pos)?;
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                '\u{FFFD}'
+                            }
+                        } else {
+                            char::from_u32(cp).unwrap_or('\u{FFFD}')
+                        };
+                        out.push(ch);
                     }
                     _ => return Err(err(*pos, "bad escape")),
                 }
             }
             0x00..=0x1F => return Err(err(*pos, "raw control character in string")),
-            _ => *pos += 1,
+            _ => {
+                // `s` is &str, so multi-byte UTF-8 sequences are valid;
+                // copy the whole code point.
+                let start = *pos;
+                *pos += 1;
+                while b.get(*pos).is_some_and(|&x| x & 0xC0 == 0x80) {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).expect("input is str"));
+            }
         }
     }
     Err(err(*pos, "unterminated string"))
 }
 
-fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+/// Reads `\uXXXX`'s four hex digits (cursor on the `u`).
+fn hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if b.len() < *pos + 5 || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit) {
+        return Err(err(*pos, "bad \\u escape"));
+    }
+    let s = std::str::from_utf8(&b[*pos + 1..*pos + 5]).expect("hex digits");
+    *pos += 5;
+    Ok(u32::from_str_radix(s, 16).expect("hex digits"))
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -176,12 +322,15 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(err(*pos, "expected exponent digits"));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| err(start, "unrepresentable number"))
 }
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{parse, validate, Value};
 
     #[test]
     fn accepts_well_formed_documents() {
@@ -219,5 +368,34 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn parses_values_and_accessors() {
+        let v = parse(r#"{"a": [1, 2.5], "s": "x\ty", "n": null, "b": true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\ty"));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse("-3").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(parse("2.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn decodes_escapes_and_surrogates() {
+        assert_eq!(
+            parse(r#""q\"b\\s\/fA""#).unwrap().as_str(),
+            Some("q\"b\\s/fA")
+        );
+        // Surrogate pair → one astral code point; raw UTF-8 passes through.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        assert_eq!(parse("\"é😀\"").unwrap().as_str(), Some("é😀"));
+        // Lone surrogate degrades to U+FFFD instead of failing.
+        assert_eq!(parse(r#""\ud83d!""#).unwrap().as_str(), Some("\u{FFFD}!"));
     }
 }

@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use cudele_sim::Nanos;
 
+pub mod critpath;
 pub mod json;
 
 /// A monotonically increasing event counter. Cloning shares the cell.
@@ -218,8 +219,91 @@ pub struct Span {
     pub start: Nanos,
     /// Virtual duration.
     pub dur: Nanos,
+    /// This span's identity within its registry (0 = unidentified legacy
+    /// span; identified spans get ids from the registry's deterministic
+    /// per-run counter, starting at 1).
+    pub span_id: u64,
+    /// The causal parent's `span_id`, or 0 for a trace root.
+    pub parent_id: u64,
+    /// The request this span belongs to: the `span_id` of the trace root.
+    pub trace_id: u64,
     /// Extra key/value payload rendered into the trace event's `args`.
     pub args: Vec<(String, String)>,
+}
+
+/// A trace context: the identity of the span currently being executed,
+/// threaded down the request path so every layer can attach child spans to
+/// the right parent. `Copy` so it passes freely through call chains.
+///
+/// Propagation rules (see DESIGN.md §8):
+/// * the harness that admits a client operation calls
+///   [`Registry::trace_root`] once per request;
+/// * every layer that does attributable work derives a child context with
+///   [`Registry::trace_child`] (or records one directly with
+///   [`Registry::child_span`]) — never reuses the parent's `span_id`;
+/// * contexts carry no registry handle, so a `TraceCtx` without a
+///   `&Registry` alongside is inert (use [`TraceSink`] to bundle them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The trace (request) this context belongs to.
+    pub trace_id: u64,
+    /// The current span's own id.
+    pub span_id: u64,
+    /// The current span's parent id (0 at the root).
+    pub parent_id: u64,
+    /// Track id inherited by child spans.
+    pub tid: u32,
+}
+
+/// A borrowed registry + trace context + virtual-time anchor, bundled so
+/// lower layers (journal writer, NVA sink, retry loops) can emit child
+/// spans without threading three parameters everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSink<'a> {
+    /// The registry spans are recorded into.
+    pub reg: &'a Registry,
+    /// The parent context new child spans hang off.
+    pub ctx: TraceCtx,
+    /// The virtual instant the traced operation started at; layers without
+    /// their own clock lay child spans out relative to this.
+    pub at: Nanos,
+}
+
+impl<'a> TraceSink<'a> {
+    /// Bundles a sink.
+    pub fn new(reg: &'a Registry, ctx: TraceCtx, at: Nanos) -> TraceSink<'a> {
+        TraceSink { reg, ctx, at }
+    }
+
+    /// Records a completed child span under this sink's context and
+    /// returns the child's context (for grandchildren).
+    pub fn child(&self, name: &str, cat: &str, start: Nanos, dur: Nanos) -> TraceCtx {
+        self.reg.child_span(self.ctx, name, cat, start, dur)
+    }
+
+    /// [`TraceSink::child`] with extra args.
+    pub fn child_args(
+        &self,
+        name: &str,
+        cat: &str,
+        start: Nanos,
+        dur: Nanos,
+        args: Vec<(String, String)>,
+    ) -> TraceCtx {
+        let ctx = self.reg.trace_child(self.ctx);
+        self.reg.end_span_args(ctx, name, cat, start, dur, args);
+        ctx
+    }
+
+    /// A sink one level deeper: same registry, `ctx` as the new parent,
+    /// re-anchored at `at`.
+    pub fn nested(&self, ctx: TraceCtx, at: Nanos) -> TraceSink<'a> {
+        TraceSink {
+            reg: self.reg,
+            ctx,
+            at,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -240,6 +324,9 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<SpanLog>,
+    /// Deterministic span-id allocator: ids are handed out in call order,
+    /// starting at 1, so same-seed runs assign identical ids.
+    next_span_id: AtomicU64,
 }
 
 /// Spans retained per registry by default; further spans are counted as
@@ -269,7 +356,84 @@ impl Registry {
                 capacity,
                 dropped: 0,
             }),
+            next_span_id: AtomicU64::new(0),
         }
+    }
+
+    /// Allocates the next span id (first call returns 1). Ids are unique
+    /// per registry and allocated in deterministic call order.
+    fn alloc_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Opens a new trace: allocates a root context whose `trace_id` equals
+    /// its own `span_id` and whose parent is 0. Call once per client
+    /// request; record the root's span later with [`Registry::end_span`].
+    pub fn trace_root(&self, tid: u32) -> TraceCtx {
+        let id = self.alloc_span_id();
+        TraceCtx {
+            trace_id: id,
+            span_id: id,
+            parent_id: 0,
+            tid,
+        }
+    }
+
+    /// Derives a child context under `parent`: fresh `span_id`, parent's
+    /// span as `parent_id`, same `trace_id` and `tid`. The child's span may
+    /// be recorded before or after the parent's — ids are known up front,
+    /// so recording order is irrelevant to the trace DAG.
+    pub fn trace_child(&self, parent: TraceCtx) -> TraceCtx {
+        let id = self.alloc_span_id();
+        TraceCtx {
+            trace_id: parent.trace_id,
+            span_id: id,
+            parent_id: parent.span_id,
+            tid: parent.tid,
+        }
+    }
+
+    /// Records the completed span for `ctx`.
+    pub fn end_span(&self, ctx: TraceCtx, name: &str, cat: &str, start: Nanos, dur: Nanos) {
+        self.end_span_args(ctx, name, cat, start, dur, Vec::new());
+    }
+
+    /// Records the completed span for `ctx` with extra args.
+    pub fn end_span_args(
+        &self,
+        ctx: TraceCtx,
+        name: &str,
+        cat: &str,
+        start: Nanos,
+        dur: Nanos,
+        args: Vec<(String, String)>,
+    ) {
+        self.record_span(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            tid: ctx.tid,
+            start,
+            dur,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            trace_id: ctx.trace_id,
+            args,
+        });
+    }
+
+    /// Allocates a child context under `parent` and records its completed
+    /// span in one shot; returns the child's context for grandchildren.
+    pub fn child_span(
+        &self,
+        parent: TraceCtx,
+        name: &str,
+        cat: &str,
+        start: Nanos,
+        dur: Nanos,
+    ) -> TraceCtx {
+        let ctx = self.trace_child(parent);
+        self.end_span(ctx, name, cat, start, dur);
+        ctx
     }
 
     /// Gets or creates the counter `name`.
@@ -312,16 +476,12 @@ impl Registry {
         }
     }
 
-    /// Records a span without extra args.
+    /// Records a standalone span without extra args. The span becomes a
+    /// single-span trace: it gets a fresh root context, so legacy call
+    /// sites still produce identified (if childless) traces.
     pub fn span(&self, name: &str, cat: &str, tid: u32, start: Nanos, dur: Nanos) {
-        self.record_span(Span {
-            name: name.to_string(),
-            cat: cat.to_string(),
-            tid,
-            start,
-            dur,
-            args: Vec::new(),
-        });
+        let ctx = self.trace_root(tid);
+        self.end_span(ctx, name, cat, start, dur);
     }
 
     /// Number of retained spans.
@@ -374,12 +534,27 @@ impl Registry {
             push_micros(&mut out, s.dur.0);
             out.push_str(",\"pid\":1,\"tid\":");
             out.push_str(&s.tid.to_string());
-            if !s.args.is_empty() {
+            // Identified spans (span_id != 0) carry their trace identity in
+            // `args` so parent nesting survives the Chrome trace format.
+            let has_ids = s.span_id != 0;
+            if has_ids || !s.args.is_empty() {
                 out.push_str(",\"args\":{");
-                for (j, (k, v)) in s.args.iter().enumerate() {
-                    if j > 0 {
+                let mut first = true;
+                if has_ids {
+                    out.push_str("\"span_id\":\"");
+                    out.push_str(&s.span_id.to_string());
+                    out.push_str("\",\"parent_id\":\"");
+                    out.push_str(&s.parent_id.to_string());
+                    out.push_str("\",\"trace_id\":\"");
+                    out.push_str(&s.trace_id.to_string());
+                    out.push('"');
+                    first = false;
+                }
+                for (k, v) in s.args.iter() {
+                    if !first {
                         out.push(',');
                     }
+                    first = false;
                     out.push('"');
                     out.push_str(&escape_json(k));
                     out.push_str("\":\"");
@@ -400,19 +575,27 @@ impl Registry {
     pub fn metrics_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         {
-            let m = self.counters.lock().unwrap_or_else(|p| p.into_inner());
-            for (i, (name, c)) in m.iter().enumerate() {
+            // Snapshot real counters, then merge the span-log accounting in
+            // as synthetic `obs.*` counters so truncation is never silent.
+            let mut vals: BTreeMap<String, u64> = {
+                let m = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+                m.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+            };
+            {
+                let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+                vals.insert("obs.spans_dropped".to_string(), log.dropped);
+                vals.insert("obs.spans_recorded".to_string(), log.spans.len() as u64);
+            }
+            for (i, (name, v)) in vals.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
                 out.push_str("\n    \"");
                 out.push_str(&escape_json(name));
                 out.push_str("\": ");
-                out.push_str(&c.get().to_string());
+                out.push_str(&v.to_string());
             }
-            if !m.is_empty() {
-                out.push_str("\n  ");
-            }
+            out.push_str("\n  ");
         }
         out.push_str("},\n  \"gauges\": {");
         {
@@ -480,10 +663,19 @@ impl Registry {
 /// RPCs and Append Client Journal — can report executions without a
 /// dependency cycle.
 pub fn observe_mechanism(reg: &Registry, name: &str, tid: u32, start: Nanos, dur: Nanos) {
+    let ctx = reg.trace_root(tid);
+    observe_mechanism_at(reg, name, ctx, start, dur);
+}
+
+/// [`observe_mechanism`] with an explicit, pre-allocated trace context, so
+/// the mechanism span lands inside a request's trace tree instead of
+/// opening a trace of its own. `ctx` should be a child context derived
+/// from the client op's root (see [`Registry::trace_child`]).
+pub fn observe_mechanism_at(reg: &Registry, name: &str, ctx: TraceCtx, start: Nanos, dur: Nanos) {
     reg.counter(&format!("core.mechanism.{name}.runs")).inc();
     reg.histogram(&format!("core.mechanism.{name}.ns"))
         .record(dur.0);
-    reg.span(name, "mechanism", tid, start, dur);
+    reg.end_span(ctx, name, "mechanism", start, dur);
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -594,6 +786,9 @@ mod tests {
             tid: 3,
             start: Nanos(1_234_567),
             dur: Nanos(890),
+            span_id: 0,
+            parent_id: 0,
+            trace_id: 0,
             args: vec![("events".into(), "7".into())],
         });
         let trace = reg.chrome_trace_json();
@@ -652,5 +847,55 @@ mod tests {
         let reg = Registry::new();
         json::validate(&reg.metrics_json()).unwrap();
         json::validate(&reg.chrome_trace_json()).unwrap();
+    }
+
+    #[test]
+    fn trace_ids_allocate_deterministically() {
+        let reg = Registry::new();
+        let root = reg.trace_root(5);
+        assert_eq!(root.span_id, 1);
+        assert_eq!(root.trace_id, 1);
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(root.tid, 5);
+        let c1 = reg.trace_child(root);
+        let c2 = reg.trace_child(root);
+        let gc = reg.trace_child(c1);
+        assert_eq!((c1.span_id, c2.span_id, gc.span_id), (2, 3, 4));
+        assert_eq!(c1.parent_id, root.span_id);
+        assert_eq!(gc.parent_id, c1.span_id);
+        assert_eq!(gc.trace_id, root.trace_id);
+        // A second registry starts over at 1: ids are per-run, not global.
+        assert_eq!(Registry::new().trace_root(0).span_id, 1);
+    }
+
+    #[test]
+    fn parented_spans_record_identity() {
+        let reg = Registry::new();
+        let root = reg.trace_root(1);
+        // Child recorded before the parent — order must not matter.
+        let child = reg.child_span(root, "stripe_append", "rados", Nanos(10), Nanos(5));
+        reg.end_span(root, "create", "client_op", Nanos(0), Nanos(20));
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 2);
+        let c = spans.iter().find(|s| s.name == "stripe_append").unwrap();
+        let r = spans.iter().find(|s| s.name == "create").unwrap();
+        assert_eq!(c.parent_id, r.span_id);
+        assert_eq!(c.trace_id, r.trace_id);
+        assert_eq!(child.parent_id, r.span_id);
+        let trace = reg.chrome_trace_json();
+        json::validate(&trace).unwrap();
+        assert!(trace.contains("\"span_id\":\"1\""));
+        assert!(trace.contains("\"parent_id\":\"1\""));
+    }
+
+    #[test]
+    fn spans_dropped_surfaces_in_metrics_json() {
+        let reg = Registry::with_span_capacity(1);
+        reg.span("a", "t", 0, Nanos(0), Nanos(1));
+        reg.span("b", "t", 0, Nanos(1), Nanos(1));
+        let m = reg.metrics_json();
+        json::validate(&m).unwrap();
+        assert!(m.contains("\"obs.spans_dropped\": 1"));
+        assert!(m.contains("\"obs.spans_recorded\": 1"));
     }
 }

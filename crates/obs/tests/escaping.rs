@@ -1,0 +1,84 @@
+//! Hostile-input tests for the hand-rolled JSON serializers: span names,
+//! categories, args, and metric names containing quotes, backslashes, and
+//! control characters must still produce valid JSON that decodes back to
+//! the original strings.
+
+use cudele_obs::{escape_json, json, Registry, Span};
+use cudele_sim::Nanos;
+
+const HOSTILE: &[&str] = &[
+    "quote\"inside",
+    "back\\slash",
+    "new\nline",
+    "tab\there",
+    "cr\rreturn",
+    "null\u{0}byte",
+    "bell\u{7}char",
+    "esc\u{1b}seq",
+    "unit\u{1f}sep",
+    "mixed \"\\\n\t\u{1}\u{1f} end",
+    "unicode é 漢 😀",
+];
+
+#[test]
+fn escape_json_round_trips_through_parser() {
+    for s in HOSTILE {
+        let doc = format!("\"{}\"", escape_json(s));
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("{s:?} → invalid JSON: {e}"));
+        assert_eq!(v.as_str(), Some(*s), "round trip of {s:?}");
+    }
+}
+
+#[test]
+fn chrome_trace_survives_hostile_span_fields() {
+    let reg = Registry::new();
+    for (i, s) in HOSTILE.iter().enumerate() {
+        reg.record_span(Span {
+            name: s.to_string(),
+            cat: s.to_string(),
+            tid: i as u32,
+            start: Nanos(i as u64 * 10),
+            dur: Nanos(5),
+            span_id: 0,
+            parent_id: 0,
+            trace_id: 0,
+            args: vec![(s.to_string(), s.to_string())],
+        });
+    }
+    let trace = reg.chrome_trace_json();
+    let v = json::parse(&trace).expect("hostile spans still serialize to valid JSON");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), HOSTILE.len());
+    for (e, s) in events.iter().zip(HOSTILE) {
+        assert_eq!(e.get("name").unwrap().as_str(), Some(*s));
+        assert_eq!(e.get("cat").unwrap().as_str(), Some(*s));
+        let args = e.get("args").unwrap();
+        assert_eq!(args.get(s).unwrap().as_str(), Some(*s));
+    }
+}
+
+#[test]
+fn metrics_json_survives_hostile_metric_names() {
+    let reg = Registry::new();
+    for s in HOSTILE {
+        reg.counter(s).inc();
+        reg.gauge(s).set(1.25);
+        reg.histogram(s).record(42);
+    }
+    let m = reg.metrics_json();
+    let v = json::parse(&m).expect("hostile metric names still serialize to valid JSON");
+    let counters = v.get("counters").unwrap();
+    for s in HOSTILE {
+        assert_eq!(counters.get(s).unwrap().as_u64(), Some(1), "counter {s:?}");
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get(s)
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}
