@@ -1,15 +1,24 @@
 //! Runs the ablation studies for the design choices DESIGN.md calls out
 //! (journal-arrival overlap, cap re-grant threshold, dirfrag split
-//! threshold). `--quick` reduces the arrival-ablation scale.
+//! threshold). `--quick` reduces the arrival-ablation scale; `--threads N`
+//! fans the three independent ablations across workers with byte-identical
+//! output.
+
+use cudele_bench::{obs_out, Scale};
+
+const ABLATIONS: &[fn(Scale) -> String] = &[
+    |s| cudele_bench::ablations::run_arrival_ablation(s).1,
+    |_| cudele_bench::ablations::regrant_threshold_ablation().1,
+    |_| cudele_bench::ablations::split_threshold_ablation().1,
+];
 
 fn main() {
-    let scale = cudele_bench::Scale::from_args();
+    let scale = Scale::from_args();
+    let threads = cudele_bench::threads_from_args();
     let obs = cudele_bench::ObsSession::from_env();
-    let (_, arrival) = cudele_bench::ablations::run_arrival_ablation(scale);
-    println!("{arrival}");
-    let (_, regrant) = cudele_bench::ablations::regrant_threshold_ablation();
-    println!("{regrant}");
-    let (_, split) = cudele_bench::ablations::split_threshold_ablation();
-    println!("{split}");
+    let rendered = obs_out::par_tasks_merged(threads, ABLATIONS.len(), |i| (ABLATIONS[i])(scale));
+    for r in rendered {
+        println!("{r}");
+    }
     obs.finish().expect("writing observability snapshots");
 }

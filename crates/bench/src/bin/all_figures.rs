@@ -1,21 +1,35 @@
 //! Regenerates every table and figure of the paper's evaluation in one go
-//! (the input for EXPERIMENTS.md). `--quick` runs a reduced scale.
+//! (the input for EXPERIMENTS.md). `--quick` runs a reduced scale;
+//! `--threads N` fans the independent experiments across N workers with
+//! byte-identical output (results print in figure order and observability
+//! merges in the same order as a serial run).
+
+use cudele_bench::{obs_out, Scale};
+
+const EXPERIMENTS: &[fn(Scale) -> String] = &[
+    |s| cudele_bench::fig2::run(s).rendered,
+    |s| cudele_bench::fig3a::run(s).rendered,
+    |s| cudele_bench::fig3b::run(s).rendered,
+    |s| cudele_bench::fig3c::run(s).rendered,
+    |s| cudele_bench::fig5::run(s).rendered,
+    |s| cudele_bench::fig6a::run(s).rendered,
+    |s| cudele_bench::fig6b::run(s).rendered,
+    |s| cudele_bench::fig6c::run(s).rendered,
+    |s| cudele_bench::table1::run(s).rendered,
+];
 
 fn main() {
-    let scale = cudele_bench::Scale::from_args();
+    let scale = Scale::from_args();
+    let threads = cudele_bench::threads_from_args();
     let obs = cudele_bench::ObsSession::from_env();
     println!(
         "Cudele reproduction — all experiments (files/client = {}, runs = {})\n",
         scale.files_per_client, scale.runs
     );
-    println!("{}", cudele_bench::fig2::run(scale).rendered);
-    println!("{}", cudele_bench::fig3a::run(scale).rendered);
-    println!("{}", cudele_bench::fig3b::run(scale).rendered);
-    println!("{}", cudele_bench::fig3c::run(scale).rendered);
-    println!("{}", cudele_bench::fig5::run(scale).rendered);
-    println!("{}", cudele_bench::fig6a::run(scale).rendered);
-    println!("{}", cudele_bench::fig6b::run(scale).rendered);
-    println!("{}", cudele_bench::fig6c::run(scale).rendered);
-    println!("{}", cudele_bench::table1::run(scale).rendered);
+    let rendered =
+        obs_out::par_tasks_merged(threads, EXPERIMENTS.len(), |i| (EXPERIMENTS[i])(scale));
+    for r in rendered {
+        println!("{r}");
+    }
     obs.finish().expect("writing observability snapshots");
 }

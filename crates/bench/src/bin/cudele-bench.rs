@@ -1,11 +1,16 @@
-//! `cudele-bench` — the benchmark driver binary. Its one subcommand,
-//! `regress`, runs the continuous benchmark regression pipeline (see
-//! [`cudele_bench::regress`]) and exits non-zero when the measured
-//! snapshot violates the committed baseline's tolerance bands.
+//! `cudele-bench` — the benchmark driver binary.
+//!
+//! * `regress` runs the continuous benchmark regression pipeline (see
+//!   [`cudele_bench::regress`]) and exits non-zero when the measured
+//!   snapshot violates the committed baseline's tolerance bands.
+//! * `perf` wall-clocks the regress sweep serially vs `--threads N` —
+//!   hard-erroring unless the model outputs are byte-identical — plus the
+//!   simulated hot paths, writing a `wallclock` section into the snapshot
+//!   (see [`cudele_bench::perf`]).
 
-use cudele_bench::regress;
+use cudele_bench::{perf, regress};
 
-const USAGE: &str = "usage: cudele-bench regress [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline";
+const USAGE: &str = "usage: cudele-bench <regress|perf> [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline\n  perf      wall-clock the sweep engine and hot paths";
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -33,6 +38,27 @@ fn main() {
                 Err(msg) => {
                     eprintln!("{msg}");
                     std::process::exit(2);
+                }
+            }
+        }
+        Some("perf") => {
+            let cfg = match perf::parse_args(&argv[2..]) {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    if msg.is_empty() {
+                        println!("{}", perf::USAGE);
+                        return;
+                    }
+                    eprintln!("{msg}");
+                    eprintln!("{}", perf::USAGE);
+                    std::process::exit(2);
+                }
+            };
+            match perf::run(&cfg) {
+                Ok(out) => print!("{}", out.rendered),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
                 }
             }
         }

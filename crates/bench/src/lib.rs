@@ -18,6 +18,7 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod mdbench;
 pub mod obs_out;
+pub mod perf;
 pub mod regress;
 pub mod table1;
 pub mod world;
@@ -59,6 +60,30 @@ impl Scale {
             Scale::quick()
         } else {
             Scale::paper()
+        }
+    }
+}
+
+/// Reads `--threads N` from the process arguments (default 1). Harness
+/// binaries feed this to [`obs_out::par_tasks_merged`], which keeps every
+/// output byte-identical to the serial run regardless of the value.
+pub fn threads_from_args() -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    threads_from_argv(&argv)
+}
+
+/// [`threads_from_args`] over an explicit argument list (element 0 is
+/// ignored as the program name). Exits with an error on a bad value.
+pub fn threads_from_argv(argv: &[String]) -> usize {
+    let Some(at) = argv.iter().skip(1).position(|a| a == "--threads") else {
+        return 1;
+    };
+    let value = argv.get(at + 2).map(String::as_str).unwrap_or("");
+    match cudele_par::parse_threads(value) {
+        Ok(threads) => threads,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
         }
     }
 }

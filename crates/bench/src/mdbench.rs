@@ -57,6 +57,10 @@ pub struct BenchConfig {
     /// Override the mdlog's dispatch size (sealed segments flushed
     /// together; the paper's recommended value, and the default, is 40).
     pub mdlog_dispatch: Option<u32>,
+    /// Worker threads for a multi-policy sweep (`--policy a,b,c`); each
+    /// policy runs in its own world/registry and results are reported in
+    /// the order given, so output is identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for BenchConfig {
@@ -72,6 +76,7 @@ impl Default for BenchConfig {
             faults: None,
             mdlog_segment: None,
             mdlog_dispatch: None,
+            threads: 1,
         }
     }
 }
@@ -83,7 +88,10 @@ pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--span-capacity N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
 osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL] \
-     [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS]";
+     [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] [--threads N]
+A comma-separated --policy list (e.g. --policy posix,batchfs,deltafs) runs
+each policy independently, fanned across --threads workers; output order
+and bytes match a serial run.";
 
 /// Parses an argument list (element 0 is the program name). `Err` carries
 /// the message to print before the usage string; `--help` yields
@@ -134,6 +142,9 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
                         .parse()
                         .map_err(|e| format!("bad --mdlog-dispatch: {e}"))?,
                 );
+            }
+            "--threads" => {
+                cfg.threads = cudele_par::parse_threads(&value(&mut i, "--threads")?)?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -293,6 +304,52 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     })
 }
 
+/// Runs the configuration's policy list. A comma-separated `--policy`
+/// value becomes one independent run per policy, fanned across
+/// `cfg.threads` workers via [`crate::obs_out::par_tasks_merged`]: each
+/// run gets a per-thread session registry, and after the sweep the
+/// registries merge into the session in policy order, so
+/// `--metrics-out`/`--trace-out` snapshots are byte-identical to a
+/// `--threads 1` sweep. A single policy falls through to [`run`].
+pub fn run_sweep(cfg: &BenchConfig) -> Result<Vec<BenchOutcome>, String> {
+    let policies: Vec<String> = cfg
+        .policy
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    if policies.len() <= 1 {
+        return run(cfg).map(|o| vec![o]);
+    }
+    // Validate every policy name up front so a typo fails before any run.
+    for p in &policies {
+        resolve_policy(&BenchConfig {
+            policy: p.clone(),
+            ..cfg.clone()
+        })?;
+    }
+    // The sweep owns the session; per-policy runs must not re-install it,
+    // so their output paths are stripped.
+    let obs = ObsSession::with_capacity(
+        cfg.metrics_out.clone(),
+        cfg.trace_out.clone(),
+        cfg.span_capacity,
+    );
+    let results = crate::obs_out::par_tasks_merged(cfg.threads, policies.len(), |i| {
+        run(&BenchConfig {
+            policy: policies[i].clone(),
+            metrics_out: None,
+            trace_out: None,
+            ..cfg.clone()
+        })
+    });
+    let outcomes: Result<Vec<BenchOutcome>, String> = results.into_iter().collect();
+    let outcomes = outcomes?;
+    obs.finish()
+        .map_err(|e| format!("writing snapshots: {e}"))?;
+    Ok(outcomes)
+}
+
 /// The binary entry point: parse argv, run, print, exit non-zero on error.
 pub fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -309,8 +366,12 @@ pub fn main() {
             std::process::exit(2);
         }
     };
-    match run(&cfg) {
-        Ok(out) => print!("{}", out.rendered),
+    match run_sweep(&cfg) {
+        Ok(outs) => {
+            for out in outs {
+                print!("{}", out.rendered);
+            }
+        }
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!("{USAGE}");

@@ -19,11 +19,19 @@
 //! and seed: metric names are sorted, spans are in execution order, and
 //! all timestamps are virtual.
 
-use std::sync::{Arc, Mutex};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 use cudele_obs::Registry;
 
-static SESSION: Mutex<Option<Arc<Registry>>> = Mutex::new(None);
+// Thread-local, not process-global: parallel sweep workers
+// ([`par_tasks_merged`]) each install a private session on their own
+// thread, so concurrent tasks never share a registry mid-run and a
+// parallel sweep's recording is isolated per task (then merged in input
+// order, which reproduces the serial recording exactly).
+thread_local! {
+    static SESSION: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
 
 /// Installs (replacing any previous) the shared session registry and
 /// returns it. Subsequent [`crate::World::new`] calls attach to it.
@@ -39,18 +47,70 @@ pub fn install_session_with_capacity(span_capacity: Option<usize>) -> Arc<Regist
         Some(cap) => Registry::with_span_capacity(cap),
         None => Registry::new(),
     });
-    *SESSION.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&reg));
+    set_session(Some(Arc::clone(&reg)));
     reg
+}
+
+/// Installs `reg` (or clears with `None`) as this thread's session
+/// registry. [`par_tasks_merged`] uses this to give each worker task a
+/// private session.
+pub fn set_session(reg: Option<Arc<Registry>>) {
+    SESSION.with(|s| *s.borrow_mut() = reg);
 }
 
 /// Clears the shared session registry; later worlds get private ones.
 pub fn clear_session() {
-    *SESSION.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    set_session(None);
 }
 
 /// The currently installed session registry, if any.
 pub fn session() -> Option<Arc<Registry>> {
-    SESSION.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    SESSION.with(|s| s.borrow().clone())
+}
+
+/// Runs `n` independent tasks across up to `threads` workers and returns
+/// their results in input order, folding each task's observability into the
+/// calling thread's session registry.
+///
+/// When the caller has a session installed, every task gets a *fresh*
+/// private registry (same span capacity) on its worker thread; after all
+/// tasks finish, the per-task registries are merged into the caller's
+/// session **in input order** via [`Registry::merge_from`]. The merge
+/// rebases span ids past the session allocator, so the final registry
+/// contents — metrics JSON, chrome trace, span ids — are byte-identical to
+/// running the tasks serially against the shared session. Without a
+/// session, tasks run with no session installed (worlds build private
+/// registries), matching serial behavior.
+pub fn par_tasks_merged<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let caller_session = session();
+    let span_capacity = caller_session.as_ref().map(|r| r.span_capacity());
+    let results = cudele_par::par_map_indexed(threads, n, |i| {
+        let task_reg = caller_session.as_ref().map(|_| {
+            Arc::new(match span_capacity {
+                Some(cap) => Registry::with_span_capacity(cap),
+                None => Registry::new(),
+            })
+        });
+        set_session(task_reg.clone());
+        let out = f(i);
+        set_session(None);
+        (out, task_reg)
+    });
+    // Restore the caller's session: with threads <= 1 the tasks ran on this
+    // very thread and cleared it.
+    set_session(caller_session.clone());
+    let mut out = Vec::with_capacity(n);
+    for (r, task_reg) in results {
+        if let (Some(session), Some(task)) = (&caller_session, task_reg) {
+            session.merge_from(&task);
+        }
+        out.push(r);
+    }
+    out
 }
 
 /// Observability sinks parsed from the command line, plus the session

@@ -1,0 +1,349 @@
+//! `cudele-bench perf` — host wall-clock performance of the sweep engine
+//! and the simulated hot paths.
+//!
+//! Everything else in this workspace measures *virtual* time; this
+//! subcommand is the one place host wall-clock is allowed, because it
+//! measures the harness itself: how fast the regress sweep runs serially
+//! vs fanned across threads ([`regress::measure`]), and the throughput of
+//! the single-thread hot paths the perf PR cut allocations from (journal
+//! encode/decode, MDS path resolution, namespace snapshot).
+//!
+//! The model outputs of the two sweeps must be byte-identical — that is
+//! the determinism contract of `cudele-par` — and `perf` exits non-zero if
+//! they are not, so CI's `perf-smoke` job doubles as a determinism gate.
+//! Wall-clock numbers land in a `wallclock` section appended to the
+//! regress snapshot JSON; [`strip_wallclock`] recovers the model-only
+//! bytes, and the regress comparator ignores unknown sections, so a
+//! perf-written `BENCH_cudele.json` still compares cleanly against the
+//! committed baseline.
+
+use std::time::Instant;
+
+use cudele_journal::{codec, Attrs, InodeId, JournalEvent};
+use cudele_mds::MetadataStore;
+
+use crate::regress;
+
+/// Usage string for the `perf` subcommand.
+pub const USAGE: &str = "usage: cudele-bench perf [--threads N] [--out PATH] \
+     [--span-capacity N]";
+
+/// Default parallel thread count measured against the serial sweep.
+pub const DEFAULT_THREADS: usize = 4;
+
+/// Command-line configuration of one `perf` invocation.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Thread count of the parallel sweep (the serial sweep is always 1).
+    pub threads: usize,
+    /// Where to write the snapshot (regress JSON + `wallclock` section).
+    pub out: String,
+    /// Span-buffer bound passed through to the sweeps.
+    pub span_capacity: Option<usize>,
+}
+
+impl Default for PerfConfig {
+    fn default() -> PerfConfig {
+        PerfConfig {
+            threads: DEFAULT_THREADS,
+            out: regress::DEFAULT_OUT.to_string(),
+            span_capacity: None,
+        }
+    }
+}
+
+/// Parses the arguments after the `perf` subcommand word (same contract
+/// as [`regress::parse_args`]).
+pub fn parse_args(args: &[String]) -> Result<PerfConfig, String> {
+    let mut cfg = PerfConfig::default();
+    let mut i = 0;
+    let value = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 2;
+        args.get(*i - 1)
+            .cloned()
+            .ok_or_else(|| format!("{what} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => cfg.threads = cudele_par::parse_threads(&value(&mut i, "--threads")?)?,
+            "--out" => cfg.out = value(&mut i, "--out")?,
+            "--span-capacity" => {
+                cfg.span_capacity = Some(
+                    value(&mut i, "--span-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --span-capacity: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+const WALLCLOCK_KEY: &str = ",\n  \"wallclock\": {";
+
+/// Removes the `wallclock` section from a perf-written snapshot, returning
+/// exactly the model bytes [`regress::Measurement::to_json`] produced.
+/// JSON without the section passes through untouched.
+pub fn strip_wallclock(snapshot: &str) -> String {
+    match snapshot.find(WALLCLOCK_KEY) {
+        Some(at) => format!("{}\n}}\n", &snapshot[..at]),
+        None => snapshot.to_string(),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One hot-path microbenchmark result.
+struct HotPath {
+    name: &'static str,
+    ops_per_s: f64,
+    /// What one "op" is, for the human-readable report.
+    unit: &'static str,
+}
+
+/// Runs `work` in batches until ~0.2 s of wall-clock has elapsed and
+/// returns ops/second, where each call to `work` reports how many ops it
+/// performed. One warmup batch is discarded.
+fn throughput(mut work: impl FnMut() -> u64) -> f64 {
+    let _ = work(); // warmup
+    let start = Instant::now();
+    let mut ops = 0u64;
+    loop {
+        ops += work();
+        let elapsed = start.elapsed();
+        if elapsed.as_secs_f64() >= 0.2 {
+            return ops as f64 / elapsed.as_secs_f64();
+        }
+    }
+}
+
+fn sample_events(n: u64) -> Vec<JournalEvent> {
+    (0..n)
+        .map(|i| JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: format!("file-{i}"),
+            ino: InodeId(0x1000 + i),
+            attrs: Attrs::file_default(),
+        })
+        .collect()
+}
+
+fn populated_store(dirs: u64, files_per_dir: u64) -> (MetadataStore, Vec<String>) {
+    let mut store = MetadataStore::new();
+    let mut paths = Vec::new();
+    let mut ino = 0x1000u64;
+    for d in 0..dirs {
+        let dir_ino = InodeId(ino);
+        ino += 1;
+        store
+            .mkdir(
+                InodeId::ROOT,
+                &format!("d{d}"),
+                dir_ino,
+                Attrs::dir_default(),
+            )
+            .unwrap();
+        for f in 0..files_per_dir {
+            store
+                .create(
+                    dir_ino,
+                    &format!("f{f}"),
+                    InodeId(ino),
+                    Attrs::file_default(),
+                )
+                .unwrap();
+            ino += 1;
+            paths.push(format!("/d{d}/f{f}"));
+        }
+    }
+    (store, paths)
+}
+
+fn hot_paths() -> Vec<HotPath> {
+    let mut out = Vec::new();
+
+    let events = sample_events(5_000);
+    out.push(HotPath {
+        name: "journal_encode",
+        unit: "events",
+        ops_per_s: throughput(|| {
+            let blob = codec::encode_journal(&events);
+            std::hint::black_box(blob.len());
+            events.len() as u64
+        }),
+    });
+
+    let blob = codec::encode_journal(&events);
+    out.push(HotPath {
+        name: "journal_decode",
+        unit: "events",
+        ops_per_s: throughput(|| {
+            let decoded = codec::decode_journal(&blob).unwrap();
+            std::hint::black_box(decoded.len());
+            events.len() as u64
+        }),
+    });
+
+    let (store, paths) = populated_store(64, 64);
+    out.push(HotPath {
+        name: "path_resolve",
+        unit: "resolves",
+        ops_per_s: throughput(|| {
+            for p in &paths {
+                std::hint::black_box(store.resolve(p).unwrap());
+            }
+            paths.len() as u64
+        }),
+    });
+    out.push(HotPath {
+        name: "effective_policy",
+        unit: "lookups",
+        ops_per_s: throughput(|| {
+            for p in &paths {
+                std::hint::black_box(store.effective_policy(p).unwrap());
+            }
+            paths.len() as u64
+        }),
+    });
+    out.push(HotPath {
+        name: "snapshot",
+        unit: "entries",
+        ops_per_s: throughput(|| {
+            let snap = store.snapshot();
+            let n = snap.len() as u64;
+            std::hint::black_box(snap);
+            n
+        }),
+    });
+
+    out
+}
+
+/// What one `perf` invocation produced.
+pub struct PerfOutcome {
+    /// The snapshot written to `cfg.out` (model JSON + `wallclock`).
+    pub json: String,
+    /// Wall-clock speedup of the parallel sweep over the serial one.
+    pub speedup: f64,
+    /// Human-readable report for the terminal.
+    pub rendered: String,
+}
+
+/// Runs the regress sweep serially and at `cfg.threads`, verifies the two
+/// model outputs are byte-identical (hard error if not — that would be a
+/// determinism bug, not a perf result), microbenchmarks the hot paths, and
+/// writes the snapshot with the `wallclock` section.
+pub fn run(cfg: &PerfConfig) -> Result<PerfOutcome, String> {
+    let serial_start = Instant::now();
+    let serial = regress::measure(1, cfg.span_capacity)?;
+    let serial_ns = serial_start.elapsed().as_nanos();
+
+    let parallel_start = Instant::now();
+    let parallel = regress::measure(cfg.threads, cfg.span_capacity)?;
+    let parallel_ns = parallel_start.elapsed().as_nanos();
+
+    let serial_json = serial.to_json();
+    let parallel_json = parallel.to_json();
+    if serial_json != parallel_json {
+        return Err(format!(
+            "DETERMINISM VIOLATION: model output at --threads {} differs from --threads 1",
+            cfg.threads
+        ));
+    }
+    if serial.trace_json != parallel.trace_json {
+        return Err(format!(
+            "DETERMINISM VIOLATION: trace output at --threads {} differs from --threads 1",
+            cfg.threads
+        ));
+    }
+
+    let speedup = serial_ns as f64 / (parallel_ns as f64).max(1.0);
+    let hot = hot_paths();
+
+    let mut wallclock = String::new();
+    wallclock.push_str(WALLCLOCK_KEY);
+    wallclock.push('\n');
+    wallclock.push_str(&format!("    \"threads\": {},\n", cfg.threads));
+    wallclock.push_str(&format!(
+        "    \"sweep\": {{\"serial_ns\": {serial_ns}, \"parallel_ns\": {parallel_ns}, \
+         \"speedup\": {}}},\n",
+        fmt_f64(speedup)
+    ));
+    wallclock.push_str("    \"hot_paths_ops_per_s\": {");
+    for (i, h) in hot.iter().enumerate() {
+        wallclock.push_str(&format!(
+            "\"{}\": {}{}",
+            h.name,
+            fmt_f64(h.ops_per_s),
+            if i + 1 < hot.len() { ", " } else { "" }
+        ));
+    }
+    wallclock.push_str("}\n  }");
+
+    let base = serial_json.trim_end();
+    let base = base.strip_suffix('}').ok_or("model JSON missing final }")?;
+    let json = format!("{}{}\n}}\n", base.trim_end(), wallclock);
+    debug_assert_eq!(strip_wallclock(&json), serial_json);
+    std::fs::write(&cfg.out, &json).map_err(|e| format!("{}: {e}", cfg.out))?;
+
+    let mut rendered = String::new();
+    rendered.push_str(&format!(
+        "perf: regress sweep  serial {:.2}s  --threads {} {:.2}s  speedup {:.2}x\n",
+        serial_ns as f64 / 1e9,
+        cfg.threads,
+        parallel_ns as f64 / 1e9,
+        speedup
+    ));
+    rendered.push_str("perf: model outputs byte-identical across thread counts\n");
+    for h in &hot {
+        rendered.push_str(&format!(
+            "perf: {:<18} {:>12.0} {}/s\n",
+            h.name, h.ops_per_s, h.unit
+        ));
+    }
+    rendered.push_str(&format!("snapshot written to {}\n", cfg.out));
+
+    Ok(PerfOutcome {
+        json,
+        speedup,
+        rendered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_wallclock_roundtrip() {
+        let model = "{\n  \"schema\": \"s\",\n  \"mechanisms\": [\n  ]\n}\n";
+        let base = model.trim_end().strip_suffix('}').unwrap();
+        let with = format!(
+            "{}{WALLCLOCK_KEY}\n    \"threads\": 4\n  }}\n}}\n",
+            base.trim_end()
+        );
+        assert_eq!(strip_wallclock(&with), model);
+        assert_eq!(strip_wallclock(model), model);
+    }
+
+    #[test]
+    fn parse_args_flags() {
+        let args: Vec<String> = ["--threads", "8", "--out", "x.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = parse_args(&args).unwrap();
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.out, "x.json");
+        assert!(parse_args(&["--threads".to_string(), "0".to_string()]).is_err());
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+    }
+}

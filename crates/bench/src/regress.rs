@@ -47,7 +47,7 @@ pub const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
 /// Usage string for the `regress` subcommand.
 pub const USAGE: &str = "usage: cudele-bench regress [--out PATH] \
      [--baseline PATH] [--write-baseline] [--span-capacity N] \
-     [--trace-out PATH] [--folded-out PATH]";
+     [--trace-out PATH] [--folded-out PATH] [--threads N]";
 
 /// Command-line configuration of one `regress` invocation.
 #[derive(Debug, Clone)]
@@ -64,6 +64,10 @@ pub struct RegressConfig {
     pub trace_out: Option<String>,
     /// Also write the traced-mechanisms run as folded stacks here.
     pub folded_out: Option<String>,
+    /// Worker threads for the measurement sweep (1 = serial). Every task
+    /// owns its world and registry, so the output is byte-identical at any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for RegressConfig {
@@ -75,6 +79,7 @@ impl Default for RegressConfig {
             span_capacity: None,
             trace_out: None,
             folded_out: None,
+            threads: 1,
         }
     }
 }
@@ -108,6 +113,9 @@ pub fn parse_args(args: &[String]) -> Result<RegressConfig, String> {
             }
             "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
             "--folded-out" => cfg.folded_out = Some(value(&mut i, "--folded-out")?),
+            "--threads" => {
+                cfg.threads = cudele_par::parse_threads(&value(&mut i, "--threads")?)?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -151,6 +159,7 @@ fn run_mdbench_workload(
         faults: None,
         mdlog_segment: None,
         mdlog_dispatch: None,
+        threads: 1,
     };
     let out = mdbench::run(&cfg);
     obs_out::clear_session();
@@ -498,6 +507,73 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
     Ok(v)
 }
 
+/// Everything one measurement sweep produces: the three mdbench rows, the
+/// Figure-5 slowdowns, the traced-mechanism breakdown, and the raw trace
+/// exports. [`run`] writes and compares it; `cudele-bench perf` measures it
+/// at two thread counts and wall-clocks the difference.
+pub struct Measurement {
+    mdbench_rows: Vec<MdbenchRow>,
+    fig5: crate::fig5::Fig5,
+    mech_rows: Vec<MechanismBreakdown>,
+    /// Chrome trace of the traced-mechanisms run.
+    pub trace_json: String,
+    /// Folded stacks of the traced-mechanisms run.
+    pub folded: String,
+}
+
+impl Measurement {
+    /// The schema-versioned snapshot JSON (deterministic bytes).
+    pub fn to_json(&self) -> String {
+        render_json(&self.mdbench_rows, &self.fig5, &self.mech_rows)
+    }
+}
+
+/// Result of one independent sweep task (see [`measure`]).
+enum TaskOut {
+    Mechs(Box<(Vec<MechanismBreakdown>, String, String)>),
+    Mdbench(Box<Result<MdbenchRow, String>>),
+    Fig5(Box<crate::fig5::Fig5>),
+}
+
+/// Runs the full measurement sweep — the traced all-mechanisms run, the
+/// three mdbench policies, and Figure 5 — as five independent tasks fanned
+/// across `threads` workers. Each task owns its store, world, and registry
+/// (the mdbench tasks install per-thread sessions), so results are
+/// assembled in fixed input order and the output is byte-identical to a
+/// serial sweep.
+pub fn measure(threads: usize, span_capacity: Option<usize>) -> Result<Measurement, String> {
+    let results = obs_out::par_tasks_merged(threads, 2 + MDBENCH_POLICIES.len(), |i| match i {
+        0 => TaskOut::Mechs(Box::new(run_traced_mechanisms())),
+        1 => TaskOut::Fig5(Box::new(crate::fig5::run(Scale {
+            files_per_client: 2_000,
+            runs: 1,
+        }))),
+        _ => TaskOut::Mdbench(Box::new(run_mdbench_workload(
+            MDBENCH_POLICIES[i - 2],
+            span_capacity,
+        ))),
+    });
+
+    let mut mech = None;
+    let mut fig5 = None;
+    let mut mdbench_rows = Vec::new();
+    for r in results {
+        match r {
+            TaskOut::Mechs(m) => mech = Some(*m),
+            TaskOut::Fig5(f) => fig5 = Some(*f),
+            TaskOut::Mdbench(row) => mdbench_rows.push((*row)?),
+        }
+    }
+    let (mech_rows, trace_json, folded) = mech.expect("mechanisms task ran");
+    Ok(Measurement {
+        mdbench_rows,
+        fig5: fig5.expect("fig5 task ran"),
+        mech_rows,
+        trace_json,
+        folded,
+    })
+}
+
 /// What one `regress` invocation produced.
 pub struct RegressOutcome {
     /// The measured snapshot (also written to `cfg.out`).
@@ -515,30 +591,21 @@ pub struct RegressOutcome {
 pub fn run(cfg: &RegressConfig) -> Result<RegressOutcome, String> {
     let mut rendered = String::new();
 
-    let (mech_rows, trace_json, folded) = run_traced_mechanisms();
-    let mut mdbench_rows = Vec::new();
-    for policy in MDBENCH_POLICIES {
-        mdbench_rows.push(run_mdbench_workload(policy, cfg.span_capacity)?);
-    }
-    let fig5 = crate::fig5::run(Scale {
-        files_per_client: 2_000,
-        runs: 1,
-    });
-
-    let json = render_json(&mdbench_rows, &fig5, &mech_rows);
+    let m = measure(cfg.threads, cfg.span_capacity)?;
+    let json = m.to_json();
     let write =
         |path: &str, body: &str| std::fs::write(path, body).map_err(|e| format!("{path}: {e}"));
     write(&cfg.out, &json)?;
     if let Some(path) = &cfg.trace_out {
-        write(path, &trace_json)?;
+        write(path, &m.trace_json)?;
     }
     if let Some(path) = &cfg.folded_out {
-        write(path, &folded)?;
+        write(path, &m.folded)?;
     }
 
-    rendered.push_str(&critpath::render_breakdown_table(&mech_rows));
+    rendered.push_str(&critpath::render_breakdown_table(&m.mech_rows));
     rendered.push('\n');
-    for r in &mdbench_rows {
+    for r in &m.mdbench_rows {
         rendered.push_str(&format!(
             "mdbench {:<8} {:>8.0} creates/s (end-to-end {:>8.0}/s, p99 {:.1} us)\n",
             r.policy,

@@ -1,0 +1,66 @@
+//! Determinism gate for the parallel sweep engine: every harness output —
+//! BENCH snapshot JSON, metrics snapshots, chrome traces, folded stacks,
+//! rendered tables — must be byte-identical at any `--threads` value.
+//! (The schedule-level test, which forces workers to *complete* in a
+//! permuted order and checks the results still come back in input order,
+//! lives in `cudele-par`'s unit tests.)
+
+use cudele_bench::mdbench::{self, BenchConfig};
+use cudele_bench::{perf, regress};
+
+#[test]
+fn regress_measure_is_byte_identical_across_thread_counts() {
+    let serial = regress::measure(1, None).unwrap();
+    let parallel = regress::measure(4, None).unwrap();
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "BENCH snapshot differs at --threads 4"
+    );
+    assert_eq!(
+        serial.trace_json, parallel.trace_json,
+        "chrome trace differs at --threads 4"
+    );
+    assert_eq!(
+        serial.folded, parallel.folded,
+        "folded stacks differ at --threads 4"
+    );
+    // A perf-written snapshot (model + wallclock section) strips back to
+    // exactly the model bytes, so it stays comparable against baselines.
+    assert_eq!(perf::strip_wallclock(&serial.to_json()), serial.to_json());
+}
+
+#[test]
+fn mdbench_sweep_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir();
+    let run_at = |threads: usize, tag: &str| {
+        let metrics = dir.join(format!("cudele-par-test-{tag}.metrics.json"));
+        let trace = dir.join(format!("cudele-par-test-{tag}.trace.json"));
+        let cfg = BenchConfig {
+            clients: 2,
+            files: 200,
+            policy: "posix,batchfs,deltafs".to_string(),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            threads,
+            ..BenchConfig::default()
+        };
+        let outcomes = mdbench::run_sweep(&cfg).unwrap();
+        let rendered: Vec<String> = outcomes.iter().map(|o| o.rendered.clone()).collect();
+        let ends: Vec<_> = outcomes
+            .iter()
+            .map(|o| (o.create_end, o.merge_end))
+            .collect();
+        let metrics_bytes = std::fs::read_to_string(&metrics).unwrap();
+        let trace_bytes = std::fs::read_to_string(&trace).unwrap();
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+        (rendered, ends, metrics_bytes, trace_bytes)
+    };
+    let (r1, e1, m1, t1) = run_at(1, "t1");
+    let (r4, e4, m4, t4) = run_at(4, "t4");
+    assert_eq!(r1, r4, "rendered sweep output differs at --threads 4");
+    assert_eq!(e1, e4, "virtual-time results differ at --threads 4");
+    assert_eq!(m1, m4, "metrics snapshot differs at --threads 4");
+    assert_eq!(t1, t4, "chrome trace differs at --threads 4");
+}

@@ -32,6 +32,7 @@ fn run_once(label: &str) -> (String, Vec<String>) {
         span_capacity: None,
         trace_out: None,
         folded_out: None,
+        threads: 1,
     };
     let outcome = regress::run(&cfg).unwrap();
     let written = std::fs::read_to_string(&out).unwrap();
@@ -88,6 +89,7 @@ fn traced_run_exports_trace_and_folded_stacks() {
         span_capacity: None,
         trace_out: Some(trace.clone()),
         folded_out: Some(folded.clone()),
+        threads: 1,
     };
     regress::run(&cfg).unwrap();
 

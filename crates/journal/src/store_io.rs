@@ -298,23 +298,38 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
 
     /// Appends a batch of events, rolling stripes as needed, and persists
     /// the header. Returns the number of bytes written (data only).
+    ///
+    /// The whole batch is encoded up front into one exactly-sized buffer
+    /// ([`codec::framed_len`] gives the size without a trial encode); each
+    /// event's frame is then a slice of that buffer. Store operations are
+    /// still issued one per event — the per-op sequence is what seeded fault
+    /// plans and the virtual-time cost model key on, so batching must stop
+    /// at the encoding layer.
     pub fn append(&mut self, events: &[JournalEvent]) -> Result<u64, JournalIoError> {
         let retries_before = self.retries;
         let mut written = 0u64;
         let mut rollovers = 0u64;
-        let mut buf = BytesMut::with_capacity(256);
+        let total: usize = events.iter().map(codec::framed_len).sum();
+        let mut buf = BytesMut::with_capacity(total);
+        let mut offsets = Vec::with_capacity(events.len() + 1);
         for e in events {
-            buf.clear();
+            offsets.push(buf.len());
             codec::encode_event(&mut buf, e);
-            if self.header.stripes == 0 || self.current_stripe_len + buf.len() > self.stripe_bytes {
+        }
+        offsets.push(buf.len());
+        debug_assert_eq!(buf.len(), total);
+        for i in 0..events.len() {
+            let frame = &buf[offsets[i]..offsets[i + 1]];
+            if self.header.stripes == 0 || self.current_stripe_len + frame.len() > self.stripe_bytes
+            {
                 self.header.stripes += 1;
                 self.current_stripe_len = 0;
                 rollovers += 1;
             }
             let stripe = self.id.stripe_object(self.header.stripes - 1);
-            self.append_one(&stripe, &buf)?;
-            self.current_stripe_len += buf.len();
-            written += buf.len() as u64;
+            self.append_one(&stripe, frame)?;
+            self.current_stripe_len += frame.len();
+            written += frame.len() as u64;
         }
         let header_object = self.id.header_object();
         let header_bytes = encode_header(self.header);
@@ -347,11 +362,18 @@ pub fn read_journal<S: ObjectStore + ?Sized>(
         Err(RadosError::NoEnt(_)) => return Ok(Vec::new()),
         Err(e) => return Err(e.into()),
     };
+    // Decode each stripe directly into one shared event vector — the
+    // journal is never concatenated into a single blob, so peak memory is
+    // one stripe plus the decoded events.
     let mut events = Vec::new();
     for seq in 0..header.stripes {
         let stripe = id.stripe_object(seq);
         match with_retry(|| store.read(&stripe)) {
-            Ok(data) => events.extend(codec::decode_frames(&data)?),
+            Ok(data) => {
+                if let Some(d) = codec::decode_frames_lossy_into(&data, &mut events) {
+                    return Err(d.error.into());
+                }
+            }
             // A stripe fully trimmed away is fine.
             Err(RadosError::NoEnt(_)) => {}
             Err(e) => return Err(e.into()),
@@ -425,9 +447,7 @@ pub fn scan_journal<S: ObjectStore + ?Sized>(
             Err(RadosError::NoEnt(_)) => continue, // fully trimmed away
             Err(e) => return Err(e.into()),
         };
-        let scan = codec::decode_frames_lossy(&data);
-        events.extend(scan.events);
-        if let Some(d) = scan.damage {
+        if let Some(d) = codec::decode_frames_lossy_into(&data, &mut events) {
             damage = Some(JournalDamage {
                 stripe: seq,
                 offset: d.offset,

@@ -14,6 +14,7 @@
 //!   decoupled journals; decoupled-namespace updates "take priority at
 //!   merge time", so blind applies overwrite.
 
+use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 
@@ -22,6 +23,22 @@ use cudele_journal::{Attrs, EventSink, FileType, InodeId, JournalEvent};
 use crate::dirfrag::{Dentry, Dir};
 use crate::error::{MdsError, Result};
 use crate::inode::Inode;
+
+/// Bound on cached resolved paths; the cache is cleared wholesale when it
+/// fills (entries self-invalidate on mutation anyway, via the generation
+/// stamp, so eviction policy only bounds memory).
+const PATH_CACHE_CAP: usize = 65_536;
+
+/// One cached path resolution, valid while the store's generation matches.
+#[derive(Debug, Clone, Copy)]
+struct PathCacheEntry {
+    generation: u64,
+    ino: InodeId,
+    /// Nearest ancestor (inclusive) holding a policy blob: `None` = not yet
+    /// computed for this path, `Some(None)` = no policy anywhere on the
+    /// chain, `Some(Some(ino))` = policy owner.
+    policy_owner: Option<Option<InodeId>>,
+}
 
 /// The namespace: an inode table plus per-directory fragtrees.
 #[derive(Debug, Clone)]
@@ -33,6 +50,15 @@ pub struct MetadataStore {
     /// Cudele's interfere=block).
     parents: HashMap<InodeId, InodeId>,
     split_threshold: usize,
+    /// Bumped on every namespace mutation; stamps [`PathCacheEntry`]s so a
+    /// stale cache entry is simply ignored rather than tracked down.
+    generation: u64,
+    /// Memoized `path -> inode` (and policy-owner) resolutions. Workloads
+    /// resolve the same paths over and over (`effective_policy` on every
+    /// op), and re-walking components dominates the resolve hot path.
+    /// `RefCell` because `resolve`/`effective_policy` take `&self`; the
+    /// store is used single-threaded per simulation world.
+    path_cache: RefCell<HashMap<String, PathCacheEntry>>,
 }
 
 impl MetadataStore {
@@ -52,6 +78,47 @@ impl MetadataStore {
             dirs,
             parents: HashMap::new(),
             split_threshold: threshold,
+            generation: 0,
+            path_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Invalidates all cached path resolutions. Called by every mutation;
+    /// cached entries carry the generation they were computed under and are
+    /// ignored once it moves on.
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Stores (or refreshes) a cache entry for `path`. A freshly-resolved
+    /// inode keeps the entry's policy-owner memo if that was computed under
+    /// the same generation.
+    fn cache_store(&self, path: &str, ino: InodeId, policy_owner: Option<Option<InodeId>>) {
+        let mut cache = self.path_cache.borrow_mut();
+        if cache.len() >= PATH_CACHE_CAP && !cache.contains_key(path) {
+            cache.clear();
+        }
+        match cache.entry(path.to_owned()) {
+            Entry::Occupied(mut e) => {
+                let prev = *e.get();
+                let keep_policy = if prev.generation == self.generation {
+                    policy_owner.or(prev.policy_owner)
+                } else {
+                    policy_owner
+                };
+                e.insert(PathCacheEntry {
+                    generation: self.generation,
+                    ino,
+                    policy_owner: keep_policy,
+                });
+            }
+            Entry::Vacant(e) => {
+                e.insert(PathCacheEntry {
+                    generation: self.generation,
+                    ino,
+                    policy_owner,
+                });
+            }
         }
     }
 
@@ -119,6 +186,7 @@ impl MetadataStore {
         ino: InodeId,
         attrs: Attrs,
     ) -> Result<()> {
+        self.bump_generation();
         if self.inodes.contains_key(&ino) {
             return Err(MdsError::InodeCollision { ino });
         }
@@ -143,6 +211,7 @@ impl MetadataStore {
 
     /// Creates a directory.
     pub fn mkdir(&mut self, parent: InodeId, name: &str, ino: InodeId, attrs: Attrs) -> Result<()> {
+        self.bump_generation();
         if self.inodes.contains_key(&ino) {
             return Err(MdsError::InodeCollision { ino });
         }
@@ -169,6 +238,7 @@ impl MetadataStore {
 
     /// Removes a file.
     pub fn unlink(&mut self, parent: InodeId, name: &str) -> Result<()> {
+        self.bump_generation();
         let dir = self.dir_mut(parent)?;
         let dentry = *dir.get(name).ok_or_else(|| MdsError::NoEnt {
             what: format!("{name:?} in {parent}"),
@@ -184,6 +254,7 @@ impl MetadataStore {
 
     /// Removes an empty directory.
     pub fn rmdir(&mut self, parent: InodeId, name: &str) -> Result<()> {
+        self.bump_generation();
         let dir = self.dir_mut(parent)?;
         let dentry = *dir.get(name).ok_or_else(|| MdsError::NoEnt {
             what: format!("{name:?} in {parent}"),
@@ -211,6 +282,7 @@ impl MetadataStore {
         dst_parent: InodeId,
         dst_name: &str,
     ) -> Result<()> {
+        self.bump_generation();
         let src = *self
             .dir_mut(src_parent)?
             .get(src_name)
@@ -232,6 +304,7 @@ impl MetadataStore {
 
     /// Overwrites an inode's attributes.
     pub fn setattr(&mut self, ino: InodeId, attrs: Attrs) -> Result<()> {
+        self.bump_generation();
         let inode = self.inodes.get_mut(&ino).ok_or_else(|| MdsError::NoEnt {
             what: format!("inode {ino}"),
         })?;
@@ -241,6 +314,7 @@ impl MetadataStore {
 
     /// Installs a Cudele policy blob on a directory inode.
     pub fn set_policy(&mut self, ino: InodeId, policy: Vec<u8>) -> Result<()> {
+        self.bump_generation();
         let inode = self.inodes.get_mut(&ino).ok_or_else(|| MdsError::NoEnt {
             what: format!("inode {ino}"),
         })?;
@@ -276,12 +350,23 @@ impl MetadataStore {
 
     /// Resolves an absolute slash-separated path to an inode. `""` and `"/"`
     /// both resolve to the root.
+    ///
+    /// Resolutions are memoized in a generation-invalidated cache: repeated
+    /// resolution of the same path (every request consults
+    /// [`MetadataStore::effective_policy`]) costs one hash lookup instead of
+    /// a component walk, and any namespace mutation invalidates everything.
     pub fn resolve(&self, path: &str) -> Result<InodeId> {
+        if let Some(e) = self.path_cache.borrow().get(path) {
+            if e.generation == self.generation {
+                return Ok(e.ino);
+            }
+        }
         let mut cur = InodeId::ROOT;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             let dentry = self.lookup(cur, comp)?;
             cur = dentry.ino;
         }
+        self.cache_store(path, cur, None);
         Ok(cur)
     }
 
@@ -289,19 +374,41 @@ impl MetadataStore {
     /// walking from the leaf upward — subtree policy resolution with
     /// inheritance ("subtrees without policies inherit the consistency/
     /// durability semantics of the parent").
+    ///
+    /// Shares [`MetadataStore::resolve`]'s cache: the policy owner for a
+    /// path is memoized alongside its inode, so the per-request policy
+    /// check stops re-walking components and re-scanning the ancestor
+    /// chain.
     pub fn effective_policy(&self, path: &str) -> Result<Option<(InodeId, &[u8])>> {
+        if let Some(e) = self.path_cache.borrow().get(path) {
+            if e.generation == self.generation {
+                if let Some(owner) = e.policy_owner {
+                    return Ok(owner.and_then(|ino| {
+                        self.inodes
+                            .get(&ino)
+                            .and_then(|i| i.policy.as_deref())
+                            .map(|p| (ino, p))
+                    }));
+                }
+            }
+        }
         let mut chain = vec![InodeId::ROOT];
         let mut cur = InodeId::ROOT;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             cur = self.lookup(cur, comp)?.ino;
             chain.push(cur);
         }
-        for ino in chain.into_iter().rev() {
-            if let Some(p) = self.inodes.get(&ino).and_then(|i| i.policy.as_deref()) {
-                return Ok(Some((ino, p)));
-            }
-        }
-        Ok(None)
+        let owner = chain
+            .into_iter()
+            .rev()
+            .find(|ino| self.inodes.get(ino).is_some_and(|i| i.policy.is_some()));
+        self.cache_store(path, cur, Some(owner));
+        Ok(owner.and_then(|ino| {
+            self.inodes
+                .get(&ino)
+                .and_then(|i| i.policy.as_deref())
+                .map(|p| (ino, p))
+        }))
     }
 
     // ------------------------------------------------------------------
@@ -312,6 +419,7 @@ impl MetadataStore {
     /// does. Decoupled updates take priority: existing dentries are
     /// overwritten, missing unlink targets are ignored.
     pub fn apply_blind(&mut self, event: &JournalEvent) {
+        self.bump_generation();
         match event {
             JournalEvent::Create {
                 parent,
@@ -453,6 +561,7 @@ impl MetadataStore {
     /// Inserts an inode directly, without touching any directory. Used by
     /// recovery when rebuilding the store from dirfrag objects.
     pub(crate) fn raw_insert_inode(&mut self, inode: Inode) {
+        self.bump_generation();
         if inode.is_dir() && !self.dirs.contains_key(&inode.ino) {
             self.dirs
                 .insert(inode.ino, Dir::with_split_threshold(self.split_threshold));
@@ -464,6 +573,7 @@ impl MetadataStore {
     /// parent has not been materialized yet (recovery encounters children
     /// before parents when object listing order is arbitrary).
     pub(crate) fn raw_insert_dentry(&mut self, dir_ino: InodeId, name: &str, dentry: Dentry) {
+        self.bump_generation();
         let threshold = self.split_threshold;
         self.dirs
             .entry(dir_ino)
@@ -474,6 +584,7 @@ impl MetadataStore {
 
     /// Mutable access to an inode for recovery (e.g. restoring root attrs).
     pub(crate) fn raw_inode_mut(&mut self, ino: InodeId) -> Option<&mut Inode> {
+        self.bump_generation();
         self.inodes.get_mut(&ino)
     }
 
@@ -481,23 +592,38 @@ impl MetadataStore {
     // Snapshots (test and verification support)
     // ------------------------------------------------------------------
 
+    /// Depth-first walk over every dentry, presenting each full path in one
+    /// shared buffer (push a component, recurse, truncate back) — no
+    /// per-entry `format!` allocation. `snapshot` and `shape` both build on
+    /// this.
+    fn walk_paths(&self, visit: &mut impl FnMut(&str, &Dentry)) {
+        let mut path = String::new();
+        self.walk_dir(InodeId::ROOT, &mut path, visit);
+    }
+
+    fn walk_dir(&self, ino: InodeId, path: &mut String, visit: &mut impl FnMut(&str, &Dentry)) {
+        if let Some(dir) = self.dirs.get(&ino) {
+            for (name, dentry) in dir.entries() {
+                let depth = path.len();
+                path.push('/');
+                path.push_str(&name);
+                visit(path, &dentry);
+                if dentry.ftype == FileType::Dir {
+                    self.walk_dir(dentry.ino, path, visit);
+                }
+                path.truncate(depth);
+            }
+        }
+    }
+
     /// Flattens the namespace into `path -> (ino, type)` for equivalence
     /// checks (e.g. "Nonvolatile Apply and Volatile Apply + Global Persist
     /// end up with the same final metadata state").
     pub fn snapshot(&self) -> BTreeMap<String, (InodeId, FileType)> {
         let mut out = BTreeMap::new();
-        let mut stack: Vec<(String, InodeId)> = vec![(String::new(), InodeId::ROOT)];
-        while let Some((prefix, ino)) = stack.pop() {
-            if let Some(dir) = self.dirs.get(&ino) {
-                for (name, dentry) in dir.entries() {
-                    let path = format!("{prefix}/{name}");
-                    out.insert(path.clone(), (dentry.ino, dentry.ftype));
-                    if dentry.ftype == FileType::Dir {
-                        stack.push((path, dentry.ino));
-                    }
-                }
-            }
-        }
+        self.walk_paths(&mut |path, dentry| {
+            out.insert(path.to_owned(), (dentry.ino, dentry.ftype));
+        });
         out
     }
 
@@ -505,10 +631,11 @@ impl MetadataStore {
     /// runs that allocate different inode ranges still produce the same
     /// *shape*.
     pub fn shape(&self) -> BTreeMap<String, FileType> {
-        self.snapshot()
-            .into_iter()
-            .map(|(p, (_, t))| (p, t))
-            .collect()
+        let mut out = BTreeMap::new();
+        self.walk_paths(&mut |path, dentry| {
+            out.insert(path.to_owned(), dentry.ftype);
+        });
+        out
     }
 }
 

@@ -190,6 +190,32 @@ impl Histogram {
         d.max as f64
     }
 
+    /// Folds another histogram's samples into this one (bucket-wise). Used
+    /// when merging per-task registries back into a session registry.
+    pub fn merge_from(&self, other: &Histogram) {
+        let o = {
+            let d = other.0.lock().unwrap_or_else(|p| p.into_inner());
+            HistData {
+                buckets: d.buckets,
+                count: d.count,
+                sum: d.sum,
+                min: d.min,
+                max: d.max,
+            }
+        };
+        if o.count == 0 {
+            return;
+        }
+        let mut d = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        for (b, ob) in d.buckets.iter_mut().zip(o.buckets.iter()) {
+            *b += ob;
+        }
+        d.count += o.count;
+        d.sum = d.sum.saturating_add(o.sum);
+        d.min = d.min.min(o.min);
+        d.max = d.max.max(o.max);
+    }
+
     /// Median.
     pub fn p50(&self) -> f64 {
         self.percentile(50.0)
@@ -506,6 +532,71 @@ impl Registry {
     pub fn has_span(&self, name: &str) -> bool {
         let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
         log.spans.iter().any(|s| s.name == name)
+    }
+
+    /// The span-retention capacity this registry was built with.
+    pub fn span_capacity(&self) -> usize {
+        let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        log.capacity
+    }
+
+    /// Folds another registry's contents into this one: counters add,
+    /// gauges take the source's value (last-write-wins in merge order),
+    /// histograms merge bucket-wise, and spans are appended with their ids
+    /// rebased past this registry's allocator.
+    ///
+    /// The rebase makes merge order *the* id order: merging per-task
+    /// registries back into a session registry in input order produces
+    /// exactly the ids a serial run allocating from one registry would have
+    /// produced — which is what keeps `--threads N` output byte-identical
+    /// to `--threads 1`. Nonzero `span_id`/`parent_id`/`trace_id` are
+    /// offset by this registry's current allocator position; 0 (legacy
+    /// unidentified, or root parent) stays 0. The source registry is left
+    /// untouched.
+    pub fn merge_from(&self, other: &Registry) {
+        {
+            let src = other.counters.lock().unwrap_or_else(|p| p.into_inner());
+            for (name, c) in src.iter() {
+                let v = c.get();
+                if v > 0 {
+                    self.counter(name).add(v);
+                }
+            }
+        }
+        {
+            let src = other.gauges.lock().unwrap_or_else(|p| p.into_inner());
+            for (name, g) in src.iter() {
+                self.gauge(name).set(g.get());
+            }
+        }
+        {
+            let src = other.histograms.lock().unwrap_or_else(|p| p.into_inner());
+            for (name, h) in src.iter() {
+                self.histogram(name).merge_from(h);
+            }
+        }
+        let offset = self.next_span_id.load(Ordering::Relaxed);
+        let rebase = |id: u64| if id == 0 { 0 } else { id + offset };
+        let (src_spans, src_dropped) = {
+            let log = other.spans.lock().unwrap_or_else(|p| p.into_inner());
+            (log.spans.clone(), log.dropped)
+        };
+        for mut span in src_spans {
+            span.span_id = rebase(span.span_id);
+            span.parent_id = rebase(span.parent_id);
+            span.trace_id = rebase(span.trace_id);
+            self.record_span(span);
+        }
+        if src_dropped > 0 {
+            let mut log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+            log.dropped += src_dropped;
+        }
+        // Advance the allocator past every id the source handed out, so the
+        // next allocation (or next merge) continues the serial sequence.
+        self.next_span_id.fetch_add(
+            other.next_span_id.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -897,5 +988,67 @@ mod tests {
         json::validate(&m).unwrap();
         assert!(m.contains("\"obs.spans_dropped\": 1"));
         assert!(m.contains("\"obs.spans_recorded\": 1"));
+    }
+
+    /// The load-bearing property of `merge_from`: per-task registries merged
+    /// in input order reproduce exactly what one shared registry would have
+    /// recorded serially — counters, histograms, spans, and ids.
+    #[test]
+    fn merging_per_task_registries_matches_serial_recording() {
+        let record = |reg: &Registry, task: u32| {
+            reg.counter("ops").add(u64::from(task) + 1);
+            reg.gauge("last_task").set(f64::from(task));
+            reg.histogram("lat").record(u64::from(task) * 100);
+            let root = reg.trace_root(task);
+            reg.child_span(root, "child", "t", Nanos(1), Nanos(2));
+            reg.end_span(root, "op", "t", Nanos(0), Nanos(5));
+        };
+
+        let serial = Registry::new();
+        for task in 0..3 {
+            record(&serial, task);
+        }
+
+        let merged = Registry::new();
+        for task in 0..3 {
+            let per_task = Registry::new();
+            record(&per_task, task);
+            merged.merge_from(&per_task);
+        }
+
+        assert_eq!(merged.metrics_json(), serial.metrics_json());
+        assert_eq!(merged.chrome_trace_json(), serial.chrome_trace_json());
+        assert_eq!(merged.spans(), serial.spans());
+        // The allocator continues the serial sequence after the merges.
+        assert_eq!(merged.trace_root(9).span_id, serial.trace_root(9).span_id);
+    }
+
+    #[test]
+    fn merge_respects_capacity_and_dropped_counts() {
+        let target = Registry::with_span_capacity(1);
+        assert_eq!(target.span_capacity(), 1);
+        let src = Registry::new();
+        src.span("a", "t", 0, Nanos(0), Nanos(1));
+        src.span("b", "t", 0, Nanos(1), Nanos(1));
+        target.merge_from(&src);
+        assert_eq!(target.span_count(), 1);
+        assert_eq!(target.spans_dropped(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_from_combines_stats() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(10);
+        b.record(1000);
+        b.record(3);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1013);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.max(), 1000);
+        // Merging an empty histogram is a no-op (min stays intact).
+        a.merge_from(&Histogram::default());
+        assert_eq!(a.min(), 3);
     }
 }

@@ -1,0 +1,210 @@
+//! Deterministic parallel map over independent work items.
+//!
+//! The whole Cudele stack gates on byte-identical output: same seeds, same
+//! metrics JSON, same traces, same `BENCH_cudele.json`, no matter how the
+//! work was scheduled. That constrains parallelism to one shape — *fan out
+//! independent runs, collect results in input order* — which is exactly
+//! what the paper's figures need (7 mechanisms × seeds × workloads are all
+//! independent simulations). [`par_map_deterministic`] implements that
+//! shape with std threads and channels only: the build environment is
+//! offline, so no rayon, no crossbeam — and none are needed.
+//!
+//! Determinism contract:
+//!
+//! * `f` is called exactly once per item.
+//! * The returned vector is ordered by *input index*, never by completion
+//!   order.
+//! * With `threads <= 1` (or a single item) no threads are spawned at all;
+//!   `f` runs on the caller's thread in input order. A parallel run is
+//!   therefore byte-identical to a serial run for any `f` whose output
+//!   depends only on its item — which every simulation run here satisfies,
+//!   because each owns its `World`, `MetadataServer`, and obs `Registry`.
+//! * A panic in any worker propagates to the caller (no partial results).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Maps `f` over `items` using up to `threads` worker threads, returning
+/// results **in input order**.
+///
+/// Work is distributed by an atomic claim counter: each worker repeatedly
+/// claims the next unprocessed index, so a slow item never stalls the queue
+/// behind it. Results arrive over a channel tagged with their input index
+/// and are slotted back into position, making completion order invisible to
+/// the caller.
+///
+/// `threads` is clamped to the number of items; `threads <= 1` runs
+/// serially on the caller's thread.
+pub fn par_map_deterministic<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each slot hands its item to exactly one worker (the one that claims
+    // its index); the Mutex is uncontended by construction.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    return;
+                }
+                let item = slots[idx]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                // A send can only fail if the collector hung up, which it
+                // never does while workers live (rx outlives the scope).
+                let _ = tx.send((idx, f(item)));
+            });
+        }
+        drop(tx); // collector's rx sees EOF once all workers finish
+        for (idx, r) in rx {
+            out[idx] = Some(r);
+        }
+        // If a worker panicked, the scope re-raises the panic here, before
+        // the unwraps below can observe a hole.
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("worker dropped a result"))
+        .collect()
+}
+
+/// Like [`par_map_deterministic`] over `0..n`, for callers whose items are
+/// just indices (seed sweeps).
+pub fn par_map_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_deterministic(threads, (0..n).collect(), f)
+}
+
+/// Parses a `--threads N` style value, defaulting to 1 (serial). Shared by
+/// every sweep binary so the flag means the same thing everywhere.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(0) => Err("--threads must be >= 1".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("invalid --threads value {value:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Condvar, Mutex};
+
+    #[test]
+    fn maps_in_input_order() {
+        let out = par_map_deterministic(4, (0..100).collect(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let serial = par_map_deterministic(1, (0..50).collect(), |i| i * i);
+        let parallel = par_map_deterministic(8, (0..50).collect(), |i| i * i);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = par_map_deterministic(4, Vec::<i32>::new(), |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_deterministic(4, vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn threads_clamped_to_items() {
+        // More threads than items must not deadlock or drop results.
+        let out = par_map_deterministic(64, (0..3).collect(), |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_completion_yields_in_order_results() {
+        // Force workers to *complete* in a permuted order using a virtual
+        // cost schedule (a turn-taking monitor), not wall-clock sleeps:
+        // item i may only finish when all items scheduled before it in
+        // COMPLETION_ORDER have finished. With one worker per item, every
+        // item is claimed immediately and then finishes in exactly the
+        // permuted order — the collector must still slot results by input
+        // index.
+        const N: usize = 8;
+        // completion_rank[i] = position of item i in the forced completion
+        // order (a fixed permutation, deliberately far from 0..N).
+        let completion_rank = [5usize, 2, 7, 0, 4, 6, 1, 3];
+        let monitor = (Mutex::new(0usize), Condvar::new());
+
+        let completions = Mutex::new(Vec::new());
+        let out = par_map_deterministic(N, (0..N).collect(), |i| {
+            let (turn, cv) = &monitor;
+            let mut t = turn.lock().unwrap();
+            while *t != completion_rank[i] {
+                t = cv.wait(t).unwrap();
+            }
+            completions.lock().unwrap().push(i);
+            *t += 1;
+            cv.notify_all();
+            i * 10
+        });
+
+        // Results are in input order...
+        assert_eq!(out, (0..N).map(|i| i * 10).collect::<Vec<_>>());
+        // ...even though completion happened in the permuted order.
+        let completed = completions.into_inner().unwrap();
+        let mut expected = vec![0usize; N];
+        for (item, rank) in completion_rank.iter().enumerate() {
+            expected[*rank] = item;
+        }
+        assert_eq!(completed, expected, "schedule was not actually permuted");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_deterministic(4, (0..16).collect(), |i| {
+                if i == 9 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn parse_threads_values() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("8"), Ok(8));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("x").is_err());
+    }
+
+    #[test]
+    fn indexed_form() {
+        assert_eq!(par_map_indexed(3, 5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+}

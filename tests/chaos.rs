@@ -26,6 +26,16 @@ use cudele_sim::{CostModel, Nanos};
 const CLIENT: ClientId = ClientId(1);
 const SEEDS: u64 = 16;
 
+/// Runs `f` once per seed across all available cores, returning the
+/// per-seed results in seed order (`cudele-par` keeps the output order —
+/// and therefore every assertion message and accumulated count — identical
+/// to the serial loop). Each seed builds its whole rig inside the worker,
+/// so the seeded fault-draw sequences are untouched by the fan-out.
+fn sweep_seeds<R: Send>(seeds: u64, f: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cudele_par::par_map_deterministic(threads, (0..seeds).collect(), f)
+}
+
 /// The background fault mix the mechanism matrix runs under: a few percent
 /// transient EAGAINs plus occasional torn stripe appends — both of which a
 /// correct stack must absorb without losing acknowledged events.
@@ -95,8 +105,7 @@ fn merge(r: &mut Rig, comp: &str) {
 /// an MDS crash + journal replay, for every seed.
 #[test]
 fn rpcs_and_stream_survive_mds_crash_across_seeds() {
-    let mut total_injected = 0;
-    for seed in 0..SEEDS {
+    let injected = sweep_seeds(SEEDS, |seed| {
         let os = faulty_store(background_faults(seed));
         let mut server = MetadataServer::with_config(
             os.clone(),
@@ -121,30 +130,33 @@ fn rpcs_and_stream_survive_mds_crash_across_seeds() {
             );
         }
         let (eagain, torn, _) = os.injected();
-        total_injected += eagain + torn;
-    }
-    assert!(total_injected > 0, "sweep never injected a fault");
+        eagain + torn
+    });
+    assert!(
+        injected.iter().sum::<u64>() > 0,
+        "sweep never injected a fault"
+    );
 }
 
 /// append_client_journal alone: the journal lives in client memory only, so
 /// the promised class is None — any node failure loses it, faults or not.
 #[test]
 fn append_client_journal_alone_is_none_durability_across_seeds() {
-    for seed in 0..SEEDS {
+    sweep_seeds(SEEDS, |seed| {
         let r = rig(30, background_faults(seed));
         assert_eq!(
             achieved_durability(&r.client, &r.disk, r.os.as_ref()),
             Durability::None,
             "seed {seed}"
         );
-    }
+    });
 }
 
 /// volatile_apply: events become globally visible through the MDS but gain
 /// no durability — the class stays None.
 #[test]
 fn volatile_apply_is_visible_but_none_durable_across_seeds() {
-    for seed in 0..SEEDS {
+    sweep_seeds(SEEDS, |seed| {
         let mut r = rig(30, background_faults(seed));
         merge(&mut r, "volatile_apply");
         assert!(visible_in_global(&r.server, &r.client), "seed {seed}");
@@ -153,14 +165,14 @@ fn volatile_apply_is_visible_but_none_durable_across_seeds() {
             Durability::None,
             "seed {seed}"
         );
-    }
+    });
 }
 
 /// local_persist: survives a recoverable node crash (journal replays from
 /// local disk, byte for byte), but permanent node loss demotes it to None.
 #[test]
 fn local_persist_survives_recoverable_crash_across_seeds() {
-    for seed in 0..SEEDS {
+    sweep_seeds(SEEDS, |seed| {
         let mut r = rig(30, background_faults(seed));
         merge(&mut r, "local_persist");
         r.disk.crash();
@@ -185,7 +197,7 @@ fn local_persist_survives_recoverable_crash_across_seeds() {
             Durability::None,
             "seed {seed}"
         );
-    }
+    });
 }
 
 /// global_persist: the journal lands in the object store despite transient
@@ -193,8 +205,7 @@ fn local_persist_survives_recoverable_crash_across_seeds() {
 /// and the class survives total client-node loss.
 #[test]
 fn global_persist_survives_torn_writes_across_seeds() {
-    let mut total_torn = 0;
-    for seed in 0..SEEDS {
+    let torn = sweep_seeds(SEEDS, |seed| {
         let mut r = rig(30, background_faults(seed));
         merge(&mut r, "global_persist");
         r.disk.destroy();
@@ -207,16 +218,16 @@ fn global_persist_survives_torn_writes_across_seeds() {
         assert_eq!(read, r.client.events(), "seed {seed}: acked events lost");
         let scan = cudele_journal::scan_journal(r.os.as_ref(), r.client.journal_id()).unwrap();
         assert_eq!(scan.damage, None, "seed {seed}: persisted journal damaged");
-        total_torn += r.os.injected().1;
-    }
-    assert!(total_torn > 0, "sweep never tore a write");
+        r.os.injected().1
+    });
+    assert!(torn.iter().sum::<u64>() > 0, "sweep never tore a write");
 }
 
 /// nonvolatile_apply: object-to-object replay under faults still reaches
 /// global durability and global visibility.
 #[test]
 fn nonvolatile_apply_reaches_global_across_seeds() {
-    for seed in 0..SEEDS {
+    sweep_seeds(SEEDS, |seed| {
         let mut r = rig(30, background_faults(seed));
         merge(&mut r, "nonvolatile_apply");
         assert!(visible_in_global(&r.server, &r.client), "seed {seed}");
@@ -225,7 +236,7 @@ fn nonvolatile_apply_reaches_global_across_seeds() {
             Durability::Global,
             "seed {seed}"
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -356,7 +367,7 @@ fn global_persist_survives_osd_outage_window() {
 #[test]
 #[ignore = "heavy sweep; run with --ignored chaos"]
 fn chaos_global_persist_wide_sweep() {
-    for seed in 0..64 {
+    sweep_seeds(64, |seed| {
         let mut r = rig(
             150,
             FaultConfig {
@@ -369,14 +380,14 @@ fn chaos_global_persist_wide_sweep() {
         merge(&mut r, "global_persist");
         let read = cudele_journal::read_journal(r.os.as_ref(), r.client.journal_id()).unwrap();
         assert_eq!(read, r.client.events(), "seed {seed}: acked events lost");
-    }
+    });
 }
 
 /// NVA replays correctly for every seed in a wide, hot sweep.
 #[test]
 #[ignore = "heavy sweep; run with --ignored chaos"]
 fn chaos_nonvolatile_apply_wide_sweep() {
-    for seed in 0..64 {
+    sweep_seeds(64, |seed| {
         let mut r = rig(
             100,
             FaultConfig {
@@ -393,7 +404,7 @@ fn chaos_nonvolatile_apply_wide_sweep() {
             Durability::Global,
             "seed {seed}"
         );
-    }
+    });
 }
 
 /// Determinism under chaos: the same seed injects the identical fault
@@ -409,7 +420,7 @@ fn chaos_same_seed_injects_identical_faults() {
             cudele_journal::read_journal(r.os.as_ref(), r.client.journal_id()).unwrap(),
         )
     };
-    for seed in 0..32 {
+    sweep_seeds(32, |seed| {
         assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
-    }
+    });
 }
