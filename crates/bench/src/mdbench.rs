@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use cudele::{Composition, Policy};
-use cudele_mds::MetadataServer;
+use cudele_mds::{ClientId, FailoverConfig, MdsCluster, MetadataServer};
 use cudele_rados::InMemoryStore;
 use cudele_sim::{Engine, Nanos, RunReport};
 use cudele_workloads::client_dir;
@@ -48,7 +48,11 @@ pub struct BenchConfig {
     /// counted in `obs.spans_dropped`. `None` keeps the default.
     pub span_capacity: Option<usize>,
     /// Fault-injection spec (see `cudele_faults::FaultConfig::parse`),
-    /// e.g. `seed=7,eagain_ppm=20000,osd_outage=3@1ms..5ms`.
+    /// e.g. `seed=7,eagain_ppm=20000,osd_outage=3@1ms..5ms`. Any
+    /// `mds-crash@T` entries run a failover drill after the workload:
+    /// the active MDS crashes at each scheduled drill-clock instant, the
+    /// monitor detects it after the beacon grace, a standby replays the
+    /// run's mdlog, and the clients reconnect to the new epoch.
     pub faults: Option<String>,
     /// Override the mdlog's events-per-segment (default 1024). Smaller
     /// segments flush to the object store sooner — useful with `--faults`
@@ -87,11 +91,14 @@ pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--composition DSL] [--metrics-out PATH] [--trace-out PATH] \
      [--span-capacity N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
-osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL] \
+osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL,mds-crash@T] \
      [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] [--threads N]
 A comma-separated --policy list (e.g. --policy posix,batchfs,deltafs) runs
 each policy independently, fanned across --threads workers; output order
-and bytes match a serial run.";
+and bytes match a serial run. `mds-crash@T` entries (repeatable) schedule
+a deterministic MDS failover drill after the workload: crash, beacon-grace
+detection, epoch bump, standby replay of the run's mdlog, client
+reconnects.";
 
 /// Parses an argument list (element 0 is the program name). `Err` carries
 /// the message to print before the usage string; `--help` yields
@@ -205,11 +212,13 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     );
 
     let mut cost = cudele_sim::CostModel::calibrated();
+    let mut mds_crashes: Vec<Nanos> = Vec::new();
     let os: Arc<dyn cudele_rados::ObjectStore> = match &cfg.faults {
         None => Arc::new(InMemoryStore::paper_default()),
         Some(spec) => {
             let fc = cudele_faults::FaultConfig::parse(spec)
                 .map_err(|e| format!("bad --faults: {e}"))?;
+            mds_crashes = fc.mds_crashes.clone();
             let (store, degraded) =
                 cudele_faults::wire_faults(Arc::new(InMemoryStore::paper_default()), fc, &cost);
             cost = degraded;
@@ -231,6 +240,8 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     } else {
         Some(mdlog_config)
     };
+    let drill_store = Arc::clone(&os);
+    let drill_cost = cost.clone();
     let mut world = World::new(MetadataServer::with_config(os, cost, mdlog));
     for c in 0..cfg.clients {
         world.server.setup_dir(&client_dir(c)).unwrap();
@@ -293,6 +304,16 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         );
     }
     let _ = writeln!(rendered, "  run          : {}", report.summary_json());
+    if !mds_crashes.is_empty() {
+        failover_drill(
+            drill_store,
+            drill_cost,
+            mdlog,
+            &mds_crashes,
+            cfg.clients,
+            &mut rendered,
+        )?;
+    }
 
     obs.finish()
         .map_err(|e| format!("writing snapshots: {e}"))?;
@@ -302,6 +323,73 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         report,
         rendered,
     })
+}
+
+/// Runs the `mds-crash@T` failover drill against the object store the
+/// workload just populated: for each scheduled instant (on the drill's
+/// own virtual clock) the active MDS crashes, the monitor declares it
+/// dead once the beacon grace expires, the epoch is bumped (fencing the
+/// old primary), a standby finishes replaying the run's persisted mdlog,
+/// and every bench client reconnects to the new primary. Appends one
+/// rendered line per failover. Deterministic: the same schedule over the
+/// same workload yields byte-identical lines, epochs, and timings.
+fn failover_drill(
+    base: Arc<dyn cudele_rados::ObjectStore>,
+    cost: cudele_sim::CostModel,
+    mdlog: Option<cudele_mds::MdLogConfig>,
+    crashes: &[Nanos],
+    clients: u32,
+    rendered: &mut String,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let fo = FailoverConfig::default();
+    let mut cluster = MdsCluster::new(base, cost, mdlog, fo);
+    if let Some(reg) = crate::obs_out::session() {
+        cluster.attach_obs(&reg);
+    }
+    // Detection happens on the beacon grid at most one interval past the
+    // grace; two extra intervals of margin keep the drill schedule-proof.
+    let margin = fo.beacon_grace + fo.beacon_interval * 4;
+    for (i, &t) in crashes.iter().enumerate() {
+        let crash_at = t.max(cluster.now() + fo.beacon_interval);
+        cluster
+            .advance_to(crash_at)
+            .map_err(|e| format!("failover drill: {e}"))?;
+        cluster.crash_active();
+        cluster
+            .advance_to(crash_at + margin)
+            .map_err(|e| format!("failover drill: {e}"))?;
+        let r = match cluster.reports().get(i) {
+            Some(r) => *r,
+            None => return Err(format!("failover drill: crash {i} was never detected")),
+        };
+        let mut ok = 0u32;
+        for c in 0..clients {
+            if cluster
+                .active_mut()
+                .reconnect_session(ClientId(c), &[])
+                .result
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        let _ = writeln!(
+            rendered,
+            "  failover #{n} : crash@{crash_at} -> epoch e{epoch}, detected in {lat}, \
+replayed {replayed} events{healed}, {ok}/{clients} sessions reconnected",
+            n = i + 1,
+            epoch = r.takeover.epoch.0,
+            lat = r.decision.detection_latency(),
+            replayed = r.takeover.replayed_events,
+            healed = if r.takeover.healed {
+                " (healed tail)"
+            } else {
+                ""
+            },
+        );
+    }
+    Ok(())
 }
 
 /// Runs the configuration's policy list. A comma-separated `--policy`
@@ -377,5 +465,51 @@ pub fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mds_crash_faults_run_the_failover_drill() {
+        let cfg = BenchConfig {
+            clients: 2,
+            files: 50,
+            faults: Some("mds-crash@5ms,mds-crash@80ms".to_string()),
+            mdlog_segment: Some(8),
+            mdlog_dispatch: Some(2),
+            ..BenchConfig::default()
+        };
+        let out = run(&cfg).unwrap();
+        assert!(out.rendered.contains("failover #1"), "{}", out.rendered);
+        assert!(out.rendered.contains("epoch e2"), "{}", out.rendered);
+        assert!(out.rendered.contains("failover #2"), "{}", out.rendered);
+        assert!(out.rendered.contains("epoch e3"), "{}", out.rendered);
+        assert!(
+            out.rendered.contains("2/2 sessions reconnected"),
+            "{}",
+            out.rendered
+        );
+        // Deterministic: a rerun renders byte-identical output, timings
+        // included.
+        let again = run(&cfg).unwrap();
+        assert_eq!(out.rendered, again.rendered);
+    }
+
+    #[test]
+    fn drill_without_a_journal_replays_nothing() {
+        // hdfs runs decoupled with no mdlog flushes from the RPC path;
+        // the drill still fails over, it just has nothing to replay.
+        let cfg = BenchConfig {
+            clients: 1,
+            files: 20,
+            policy: "hdfs".to_string(),
+            faults: Some("mds-crash@5ms".to_string()),
+            ..BenchConfig::default()
+        };
+        let out = run(&cfg).unwrap();
+        assert!(out.rendered.contains("failover #1"), "{}", out.rendered);
     }
 }

@@ -336,6 +336,19 @@ impl DecoupledClient {
     pub fn clear_journal(&mut self) {
         self.journal.clear();
     }
+
+    /// Resumes this decoupled session on a (possibly new) primary after an
+    /// MDS failover: reopens the session and reasserts the client's
+    /// allocated inode range with the inodes already consumed. The new
+    /// primary advances its allocator past the range, so post-failover
+    /// grants to other clients can never collide with inodes this client
+    /// has yet to merge — the Allocated Inodes contract survives the
+    /// failover. The client's journal and local namespace are untouched;
+    /// a later merge proceeds as if nothing happened.
+    pub fn resume_on(&mut self, server: &mut MetadataServer) -> (Result<(), MdsError>, OpCost) {
+        let Rpc { result, cost } = server.reconnect_session(self.id, &[(self.range, self.used)]);
+        (result, cost)
+    }
 }
 
 #[cfg(test)]
@@ -479,6 +492,37 @@ mod tests {
         let mut disk = LocalDisk::new();
         c.local_persist(&mut disk, &cm).unwrap();
         assert_eq!(reg.counter_value("client.journal.local_persists"), Some(1));
+    }
+
+    #[test]
+    fn resume_on_new_primary_preserves_contract() {
+        let mut srv = server();
+        srv.open_session(ClientId(1));
+        srv.setup_dir_durable("/batch").unwrap();
+        let (c, _) = DecoupledClient::decouple(&mut srv, ClientId(1), "/batch", 50);
+        let mut c = c.unwrap();
+        for i in 0..20 {
+            c.create(c.root, &format!("f{i}")).unwrap();
+        }
+        // MDS fails over before the merge; the decoupled client resumes
+        // against the recovered primary.
+        srv.flush_journal();
+        srv.crash_and_recover().unwrap();
+        let (res, cost) = c.resume_on(&mut srv);
+        res.unwrap();
+        assert_eq!(cost.rpcs, 1);
+        // A fresh grant on the new primary cannot collide with the
+        // resumed range, even though none of its inodes are merged yet.
+        srv.open_session(ClientId(2));
+        let fresh = srv.alloc_inodes(ClientId(2), 50).result.unwrap();
+        for i in 0..20 {
+            let ino = InodeId(c.range.start.0 + i);
+            assert!(!fresh.contains(ino), "fresh grant overlaps unmerged range");
+        }
+        // The merge lands on the new primary.
+        let (applied, _, _) = c.volatile_apply(&mut srv);
+        assert_eq!(applied.unwrap(), 20);
+        assert_eq!(srv.store().readdir(c.root).unwrap().len(), 20);
     }
 
     #[test]

@@ -7,11 +7,23 @@
 //! resolves existence locally and sends a single create RPC; once the cap
 //! is revoked (another client wrote into the directory) every create is
 //! preceded by a `lookup()` RPC — the Figure 3c effect.
+//!
+//! RPCs to a dead MDS fail with [`MdsError::Timeout`] after the server's
+//! virtual-time RPC timeout; the client retries with bounded exponential
+//! backoff (charged to the virtual clock through the returned costs, never
+//! a real sleep) and then surfaces the timeout. After a failover the
+//! harness calls [`RpcClient::reconnect`] against the new primary: the
+//! session is reopened, surviving preallocated inode ranges are
+//! reasserted, and all client-side capability state is dropped (caps do
+//! not survive an MDS restart).
 
 use std::collections::HashMap;
 
-use cudele_journal::InodeId;
-use cudele_mds::{ClientId, MdsError, MetadataServer, OpCost};
+use cudele_faults::RetryPolicy;
+use cudele_journal::{InodeId, InodeRange};
+use cudele_mds::{ClientId, MdsError, MetadataServer, OpCost, Rpc};
+use cudele_obs::{Counter, Registry};
+use cudele_sim::Nanos;
 
 /// Outcome of one client-level operation: the functional result plus the
 /// per-RPC costs to charge, in order.
@@ -44,6 +56,15 @@ pub struct RpcClient {
     pub lookups_sent: u64,
     /// Creates this client has issued.
     pub creates_sent: u64,
+    /// RPC timeouts observed (each one is a full virtual-time RPC timeout
+    /// charged to this client).
+    pub timeouts_seen: u64,
+    /// Reconnects performed after failovers.
+    pub reconnects: u64,
+    /// Bounded retry/backoff applied when an RPC times out.
+    retry: RetryPolicy,
+    /// `client.rpc.timeouts` when a registry is attached.
+    obs_timeouts: Option<Counter>,
 }
 
 impl RpcClient {
@@ -57,9 +78,78 @@ impl RpcClient {
                 cached: HashMap::new(),
                 lookups_sent: 0,
                 creates_sent: 0,
+                timeouts_seen: 0,
+                reconnects: 0,
+                retry: RetryPolicy::default(),
+                obs_timeouts: None,
             },
             rpc.cost,
         )
+    }
+
+    /// Points the client's timeout counter at `reg`
+    /// (`client.rpc.timeouts`).
+    pub fn attach_obs(&mut self, reg: &Registry) {
+        self.obs_timeouts = Some(reg.counter("client.rpc.timeouts"));
+    }
+
+    /// Reconfigures the timeout retry budget.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Issues one RPC with the timeout retry loop: every attempt's cost is
+    /// recorded (a timed-out attempt charges the server's full RPC
+    /// timeout), each retry adds its backoff as pure client-side latency,
+    /// and a still-dead MDS finally surfaces [`MdsError::Timeout`].
+    fn retry_rpc<T>(
+        &mut self,
+        server: &mut MetadataServer,
+        costs: &mut Vec<OpCost>,
+        mut f: impl FnMut(&mut MetadataServer, ClientId) -> Rpc<T>,
+    ) -> Result<T, MdsError> {
+        let mut attempt = 0;
+        loop {
+            let rpc = f(server, self.id);
+            costs.push(rpc.cost);
+            match rpc.result {
+                Err(MdsError::Timeout) => {
+                    self.timeouts_seen += 1;
+                    if let Some(c) = &self.obs_timeouts {
+                        c.inc();
+                    }
+                    if attempt >= self.retry.max_retries {
+                        return Err(MdsError::Timeout);
+                    }
+                    costs.push(OpCost {
+                        mds_cpu: Nanos::ZERO,
+                        client_extra: self.retry.backoff(attempt),
+                        rpcs: 0,
+                    });
+                    attempt += 1;
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Reconnects to `server` (the post-failover primary): reopens the
+    /// session, reasserts `surviving` preallocated ranges (each with the
+    /// inodes already consumed), and drops every cached capability — the
+    /// new primary rebuilt its cap table from scratch, so the client must
+    /// not trust pre-crash grants.
+    pub fn reconnect(
+        &mut self,
+        server: &mut MetadataServer,
+        surviving: &[(InodeRange, u64)],
+    ) -> OpOutcome<()> {
+        self.cached.clear();
+        self.reconnects += 1;
+        let mut costs = Vec::with_capacity(1);
+        let result = self.retry_rpc(server, &mut costs, |s, id| {
+            s.reconnect_session(id, surviving)
+        });
+        OpOutcome { result, costs }
     }
 
     /// Whether the client currently believes it can skip lookups in `dir`.
@@ -79,10 +169,8 @@ impl RpcClient {
     ) -> OpOutcome<InodeId> {
         let mut costs = Vec::with_capacity(2);
         if !self.believes_cached(dir) {
-            let rpc = server.lookup(self.id, dir, name);
             self.lookups_sent += 1;
-            costs.push(rpc.cost);
-            match rpc.result {
+            match self.retry_rpc(server, &mut costs, |s, id| s.lookup(id, dir, name)) {
                 Ok(None) => {}
                 Ok(Some(_)) => {
                     return OpOutcome {
@@ -101,10 +189,8 @@ impl RpcClient {
                 }
             }
         }
-        let rpc = server.create(self.id, dir, name);
         self.creates_sent += 1;
-        costs.push(rpc.cost);
-        match rpc.result {
+        match self.retry_rpc(server, &mut costs, |s, id| s.create(id, dir, name)) {
             Ok(reply) => {
                 self.cached.insert(dir, reply.has_cache);
                 OpOutcome {
@@ -133,10 +219,8 @@ impl RpcClient {
     ) -> OpOutcome<InodeId> {
         let mut costs = Vec::with_capacity(2);
         if !self.believes_cached(dir) {
-            let rpc = server.lookup(self.id, dir, name);
             self.lookups_sent += 1;
-            costs.push(rpc.cost);
-            match rpc.result {
+            match self.retry_rpc(server, &mut costs, |s, id| s.lookup(id, dir, name)) {
                 Ok(None) => {}
                 Ok(Some(d)) => {
                     return OpOutcome {
@@ -152,9 +236,7 @@ impl RpcClient {
                 }
             }
         }
-        let rpc = server.mkdir(self.id, dir, name);
-        costs.push(rpc.cost);
-        match rpc.result {
+        match self.retry_rpc(server, &mut costs, |s, id| s.mkdir(id, dir, name)) {
             Ok(reply) => {
                 self.cached.insert(dir, reply.has_cache);
                 OpOutcome {
@@ -175,11 +257,11 @@ impl RpcClient {
     /// Polls a directory's entry count with `readdir` (the "check progress
     /// with ls" pattern of the read-while-writing use case).
     pub fn poll_progress(&mut self, server: &mut MetadataServer, dir: InodeId) -> OpOutcome<usize> {
-        let rpc = server.readdir(self.id, dir);
-        OpOutcome {
-            result: rpc.result.map(|v| v.len()),
-            costs: vec![rpc.cost],
-        }
+        let mut costs = Vec::with_capacity(1);
+        let result = self
+            .retry_rpc(server, &mut costs, |s, id| s.readdir(id, dir))
+            .map(|v| v.len());
+        OpOutcome { result, costs }
     }
 }
 
@@ -282,6 +364,94 @@ mod tests {
         let mut c2 = RpcClient::mount(&mut srv, ClientId(2)).0;
         let d2 = c2.mkdir(&mut srv, root, "x").result.unwrap();
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn dead_mds_times_out_with_bounded_retries() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let reg = std::sync::Arc::new(cudele_obs::Registry::new());
+        c.attach_obs(&reg);
+        c.set_retry(cudele_faults::RetryPolicy {
+            max_retries: 3,
+            base_backoff: cudele_sim::Nanos::from_micros(100),
+        });
+        let dir = srv.setup_dir("/d").unwrap();
+        srv.fail();
+        let o = c.create(&mut srv, dir, "f");
+        assert!(matches!(o.result, Err(MdsError::Timeout)));
+        // 1 attempt + 3 retries, each charging the full RPC timeout, with
+        // a backoff cost entry between attempts.
+        assert_eq!(c.timeouts_seen, 4);
+        assert_eq!(reg.counter_value("client.rpc.timeouts"), Some(4));
+        let timeout_costs = o
+            .costs
+            .iter()
+            .filter(|c| c.client_extra >= srv.rpc_timeout())
+            .count();
+        assert_eq!(timeout_costs, 4);
+        let backoffs = o.costs.iter().filter(|c| c.rpcs == 0).count();
+        assert_eq!(backoffs, 3);
+        // Total client-visible latency includes every timeout + backoff.
+        let total: cudele_sim::Nanos = o
+            .costs
+            .iter()
+            .fold(cudele_sim::Nanos::ZERO, |a, c| a + c.client_extra);
+        assert!(total >= srv.rpc_timeout() * 4);
+    }
+
+    #[test]
+    fn recovered_mds_answers_after_timeouts() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let dir = srv.setup_dir("/d").unwrap();
+        srv.fail();
+        assert!(matches!(
+            c.create(&mut srv, dir, "f").result,
+            Err(MdsError::Timeout)
+        ));
+        srv.restart();
+        c.create(&mut srv, dir, "f").result.unwrap();
+    }
+
+    #[test]
+    fn reconnect_reopens_session_and_drops_caps() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let dir = srv.setup_dir_durable("/d").unwrap();
+        c.create(&mut srv, dir, "before").result.unwrap();
+        assert!(c.believes_cached(dir));
+        srv.flush_journal();
+        srv.crash_and_recover().unwrap();
+        // The recovered server dropped all sessions: a create without
+        // reconnect is rejected.
+        assert!(matches!(
+            c.create(&mut srv, dir, "orphan").result,
+            Err(MdsError::NoSession { .. })
+        ));
+        let o = c.reconnect(&mut srv, &[]);
+        o.result.unwrap();
+        assert_eq!(c.reconnects, 1);
+        assert!(!c.believes_cached(dir), "caps dropped on reconnect");
+        c.create(&mut srv, dir, "after").result.unwrap();
+    }
+
+    #[test]
+    fn reconnect_reasserts_surviving_ranges() {
+        let mut srv = server();
+        let (mut c, _) = RpcClient::mount(&mut srv, ClientId(1));
+        let dir = srv.setup_dir_durable("/d").unwrap();
+        let range = srv.alloc_inodes(ClientId(1), 64).result.unwrap();
+        srv.flush_journal();
+        srv.crash_and_recover().unwrap();
+        c.reconnect(&mut srv, &[(range, 3)]).result.unwrap();
+        // The reasserted range resumes after its used prefix…
+        let ino = c.create(&mut srv, dir, "resumed").result.unwrap();
+        assert_eq!(ino, InodeId(range.start.0 + 3));
+        // …and fresh grants to other clients never collide with it.
+        srv.open_session(ClientId(2));
+        let fresh = srv.alloc_inodes(ClientId(2), 64).result.unwrap();
+        assert!(fresh.start.0 >= range.end().0);
     }
 
     #[test]

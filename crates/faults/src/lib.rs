@@ -91,6 +91,10 @@ pub struct FaultConfig {
     pub outages: Vec<OsdOutage>,
     /// Slow-OSD windows degrading object-store latency/bandwidth.
     pub slow: Vec<SlowWindow>,
+    /// Virtual instants at which the active MDS crashes (consumed by
+    /// failover-capable harnesses: the beacon grace then expires and a
+    /// standby takes over at a bumped epoch). Sorted ascending.
+    pub mds_crashes: Vec<Nanos>,
 }
 
 /// Parses a duration like `10ms`, `2s`, `500us`, `100ns`, or a bare
@@ -125,14 +129,23 @@ impl FaultConfig {
     ///
     /// ```text
     /// seed=42,eagain_ppm=20000,torn_ppm=10000,bitflip_ppm=50,
-    /// osd_outage=1@10ms..20ms,slow=2.5@0ms..5ms
+    /// osd_outage=1@10ms..20ms,slow=2.5@0ms..5ms,mds-crash@10ms
     /// ```
     ///
-    /// `osd_outage` and `slow` may repeat. Durations accept `ns`, `us`,
-    /// `ms`, and `s` suffixes (bare numbers are nanoseconds).
+    /// `osd_outage`, `slow`, and MDS crashes may repeat. Durations accept
+    /// `ns`, `us`, `ms`, and `s` suffixes (bare numbers are nanoseconds).
+    /// An MDS crash is written `mds-crash@T` (or `mds_crash=T`): the
+    /// active MDS fails at virtual instant `T` and a failover-capable
+    /// harness drives detection and standby takeover from there.
     pub fn parse(spec: &str) -> std::result::Result<FaultConfig, String> {
         let mut cfg = FaultConfig::default();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            if let Some(at) = part.strip_prefix("mds-crash@") {
+                cfg.mds_crashes.push(parse_duration(at)?);
+                cfg.mds_crashes.sort();
+                continue;
+            }
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("bad --faults item {part:?} (use key=value)"))?;
@@ -170,6 +183,10 @@ impl FaultConfig {
                         until,
                         factor,
                     });
+                }
+                "mds_crash" => {
+                    cfg.mds_crashes.push(parse_duration(value)?);
+                    cfg.mds_crashes.sort();
                 }
                 other => return Err(format!("unknown --faults key {other:?}")),
             }
@@ -624,6 +641,21 @@ mod tests {
         assert!(FaultConfig::parse("bogus=1").is_err());
         assert!(FaultConfig::parse("seed").is_err());
         assert!(FaultConfig::parse("osd_outage=1@10ms").is_err());
+    }
+
+    #[test]
+    fn parse_mds_crash_schedules() {
+        // Both spellings, arriving out of order, end up sorted.
+        let cfg = FaultConfig::parse("mds-crash@20ms,mds_crash=5ms,mds-crash@10ms").unwrap();
+        assert_eq!(
+            cfg.mds_crashes,
+            vec![
+                Nanos::from_millis(5),
+                Nanos::from_millis(10),
+                Nanos::from_millis(20),
+            ]
+        );
+        assert!(FaultConfig::parse("mds-crash@nonsense").is_err());
     }
 
     #[test]

@@ -74,6 +74,7 @@ const TAG_RENAME: u8 = 5;
 const TAG_SETATTR: u8 = 6;
 const TAG_SETPOLICY: u8 = 7;
 const TAG_SEGMENT: u8 = 8;
+const TAG_ALLOCRANGE: u8 = 9;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -155,6 +156,12 @@ fn encode_payload(buf: &mut BytesMut, event: &JournalEvent) {
         JournalEvent::SegmentBoundary { seq } => {
             buf.put_u8(TAG_SEGMENT);
             buf.put_u64_le(*seq);
+        }
+        JournalEvent::AllocRange { client, start, len } => {
+            buf.put_u8(TAG_ALLOCRANGE);
+            buf.put_u32_le(*client);
+            buf.put_u64_le(start.0);
+            buf.put_u64_le(*len);
         }
     }
 }
@@ -293,6 +300,11 @@ fn decode_payload(payload: &[u8]) -> Result<JournalEvent, CodecError> {
             policy: c.bytes()?,
         },
         TAG_SEGMENT => JournalEvent::SegmentBoundary { seq: c.u64()? },
+        TAG_ALLOCRANGE => JournalEvent::AllocRange {
+            client: c.u32()?,
+            start: InodeId(c.u64()?),
+            len: c.u64()?,
+        },
         t => return Err(CodecError::BadTag(t)),
     };
     if !c.done() {
@@ -422,6 +434,7 @@ pub fn framed_len(event: &JournalEvent) -> usize {
         JournalEvent::SetAttr { .. } => 1 + 8 + ATTRS,
         JournalEvent::SetPolicy { policy, .. } => 1 + 8 + STR_HEADER + policy.len(),
         JournalEvent::SegmentBoundary { .. } => 1 + 8,
+        JournalEvent::AllocRange { .. } => 1 + 4 + 8 + 8,
     };
     FRAME_HEADER + payload
 }
@@ -474,6 +487,11 @@ mod tests {
                 policy: vec![1, 2, 3, 255],
             },
             JournalEvent::SegmentBoundary { seq: 17 },
+            JournalEvent::AllocRange {
+                client: 3,
+                start: InodeId(0x11000),
+                len: 1 << 16,
+            },
         ]
     }
 

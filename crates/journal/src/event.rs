@@ -223,6 +223,19 @@ pub enum JournalEvent {
         /// Sequence number of the segment this marker closes.
         seq: u64,
     },
+    /// Inode-range grant marker: the MDS journals every range it hands a
+    /// session *before* any inode in the range can be used, so a recovering
+    /// (or standby-replay) MDS can rebuild the allocator watermark from the
+    /// journal alone and never re-issue a pre-crash inode. Mirrors CephFS's
+    /// journaled `prealloc_inos` in the session map.
+    AllocRange {
+        /// Client the range was granted to.
+        client: u32,
+        /// First inode in the granted range.
+        start: InodeId,
+        /// Number of inodes granted.
+        len: u64,
+    },
 }
 
 impl JournalEvent {
@@ -237,12 +250,17 @@ impl JournalEvent {
             JournalEvent::SetAttr { .. } => "setattr",
             JournalEvent::SetPolicy { .. } => "setpolicy",
             JournalEvent::SegmentBoundary { .. } => "segment",
+            JournalEvent::AllocRange { .. } => "allocrange",
         }
     }
 
-    /// Whether this event mutates the namespace (segment boundaries don't).
+    /// Whether this event mutates the namespace (segment boundaries and
+    /// allocator grants don't — they are journal-only bookkeeping).
     pub fn is_update(&self) -> bool {
-        !matches!(self, JournalEvent::SegmentBoundary { .. })
+        !matches!(
+            self,
+            JournalEvent::SegmentBoundary { .. } | JournalEvent::AllocRange { .. }
+        )
     }
 
     /// The inode this event allocates, if any. The merge path uses this to
@@ -252,6 +270,16 @@ impl JournalEvent {
         match self {
             JournalEvent::Create { ino, .. } | JournalEvent::Mkdir { ino, .. } => Some(*ino),
             _ => None,
+        }
+    }
+
+    /// One past the highest inode number this event proves was handed out:
+    /// the end of a journaled grant, or the successor of an allocated
+    /// inode. Allocator recovery takes the max of these over the journal.
+    pub fn alloc_watermark(&self) -> Option<InodeId> {
+        match self {
+            JournalEvent::AllocRange { start, len, .. } => Some(InodeId(start.0 + len)),
+            _ => self.allocates().map(InodeId::next),
         }
     }
 }

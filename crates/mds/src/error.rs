@@ -53,6 +53,18 @@ pub enum MdsError {
         /// The already-in-use inode.
         ino: InodeId,
     },
+    /// ETIMEDOUT: the MDS did not answer within the virtual-time RPC
+    /// timeout — it is down (or partitioned). The client should back off
+    /// and reconnect to the current primary.
+    Timeout,
+    /// This MDS has been fenced: a newer epoch took over and the object
+    /// store rejected its write. Permanent for this instance.
+    Fenced {
+        /// The fenced instance's (stale) epoch.
+        writer: u64,
+        /// The cluster's current epoch.
+        current: u64,
+    },
 }
 
 impl std::fmt::Display for MdsError {
@@ -72,6 +84,13 @@ impl std::fmt::Display for MdsError {
                 write!(
                     f,
                     "inode {ino} already in use (allocation contract violated)"
+                )
+            }
+            MdsError::Timeout => write!(f, "ETIMEDOUT: MDS did not respond within the RPC timeout"),
+            MdsError::Fenced { writer, current } => {
+                write!(
+                    f,
+                    "MDS fenced: epoch e{writer} is stale (current e{current})"
                 )
             }
         }

@@ -17,6 +17,8 @@
 //! * [`session`] — client sessions and the allocated-inode contract.
 //! * [`mdlog`] — the Stream journal with segment and dispatch-size
 //!   tunables (Figure 3a).
+//! * [`failover`] — beacon failure detection, epoch fencing, and
+//!   standby-replay takeover on the virtual clock.
 //! * [`server`] — the metadata server tying it together; every handler
 //!   returns a functional result plus an [`OpCost`] for the simulation
 //!   harness.
@@ -37,6 +39,7 @@ pub mod caps;
 pub mod compact;
 pub mod dirfrag;
 pub mod error;
+pub mod failover;
 pub mod inode;
 pub mod mdlog;
 pub mod persist;
@@ -48,6 +51,10 @@ pub use caps::{CapOutcome, CapTable, ClientId};
 pub use compact::{compact_events, compact_with_report, emit_canonical, CompactionReport};
 pub use dirfrag::{Dentry, Dir};
 pub use error::{MdsError, Result};
+pub use failover::{
+    FailoverConfig, FailoverDecision, FailoverMonitor, FailoverReport, MdsCluster, StandbyReplay,
+    TakeoverReport,
+};
 pub use inode::Inode;
 pub use mdlog::{MdLog, MdLogConfig, MdLogStats};
 pub use persist::{flush_store, load_store, NvaCounters, ObjectStoreSink, PersistError};

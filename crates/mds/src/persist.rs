@@ -543,7 +543,8 @@ impl<'a, S: ObjectStore + ?Sized> ObjectStoreSink<'a, S> {
                 }
                 Ok(())
             }
-            JournalEvent::SegmentBoundary { .. } => Ok(()),
+            // Non-updates are filtered out at the top of `apply`.
+            JournalEvent::SegmentBoundary { .. } | JournalEvent::AllocRange { .. } => Ok(()),
         }
     }
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use cudele_journal::{Attrs, InodeId, InodeRange, JournalEvent};
 use cudele_obs::{observe_mechanism, observe_mechanism_at, Counter, Histogram, Registry, TraceCtx};
-use cudele_rados::{ObjectStore, PoolId};
+use cudele_rados::{Epoch, ObjectStore, PoolId, RadosError};
 use cudele_sim::{CostModel, Nanos};
 
 use crate::caps::{CapOutcome, CapTable, ClientId};
@@ -179,7 +179,21 @@ pub struct MetadataServer {
     blocked: Vec<(InodeId, ClientId)>,
     counters: ServerCounters,
     obs: Option<MdsObs>,
+    /// The MDS epoch this instance believes it holds. Fencing is enforced
+    /// at the object store (a [`cudele_rados::FencedStore`] stamped with
+    /// the same epoch); this copy is for reporting and reconnect checks.
+    epoch: Epoch,
+    /// Whether the instance is serving. A crashed MDS stops answering:
+    /// every RPC to it times out after [`MetadataServer::rpc_timeout`].
+    up: bool,
+    /// Virtual-time RPC timeout charged to a client calling a down MDS.
+    rpc_timeout: Nanos,
 }
+
+/// Default virtual-time RPC timeout for calls to a dead MDS. Long against
+/// an RPC (~hundreds of microseconds) but short against the beacon grace,
+/// like real client timeouts versus monitor failure detection.
+const DEFAULT_RPC_TIMEOUT: Nanos = Nanos::from_millis(5);
 
 impl MetadataServer {
     /// A server with Stream journaling on at the paper's reference
@@ -207,6 +221,38 @@ impl MetadataServer {
             blocked: Vec::new(),
             counters: ServerCounters::default(),
             obs: None,
+            epoch: Epoch::INITIAL,
+            up: true,
+            rpc_timeout: DEFAULT_RPC_TIMEOUT,
+        }
+    }
+
+    /// Assembles a server from recovered parts — the standby-replay
+    /// takeover path, where the namespace and allocator come from the
+    /// object store rather than from a fresh boot.
+    pub(crate) fn from_recovered(
+        os: Arc<dyn ObjectStore>,
+        cost: CostModel,
+        mdlog: Option<MdLog>,
+        store: MetadataStore,
+        alloc: InodeAllocator,
+        epoch: Epoch,
+    ) -> MetadataServer {
+        MetadataServer {
+            cost,
+            store,
+            caps: CapTable::new(),
+            sessions: SessionMap::new(),
+            alloc,
+            mdlog,
+            os,
+            pool: PoolId::METADATA,
+            blocked: Vec::new(),
+            counters: ServerCounters::default(),
+            obs: None,
+            epoch,
+            up: true,
+            rpc_timeout: DEFAULT_RPC_TIMEOUT,
         }
     }
 
@@ -284,39 +330,149 @@ impl MetadataServer {
         self.caps = CapTable::with_regrant_after(ops);
     }
 
+    /// The object store this server writes through (for failover harnesses
+    /// that need to point a standby at the same cluster).
+    pub fn object_store(&self) -> Arc<dyn ObjectStore> {
+        Arc::clone(&self.os)
+    }
+
+    /// The MDS epoch this instance holds.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Stamps the instance's epoch (takeover bookkeeping; enforcement
+    /// lives in the fenced object store).
+    pub fn set_epoch(&mut self, epoch: Epoch) {
+        self.epoch = epoch;
+    }
+
+    /// Whether the instance is serving requests.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Crashes the instance: it stops beaconing and every subsequent RPC
+    /// to it times out. In-memory state is kept (it is a zombie process,
+    /// not a wiped machine) so tests can drive stale writes through it.
+    pub fn fail(&mut self) {
+        self.up = false;
+    }
+
+    /// Restarts a failed instance in place (used by the in-place
+    /// `crash_and_recover` path after recovery completes).
+    pub fn restart(&mut self) {
+        self.up = true;
+    }
+
+    /// The virtual-time RPC timeout charged to callers when this MDS is
+    /// down.
+    pub fn rpc_timeout(&self) -> Nanos {
+        self.rpc_timeout
+    }
+
+    /// Reconfigures the RPC timeout.
+    pub fn set_rpc_timeout(&mut self, timeout: Nanos) {
+        self.rpc_timeout = timeout;
+    }
+
+    /// Inode-allocator watermark (diagnostics and collision assertions).
+    pub fn alloc_watermark(&self) -> InodeId {
+        self.alloc.watermark()
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn journal(&mut self, event: JournalEvent) -> (Nanos, Nanos) {
+    /// Maps a journal I/O failure to an [`MdsError`]. A fenced rejection is
+    /// the one survivable case: the zombie keeps running with an error
+    /// instead of tearing the process down.
+    fn journal_error(e: cudele_journal::JournalIoError) -> MdsError {
+        match e {
+            cudele_journal::JournalIoError::Rados(RadosError::Fenced {
+                writer, current, ..
+            }) => MdsError::Fenced {
+                writer: writer.0,
+                current: current.0,
+            },
+            other => MdsError::NoEnt {
+                what: format!("journal append ({other})"),
+            },
+        }
+    }
+
+    fn journal(&mut self, event: JournalEvent) -> Result<(Nanos, Nanos)> {
+        self.journal_impl(event, true)
+    }
+
+    fn journal_impl(&mut self, event: JournalEvent, observe: bool) -> Result<(Nanos, Nanos)> {
         match self.mdlog.as_mut() {
             Some(log) => {
                 let dispatch = log.dispatch_size();
                 log.submit(self.os.as_ref(), event)
-                    .expect("object store rejected journal append");
+                    .map_err(Self::journal_error)?;
                 // "The metadata server applies the updates in the journal
                 // to the metadata store when the journal reaches a certain
                 // size" — run the trimmer when configured.
                 log.maybe_trim(self.os.as_ref(), &self.store)
-                    .expect("journal trim failed");
+                    .map_err(Self::journal_error)?;
                 let cpu = self.cost.stream_mds_cpu_at_dispatch(dispatch);
-                if let Some(o) = &self.obs {
-                    match o.ctx {
-                        Some(parent) => {
-                            // Nest under the client op: stream mechanism
-                            // span, with the mdlog submit as its MDS-layer
-                            // child.
-                            let ctx = o.reg.trace_child(parent);
-                            observe_mechanism_at(&o.reg, "stream", ctx, o.now, cpu);
-                            o.reg.child_span(ctx, "mds.mdlog", "mds", o.now, cpu);
+                if observe {
+                    if let Some(o) = &self.obs {
+                        match o.ctx {
+                            Some(parent) => {
+                                // Nest under the client op: stream mechanism
+                                // span, with the mdlog submit as its MDS-layer
+                                // child.
+                                let ctx = o.reg.trace_child(parent);
+                                observe_mechanism_at(&o.reg, "stream", ctx, o.now, cpu);
+                                o.reg.child_span(ctx, "mds.mdlog", "mds", o.now, cpu);
+                            }
+                            None => observe_mechanism(&o.reg, "stream", 0, o.now, cpu),
                         }
-                        None => observe_mechanism(&o.reg, "stream", 0, o.now, cpu),
                     }
                 }
-                (cpu, self.cost.stream_client_latency)
+                Ok((cpu, self.cost.stream_client_latency))
             }
-            None => (Nanos::ZERO, Nanos::ZERO),
+            None => Ok((Nanos::ZERO, Nanos::ZERO)),
         }
+    }
+
+    /// Journals an inode-range grant. Grants are journaled *before* any
+    /// inode from the range can appear in a namespace event (CephFS
+    /// journals session `prealloc_inos` the same way), so recovery and
+    /// standby replay can rebuild the allocator watermark from the journal
+    /// alone. Grants are allocator bookkeeping, not a client update
+    /// streamed through the mdlog, so they do not emit a `stream`
+    /// mechanism span (they can fire outside any traced client op, e.g.
+    /// at session mount).
+    fn journal_grant(&mut self, client: ClientId, range: InodeRange) -> Result<(Nanos, Nanos)> {
+        self.journal_impl(
+            JournalEvent::AllocRange {
+                client: client.0,
+                start: range.start,
+                len: range.len,
+            },
+            false,
+        )
+    }
+
+    /// The reply every RPC gets while the instance is down: no result, no
+    /// MDS CPU consumed, and the caller's virtual clock charged the full
+    /// RPC timeout.
+    fn down_reply<T>(&self) -> Option<Rpc<T>> {
+        if self.up {
+            return None;
+        }
+        Some(Rpc {
+            result: Err(MdsError::Timeout),
+            cost: OpCost {
+                mds_cpu: Nanos::ZERO,
+                client_extra: self.rpc_timeout,
+                rpcs: 1,
+            },
+        })
     }
 
     /// Builds the reply, mirroring cost and outcome into the registry when
@@ -359,6 +515,7 @@ impl MetadataServer {
                 None => {
                     let range = self.alloc.allocate(SESSION_PREALLOC);
                     self.sessions.grant_range(client, range)?;
+                    self.journal_grant(client, range)?;
                 }
             }
         }
@@ -370,6 +527,9 @@ impl MetadataServer {
 
     /// Opens a session for `client`.
     pub fn open_session(&mut self, client: ClientId) -> Rpc<()> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         self.sessions.open(client);
         self.reply(
@@ -380,6 +540,9 @@ impl MetadataServer {
 
     /// Closes a session, dropping its capabilities.
     pub fn close_session(&mut self, client: ClientId) -> Rpc<()> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         self.sessions.close(client);
         self.caps.drop_client(client);
@@ -391,13 +554,61 @@ impl MetadataServer {
     }
 
     /// Explicitly preallocates `count` inodes to the client — the
-    /// "Allocated Inodes" contract for decoupled namespaces.
+    /// "Allocated Inodes" contract for decoupled namespaces. The grant is
+    /// journaled so recovery can rebuild the allocator watermark.
     pub fn alloc_inodes(&mut self, client: ClientId, count: u64) -> Rpc<InodeRange> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
-        let cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
+        let mut cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
         let range = self.alloc.allocate(count);
-        let result = self.sessions.grant_range(client, range).map(|()| range);
+        let result = self
+            .sessions
+            .grant_range(client, range)
+            .and_then(|()| self.journal_grant(client, range))
+            .map(|(jcpu, jlat)| {
+                cost.mds_cpu += jcpu;
+                cost.client_extra += jlat;
+                range
+            });
         self.reply(result, cost)
+    }
+
+    /// Client reconnect after a failover: reopens the session on the new
+    /// primary and re-registers the client's surviving preallocated ranges
+    /// (each with the number of inodes already consumed before the crash).
+    /// The allocator is advanced past every reasserted range, so
+    /// post-failover grants can never collide with pre-crash ones even if
+    /// the original grant event was lost with the journal tail; the
+    /// reassertion itself is re-journaled for the next recovery.
+    pub fn reconnect_session(
+        &mut self,
+        client: ClientId,
+        surviving: &[(InodeRange, u64)],
+    ) -> Rpc<()> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
+        self.counters.rpcs += 1;
+        self.sessions.open(client);
+        self.obs(|o| o.reg.counter("mds.session.reconnects").inc());
+        let mut cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
+        for &(range, used) in surviving {
+            self.alloc.advance_to(range.end());
+            if let Err(e) = self
+                .sessions
+                .restore_range(client, range, used)
+                .and_then(|()| self.journal_grant(client, range))
+                .map(|(jcpu, jlat)| {
+                    cost.mds_cpu += jcpu;
+                    cost.client_extra += jlat;
+                })
+            {
+                return self.reply(Err(e), cost);
+            }
+        }
+        self.reply(Ok(()), cost)
     }
 
     // ------------------------------------------------------------------
@@ -407,6 +618,9 @@ impl MetadataServer {
     /// Creates a file in `parent`, allocating the inode from the client's
     /// session.
     pub fn create(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
@@ -436,12 +650,17 @@ impl MetadataServer {
         if let Err(e) = self.store.create(parent, name, ino, attrs) {
             return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
-        let (jcpu, jlat) = self.journal(JournalEvent::Create {
+        let (jcpu, jlat) = match self.journal(JournalEvent::Create {
             parent,
             name: name.to_string(),
             ino,
             attrs,
-        });
+        }) {
+            Ok(t) => t,
+            // A fenced zombie's in-memory mutation stands (its private
+            // hallucination); the durable state was protected by the store.
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
         mds_cpu += jcpu;
         client_extra += jlat;
         self.reply(
@@ -455,6 +674,9 @@ impl MetadataServer {
 
     /// Creates a directory in `parent`.
     pub fn mkdir(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
@@ -479,12 +701,15 @@ impl MetadataServer {
         if let Err(e) = self.store.mkdir(parent, name, ino, attrs) {
             return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
-        let (jcpu, jlat) = self.journal(JournalEvent::Mkdir {
+        let (jcpu, jlat) = match self.journal(JournalEvent::Mkdir {
             parent,
             name: name.to_string(),
             ino,
             attrs,
-        });
+        }) {
+            Ok(t) => t,
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
         mds_cpu += jcpu;
         client_extra += jlat;
         self.reply(
@@ -499,6 +724,9 @@ impl MetadataServer {
     /// Looks up `name` in `parent`. `Ok(None)` is ENOENT — the reply the
     /// create path *wants* to see.
     pub fn lookup(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<Option<Dentry>> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
@@ -521,6 +749,9 @@ impl MetadataServer {
 
     /// Removes a file.
     pub fn unlink(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<()> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(parent, client) {
             self.counters.rejects += 1;
@@ -540,10 +771,13 @@ impl MetadataServer {
         if let Err(e) = self.store.unlink(parent, name) {
             return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
-        let (jcpu, jlat) = self.journal(JournalEvent::Unlink {
+        let (jcpu, jlat) = match self.journal(JournalEvent::Unlink {
             parent,
             name: name.to_string(),
-        });
+        }) {
+            Ok(t) => t,
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
         mds_cpu += jcpu;
         client_extra += jlat;
         self.reply(Ok(()), OpCost::rpc(mds_cpu, client_extra))
@@ -558,6 +792,9 @@ impl MetadataServer {
         dst_parent: InodeId,
         dst_name: &str,
     ) -> Rpc<()> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         for dir in [src_parent, dst_parent] {
             if let Err(e) = self.check_blocked(dir, client) {
@@ -584,12 +821,15 @@ impl MetadataServer {
         {
             return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
         }
-        let (jcpu, jlat) = self.journal(JournalEvent::Rename {
+        let (jcpu, jlat) = match self.journal(JournalEvent::Rename {
             src_parent,
             src_name: src_name.to_string(),
             dst_parent,
             dst_name: dst_name.to_string(),
-        });
+        }) {
+            Ok(t) => t,
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
         mds_cpu += jcpu;
         client_extra += jlat;
         self.reply(Ok(()), OpCost::rpc(mds_cpu, client_extra))
@@ -597,6 +837,9 @@ impl MetadataServer {
 
     /// Stats an inode.
     pub fn stat(&mut self, client: ClientId, ino: InodeId) -> Rpc<Attrs> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(ino, client) {
             self.counters.rejects += 1;
@@ -620,6 +863,9 @@ impl MetadataServer {
     /// Lists a directory ("ls" — "notoriously heavy-weight"): MDS CPU
     /// scales with the entry count.
     pub fn readdir(&mut self, client: ClientId, ino: InodeId) -> Rpc<Vec<(String, Dentry)>> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         if let Err(e) = self.check_blocked(ino, client) {
             self.counters.rejects += 1;
@@ -659,6 +905,9 @@ impl MetadataServer {
         policy: Vec<u8>,
         block_for_others: bool,
     ) -> Rpc<InodeId> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         let cost = OpCost::rpc(self.cost.mds_create_cpu, self.cost.rpc_overhead);
         let ino = match self.store.resolve(path) {
@@ -668,7 +917,9 @@ impl MetadataServer {
         if let Err(e) = self.store.set_policy(ino, policy.clone()) {
             return self.reply(Err(e), cost);
         }
-        let _ = self.journal(JournalEvent::SetPolicy { ino, policy });
+        if let Err(e) = self.journal(JournalEvent::SetPolicy { ino, policy }) {
+            return self.reply(Err(e), cost);
+        }
         if block_for_others {
             self.blocked.retain(|&(root, _)| root != ino);
             self.blocked.push((ino, client));
@@ -691,6 +942,9 @@ impl MetadataServer {
     /// applies the updates because it assumes the events were already
     /// checked for consistency").
     pub fn volatile_apply(&mut self, client: ClientId, events: &[JournalEvent]) -> Rpc<u64> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
         self.counters.rpcs += 1;
         self.counters.merges += 1;
         let mut applied = 0;
@@ -716,12 +970,52 @@ impl MetadataServer {
     // Recovery
     // ------------------------------------------------------------------
 
-    /// Flushes the mdlog (clean-shutdown path).
+    /// Flushes the mdlog (clean-shutdown path). A fenced flush is a no-op
+    /// with an error — a zombie flushing its buffer must not panic and must
+    /// not reach the store; any other store failure still panics (tests and
+    /// harnesses treat the in-memory store as infallible outside faults).
     pub fn flush_journal(&mut self) {
-        if let Some(log) = self.mdlog.as_mut() {
-            log.flush(self.os.as_ref())
-                .expect("object store rejected journal flush");
+        match self.try_flush_journal() {
+            Ok(()) | Err(MdsError::Fenced { .. }) => {}
+            Err(e) => panic!("object store rejected journal flush: {e}"),
         }
+    }
+
+    /// Fallible flush for callers that care about the outcome.
+    pub fn try_flush_journal(&mut self) -> Result<()> {
+        if let Some(log) = self.mdlog.as_mut() {
+            log.flush(self.os.as_ref()).map_err(Self::journal_error)?;
+        }
+        Ok(())
+    }
+
+    /// Events accepted into the mdlog but not yet persisted to the object
+    /// store — exactly what a crash at this instant would lose (the
+    /// quantified bounded loss of the stream durability class).
+    pub fn unflushed_events(&self) -> u64 {
+        self.mdlog.as_ref().map_or(0, MdLog::unflushed_events)
+    }
+
+    /// Rebuilds the inode-allocator watermark from recovered state: every
+    /// journaled range grant ([`JournalEvent::AllocRange`]), every inode
+    /// named by a surviving journal event, and every inode present in the
+    /// recovered image (grants older than the last trim have no surviving
+    /// journal event). Shared by in-place recovery and standby takeover so
+    /// the two paths can never diverge.
+    pub(crate) fn recover_allocator(
+        store: &MetadataStore,
+        events: &[JournalEvent],
+    ) -> InodeAllocator {
+        let mut alloc = InodeAllocator::new();
+        for e in events {
+            if let Some(w) = e.alloc_watermark() {
+                alloc.advance_to(w);
+            }
+        }
+        if let Some(max) = store.max_inode() {
+            alloc.advance_to(max.next());
+        }
+        alloc
     }
 
     /// Simulates an MDS restart: the in-memory store, caps, and sessions
@@ -759,6 +1053,10 @@ impl MetadataServer {
         for e in &events {
             store.apply_blind(e);
         }
+        // The allocator is rebuilt from the journal (not carried over from
+        // the pre-crash instance), exactly as the standby-replay path does:
+        // a restarted process has no in-memory watermark to keep.
+        self.alloc = Self::recover_allocator(&store, &events);
         self.store = store;
         self.caps = CapTable::new();
         self.sessions = SessionMap::new();
@@ -776,6 +1074,7 @@ impl MetadataServer {
                 log.set_obs(&o.reg);
             }
         }
+        self.up = true;
         Ok(())
     }
 
@@ -803,12 +1102,12 @@ impl MetadataServer {
                     let attrs = Attrs::dir_default();
                     self.store.mkdir(cur, comp, ino, attrs)?;
                     if durable {
-                        let _ = self.journal(JournalEvent::Mkdir {
+                        self.journal(JournalEvent::Mkdir {
                             parent: cur,
                             name: comp.to_string(),
                             ino,
                             attrs,
-                        });
+                        })?;
                     }
                     ino
                 }

@@ -38,6 +38,15 @@ impl InodeAllocator {
     pub fn watermark(&self) -> InodeId {
         InodeId(self.next)
     }
+
+    /// Raises the watermark to at least `watermark`: every inode below it
+    /// is treated as already handed out. Recovery rebuilds the allocator by
+    /// folding journaled grants and observed inodes through this; reconnect
+    /// uses it to step past ranges surviving clients reassert. Never lowers
+    /// the watermark.
+    pub fn advance_to(&mut self, watermark: InodeId) {
+        self.next = self.next.max(watermark.0);
+    }
 }
 
 impl Default for InodeAllocator {
@@ -91,6 +100,13 @@ impl Session {
         self.ranges.push(range);
         self.cursor = 0;
     }
+
+    /// Re-registers a surviving preallocated range after a reconnect, with
+    /// the first `used` inodes already consumed by pre-failover operations.
+    fn restore(&mut self, range: InodeRange, used: u64) {
+        self.ranges.push(range);
+        self.cursor = used.min(range.len);
+    }
 }
 
 /// All sessions on one MDS.
@@ -129,6 +145,13 @@ impl SessionMap {
     /// Grants a freshly allocated range to the client's session.
     pub fn grant_range(&mut self, client: ClientId, range: InodeRange) -> Result<()> {
         self.get_mut(client)?.grant(range);
+        Ok(())
+    }
+
+    /// Re-registers a surviving range on a reconnected session, with the
+    /// first `used` inodes already consumed.
+    pub fn restore_range(&mut self, client: ClientId, range: InodeRange, used: u64) -> Result<()> {
+        self.get_mut(client)?.restore(range, used);
         Ok(())
     }
 

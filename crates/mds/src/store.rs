@@ -138,6 +138,13 @@ impl MetadataStore {
         self.inodes.get(&ino)
     }
 
+    /// The highest inode number present in the namespace. Allocator
+    /// recovery uses this as a floor for the watermark: inodes persisted
+    /// before the journal was trimmed have no surviving grant event.
+    pub fn max_inode(&self) -> Option<InodeId> {
+        self.inodes.keys().max().copied()
+    }
+
     /// The parent directory of `ino` (None for the root or unknown inodes).
     pub fn parent_of(&self, ino: InodeId) -> Option<InodeId> {
         self.parents.get(&ino).copied()
@@ -520,7 +527,7 @@ impl MetadataStore {
                     e.get_mut().set_policy(policy.clone());
                 }
             }
-            JournalEvent::SegmentBoundary { .. } => {}
+            JournalEvent::SegmentBoundary { .. } | JournalEvent::AllocRange { .. } => {}
         }
     }
 
@@ -550,7 +557,7 @@ impl MetadataStore {
             } => self.rename(*src_parent, src_name, *dst_parent, dst_name),
             JournalEvent::SetAttr { ino, attrs } => self.setattr(*ino, *attrs),
             JournalEvent::SetPolicy { ino, policy } => self.set_policy(*ino, policy.clone()),
-            JournalEvent::SegmentBoundary { .. } => Ok(()),
+            JournalEvent::SegmentBoundary { .. } | JournalEvent::AllocRange { .. } => Ok(()),
         }
     }
 

@@ -15,12 +15,17 @@
 //!   accounting (Figure 2's disk series), OSD failure injection (durability
 //!   tests), and drainable I/O counters that harnesses convert into virtual
 //!   time via the simulation crate's cost model.
+//! * [`FencedStore`] / [`FencingAuthority`] — epoch fencing for MDS
+//!   failover: mutations are stamped with the writer's epoch and rejected
+//!   once a newer primary has taken over, mirroring Ceph's OSD blocklist.
 //!
 //! Functional behaviour is real (bytes are stored and returned); timing is
 //! accounted separately by the simulation layer.
 
+pub mod fence;
 pub mod store;
 pub mod types;
 
+pub use fence::{FencedStore, FencingAuthority};
 pub use store::{InMemoryStore, IoDelta, ObjectStat, ObjectStore, OsdStats};
-pub use types::{ObjectId, PoolId, RadosError, Result};
+pub use types::{Epoch, ObjectId, PoolId, RadosError, Result};

@@ -65,6 +65,29 @@ impl fmt::Display for ObjectId {
     }
 }
 
+/// A metadata-server epoch: a monotonically increasing generation number
+/// assigned by the monitor. Every takeover bumps the epoch; writers stamp
+/// their mutations with it and the store rejects mutations from any epoch
+/// older than the current one (see [`crate::fence`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The first epoch a freshly booted cluster hands out.
+    pub const INITIAL: Epoch = Epoch(1);
+
+    /// The epoch after this one.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
 /// Errors surfaced by the object store.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RadosError {
@@ -86,6 +109,17 @@ pub enum RadosError {
         /// Version actually found.
         actual: u64,
     },
+    /// The writer's epoch is older than the cluster's current epoch: the
+    /// writer has been fenced (a newer MDS took over) and must not mutate
+    /// anything. Permanent for that writer — retrying cannot help.
+    Fenced {
+        /// The object the stale writer tried to mutate.
+        object: ObjectId,
+        /// The stale writer's epoch.
+        writer: Epoch,
+        /// The cluster's current epoch.
+        current: Epoch,
+    },
 }
 
 impl fmt::Display for RadosError {
@@ -103,6 +137,14 @@ impl fmt::Display for RadosError {
             } => write!(
                 f,
                 "object {object} version mismatch: expected {expected}, found {actual}"
+            ),
+            RadosError::Fenced {
+                object,
+                writer,
+                current,
+            } => write!(
+                f,
+                "object {object} write fenced: writer epoch {writer} is stale (current {current})"
             ),
         }
     }
