@@ -7,10 +7,13 @@
 //!   hard-erroring unless the model outputs are byte-identical — plus the
 //!   simulated hot paths, writing a `wallclock` section into the snapshot
 //!   (see [`cudele_bench::perf`]).
+//! * `check` replays recorded consistency histories (`mdbench
+//!   --history-out`) through the offline checkers and exits non-zero on
+//!   any axiom violation (see [`cudele_bench::check`]).
 
-use cudele_bench::{perf, regress};
+use cudele_bench::{check, perf, regress};
 
-const USAGE: &str = "usage: cudele-bench <regress|perf> [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline\n  perf      wall-clock the sweep engine and hot paths";
+const USAGE: &str = "usage: cudele-bench <regress|perf|check> [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline\n  perf      wall-clock the sweep engine and hot paths\n  check     verify recorded consistency histories";
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -59,6 +62,32 @@ fn main() {
                 Err(msg) => {
                     eprintln!("{msg}");
                     std::process::exit(1);
+                }
+            }
+        }
+        Some("check") => {
+            let paths = match check::parse_args(&argv[2..]) {
+                Ok(paths) => paths,
+                Err(msg) => {
+                    if msg.is_empty() {
+                        println!("{}", check::USAGE);
+                        return;
+                    }
+                    eprintln!("{msg}");
+                    eprintln!("{}", check::USAGE);
+                    std::process::exit(2);
+                }
+            };
+            match check::run_files(&paths) {
+                Ok(out) => {
+                    print!("{}", out.rendered);
+                    if out.violations > 0 {
+                        std::process::exit(1);
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
                 }
             }
         }

@@ -1,0 +1,181 @@
+//! `cudele-bench check` — replay recorded histories through the offline
+//! consistency checkers.
+//!
+//! Consumes `cudele-history/v1` files written by `mdbench --history-out`
+//! (or any harness using [`crate::obs_out::ObsSession`]) and reports one
+//! verdict per file: the axiom set is chosen by the history's recorded
+//! mode (`rpc` → linearizability + monotonic reads, anything else →
+//! read-your-writes + monotonic reads + eventual visibility after merge),
+//! and the first violating witness is printed per failed axiom. Exits
+//! non-zero when any history violates its claimed axioms.
+
+use cudele_check::check_history;
+use cudele_obs::history::History;
+
+/// Usage string for the `check` subcommand.
+pub const USAGE: &str = "usage: cudele-bench check HISTORY.json [HISTORY.json ...]
+Each file is a cudele-history/v1 record (mdbench --history-out). The
+verdict per file lists the axioms its mode claims, the ops verified, and
+the first violating witness per failed axiom.";
+
+/// What one `check` invocation concluded.
+pub struct CheckOutcome {
+    /// Human-readable verdicts, one block per history file.
+    pub rendered: String,
+    /// Total violations across all files (0 = all clean).
+    pub violations: usize,
+}
+
+/// Parses the arguments after the `check` subcommand word: every
+/// non-flag argument is a history file path. `--help` yields
+/// `Err(String::new())`.
+pub fn parse_args(args: &[String]) -> Result<Vec<String>, String> {
+    let mut paths = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument {flag:?}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("check needs at least one history file".to_string());
+    }
+    Ok(paths)
+}
+
+/// The axiom set a mode claims, for the verdict line.
+fn axioms(mode: &str) -> &'static str {
+    if mode == "rpc" {
+        "linearizability, monotonic-reads"
+    } else {
+        "read-your-writes, monotonic-reads, eventual-visibility"
+    }
+}
+
+/// Checks every history file and renders the verdicts.
+pub fn run_files(paths: &[String]) -> Result<CheckOutcome, String> {
+    let mut rendered = String::new();
+    let mut violations = 0;
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let history = History::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let report = check_history(&history);
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            rendered,
+            "{path}: mode={} events={} dropped={} ops_verified={} [{}]",
+            report.mode,
+            report.events,
+            history.dropped,
+            report.ops_checked,
+            axioms(&report.mode),
+        );
+        if report.clean() {
+            let _ = writeln!(rendered, "  verdict: OK");
+        } else {
+            violations += report.violations.len();
+            let _ = writeln!(
+                rendered,
+                "  verdict: FAIL ({} axiom(s) violated)",
+                report.violations.len()
+            );
+            for v in &report.violations {
+                let _ = writeln!(rendered, "  witness: {v}");
+            }
+        }
+    }
+    Ok(CheckOutcome {
+        rendered,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_wants_paths() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+        assert_eq!(
+            parse_args(&["a.json".to_string(), "b.json".to_string()]).unwrap(),
+            vec!["a.json".to_string(), "b.json".to_string()]
+        );
+    }
+
+    #[test]
+    fn clean_and_violating_files_get_verdicts() {
+        let dir = std::env::temp_dir();
+        let clean = dir.join("cudele-check-clean.json");
+        let broken = dir.join("cudele-check-broken.json");
+        // An empty rpc history is trivially linearizable.
+        let empty = History {
+            mode: "rpc".to_string(),
+            events: Vec::new(),
+            dropped: 0,
+        };
+        std::fs::write(&clean, empty.to_json()).unwrap();
+        // A lookup that starts after a create acked yet misses the name.
+        use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryResult, HistoryScope};
+        use cudele_sim::Nanos;
+        let ev = |op, result, ino, invoke, ack| HistoryEvent {
+            client: 1,
+            scope: HistoryScope::Global,
+            op,
+            result,
+            ino,
+            invoke: Nanos(invoke),
+            ack: Nanos(ack),
+            epoch: 1,
+            trace_id: 0,
+        };
+        let bad = History {
+            mode: "rpc".to_string(),
+            events: vec![
+                ev(
+                    HistoryOp::Create {
+                        dir: 1,
+                        name: "a".into(),
+                    },
+                    HistoryResult::Ok,
+                    42,
+                    0,
+                    5,
+                ),
+                ev(
+                    HistoryOp::Lookup {
+                        dir: 1,
+                        name: "a".into(),
+                        found: None,
+                    },
+                    HistoryResult::NoEnt,
+                    0,
+                    6,
+                    9,
+                ),
+            ],
+            dropped: 0,
+        };
+        std::fs::write(&broken, bad.to_json()).unwrap();
+
+        let out = run_files(&[
+            clean.to_string_lossy().into_owned(),
+            broken.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert_eq!(out.violations, 1, "{}", out.rendered);
+        assert!(out.rendered.contains("verdict: OK"), "{}", out.rendered);
+        assert!(out.rendered.contains("verdict: FAIL"), "{}", out.rendered);
+        assert!(
+            out.rendered.contains("missed present name"),
+            "{}",
+            out.rendered
+        );
+        let _ = std::fs::remove_file(&clean);
+        let _ = std::fs::remove_file(&broken);
+    }
+}

@@ -8,6 +8,7 @@
 //! `cudele-sim`, so results are deterministic and hardware-independent.
 
 pub mod ablations;
+pub mod check;
 pub mod fig2;
 pub mod fig3a;
 pub mod fig3b;

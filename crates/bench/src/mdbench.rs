@@ -44,6 +44,10 @@ pub struct BenchConfig {
     pub metrics_out: Option<String>,
     /// Write a Chrome trace-event JSON file here when the run finishes.
     pub trace_out: Option<String>,
+    /// Write the run's consistency history (`cudele-history/v1`) here when
+    /// the run finishes; feed it to `cudele-bench check`. Single-policy
+    /// runs only: a sweep would interleave unrelated virtual clocks.
+    pub history_out: Option<String>,
     /// Bound the session span buffer; extra spans are dropped and
     /// counted in `obs.spans_dropped`. `None` keeps the default.
     pub span_capacity: Option<usize>,
@@ -76,6 +80,7 @@ impl Default for BenchConfig {
             composition: None,
             metrics_out: None,
             trace_out: None,
+            history_out: None,
             span_capacity: None,
             faults: None,
             mdlog_segment: None,
@@ -89,7 +94,7 @@ impl Default for BenchConfig {
 pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
      [--composition DSL] [--metrics-out PATH] [--trace-out PATH] \
-     [--span-capacity N] \
+     [--history-out PATH] [--span-capacity N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
 osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL,mds-crash@T] \
      [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] [--threads N]
@@ -98,7 +103,9 @@ each policy independently, fanned across --threads workers; output order
 and bytes match a serial run. `mds-crash@T` entries (repeatable) schedule
 a deterministic MDS failover drill after the workload: crash, beacon-grace
 detection, epoch bump, standby replay of the run's mdlog, client
-reconnects.";
+reconnects. `--history-out` records every namespace op's invoke/ack
+interval as a `cudele-history/v1` file for `cudele-bench check`
+(single-policy runs only).";
 
 /// Parses an argument list (element 0 is the program name). `Err` carries
 /// the message to print before the usage string; `--help` yields
@@ -128,6 +135,7 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
             "--composition" => cfg.composition = Some(value(&mut i, "--composition")?),
             "--metrics-out" => cfg.metrics_out = Some(value(&mut i, "--metrics-out")?),
             "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
+            "--history-out" => cfg.history_out = Some(value(&mut i, "--history-out")?),
             "--span-capacity" => {
                 cfg.span_capacity = Some(
                     value(&mut i, "--span-capacity")?
@@ -158,6 +166,27 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
         }
     }
     Ok(cfg)
+}
+
+/// Post-merge visibility probes per client (capped so history size stays
+/// bounded on large runs): each probed name becomes an eventual-visibility
+/// obligation `cudele-bench check` verifies.
+const PROBE_LOOKUPS: u64 = 64;
+
+/// The consistency mode a policy's history claims: RPC-mode policies
+/// promise linearizability, decoupled ones only session guarantees plus
+/// visibility after merge.
+pub fn history_mode(policy: &Policy) -> &'static str {
+    if policy.operation_mode() == cudele::OperationMode::Rpcs {
+        "rpc"
+    } else {
+        "decoupled"
+    }
+}
+
+/// [`history_mode`] straight from a configuration's policy name.
+pub fn history_mode_of(cfg: &BenchConfig) -> Result<&'static str, String> {
+    Ok(history_mode(&resolve_policy(cfg)?))
 }
 
 fn resolve_policy(cfg: &BenchConfig) -> Result<Policy, String> {
@@ -198,11 +227,13 @@ pub struct BenchOutcome {
 /// snapshots (if requested) before returning.
 pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     let policy = resolve_policy(cfg)?;
-    let obs = ObsSession::with_capacity(
+    let mut obs = ObsSession::with_outputs(
         cfg.metrics_out.clone(),
         cfg.trace_out.clone(),
+        cfg.history_out.clone(),
         cfg.span_capacity,
     );
+    obs.set_history_mode(history_mode(&policy));
 
     let mut rendered = format!(
         "mdbench: {} clients x {} creates under `{}`\n",
@@ -243,6 +274,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     let drill_store = Arc::clone(&os);
     let drill_cost = cost.clone();
     let mut world = World::new(MetadataServer::with_config(os, cost, mdlog));
+    let run_reg = Arc::clone(&world.obs);
     for c in 0..cfg.clients {
         world.server.setup_dir(&client_dir(c)).unwrap();
     }
@@ -284,6 +316,22 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
                     }
                     merge_end = merge_end.max(p.merge_at(&mut world, create_end, cfg.clients));
                 }
+                // Post-merge visibility probes: a reader walks the merged
+                // names so the recorded history carries the observations
+                // the eventual-visibility checker verifies. Bounded so
+                // large runs stay cheap.
+                for c in 0..cfg.clients {
+                    let probe = ClientId(200 + c);
+                    world.server.set_now(merge_end);
+                    for i in 0..cfg.files.min(PROBE_LOOKUPS) {
+                        let _ = world.server.lookup(
+                            probe,
+                            dirs[c as usize],
+                            &cudele_workloads::file_name(100 + c, i),
+                        );
+                    }
+                    let _ = world.server.readdir(probe, dirs[c as usize]);
+                }
             }
             (create_end, merge_end, report)
         }
@@ -311,9 +359,19 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
             mdlog,
             &mds_crashes,
             cfg.clients,
+            &run_reg,
             &mut rendered,
         )?;
     }
+    let counter = |name: &str| run_reg.counter_value(name).unwrap_or(0);
+    let _ = writeln!(
+        rendered,
+        "  fault obs    : rados.fenced_writes={} client.rpc.timeouts={} \
+mds.session.reconnects={}",
+        counter("rados.fenced_writes"),
+        counter("client.rpc.timeouts"),
+        counter("mds.session.reconnects"),
+    );
 
     obs.finish()
         .map_err(|e| format!("writing snapshots: {e}"))?;
@@ -339,14 +397,16 @@ fn failover_drill(
     mdlog: Option<cudele_mds::MdLogConfig>,
     crashes: &[Nanos],
     clients: u32,
+    reg: &Arc<cudele_obs::Registry>,
     rendered: &mut String,
 ) -> Result<(), String> {
     use std::fmt::Write as _;
     let fo = FailoverConfig::default();
     let mut cluster = MdsCluster::new(base, cost, mdlog, fo);
-    if let Some(reg) = crate::obs_out::session() {
-        cluster.attach_obs(&reg);
-    }
+    // The world's registry is the session when one is installed, so the
+    // drill's fencing/reconnect counters land where the summary (and any
+    // `--metrics-out` snapshot) reads them.
+    cluster.attach_obs(reg);
     // Detection happens on the beacon grid at most one interval past the
     // grace; two extra intervals of margin keep the drill schedule-proof.
     let margin = fo.beacon_grace + fo.beacon_interval * 4;
@@ -408,6 +468,13 @@ pub fn run_sweep(cfg: &BenchConfig) -> Result<Vec<BenchOutcome>, String> {
         .collect();
     if policies.len() <= 1 {
         return run(cfg).map(|o| vec![o]);
+    }
+    if cfg.history_out.is_some() {
+        return Err(
+            "--history-out needs a single policy: each run restarts virtual time, so a \
+multi-policy history would interleave unrelated clocks"
+                .to_string(),
+        );
     }
     // Validate every policy name up front so a typo fails before any run.
     for p in &policies {

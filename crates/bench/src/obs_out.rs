@@ -7,11 +7,15 @@
 //! * `--trace-out <path>` — write a Chrome trace-event JSON file
 //!   ([`Registry::chrome_trace_json`]), loadable in Perfetto /
 //!   `chrome://tracing`, with virtual timestamps.
+//! * `--history-out <path>` — write the run's consistency history
+//!   ([`Registry::history_json`]), a `cudele-history/v1` record of every
+//!   namespace operation's invoke/ack interval, checkable offline with
+//!   `cudele-bench check`.
 //! * `--span-capacity <N>` — bound the session span buffer at `N`
 //!   spans; later spans are dropped (counted in `obs.spans_dropped`
 //!   in the metrics snapshot) instead of growing memory.
 //!
-//! When either flag is present, a single *session registry* is installed
+//! When any output flag is present, a single *session registry* is installed
 //! and every [`crate::World`] built afterwards shares it, so the snapshot
 //! covers the whole run regardless of how many worlds the harness builds.
 //! Without the flags each world keeps its own private registry and nothing
@@ -118,6 +122,8 @@ where
 pub struct ObsSession {
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    history_out: Option<String>,
+    history_mode: String,
     reg: Option<Arc<Registry>>,
 }
 
@@ -134,6 +140,7 @@ impl ObsSession {
     pub fn from_argv(argv: &[String]) -> ObsSession {
         let mut metrics_out = None;
         let mut trace_out = None;
+        let mut history_out = None;
         let mut span_capacity = None;
         let mut i = 1;
         while i < argv.len() {
@@ -146,6 +153,10 @@ impl ObsSession {
                     trace_out = argv.get(i + 1).cloned();
                     i += 2;
                 }
+                "--history-out" => {
+                    history_out = argv.get(i + 1).cloned();
+                    i += 2;
+                }
                 "--span-capacity" => {
                     span_capacity = argv.get(i + 1).and_then(|v| v.parse().ok());
                     i += 2;
@@ -153,7 +164,7 @@ impl ObsSession {
                 _ => i += 1,
             }
         }
-        ObsSession::with_capacity(metrics_out, trace_out, span_capacity)
+        ObsSession::with_outputs(metrics_out, trace_out, history_out, span_capacity)
     }
 
     /// Builds the session from already-parsed paths.
@@ -168,7 +179,17 @@ impl ObsSession {
         trace_out: Option<String>,
         span_capacity: Option<usize>,
     ) -> ObsSession {
-        let reg = if metrics_out.is_some() || trace_out.is_some() {
+        ObsSession::with_outputs(metrics_out, trace_out, None, span_capacity)
+    }
+
+    /// [`ObsSession::with_capacity`] plus a `--history-out` sink.
+    pub fn with_outputs(
+        metrics_out: Option<String>,
+        trace_out: Option<String>,
+        history_out: Option<String>,
+        span_capacity: Option<usize>,
+    ) -> ObsSession {
+        let reg = if metrics_out.is_some() || trace_out.is_some() || history_out.is_some() {
             Some(install_session_with_capacity(span_capacity))
         } else {
             None
@@ -176,8 +197,16 @@ impl ObsSession {
         ObsSession {
             metrics_out,
             trace_out,
+            history_out,
+            history_mode: "rpc".to_string(),
             reg,
         }
+    }
+
+    /// Declares the consistency mode (`rpc` or `decoupled`) stamped into
+    /// the history file; `cudele-bench check` picks its axiom set from it.
+    pub fn set_history_mode(&mut self, mode: &str) {
+        self.history_mode = mode.to_string();
     }
 
     /// The session registry, when a sink was requested.
@@ -200,6 +229,10 @@ impl ObsSession {
         if let Some(path) = &self.trace_out {
             write(path, reg.chrome_trace_json())?;
             eprintln!("chrome trace written to {path}");
+        }
+        if let Some(path) = &self.history_out {
+            write(path, reg.history_json(&self.history_mode))?;
+            eprintln!("consistency history written to {path}");
         }
         clear_session();
         Ok(())

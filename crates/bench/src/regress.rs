@@ -36,7 +36,7 @@ use crate::{DecoupledCreateProcess, RpcCreateProcess, Scale, World};
 
 /// Version tag of the `BENCH_cudele.json` layout. Bump on any change to
 /// the emitted structure; the comparator refuses mismatched schemas.
-pub const SCHEMA: &str = "cudele-bench-regress/v1";
+pub const SCHEMA: &str = "cudele-bench-regress/v2";
 
 /// Default path of the freshly measured snapshot.
 pub const DEFAULT_OUT: &str = "BENCH_cudele.json";
@@ -133,6 +133,12 @@ struct MdbenchRow {
     p50_ns: f64,
     p95_ns: f64,
     p99_ns: f64,
+    /// Events in the run's recorded consistency history.
+    history_events: u64,
+    /// Operations the consistency checkers verified over that history.
+    check_ops: u64,
+    /// Axiom violations, rendered; must be empty for a passing run.
+    check_violations: Vec<String>,
 }
 
 const MDBENCH_POLICIES: [&str; 3] = ["posix", "batchfs", "deltafs"];
@@ -155,15 +161,23 @@ fn run_mdbench_workload(
         composition: None,
         metrics_out: None,
         trace_out: None,
+        history_out: None,
         span_capacity: None,
         faults: None,
         mdlog_segment: None,
         mdlog_dispatch: None,
         threads: 1,
     };
+    let mode = mdbench::history_mode_of(&cfg);
     let out = mdbench::run(&cfg);
     obs_out::clear_session();
     let out = out?;
+    // Replay the run's consistency history through the offline checkers,
+    // via the serialized form so every regress run also round-trips the
+    // on-disk schema. Violations hard-fail the comparison.
+    let history = cudele_obs::history::History::parse(&reg.history_json(mode?))
+        .map_err(|e| format!("mdbench[{policy}] history: {e}"))?;
+    let check = cudele_check::check_history(&history);
     let ops = (MDBENCH_CLIENTS as u64 * MDBENCH_FILES) as f64;
     let h = reg.histogram("bench.op_latency.ns");
     Ok(MdbenchRow {
@@ -175,6 +189,9 @@ fn run_mdbench_workload(
         p50_ns: h.p50(),
         p95_ns: h.p95(),
         p99_ns: h.p99(),
+        history_events: check.events as u64,
+        check_ops: check.ops_checked,
+        check_violations: check.violations.iter().map(ToString::to_string).collect(),
     })
 }
 
@@ -337,7 +354,26 @@ fn render_json(
             "    }\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+
+    // Aggregate consistency-check verdict over the mdbench histories.
+    // `violations` must be 0; the comparator hard-fails otherwise.
+    let violations: u64 = mdbench_rows
+        .iter()
+        .map(|r| r.check_violations.len() as u64)
+        .sum();
+    out.push_str("  \"check\": {\n");
+    out.push_str(&format!("    \"histories\": {},\n", mdbench_rows.len()));
+    out.push_str(&format!(
+        "    \"events\": {},\n",
+        mdbench_rows.iter().map(|r| r.history_events).sum::<u64>()
+    ));
+    out.push_str(&format!(
+        "    \"ops\": {},\n",
+        mdbench_rows.iter().map(|r| r.check_ops).sum::<u64>()
+    ));
+    out.push_str(&format!("    \"violations\": {violations}\n"));
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -412,6 +448,35 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
                     0.20,
                 );
             }
+        }
+    }
+
+    // Consistency-check verdict: any violation in the *current* run is a
+    // hard failure on its own — no tolerance band, no baseline needed
+    // (mirroring how the wallclock section is stripped rather than
+    // compared: check is a gate, not a measurement).
+    let check_field = |j: &Value, key: &str| {
+        j.get("check")
+            .and_then(|c| c.get(key))
+            .and_then(Value::as_u64)
+    };
+    if let Some(n) = check_field(&cur, "violations") {
+        if n > 0 {
+            v.push(format!(
+                "check.violations: {n} consistency violation(s) — must be 0"
+            ));
+        }
+    } else {
+        v.push("check: section missing from current run".to_string());
+    }
+    // Histories and verified-op counts are deterministic; an exact
+    // mismatch means the recording itself changed.
+    for key in ["histories", "events", "ops"] {
+        let (c, b) = (check_field(&cur, key), check_field(&base, key));
+        if b.is_some() && c != b {
+            v.push(format!(
+                "check.{key}: {c:?} vs baseline {b:?} (exact match required)"
+            ));
         }
     }
 
@@ -613,6 +678,21 @@ pub fn run(cfg: &RegressConfig) -> Result<RegressOutcome, String> {
             r.end_to_end_ops_per_s,
             r.p99_ns / 1000.0
         ));
+    }
+    let checked: u64 = m.mdbench_rows.iter().map(|r| r.check_ops).sum();
+    let check_viols: Vec<&String> = m
+        .mdbench_rows
+        .iter()
+        .flat_map(|r| &r.check_violations)
+        .collect();
+    rendered.push_str(&format!(
+        "check: {} histories, {} ops verified, {} violation(s)\n",
+        m.mdbench_rows.len(),
+        checked,
+        check_viols.len()
+    ));
+    for w in &check_viols {
+        rendered.push_str(&format!("  witness: {w}\n"));
     }
     rendered.push_str(&format!("snapshot written to {}\n", cfg.out));
 

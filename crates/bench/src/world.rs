@@ -119,7 +119,8 @@ pub struct RpcCreateProcess {
 impl RpcCreateProcess {
     /// Builds the process and opens the session (setup, uncharged).
     pub fn new(world: &mut World, idx: u32, dir: InodeId, total: u64) -> RpcCreateProcess {
-        let (client, _) = RpcClient::mount(&mut world.server, ClientId(idx));
+        let (mut client, _) = RpcClient::mount(&mut world.server, ClientId(idx));
+        client.attach_obs(&world.obs);
         RpcCreateProcess {
             client,
             idx,
@@ -223,6 +224,7 @@ impl DecoupledCreateProcess {
             .server
             .cost_model()
             .volatile_apply_concurrency_factor(concurrent);
+        let events = self.client.event_count();
         let root = world.obs.trace_root(self.idx);
         world.server.set_now(t);
         world.server.set_trace_ctx(Some(root));
@@ -268,6 +270,20 @@ impl DecoupledCreateProcess {
             .obs
             .histogram("bench.merge_latency.ns")
             .record((done - t).0);
+        // The merge is the run's global-visibility point: record it so
+        // the eventual-visibility checker knows when the journal's acked
+        // ops must become observable.
+        world.obs.record_history(cudele_obs::history::HistoryEvent {
+            client: u64::from(self.client.id.0),
+            scope: cudele_obs::history::HistoryScope::Global,
+            op: cudele_obs::history::HistoryOp::Merge { events },
+            result: cudele_obs::history::HistoryResult::Ok,
+            ino: 0,
+            invoke: t,
+            ack: done,
+            epoch: world.server.epoch().0,
+            trace_id: root.trace_id,
+        });
         done
     }
 }
@@ -281,8 +297,9 @@ impl Process<World> for DecoupledCreateProcess {
         // client at 91 us each is pointless — appends are CPU-local with no
         // shared resources, so 1000-op batches preserve exact timing.
         let batch = (self.total - self.done).min(1000);
-        for _ in 0..batch {
+        for k in 0..batch {
             let i = self.done;
+            self.client.set_now(now + self.append * k);
             self.client
                 .create(self.client.root, &file_name(self.idx, i))
                 .expect("decoupled create");

@@ -181,6 +181,7 @@ fn run_faulted_snapshots(
         composition: None,
         metrics_out: Some(metrics.clone()),
         trace_out: Some(trace.clone()),
+        history_out: None,
         span_capacity: None,
         faults: faults.map(str::to_string),
         // Small mdlog windows so faulted runs flush to the store often

@@ -1,0 +1,112 @@
+//! Eventual-visibility-after-merge: the guarantee a decoupled policy
+//! *does* make. Updates are invisible to the global namespace while they
+//! sit in the client journal, but once a merge completes, every update it
+//! carried must be observable by all clients.
+//!
+//! For each recorded merge by client `c` acked at `t`, the covered set is
+//! `c`'s local namespace as of the merge's invocation (its local ops
+//! replayed blind, exactly what the journal ships). Any effective global
+//! lookup invoked at or after `t` in the merge's epoch must then find the
+//! covered names. Names later unlinked or renamed by anyone are exempt
+//! (see [`crate::session::unstable_names`]); inode equality is not
+//! required here — blind merges may remap — only presence, which is what
+//! "visible in the global namespace" means.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryScope};
+
+use crate::session::unstable_names;
+use crate::Violation;
+
+/// The client-local view a merge ships: names present per (dir, name),
+/// built by blind replay of the client's local ops up to the merge.
+fn covered_names(
+    events: &[HistoryEvent],
+    client: u64,
+    up_to: cudele_sim::Nanos,
+) -> BTreeSet<(u64, String)> {
+    let mut present = BTreeSet::new();
+    for ev in events {
+        if ev.client != client || ev.scope != HistoryScope::Local || ev.ack > up_to {
+            continue;
+        }
+        if !ev.result.effective() {
+            continue;
+        }
+        match &ev.op {
+            HistoryOp::Create { dir, name } | HistoryOp::Mkdir { dir, name } => {
+                present.insert((*dir, name.clone()));
+            }
+            HistoryOp::Unlink { dir, name } => {
+                present.remove(&(*dir, name.clone()));
+            }
+            // A rename with an absent source is a no-op: the remove in
+            // the guard is the state change, and it fails cleanly.
+            HistoryOp::Rename {
+                src_dir,
+                src_name,
+                dst_dir,
+                dst_name,
+            } if present.remove(&(*src_dir, src_name.clone())) => {
+                present.insert((*dst_dir, dst_name.clone()));
+            }
+            _ => {}
+        }
+    }
+    present
+}
+
+/// Checks every merge's visibility promise against the global reads that
+/// follow it. Returns the number of (merge, read) obligations verified,
+/// or the first violation witness.
+pub fn merge_visibility(events: &[HistoryEvent]) -> Result<u64, Violation> {
+    let unstable = unstable_names(events);
+    // Earliest merge ack covering each (epoch, dir, name): obligations.
+    let mut visible_from: BTreeMap<(u64, u64, String), cudele_sim::Nanos> = BTreeMap::new();
+    for ev in events {
+        let HistoryOp::Merge { .. } = ev.op else {
+            continue;
+        };
+        if ev.result != cudele_obs::history::HistoryResult::Ok {
+            continue;
+        }
+        for (dir, name) in covered_names(events, ev.client, ev.invoke) {
+            if unstable.contains(&(dir, name.clone())) {
+                continue;
+            }
+            let key = (ev.epoch, dir, name);
+            let t = visible_from.entry(key).or_insert(ev.ack);
+            if ev.ack < *t {
+                *t = ev.ack;
+            }
+        }
+    }
+    let mut checked = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let HistoryOp::Lookup { dir, name, found } = &ev.op else {
+            continue;
+        };
+        if ev.scope != HistoryScope::Global || !ev.result.effective() {
+            continue;
+        }
+        let Some(from) = visible_from.get(&(ev.epoch, *dir, name.clone())) else {
+            continue;
+        };
+        if ev.invoke < *from {
+            continue;
+        }
+        checked += 1;
+        if found.is_none() {
+            return Err(Violation {
+                checker: "eventual-visibility".to_string(),
+                index: i,
+                detail: format!(
+                    "client {} missed {dir}/{name} at t={} though its merge acked at t={}",
+                    ev.client, ev.invoke.0, from.0
+                ),
+            });
+        }
+    }
+    Ok(checked)
+}

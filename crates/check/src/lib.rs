@@ -1,0 +1,276 @@
+//! `cudele-check`: offline consistency checking for recorded histories.
+//!
+//! Cudele's pitch is that every subtree *declares* its consistency and
+//! durability mechanisms. The chaos suite verifies the durability half
+//! (which crashes lose which journals); this crate verifies the
+//! consistency half. A run records a [`cudele_obs::history::History`] —
+//! per-client invoke/ack intervals on virtual time — and the checkers
+//! replay it against the axioms the run's policy claimed:
+//!
+//! | mode        | axioms checked                                        |
+//! |-------------|-------------------------------------------------------|
+//! | `rpc`       | linearizability (Wing–Gong), monotonic reads          |
+//! | `decoupled` | read-your-writes, monotonic reads, eventual visibility|
+//!
+//! RPC and stream policies serve every op at the MDS, so the history must
+//! be linearizable against the sequential namespace spec. Decoupled
+//! policies (append-client-journal and its persist/apply compositions)
+//! promise only session guarantees plus visibility after merge — exactly
+//! the "weird but well-defined" semantics the paper trades consistency
+//! for speed with.
+
+pub mod eventual;
+pub mod linearize;
+pub mod session;
+pub mod spec;
+
+use cudele_obs::history::History;
+
+/// One failed axiom, anchored at the first violating event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which checker rejected the history.
+    pub checker: String,
+    /// Recording index of the witness event in [`History::events`].
+    pub index: usize,
+    /// Human-readable account of the contradiction.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violated at event {}: {}",
+            self.checker, self.index, self.detail
+        )
+    }
+}
+
+/// What one history check concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The mode the history claimed (selects the axiom set).
+    pub mode: String,
+    /// Events in the history.
+    pub events: usize,
+    /// Operations the checkers verified (across all axioms).
+    pub ops_checked: u64,
+    /// Violations found; an empty list is a clean verdict. Each checker
+    /// contributes at most its first witness.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether every claimed axiom held.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replays `history` against the axiom set its mode claims.
+pub fn check_history(history: &History) -> Report {
+    let mut ops_checked = 0u64;
+    let mut violations = Vec::new();
+    let mut run = |r: Result<u64, Violation>| match r {
+        Ok(n) => ops_checked += n,
+        Err(v) => violations.push(v),
+    };
+    if history.mode == "rpc" {
+        run(linearize::check(&history.events));
+        run(session::monotonic_reads(&history.events));
+    } else {
+        run(session::read_your_writes(&history.events));
+        run(session::monotonic_reads(&history.events));
+        run(eventual::merge_visibility(&history.events));
+    }
+    Report {
+        mode: history.mode.clone(),
+        events: history.events.len(),
+        ops_checked,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryResult, HistoryScope};
+    use cudele_sim::Nanos;
+
+    fn global(
+        client: u64,
+        op: HistoryOp,
+        result: HistoryResult,
+        ino: u64,
+        invoke: u64,
+        ack: u64,
+    ) -> HistoryEvent {
+        HistoryEvent {
+            client,
+            scope: HistoryScope::Global,
+            op,
+            result,
+            ino,
+            invoke: Nanos(invoke),
+            ack: Nanos(ack),
+            epoch: 1,
+            trace_id: 0,
+        }
+    }
+
+    fn local(client: u64, op: HistoryOp, ino: u64, at: u64) -> HistoryEvent {
+        HistoryEvent {
+            client,
+            scope: HistoryScope::Local,
+            op,
+            result: HistoryResult::Ok,
+            ino,
+            invoke: Nanos(at),
+            ack: Nanos(at),
+            epoch: 0,
+            trace_id: 0,
+        }
+    }
+
+    fn create(name: &str) -> HistoryOp {
+        HistoryOp::Create {
+            dir: 1,
+            name: name.into(),
+        }
+    }
+
+    fn lookup(name: &str, found: Option<u64>) -> HistoryOp {
+        HistoryOp::Lookup {
+            dir: 1,
+            name: name.into(),
+            found,
+        }
+    }
+
+    #[test]
+    fn serial_rpc_history_is_linearizable() {
+        let h = History {
+            mode: "rpc".into(),
+            events: vec![
+                global(1, create("a"), HistoryResult::Ok, 10, 0, 5),
+                global(2, lookup("a", Some(10)), HistoryResult::Ok, 0, 6, 8),
+                global(2, create("a"), HistoryResult::Exists, 0, 9, 12),
+                global(1, lookup("b", None), HistoryResult::NoEnt, 0, 13, 14),
+            ],
+            dropped: 0,
+        };
+        let report = check_history(&h);
+        assert!(report.clean(), "{:?}", report.violations);
+        assert!(report.ops_checked >= 4);
+    }
+
+    #[test]
+    fn overlapping_ops_may_linearize_in_either_order() {
+        // Client 2's lookup overlaps client 1's create and misses it:
+        // legal, because the lookup can be linearized before the create.
+        let h = History {
+            mode: "rpc".into(),
+            events: vec![
+                global(2, lookup("a", None), HistoryResult::NoEnt, 0, 0, 10),
+                global(1, create("a"), HistoryResult::Ok, 10, 2, 8),
+            ],
+            dropped: 0,
+        };
+        assert!(check_history(&h).clean());
+    }
+
+    #[test]
+    fn stale_read_rejected_with_witness() {
+        // The lookup starts after the create acked, yet misses the name:
+        // no legal order exists.
+        let h = History {
+            mode: "rpc".into(),
+            events: vec![
+                global(1, create("a"), HistoryResult::Ok, 10, 0, 5),
+                global(2, lookup("a", None), HistoryResult::NoEnt, 0, 6, 9),
+            ],
+            dropped: 0,
+        };
+        let report = check_history(&h);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.checker, "linearizability");
+        assert_eq!(v.index, 1);
+        assert!(v.detail.contains("missed present name"), "{}", v.detail);
+    }
+
+    #[test]
+    fn decoupled_history_checks_session_and_eventual_axioms() {
+        let h = History {
+            mode: "decoupled".into(),
+            events: vec![
+                local(7, create("f0"), 100, 0),
+                local(7, create("f1"), 101, 1),
+                global(
+                    7,
+                    HistoryOp::Merge { events: 2 },
+                    HistoryResult::Ok,
+                    0,
+                    10,
+                    20,
+                ),
+                global(2, lookup("f0", Some(100)), HistoryResult::Ok, 0, 25, 26),
+                global(2, lookup("f1", Some(101)), HistoryResult::Ok, 0, 27, 28),
+            ],
+            dropped: 0,
+        };
+        let report = check_history(&h);
+        assert!(report.clean(), "{:?}", report.violations);
+        assert!(report.ops_checked >= 4);
+    }
+
+    #[test]
+    fn lost_merge_visibility_rejected_with_witness() {
+        let h = History {
+            mode: "decoupled".into(),
+            events: vec![
+                local(7, create("f0"), 100, 0),
+                global(
+                    7,
+                    HistoryOp::Merge { events: 1 },
+                    HistoryResult::Ok,
+                    0,
+                    10,
+                    20,
+                ),
+                global(2, lookup("f0", None), HistoryResult::NoEnt, 0, 25, 26),
+            ],
+            dropped: 0,
+        };
+        let report = check_history(&h);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.checker, "eventual-visibility");
+        assert_eq!(v.index, 2);
+        assert!(v.detail.contains("missed 1/f0"), "{}", v.detail);
+    }
+
+    #[test]
+    fn pre_merge_invisibility_is_not_a_violation() {
+        // Reads before the merge acked may miss the names — that is the
+        // decoupled trade, not a bug.
+        let h = History {
+            mode: "decoupled".into(),
+            events: vec![
+                local(7, create("f0"), 100, 0),
+                global(2, lookup("f0", None), HistoryResult::NoEnt, 0, 5, 6),
+                global(
+                    7,
+                    HistoryOp::Merge { events: 1 },
+                    HistoryResult::Ok,
+                    0,
+                    10,
+                    20,
+                ),
+            ],
+            dropped: 0,
+        };
+        assert!(check_history(&h).clean());
+    }
+}

@@ -1,0 +1,134 @@
+//! Wing–Gong style linearizability checking for RPC-mode histories.
+//!
+//! Each operation occupies a virtual-time interval `[invoke, ack]`. A
+//! history is linearizable when there is a total order of the operations
+//! that (a) respects real time — an op that acked before another was
+//! invoked comes first — and (b) is legal under the sequential namespace
+//! spec. The search explores candidates (pending ops whose invoke is ≤
+//! the minimum pending ack) depth-first in recording order, which makes
+//! simulator histories — where the server mutates state at invocation —
+//! resolve greedily on the first path; memoizing explored done-sets and a
+//! step budget bound the adversarial worst case.
+//!
+//! Histories are partitioned by MDS epoch before checking: a failover is
+//! a point event in the simulation, so effective operations from
+//! different epochs never overlap, and the adaptive spec re-pins whatever
+//! state the new epoch inherited (or lost, for volatile mechanisms).
+
+use std::collections::{BTreeMap, HashSet};
+
+use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryScope};
+
+use crate::spec::NamespaceSpec;
+use crate::Violation;
+
+/// Spec steps the search may take before giving up. Simulator histories
+/// resolve in O(n) steps; the budget only bites on adversarial inputs.
+pub const DEFAULT_BUDGET: u64 = 5_000_000;
+
+/// Checks every epoch partition of `events` for linearizability. Returns
+/// the number of operations verified, or the first violation witness.
+pub fn check(events: &[HistoryEvent]) -> Result<u64, Violation> {
+    // (recording index, event) for effective global namespace ops.
+    let mut by_epoch: BTreeMap<u64, Vec<(usize, &HistoryEvent)>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let in_scope = ev.scope == HistoryScope::Global
+            && ev.result.effective()
+            && !matches!(ev.op, HistoryOp::Merge { .. });
+        if in_scope {
+            by_epoch.entry(ev.epoch).or_default().push((i, ev));
+        }
+    }
+    let mut checked = 0u64;
+    for ops in by_epoch.values() {
+        let mut search = Search {
+            ops,
+            done: vec![false; ops.len()],
+            remaining: ops.len(),
+            spec: NamespaceSpec::new(),
+            memo: HashSet::new(),
+            budget: DEFAULT_BUDGET,
+            best_failure: None,
+            best_depth: 0,
+        };
+        if !search.dfs() {
+            let (index, detail) = search.best_failure.unwrap_or_else(|| {
+                (
+                    ops[0].0,
+                    "no linearization within search budget".to_string(),
+                )
+            });
+            return Err(Violation {
+                checker: "linearizability".to_string(),
+                index,
+                detail,
+            });
+        }
+        checked += ops.len() as u64;
+    }
+    Ok(checked)
+}
+
+struct Search<'a> {
+    ops: &'a [(usize, &'a HistoryEvent)],
+    done: Vec<bool>,
+    remaining: usize,
+    spec: NamespaceSpec,
+    /// Done-sets already explored without success.
+    memo: HashSet<Vec<bool>>,
+    budget: u64,
+    /// Deepest spec rejection seen: (recording index, reason). With the
+    /// search exhausted, this is the reported witness — the op that could
+    /// not be linearized on the path that got furthest.
+    best_failure: Option<(usize, String)>,
+    best_depth: usize,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self) -> bool {
+        if self.remaining == 0 {
+            return true;
+        }
+        // An op can be linearized next only if it was invoked before every
+        // pending op acked — otherwise some pending op strictly precedes
+        // it in real time.
+        let min_ack = self
+            .ops
+            .iter()
+            .zip(&self.done)
+            .filter(|(_, done)| !**done)
+            .map(|((_, ev), _)| ev.ack)
+            .min()
+            .expect("remaining > 0");
+        for i in 0..self.ops.len() {
+            if self.done[i] || self.ops[i].1.invoke > min_ack {
+                continue;
+            }
+            if self.budget == 0 {
+                return false;
+            }
+            self.budget -= 1;
+            match self.spec.apply(self.ops[i].1) {
+                Ok(undo) => {
+                    self.done[i] = true;
+                    self.remaining -= 1;
+                    let unseen = self.memo.insert(self.done.clone());
+                    if unseen && self.dfs() {
+                        return true;
+                    }
+                    self.done[i] = false;
+                    self.remaining += 1;
+                    self.spec.revert(undo);
+                }
+                Err(detail) => {
+                    let depth = self.ops.len() - self.remaining;
+                    if self.best_failure.is_none() || depth > self.best_depth {
+                        self.best_depth = depth;
+                        self.best_failure = Some((self.ops[i].0, detail));
+                    }
+                }
+            }
+        }
+        false
+    }
+}

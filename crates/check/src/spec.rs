@@ -1,0 +1,371 @@
+//! The sequential namespace specification the checkers replay histories
+//! against.
+//!
+//! The spec is *adaptive*: every `(dir, name)` slot starts out `Unknown`
+//! and is pinned by the first effective observation that constrains it.
+//! This makes the checkers sound against partial recordings — harness
+//! setup (`setup_dir`) and pre-epoch state are not in the history, so a
+//! lookup that finds a name the history never created pins the slot
+//! `Present` instead of flagging a false violation.
+
+use std::collections::BTreeMap;
+
+use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryResult};
+
+/// What the spec knows about one `(dir, name)` slot. Slots absent from
+/// the map are unknown (unconstrained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entry {
+    /// The name exists; `Some(ino)` once an inode has been observed.
+    Present(Option<u64>),
+    /// The name does not exist.
+    Absent,
+}
+
+/// Undo record for one [`NamespaceSpec::apply`], so the linearizability
+/// search can backtrack in O(keys touched) instead of cloning the map.
+#[derive(Debug)]
+pub struct Undo(Vec<((u64, String), Option<Entry>)>);
+
+/// The sequential spec state: a partial map of the namespace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NamespaceSpec {
+    entries: BTreeMap<(u64, String), Entry>,
+}
+
+impl NamespaceSpec {
+    /// An empty (fully unknown) namespace.
+    pub fn new() -> NamespaceSpec {
+        NamespaceSpec::default()
+    }
+
+    /// Number of slots known `Present` in `dir` — the lower bound a
+    /// readdir of `dir` must return.
+    pub fn known_present_in(&self, dir: u64) -> u64 {
+        self.entries
+            .range((dir, String::new())..)
+            .take_while(|((d, _), _)| *d == dir)
+            .filter(|(_, e)| matches!(e, Entry::Present(_)))
+            .count() as u64
+    }
+
+    /// Current knowledge about `(dir, name)`; `None` = unknown.
+    pub fn entry(&self, dir: u64, name: &str) -> Option<Entry> {
+        self.entries.get(&(dir, name.to_string())).copied()
+    }
+
+    fn set(&mut self, undo: &mut Undo, dir: u64, name: &str, e: Entry) {
+        let key = (dir, name.to_string());
+        let prev = self.entries.insert(key.clone(), e);
+        undo.0.push((key, prev));
+    }
+
+    /// Reverts one applied event (undo records must be reverted in LIFO
+    /// order relative to their applies).
+    pub fn revert(&mut self, undo: Undo) {
+        for (key, prev) in undo.0.into_iter().rev() {
+            match prev {
+                Some(e) => self.entries.insert(key, e),
+                None => self.entries.remove(&key),
+            };
+        }
+    }
+
+    /// Tries to take one step of the sequential spec with `ev`. Returns
+    /// the undo record, or the reason the event is inconsistent with the
+    /// current state. Non-effective results and merge events are no-ops.
+    pub fn apply(&mut self, ev: &HistoryEvent) -> Result<Undo, String> {
+        let mut undo = Undo(Vec::new());
+        if !ev.result.effective() {
+            return Ok(undo);
+        }
+        match &ev.op {
+            HistoryOp::Create { dir, name } | HistoryOp::Mkdir { dir, name } => {
+                match ev.result {
+                    HistoryResult::Ok => {
+                        if let Some(Entry::Present(_)) = self.entry(*dir, name) {
+                            return Err(format!(
+                                "{} of already-present name {dir}/{name} succeeded",
+                                ev.op_kind()
+                            ));
+                        }
+                        let ino = if ev.ino != 0 { Some(ev.ino) } else { None };
+                        self.set(&mut undo, *dir, name, Entry::Present(ino));
+                    }
+                    HistoryResult::Exists => match self.entry(*dir, name) {
+                        Some(Entry::Absent) => {
+                            return Err(format!(
+                                "{} of absent name {dir}/{name} returned EEXIST",
+                                ev.op_kind()
+                            ));
+                        }
+                        Some(Entry::Present(_)) => {}
+                        None => self.set(&mut undo, *dir, name, Entry::Present(None)),
+                    },
+                    // ENOENT on create is about the parent directory, which
+                    // the per-slot spec does not model: no constraint.
+                    _ => {}
+                }
+            }
+            HistoryOp::Unlink { dir, name } => match ev.result {
+                HistoryResult::Ok => {
+                    if self.entry(*dir, name) == Some(Entry::Absent) {
+                        return Err(format!("unlink of absent name {dir}/{name} succeeded"));
+                    }
+                    self.set(&mut undo, *dir, name, Entry::Absent);
+                }
+                HistoryResult::NoEnt => {
+                    if let Some(Entry::Present(_)) = self.entry(*dir, name) {
+                        return Err(format!(
+                            "unlink of present name {dir}/{name} returned ENOENT"
+                        ));
+                    }
+                    self.set(&mut undo, *dir, name, Entry::Absent);
+                }
+                _ => {}
+            },
+            HistoryOp::Rename {
+                src_dir,
+                src_name,
+                dst_dir,
+                dst_name,
+            } => match ev.result {
+                HistoryResult::Ok => {
+                    let src = self.entry(*src_dir, src_name);
+                    if src == Some(Entry::Absent) {
+                        return Err(format!(
+                            "rename of absent name {src_dir}/{src_name} succeeded"
+                        ));
+                    }
+                    let moved = match src {
+                        Some(Entry::Present(ino)) => Entry::Present(ino),
+                        _ => Entry::Present(None),
+                    };
+                    self.set(&mut undo, *src_dir, src_name, Entry::Absent);
+                    self.set(&mut undo, *dst_dir, dst_name, moved);
+                }
+                HistoryResult::NoEnt => {
+                    if let Some(Entry::Present(_)) = self.entry(*src_dir, src_name) {
+                        return Err(format!(
+                            "rename of present name {src_dir}/{src_name} returned ENOENT"
+                        ));
+                    }
+                    self.set(&mut undo, *src_dir, src_name, Entry::Absent);
+                }
+                _ => {}
+            },
+            HistoryOp::Lookup { dir, name, found } => match found {
+                Some(ino) => match self.entry(*dir, name) {
+                    Some(Entry::Absent) => {
+                        return Err(format!("lookup found absent name {dir}/{name}"));
+                    }
+                    Some(Entry::Present(Some(prev))) if prev != *ino => {
+                        return Err(format!(
+                            "lookup of {dir}/{name} returned inode {ino}, expected {prev}"
+                        ));
+                    }
+                    _ => self.set(&mut undo, *dir, name, Entry::Present(Some(*ino))),
+                },
+                None => {
+                    if let Some(Entry::Present(_)) = self.entry(*dir, name) {
+                        return Err(format!("lookup missed present name {dir}/{name}"));
+                    }
+                    self.set(&mut undo, *dir, name, Entry::Absent);
+                }
+            },
+            HistoryOp::Readdir { dir, entries } => {
+                let known = self.known_present_in(*dir);
+                if *entries < known {
+                    return Err(format!(
+                        "readdir of {dir} returned {entries} entries, {known} known present"
+                    ));
+                }
+            }
+            // Merge visibility is checked by the eventual checker; as a
+            // spec step it constrains nothing.
+            HistoryOp::Merge { .. } => {}
+        }
+        Ok(undo)
+    }
+}
+
+/// Helper exposing the op kind for error messages without making
+/// `HistoryOp::kind` public API of `cudele-obs`.
+trait OpKind {
+    fn op_kind(&self) -> &'static str;
+}
+
+impl OpKind for HistoryEvent {
+    fn op_kind(&self) -> &'static str {
+        match self.op {
+            HistoryOp::Create { .. } => "create",
+            HistoryOp::Mkdir { .. } => "mkdir",
+            HistoryOp::Unlink { .. } => "unlink",
+            HistoryOp::Rename { .. } => "rename",
+            HistoryOp::Lookup { .. } => "lookup",
+            HistoryOp::Readdir { .. } => "readdir",
+            HistoryOp::Merge { .. } => "merge",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudele_obs::history::HistoryScope;
+    use cudele_sim::Nanos;
+
+    fn ev(op: HistoryOp, result: HistoryResult, ino: u64) -> HistoryEvent {
+        HistoryEvent {
+            client: 1,
+            scope: HistoryScope::Global,
+            op,
+            result,
+            ino,
+            invoke: Nanos(0),
+            ack: Nanos(0),
+            epoch: 1,
+            trace_id: 0,
+        }
+    }
+
+    #[test]
+    fn create_lookup_unlink_cycle() {
+        let mut s = NamespaceSpec::new();
+        let create = ev(
+            HistoryOp::Create {
+                dir: 1,
+                name: "f".into(),
+            },
+            HistoryResult::Ok,
+            42,
+        );
+        s.apply(&create).unwrap();
+        s.apply(&ev(
+            HistoryOp::Lookup {
+                dir: 1,
+                name: "f".into(),
+                found: Some(42),
+            },
+            HistoryResult::Ok,
+            0,
+        ))
+        .unwrap();
+        // A second create of the same name must not succeed.
+        assert!(s.apply(&create).is_err());
+        s.apply(&ev(
+            HistoryOp::Unlink {
+                dir: 1,
+                name: "f".into(),
+            },
+            HistoryResult::Ok,
+            0,
+        ))
+        .unwrap();
+        assert!(s
+            .apply(&ev(
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "f".into(),
+                    found: Some(42),
+                },
+                HistoryResult::Ok,
+                0,
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_slots_absorb_unrecorded_setup() {
+        let mut s = NamespaceSpec::new();
+        // Setup created /job before recording started: a lookup that finds
+        // it pins Present instead of flagging a violation.
+        s.apply(&ev(
+            HistoryOp::Lookup {
+                dir: 1,
+                name: "job".into(),
+                found: Some(7),
+            },
+            HistoryResult::Ok,
+            0,
+        ))
+        .unwrap();
+        assert_eq!(s.entry(1, "job"), Some(Entry::Present(Some(7))));
+        // But a different inode for the same name is stale.
+        assert!(s
+            .apply(&ev(
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "job".into(),
+                    found: Some(9),
+                },
+                HistoryResult::Ok,
+                0,
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn revert_restores_prior_knowledge() {
+        let mut s = NamespaceSpec::new();
+        let u1 = s
+            .apply(&ev(
+                HistoryOp::Create {
+                    dir: 1,
+                    name: "f".into(),
+                },
+                HistoryResult::Ok,
+                42,
+            ))
+            .unwrap();
+        let before = s.clone();
+        let u2 = s
+            .apply(&ev(
+                HistoryOp::Rename {
+                    src_dir: 1,
+                    src_name: "f".into(),
+                    dst_dir: 2,
+                    dst_name: "g".into(),
+                },
+                HistoryResult::Ok,
+                0,
+            ))
+            .unwrap();
+        assert_eq!(s.entry(2, "g"), Some(Entry::Present(Some(42))));
+        s.revert(u2);
+        assert_eq!(s, before);
+        s.revert(u1);
+        assert_eq!(s, NamespaceSpec::new());
+    }
+
+    #[test]
+    fn readdir_is_a_lower_bound() {
+        let mut s = NamespaceSpec::new();
+        for name in ["a", "b"] {
+            s.apply(&ev(
+                HistoryOp::Create {
+                    dir: 1,
+                    name: name.into(),
+                },
+                HistoryResult::Ok,
+                0,
+            ))
+            .unwrap();
+        }
+        // More entries than known is fine (setup files), fewer is not.
+        assert!(s
+            .apply(&ev(
+                HistoryOp::Readdir { dir: 1, entries: 5 },
+                HistoryResult::Ok,
+                0
+            ))
+            .is_ok());
+        assert!(s
+            .apply(&ev(
+                HistoryOp::Readdir { dir: 1, entries: 1 },
+                HistoryResult::Ok,
+                0
+            ))
+            .is_err());
+    }
+}

@@ -1,0 +1,441 @@
+//! Property and mutation tests for the consistency checkers.
+//!
+//! The property half generates arbitrary op schedules, executes them
+//! against a model namespace to produce an honest serial history, and
+//! asserts the checkers accept it. The mutation half corrupts known-good
+//! histories in targeted ways — swapped ack intervals, a stale read, a
+//! lost merge — and asserts each checker rejects with the right witness.
+
+use std::collections::BTreeMap;
+
+use cudele_check::{check_history, Violation};
+use cudele_obs::history::{History, HistoryEvent, HistoryOp, HistoryResult, HistoryScope};
+use cudele_sim::Nanos;
+use proptest::prelude::*;
+
+const DIRS: [u64; 2] = [1, 2];
+
+/// Executes a schedule of (op selector, dir selector, name selector,
+/// client) tuples against a model namespace, emitting the serial history
+/// an honest server would record: each op's interval is disjoint from and
+/// after the previous op's.
+fn serial_history(schedule: &[(u8, u8, u8, u8)]) -> History {
+    let mut model: BTreeMap<(u64, String), u64> = BTreeMap::new();
+    let mut next_ino = 100u64;
+    let mut events = Vec::new();
+    for (i, &(op, dir, name, client)) in schedule.iter().enumerate() {
+        let t = 10 * i as u64;
+        let (invoke, ack) = (Nanos(t), Nanos(t + 5));
+        let dir = DIRS[dir as usize % DIRS.len()];
+        let name = format!("f{}", name % 8);
+        let client = u64::from(client % 3) + 1;
+        let key = (dir, name.clone());
+        let (op, result, ino) = match op % 4 {
+            0 => {
+                if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(key) {
+                    slot.insert(next_ino);
+                    next_ino += 1;
+                    (
+                        HistoryOp::Create { dir, name },
+                        HistoryResult::Ok,
+                        next_ino - 1,
+                    )
+                } else {
+                    (HistoryOp::Create { dir, name }, HistoryResult::Exists, 0)
+                }
+            }
+            1 => {
+                let result = if model.remove(&key).is_some() {
+                    HistoryResult::Ok
+                } else {
+                    HistoryResult::NoEnt
+                };
+                (HistoryOp::Unlink { dir, name }, result, 0)
+            }
+            2 => {
+                let found = model.get(&key).copied();
+                let result = if found.is_some() {
+                    HistoryResult::Ok
+                } else {
+                    HistoryResult::NoEnt
+                };
+                (HistoryOp::Lookup { dir, name, found }, result, 0)
+            }
+            _ => {
+                let entries = model.keys().filter(|(d, _)| *d == dir).count() as u64;
+                (HistoryOp::Readdir { dir, entries }, HistoryResult::Ok, 0)
+            }
+        };
+        events.push(HistoryEvent {
+            client,
+            scope: HistoryScope::Global,
+            op,
+            result,
+            ino,
+            invoke,
+            ack,
+            epoch: 1,
+            trace_id: 0,
+        });
+    }
+    History {
+        mode: "rpc".into(),
+        events,
+        dropped: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serial_histories_always_linearize(
+        schedule in proptest::collection::vec(
+            (0u8..4, 0u8..2, 0u8..8, 0u8..3),
+            1..48,
+        )
+    ) {
+        let report = check_history(&serial_history(&schedule));
+        prop_assert!(report.clean(), "violations: {:?}", report.violations);
+        prop_assert!(report.ops_checked as usize >= schedule.len());
+    }
+
+    #[test]
+    fn serial_decoupled_histories_always_pass(
+        names in proptest::collection::vec(0u8..16, 1..24)
+    ) {
+        // Two decoupled clients create locally (distinct names per
+        // client — a session never creates the same name twice), merge,
+        // then a third client observes everything merged.
+        let mut created: Vec<(u64, String, u64)> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, &n) in names.iter().enumerate() {
+            let client = 7 + (i as u64 % 2);
+            let name = format!("c{client}-f{n}");
+            if seen.insert((client, name.clone())) {
+                created.push((client, name, 1000 + i as u64));
+            }
+        }
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for (client, name, ino) in &created {
+            events.push(HistoryEvent {
+                client: *client,
+                scope: HistoryScope::Local,
+                op: HistoryOp::Create {
+                    dir: 1,
+                    name: name.clone(),
+                },
+                result: HistoryResult::Ok,
+                ino: *ino,
+                invoke: Nanos(t),
+                ack: Nanos(t),
+                epoch: 0,
+                trace_id: 0,
+            });
+            t += 10;
+        }
+        for client in [7u64, 8] {
+            events.push(HistoryEvent {
+                client,
+                scope: HistoryScope::Global,
+                op: HistoryOp::Merge { events: created.len() as u64 },
+                result: HistoryResult::Ok,
+                ino: 0,
+                invoke: Nanos(t),
+                ack: Nanos(t + 20),
+                epoch: 1,
+                trace_id: 0,
+            });
+            t += 30;
+        }
+        for (_, name, ino) in &created {
+            events.push(HistoryEvent {
+                client: 2,
+                scope: HistoryScope::Global,
+                op: HistoryOp::Lookup { dir: 1, name: name.clone(), found: Some(*ino) },
+                result: HistoryResult::Ok,
+                ino: 0,
+                invoke: Nanos(t),
+                ack: Nanos(t + 1),
+                epoch: 1,
+                trace_id: 0,
+            });
+            t += 10;
+        }
+        let h = History { mode: "decoupled".into(), events, dropped: 0 };
+        let report = check_history(&h);
+        prop_assert!(report.clean(), "violations: {:?}", report.violations);
+    }
+}
+
+fn expect_violation(h: &History, checker: &str, index: usize) -> Violation {
+    let report = check_history(h);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.checker == checker)
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a {checker} violation, got {:?}",
+                report.violations
+            )
+        });
+    assert_eq!(v.index, index, "witness index: {v}");
+    v.clone()
+}
+
+fn rpc_event(
+    client: u64,
+    op: HistoryOp,
+    result: HistoryResult,
+    ino: u64,
+    invoke: u64,
+    ack: u64,
+) -> HistoryEvent {
+    HistoryEvent {
+        client,
+        scope: HistoryScope::Global,
+        op,
+        result,
+        ino,
+        invoke: Nanos(invoke),
+        ack: Nanos(ack),
+        epoch: 1,
+        trace_id: 0,
+    }
+}
+
+#[test]
+fn mutation_swapped_acks_rejected() {
+    // Honest run: create acked at t=5, then a lookup finds it at [10,15].
+    // Mutation swaps the two intervals: now the lookup *completed* before
+    // the create was invoked, yet observed its effect — not linearizable.
+    let create = HistoryOp::Create {
+        dir: 1,
+        name: "a".into(),
+    };
+    let lookup = HistoryOp::Lookup {
+        dir: 1,
+        name: "a".into(),
+        found: Some(42),
+    };
+    let honest = History {
+        mode: "rpc".into(),
+        events: vec![
+            rpc_event(1, create.clone(), HistoryResult::Ok, 42, 0, 5),
+            rpc_event(2, lookup.clone(), HistoryResult::Ok, 0, 10, 15),
+        ],
+        dropped: 0,
+    };
+    assert!(check_history(&honest).clean());
+    let mutated = History {
+        mode: "rpc".into(),
+        events: vec![
+            rpc_event(1, create, HistoryResult::Ok, 42, 10, 15),
+            rpc_event(2, lookup, HistoryResult::Ok, 0, 0, 5),
+        ],
+        dropped: 0,
+    };
+    // The only admissible first op is the lookup (it acked before the
+    // create was invoked); finding the not-yet-created inode pins the
+    // name present, so the create's success is the contradiction.
+    let v = expect_violation(&mutated, "linearizability", 0);
+    assert!(v.detail.contains("already-present"), "{}", v.detail);
+}
+
+#[test]
+fn mutation_stale_read_rejected() {
+    let honest = History {
+        mode: "rpc".into(),
+        events: vec![
+            rpc_event(
+                1,
+                HistoryOp::Create {
+                    dir: 1,
+                    name: "a".into(),
+                },
+                HistoryResult::Ok,
+                42,
+                0,
+                5,
+            ),
+            rpc_event(
+                2,
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "a".into(),
+                    found: Some(42),
+                },
+                HistoryResult::Ok,
+                0,
+                6,
+                9,
+            ),
+        ],
+        dropped: 0,
+    };
+    assert!(check_history(&honest).clean());
+    // Mutation: the read starts strictly after the create acked but
+    // returns ENOENT — a stale read no order can explain.
+    let mut mutated = honest;
+    mutated.events[1] = rpc_event(
+        2,
+        HistoryOp::Lookup {
+            dir: 1,
+            name: "a".into(),
+            found: None,
+        },
+        HistoryResult::NoEnt,
+        0,
+        6,
+        9,
+    );
+    let v = expect_violation(&mutated, "linearizability", 1);
+    assert!(v.detail.contains("missed present name"), "{}", v.detail);
+}
+
+#[test]
+fn mutation_lost_merge_visibility_rejected() {
+    let local_create = HistoryEvent {
+        client: 7,
+        scope: HistoryScope::Local,
+        op: HistoryOp::Create {
+            dir: 1,
+            name: "f0".into(),
+        },
+        result: HistoryResult::Ok,
+        ino: 100,
+        invoke: Nanos(0),
+        ack: Nanos(0),
+        epoch: 0,
+        trace_id: 0,
+    };
+    let merge = rpc_event(
+        7,
+        HistoryOp::Merge { events: 1 },
+        HistoryResult::Ok,
+        0,
+        10,
+        30,
+    );
+    let honest = History {
+        mode: "decoupled".into(),
+        events: vec![
+            local_create.clone(),
+            merge.clone(),
+            rpc_event(
+                2,
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "f0".into(),
+                    found: Some(100),
+                },
+                HistoryResult::Ok,
+                0,
+                40,
+                41,
+            ),
+        ],
+        dropped: 0,
+    };
+    assert!(check_history(&honest).clean());
+    // Mutation: the post-merge observer misses the merged name.
+    let mutated = History {
+        mode: "decoupled".into(),
+        events: vec![
+            local_create,
+            merge,
+            rpc_event(
+                2,
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "f0".into(),
+                    found: None,
+                },
+                HistoryResult::NoEnt,
+                0,
+                40,
+                41,
+            ),
+        ],
+        dropped: 0,
+    };
+    let v = expect_violation(&mutated, "eventual-visibility", 2);
+    assert!(v.detail.contains("merge acked"), "{}", v.detail);
+}
+
+#[test]
+fn mutation_non_monotonic_read_rejected() {
+    // Same client sees the name, then loses it, with no unlink anywhere.
+    let h = History {
+        mode: "decoupled".into(),
+        events: vec![
+            rpc_event(
+                2,
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "a".into(),
+                    found: Some(42),
+                },
+                HistoryResult::Ok,
+                0,
+                0,
+                5,
+            ),
+            rpc_event(
+                2,
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "a".into(),
+                    found: None,
+                },
+                HistoryResult::NoEnt,
+                0,
+                10,
+                15,
+            ),
+        ],
+        dropped: 0,
+    };
+    let v = expect_violation(&h, "monotonic-reads", 1);
+    assert!(v.detail.contains("lost it"), "{}", v.detail);
+}
+
+#[test]
+fn mutated_history_survives_serialization_round_trip() {
+    // The check subcommand consumes files: make sure a violation is still
+    // caught after a JSON round trip.
+    let h = History {
+        mode: "rpc".into(),
+        events: vec![
+            rpc_event(
+                1,
+                HistoryOp::Create {
+                    dir: 1,
+                    name: "a".into(),
+                },
+                HistoryResult::Ok,
+                42,
+                0,
+                5,
+            ),
+            rpc_event(
+                2,
+                HistoryOp::Lookup {
+                    dir: 1,
+                    name: "a".into(),
+                    found: None,
+                },
+                HistoryResult::NoEnt,
+                0,
+                6,
+                9,
+            ),
+        ],
+        dropped: 0,
+    };
+    let back = History::parse(&h.to_json()).unwrap();
+    assert_eq!(back, h);
+    assert!(!check_history(&back).clean());
+}

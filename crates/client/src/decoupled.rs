@@ -13,6 +13,7 @@ use cudele_journal::{
     JournalWriter,
 };
 use cudele_mds::{ClientId, MdsError, MetadataServer, MetadataStore, OpCost, Rpc};
+use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryResult, HistoryScope};
 use cudele_obs::{Counter, Registry, TraceSink};
 use cudele_rados::ObjectStore;
 use cudele_sim::{transfer_time, CostModel, Nanos};
@@ -32,6 +33,12 @@ struct ClientObs {
     global_persists: Counter,
     /// Handles passed to the Global Persist [`JournalWriter`].
     writer: cudele_journal::JournalObs,
+    /// Consistency-history sink: every append lands as a `local`-scope
+    /// event at the client's current virtual time.
+    history: cudele_obs::history::HistoryWriter,
+    /// Virtual time stamped on the next recorded event (set by the
+    /// harness via [`DecoupledClient::set_now`]).
+    now: Nanos,
 }
 
 /// A client operating on a decoupled subtree.
@@ -103,12 +110,33 @@ impl DecoupledClient {
             local_persists: reg.counter("client.journal.local_persists"),
             global_persists: reg.counter("client.journal.global_persists"),
             writer: cudele_journal::JournalObs::attach(reg),
+            history: reg.history_writer(),
+            now: Nanos::ZERO,
         });
     }
 
-    fn obs_append(&self) {
+    /// Sets the virtual time stamped on subsequently recorded history
+    /// events (appends are local, so invoke == ack == `now`).
+    pub fn set_now(&mut self, now: Nanos) {
+        if let Some(o) = &mut self.obs {
+            o.now = now;
+        }
+    }
+
+    fn obs_append(&self, ino: u64, op: impl FnOnce() -> HistoryOp) {
         if let Some(o) = &self.obs {
             o.appends.inc();
+            o.history.record(HistoryEvent {
+                client: u64::from(self.id.0),
+                scope: HistoryScope::Local,
+                op: op(),
+                result: HistoryResult::Ok,
+                ino,
+                invoke: o.now,
+                ack: o.now,
+                epoch: 0,
+                trace_id: 0,
+            });
         }
     }
 
@@ -134,7 +162,10 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
-        self.obs_append();
+        self.obs_append(ino.0, || HistoryOp::Create {
+            dir: parent.0,
+            name: name.to_string(),
+        });
         Ok(ino)
     }
 
@@ -149,7 +180,10 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
-        self.obs_append();
+        self.obs_append(ino.0, || HistoryOp::Mkdir {
+            dir: parent.0,
+            name: name.to_string(),
+        });
         Ok(ino)
     }
 
@@ -161,7 +195,10 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
-        self.obs_append();
+        self.obs_append(0, || HistoryOp::Unlink {
+            dir: parent.0,
+            name: name.to_string(),
+        });
     }
 
     /// Appends a rename.
@@ -180,7 +217,12 @@ impl DecoupledClient {
         };
         self.local_ns.apply_blind(&event);
         self.journal.push(event);
-        self.obs_append();
+        self.obs_append(0, || HistoryOp::Rename {
+            src_dir: src_parent.0,
+            src_name: src_name.to_string(),
+            dst_dir: dst_parent.0,
+            dst_name: dst_name.to_string(),
+        });
     }
 
     /// Events appended so far.

@@ -260,6 +260,28 @@ pub fn execute_merge_at(
             elapsed,
             vec![("events".to_string(), events.to_string())],
         );
+        // A composition containing an apply mechanism is a global-
+        // visibility point: record it in the consistency history so the
+        // eventual-visibility checker knows when acked local ops must
+        // become observable.
+        let applies = comp
+            .stages()
+            .iter()
+            .flatten()
+            .any(|m| matches!(m, Mechanism::VolatileApply | Mechanism::NonvolatileApply));
+        if applies {
+            r.record_history(cudele_obs::history::HistoryEvent {
+                client: u64::from(client.id.0),
+                scope: cudele_obs::history::HistoryScope::Global,
+                op: cudele_obs::history::HistoryOp::Merge { events },
+                result: cudele_obs::history::HistoryResult::Ok,
+                ino: 0,
+                invoke: at,
+                ack: at + elapsed,
+                epoch: env.server.epoch().0,
+                trace_id: root.trace_id,
+            });
+        }
     }
     Ok(MergeReport {
         elapsed,

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use cudele_journal::{Attrs, InodeId, InodeRange, JournalEvent};
+use cudele_obs::history::{HistoryEvent, HistoryOp, HistoryResult, HistoryScope};
 use cudele_obs::{observe_mechanism, observe_mechanism_at, Counter, Histogram, Registry, TraceCtx};
 use cudele_rados::{Epoch, ObjectStore, PoolId, RadosError};
 use cudele_sim::{CostModel, Nanos};
@@ -492,6 +493,48 @@ impl MetadataServer {
         }
     }
 
+    /// Collapses a handler outcome into the history result classes.
+    fn history_result<T>(result: &Result<T>) -> HistoryResult {
+        match result {
+            Ok(_) => HistoryResult::Ok,
+            Err(MdsError::Exists { .. }) => HistoryResult::Exists,
+            Err(MdsError::NoEnt { .. }) => HistoryResult::NoEnt,
+            Err(MdsError::Busy { .. }) => HistoryResult::Busy,
+            Err(MdsError::NoSession { .. }) => HistoryResult::NoSession,
+            Err(MdsError::Timeout) => HistoryResult::Timeout,
+            Err(MdsError::Fenced { .. }) => HistoryResult::Fenced,
+            Err(_) => HistoryResult::Err,
+        }
+    }
+
+    /// Records one served namespace operation into the consistency history
+    /// (no-op without an attached registry). The interval is
+    /// `[now, now + service time]` — the server mutates state at
+    /// invocation, so `now` (set per request by the harness) is the
+    /// linearization-point side and the ack lands after the charged cost.
+    fn history(
+        &self,
+        client: ClientId,
+        op: HistoryOp,
+        result: HistoryResult,
+        ino: u64,
+        cost: &OpCost,
+    ) {
+        if let Some(o) = &self.obs {
+            o.reg.record_history(HistoryEvent {
+                client: u64::from(client.0),
+                scope: HistoryScope::Global,
+                op,
+                result,
+                ino,
+                invoke: o.now,
+                ack: o.now + cost.mds_cpu + cost.client_extra,
+                epoch: self.epoch.0,
+                trace_id: o.ctx.map_or(0, |c| c.trace_id),
+            });
+        }
+    }
+
     /// Returns Busy if `ino` is inside a subtree blocked for someone other
     /// than `client`.
     fn check_blocked(&self, ino: InodeId, client: ClientId) -> Result<()> {
@@ -618,6 +661,21 @@ impl MetadataServer {
     /// Creates a file in `parent`, allocating the inode from the client's
     /// session.
     pub fn create(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
+        let r = self.create_impl(client, parent, name);
+        self.history(
+            client,
+            HistoryOp::Create {
+                dir: parent.0,
+                name: name.to_string(),
+            },
+            Self::history_result(&r.result),
+            r.result.as_ref().map_or(0, |rep| rep.ino.0),
+            &r.cost,
+        );
+        r
+    }
+
+    fn create_impl(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
         if let Some(r) = self.down_reply() {
             return r;
         }
@@ -674,6 +732,21 @@ impl MetadataServer {
 
     /// Creates a directory in `parent`.
     pub fn mkdir(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
+        let r = self.mkdir_impl(client, parent, name);
+        self.history(
+            client,
+            HistoryOp::Mkdir {
+                dir: parent.0,
+                name: name.to_string(),
+            },
+            Self::history_result(&r.result),
+            r.result.as_ref().map_or(0, |rep| rep.ino.0),
+            &r.cost,
+        );
+        r
+    }
+
+    fn mkdir_impl(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
         if let Some(r) = self.down_reply() {
             return r;
         }
@@ -724,6 +797,31 @@ impl MetadataServer {
     /// Looks up `name` in `parent`. `Ok(None)` is ENOENT — the reply the
     /// create path *wants* to see.
     pub fn lookup(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<Option<Dentry>> {
+        let r = self.lookup_impl(client, parent, name);
+        let found = match &r.result {
+            Ok(d) => d.as_ref().map(|d| d.ino.0),
+            Err(_) => None,
+        };
+        self.history(
+            client,
+            HistoryOp::Lookup {
+                dir: parent.0,
+                name: name.to_string(),
+                found,
+            },
+            Self::history_result(&r.result),
+            found.unwrap_or(0),
+            &r.cost,
+        );
+        r
+    }
+
+    fn lookup_impl(
+        &mut self,
+        client: ClientId,
+        parent: InodeId,
+        name: &str,
+    ) -> Rpc<Option<Dentry>> {
         if let Some(r) = self.down_reply() {
             return r;
         }
@@ -749,6 +847,21 @@ impl MetadataServer {
 
     /// Removes a file.
     pub fn unlink(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<()> {
+        let r = self.unlink_impl(client, parent, name);
+        self.history(
+            client,
+            HistoryOp::Unlink {
+                dir: parent.0,
+                name: name.to_string(),
+            },
+            Self::history_result(&r.result),
+            0,
+            &r.cost,
+        );
+        r
+    }
+
+    fn unlink_impl(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<()> {
         if let Some(r) = self.down_reply() {
             return r;
         }
@@ -785,6 +898,30 @@ impl MetadataServer {
 
     /// Renames within the namespace.
     pub fn rename(
+        &mut self,
+        client: ClientId,
+        src_parent: InodeId,
+        src_name: &str,
+        dst_parent: InodeId,
+        dst_name: &str,
+    ) -> Rpc<()> {
+        let r = self.rename_impl(client, src_parent, src_name, dst_parent, dst_name);
+        self.history(
+            client,
+            HistoryOp::Rename {
+                src_dir: src_parent.0,
+                src_name: src_name.to_string(),
+                dst_dir: dst_parent.0,
+                dst_name: dst_name.to_string(),
+            },
+            Self::history_result(&r.result),
+            0,
+            &r.cost,
+        );
+        r
+    }
+
+    fn rename_impl(
         &mut self,
         client: ClientId,
         src_parent: InodeId,
@@ -863,6 +1000,21 @@ impl MetadataServer {
     /// Lists a directory ("ls" — "notoriously heavy-weight"): MDS CPU
     /// scales with the entry count.
     pub fn readdir(&mut self, client: ClientId, ino: InodeId) -> Rpc<Vec<(String, Dentry)>> {
+        let r = self.readdir_impl(client, ino);
+        self.history(
+            client,
+            HistoryOp::Readdir {
+                dir: ino.0,
+                entries: r.result.as_ref().map_or(0, |v| v.len() as u64),
+            },
+            Self::history_result(&r.result),
+            ino.0,
+            &r.cost,
+        );
+        r
+    }
+
+    fn readdir_impl(&mut self, client: ClientId, ino: InodeId) -> Rpc<Vec<(String, Dentry)>> {
         if let Some(r) = self.down_reply() {
             return r;
         }

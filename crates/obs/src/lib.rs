@@ -29,7 +29,10 @@ use std::sync::{Arc, Mutex};
 use cudele_sim::Nanos;
 
 pub mod critpath;
+pub mod history;
 pub mod json;
+
+use history::{HistoryEvent, HistoryWriter};
 
 /// A monotonically increasing event counter. Cloning shares the cell.
 #[derive(Debug, Clone, Default)]
@@ -350,6 +353,9 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<SpanLog>,
+    /// Consistency history (see [`history`]): per-client invoke/ack
+    /// records the offline checkers consume.
+    history: HistoryWriter,
     /// Deterministic span-id allocator: ids are handed out in call order,
     /// starting at 1, so same-seed runs assign identical ids.
     next_span_id: AtomicU64,
@@ -382,6 +388,7 @@ impl Registry {
                 capacity,
                 dropped: 0,
             }),
+            history: HistoryWriter::with_capacity(history::DEFAULT_HISTORY_CAPACITY),
             next_span_id: AtomicU64::new(0),
         }
     }
@@ -540,6 +547,38 @@ impl Registry {
         log.capacity
     }
 
+    /// Records one consistency-history event.
+    pub fn record_history(&self, ev: HistoryEvent) {
+        self.history.record(ev);
+    }
+
+    /// A cloneable handle onto this registry's history log, for layers
+    /// that only borrow the registry transiently but keep recording.
+    pub fn history_writer(&self) -> HistoryWriter {
+        self.history.clone()
+    }
+
+    /// A copy of the retained history events, in recording order.
+    pub fn history_events(&self) -> Vec<HistoryEvent> {
+        self.history.events()
+    }
+
+    /// Number of retained history events.
+    pub fn history_count(&self) -> usize {
+        self.history.count()
+    }
+
+    /// Serializes the history as a `cudele-history/v1` document claiming
+    /// consistency `mode` (`"rpc"` or `"decoupled"`).
+    pub fn history_json(&self, mode: &str) -> String {
+        history::History {
+            mode: mode.to_string(),
+            events: self.history.events(),
+            dropped: self.history.dropped(),
+        }
+        .to_json()
+    }
+
     /// Folds another registry's contents into this one: counters add,
     /// gauges take the source's value (last-write-wins in merge order),
     /// histograms merge bucket-wise, and spans are appended with their ids
@@ -591,6 +630,9 @@ impl Registry {
             let mut log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
             log.dropped += src_dropped;
         }
+        // History events reference trace roots by id, so they rebase by the
+        // same offset as the spans they hang off.
+        self.history.merge_from(&other.history, offset);
         // Advance the allocator past every id the source handed out, so the
         // next allocation (or next merge) continues the serial sequence.
         self.next_span_id.fetch_add(
@@ -1021,6 +1063,44 @@ mod tests {
         assert_eq!(merged.spans(), serial.spans());
         // The allocator continues the serial sequence after the merges.
         assert_eq!(merged.trace_root(9).span_id, serial.trace_root(9).span_id);
+    }
+
+    /// History merging follows the span-id rebase: per-task histories
+    /// merged in input order serialize byte-identically to one serial
+    /// recording — the property `--threads 1` vs `--threads N` pins.
+    #[test]
+    fn merging_per_task_histories_matches_serial_recording() {
+        use history::{HistoryEvent, HistoryOp, HistoryResult, HistoryScope};
+        let record = |reg: &Registry, task: u32| {
+            let root = reg.trace_root(task);
+            reg.record_history(HistoryEvent {
+                client: u64::from(task),
+                scope: HistoryScope::Global,
+                op: HistoryOp::Create {
+                    dir: 1,
+                    name: format!("t{task}"),
+                },
+                result: HistoryResult::Ok,
+                ino: 100 + u64::from(task),
+                invoke: Nanos(u64::from(task) * 10),
+                ack: Nanos(u64::from(task) * 10 + 5),
+                epoch: 1,
+                trace_id: root.trace_id,
+            });
+            reg.end_span(root, "create", "client_op", Nanos(0), Nanos(5));
+        };
+        let serial = Registry::new();
+        for task in 0..3 {
+            record(&serial, task);
+        }
+        let merged = Registry::new();
+        for task in 0..3 {
+            let per_task = Registry::new();
+            record(&per_task, task);
+            merged.merge_from(&per_task);
+        }
+        assert_eq!(merged.history_events(), serial.history_events());
+        assert_eq!(merged.history_json("rpc"), serial.history_json("rpc"));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use std::sync::Arc;
 
 use cudele::{
-    achieved_durability, execute_merge, visible_in_global, Composition, Durability, ExecEnv,
+    achieved_durability, execute_merge, execute_merge_at, visible_in_global, Composition,
+    Durability, ExecEnv,
 };
 use cudele_client::{DecoupledClient, LocalDisk, RpcClient};
 use cudele_faults::{FaultConfig, FaultyStore};
@@ -387,8 +388,8 @@ fn small_mdlog() -> MdLogConfig {
 
 /// Everything a failover run produced that must reproduce bit for bit:
 /// the epoch, the virtual-clock failover timings, the replay size, the
-/// surviving namespace, the loss accounting, and the injected-fault
-/// tallies.
+/// surviving namespace, the loss accounting, the injected-fault tallies,
+/// and the serialized consistency history the run recorded.
 #[derive(Debug, PartialEq)]
 struct FailoverOutcome {
     epoch: u64,
@@ -399,6 +400,7 @@ struct FailoverOutcome {
     lost: u64,
     durability: Option<cudele::Durability>,
     injected: (u64, u64, u64),
+    history: String,
 }
 
 /// One mechanism configuration through a full failover: workload against
@@ -420,6 +422,12 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         mdlog,
         FailoverConfig::default(),
     );
+    // Record the run's consistency history so the offline checkers can
+    // verify the mechanism's claimed axioms across the failover.
+    let reg = Arc::new(cudele_obs::Registry::new());
+    cluster.attach_obs(&reg);
+    let mds_side = matches!(mech, "rpcs" | "stream");
+    let mode = if mds_side { "rpc" } else { "decoupled" };
     let mut disk = LocalDisk::new();
     let dir = cluster.active_mut().setup_dir_durable("/job").unwrap();
     if mdlog.is_none() {
@@ -434,7 +442,6 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         .unwrap();
     }
 
-    let mds_side = matches!(mech, "rpcs" | "stream");
     let mut dclient = None;
     let mut unflushed_at_crash = 0;
     if mds_side {
@@ -449,6 +456,7 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         cluster.active_mut().open_session(CLIENT);
         let (dc, _) = DecoupledClient::decouple(cluster.active_mut(), CLIENT, "/job", N + 10);
         let mut client = dc.unwrap();
+        client.attach_obs(&reg);
         for i in 0..N {
             client.create(client.root, &format!("f{i}")).unwrap();
         }
@@ -456,7 +464,7 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         // crash lands *after* the class was supposedly achieved.
         if mech != "append_client_journal" {
             let comp: Composition = mech.parse().unwrap();
-            execute_merge(
+            let merged = execute_merge_at(
                 &comp,
                 &mut client,
                 &mut ExecEnv {
@@ -464,12 +472,22 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
                     os: os.as_ref(),
                     disk: &mut disk,
                 },
+                Some(&reg),
+                CLIENT.0,
+                Nanos::ZERO,
             )
             .unwrap();
             assert!(
                 visible_in_global(cluster.active(), &client) || !mech.contains("apply"),
                 "{mech} seed {seed}: merge not visible before the crash"
             );
+            // Pre-crash visibility probes: recorded observations at or
+            // after the merge's ack, which is what the eventual checker
+            // verifies for the apply mechanisms.
+            cluster.active_mut().set_now(merged.elapsed);
+            for i in 0..5 {
+                let _ = cluster.active_mut().lookup(CLIENT, dir, &format!("f{i}"));
+            }
         }
         dclient = Some(client);
     }
@@ -543,7 +561,8 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         if mech == "volatile_apply" {
             assert_eq!(lost, N, "{mech} seed {seed}: memory-only merge survived?");
             let comp: Composition = "volatile_apply".parse().unwrap();
-            execute_merge(
+            let remerge_at = Nanos::from_millis(80);
+            let remerged = execute_merge_at(
                 &comp,
                 client,
                 &mut ExecEnv {
@@ -551,12 +570,22 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
                     os: os.as_ref(),
                     disk: &mut disk,
                 },
+                Some(&reg),
+                CLIENT.0,
+                remerge_at,
             )
             .unwrap();
             assert!(
                 visible_in_global(cluster.active(), client),
                 "{mech} seed {seed}: re-merge onto the new primary failed"
             );
+            // Epoch-2 probes: the re-merged names must be visible on the
+            // new primary, and the recorded history lets the eventual
+            // checker prove it.
+            cluster.active_mut().set_now(remerge_at + remerged.elapsed);
+            for i in 0..5 {
+                let _ = cluster.active_mut().lookup(CLIENT, dir, &format!("f{i}"));
+            }
         }
     } else {
         cluster.active_mut().open_session(CLIENT);
@@ -590,6 +619,24 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         ),
     }
 
+    // The recorded history must satisfy the mode's claimed axioms —
+    // linearizability for the MDS-side mechanisms, session + eventual
+    // visibility for the decoupled ones — right across the failover.
+    let history = reg.history_json(mode);
+    let report = cudele_check::check_history(
+        &cudele_obs::history::History::parse(&history)
+            .unwrap_or_else(|e| panic!("{mech} seed {seed}: bad history: {e}")),
+    );
+    assert!(
+        report.clean(),
+        "{mech} seed {seed}: consistency violation: {}",
+        report.violations[0]
+    );
+    assert!(
+        report.ops_checked > 0,
+        "{mech} seed {seed}: checker verified nothing"
+    );
+
     FailoverOutcome {
         epoch: r.takeover.epoch.0,
         detection_ns: r.decision.detection_latency().0,
@@ -599,6 +646,7 @@ fn failover_run(mech: &str, seed: u64) -> FailoverOutcome {
         lost,
         durability,
         injected: os.injected(),
+        history,
     }
 }
 
