@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use cudele::{Composition, Policy};
-use cudele_mds::{ClientId, FailoverConfig, MdsCluster, MetadataServer};
+use cudele_mds::{CheckpointConfig, ClientId, FailoverConfig, MdsCluster, MetadataServer};
 use cudele_rados::InMemoryStore;
 use cudele_sim::{Engine, Nanos, RunReport};
 use cudele_workloads::client_dir;
@@ -65,6 +65,12 @@ pub struct BenchConfig {
     /// Override the mdlog's dispatch size (sealed segments flushed
     /// together; the paper's recommended value, and the default, is 40).
     pub mdlog_dispatch: Option<u32>,
+    /// Cut an incremental checkpoint every N flushed journal events
+    /// (tiered compaction under a fenced manifest). Recovery — including
+    /// the `mds-crash@T` failover drill — then replays only the journal
+    /// tail past the manifest's high-water mark instead of the whole log.
+    /// Requires a journaling policy; incompatible with the mdlog trimmer.
+    pub checkpoint_interval: Option<u64>,
     /// Worker threads for a multi-policy sweep (`--policy a,b,c`); each
     /// policy runs in its own world/registry and results are reported in
     /// the order given, so output is identical at any thread count.
@@ -85,6 +91,7 @@ impl Default for BenchConfig {
             faults: None,
             mdlog_segment: None,
             mdlog_dispatch: None,
+            checkpoint_interval: None,
             threads: 1,
         }
     }
@@ -97,7 +104,8 @@ pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--history-out PATH] [--span-capacity N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
 osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL,mds-crash@T] \
-     [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] [--threads N]
+     [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] \
+     [--checkpoint-interval EVENTS] [--threads N]
 A comma-separated --policy list (e.g. --policy posix,batchfs,deltafs) runs
 each policy independently, fanned across --threads workers; output order
 and bytes match a serial run. `mds-crash@T` entries (repeatable) schedule
@@ -105,7 +113,10 @@ a deterministic MDS failover drill after the workload: crash, beacon-grace
 detection, epoch bump, standby replay of the run's mdlog, client
 reconnects. `--history-out` records every namespace op's invoke/ack
 interval as a `cudele-history/v1` file for `cudele-bench check`
-(single-policy runs only).";
+(single-policy runs only). `--checkpoint-interval N` cuts an incremental
+checkpoint (tiered compaction under a fenced manifest) every N flushed
+journal events, so recovery and the failover drill replay only the
+journal tail past the manifest; requires a journaling policy.";
 
 /// Parses an argument list (element 0 is the program name). `Err` carries
 /// the message to print before the usage string; `--help` yields
@@ -156,6 +167,13 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
                     value(&mut i, "--mdlog-dispatch")?
                         .parse()
                         .map_err(|e| format!("bad --mdlog-dispatch: {e}"))?,
+                );
+            }
+            "--checkpoint-interval" => {
+                cfg.checkpoint_interval = Some(
+                    value(&mut i, "--checkpoint-interval")?
+                        .parse()
+                        .map_err(|e| format!("bad --checkpoint-interval: {e}"))?,
                 );
             }
             "--threads" => {
@@ -273,7 +291,29 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     };
     let drill_store = Arc::clone(&os);
     let drill_cost = cost.clone();
+    let ckpt_config = match cfg.checkpoint_interval {
+        None => None,
+        Some(0) => return Err("--checkpoint-interval must be at least 1".to_string()),
+        Some(n) => {
+            if mdlog.is_none() {
+                return Err(format!(
+                    "--checkpoint-interval needs a journaling policy; `{}` runs without an mdlog",
+                    cfg.policy
+                ));
+            }
+            Some(CheckpointConfig {
+                interval_events: n,
+                ..CheckpointConfig::default()
+            })
+        }
+    };
     let mut world = World::new(MetadataServer::with_config(os, cost, mdlog));
+    if let Some(ck) = ckpt_config {
+        world
+            .server
+            .enable_checkpoints(ck)
+            .map_err(|e| format!("enabling checkpoints: {e}"))?;
+    }
     let run_reg = Arc::clone(&world.obs);
     for c in 0..cfg.clients {
         world.server.setup_dir(&client_dir(c)).unwrap();
@@ -357,6 +397,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
             drill_store,
             drill_cost,
             mdlog,
+            ckpt_config,
             &mds_crashes,
             cfg.clients,
             &run_reg,
@@ -364,6 +405,17 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         )?;
     }
     let counter = |name: &str| run_reg.counter_value(name).unwrap_or(0);
+    if ckpt_config.is_some() {
+        let _ = writeln!(
+            rendered,
+            "  ckpt obs     : mds.ckpt.checkpoints={} mds.ckpt.deltas_folded={} \
+mds.ckpt.replay_events_saved={} mds.ckpt.fallbacks={}",
+            counter("mds.ckpt.checkpoints"),
+            counter("mds.ckpt.deltas_folded"),
+            counter("mds.ckpt.replay_events_saved"),
+            counter("mds.ckpt.fallbacks"),
+        );
+    }
     let _ = writeln!(
         rendered,
         "  fault obs    : rados.fenced_writes={} client.rpc.timeouts={} \
@@ -391,10 +443,12 @@ mds.session.reconnects={}",
 /// and every bench client reconnects to the new primary. Appends one
 /// rendered line per failover. Deterministic: the same schedule over the
 /// same workload yields byte-identical lines, epochs, and timings.
+#[allow(clippy::too_many_arguments)]
 fn failover_drill(
     base: Arc<dyn cudele_rados::ObjectStore>,
     cost: cudele_sim::CostModel,
     mdlog: Option<cudele_mds::MdLogConfig>,
+    ckpt_config: Option<CheckpointConfig>,
     crashes: &[Nanos],
     clients: u32,
     reg: &Arc<cudele_obs::Registry>,
@@ -403,6 +457,13 @@ fn failover_drill(
     use std::fmt::Write as _;
     let fo = FailoverConfig::default();
     let mut cluster = MdsCluster::new(base, cost, mdlog, fo);
+    if let Some(ck) = ckpt_config {
+        // The drill's active MDS resumes from the manifest the workload
+        // published; every takeover then replays only the journal tail.
+        cluster
+            .enable_checkpoints(ck)
+            .map_err(|e| format!("failover drill: enabling checkpoints: {e}"))?;
+    }
     // The world's registry is the session when one is installed, so the
     // drill's fencing/reconnect counters land where the summary (and any
     // `--metrics-out` snapshot) reads them.
@@ -434,10 +495,18 @@ fn failover_drill(
                 ok += 1;
             }
         }
+        let manifest = if r.takeover.manifest_epoch > 0 {
+            format!(
+                " from manifest m{} ({} checkpointed)",
+                r.takeover.manifest_epoch, r.takeover.checkpoint_events
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             rendered,
             "  failover #{n} : crash@{crash_at} -> epoch e{epoch}, detected in {lat}, \
-replayed {replayed} events{healed}, {ok}/{clients} sessions reconnected",
+replayed {replayed} events{healed}{manifest}, {ok}/{clients} sessions reconnected",
             n = i + 1,
             epoch = r.takeover.epoch.0,
             lat = r.decision.detection_latency(),
@@ -563,6 +632,60 @@ mod tests {
         // included.
         let again = run(&cfg).unwrap();
         assert_eq!(out.rendered, again.rendered);
+    }
+
+    #[test]
+    fn checkpointed_drill_replays_only_the_tail() {
+        let base = BenchConfig {
+            clients: 2,
+            files: 200,
+            faults: Some("mds-crash@5ms".to_string()),
+            mdlog_segment: Some(8),
+            mdlog_dispatch: Some(2),
+            ..BenchConfig::default()
+        };
+        let full = run(&base).unwrap();
+        let ckpt = run(&BenchConfig {
+            checkpoint_interval: Some(64),
+            ..base.clone()
+        })
+        .unwrap();
+        assert!(
+            ckpt.rendered.contains("from manifest m"),
+            "{}",
+            ckpt.rendered
+        );
+        assert!(ckpt.rendered.contains("ckpt obs"), "{}", ckpt.rendered);
+        let replayed = |r: &str| -> u64 {
+            let tail = r.split("replayed ").nth(1).unwrap();
+            tail.split(' ').next().unwrap().parse().unwrap()
+        };
+        assert!(
+            replayed(&ckpt.rendered) < replayed(&full.rendered),
+            "checkpointed drill should replay less:\n{}\nvs\n{}",
+            ckpt.rendered,
+            full.rendered
+        );
+        // Deterministic, timings and counters included.
+        let again = run(&BenchConfig {
+            checkpoint_interval: Some(64),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(ckpt.rendered, again.rendered);
+    }
+
+    #[test]
+    fn checkpoint_interval_needs_a_journal() {
+        let err = run(&BenchConfig {
+            policy: "ramdisk".to_string(),
+            checkpoint_interval: Some(64),
+            clients: 1,
+            files: 10,
+            ..BenchConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("journaling policy"), "{err}");
     }
 
     #[test]

@@ -23,11 +23,13 @@ use std::sync::Arc;
 
 use cudele::{execute_merge_at, Composition, ExecEnv};
 use cudele_client::LocalDisk;
-use cudele_mds::{MdLogConfig, MetadataServer};
+use cudele_mds::{
+    CheckpointConfig, ClientId, FailoverConfig, MdLogConfig, MdsCluster, MetadataServer,
+};
 use cudele_obs::critpath::{self, MechanismBreakdown};
 use cudele_obs::json::{self, Value};
 use cudele_rados::InMemoryStore;
-use cudele_sim::{CostModel, Engine};
+use cudele_sim::{CostModel, Engine, Nanos};
 use cudele_workloads::client_dir;
 
 use crate::mdbench::{self, BenchConfig};
@@ -36,7 +38,7 @@ use crate::{DecoupledCreateProcess, RpcCreateProcess, Scale, World};
 
 /// Version tag of the `BENCH_cudele.json` layout. Bump on any change to
 /// the emitted structure; the comparator refuses mismatched schemas.
-pub const SCHEMA: &str = "cudele-bench-regress/v2";
+pub const SCHEMA: &str = "cudele-bench-regress/v3";
 
 /// Default path of the freshly measured snapshot.
 pub const DEFAULT_OUT: &str = "BENCH_cudele.json";
@@ -166,6 +168,7 @@ fn run_mdbench_workload(
         faults: None,
         mdlog_segment: None,
         mdlog_dispatch: None,
+        checkpoint_interval: None,
         threads: 1,
     };
     let mode = mdbench::history_mode_of(&cfg);
@@ -192,6 +195,79 @@ fn run_mdbench_workload(
         history_events: check.events as u64,
         check_ops: check.ops_checked,
         check_violations: check.violations.iter().map(ToString::to_string).collect(),
+    })
+}
+
+/// The checkpointed-recovery workload's measurements. Everything here is
+/// deterministic virtual time, so the comparator can demand exact matches
+/// on the structural numbers and a tight band on the timing.
+struct RecoveryRow {
+    /// Creates driven through the active MDS before the crash.
+    files: u64,
+    /// Journal-tail events the standby replayed past the manifest.
+    replay_events: u64,
+    /// Events materialized from the manifest's image + deltas instead.
+    checkpoint_events: u64,
+    /// detected-at → takeover-complete, virtual nanoseconds.
+    takeover_ns: u64,
+    /// Manifest epoch the takeover recovered from.
+    manifest_epoch: u64,
+}
+
+/// Workload size for the recovery row. With `interval_events` 128 the run
+/// cuts several checkpoints, so the replayed tail is a small fixed residue
+/// of the workload, not proportional to it.
+const RECOVERY_FILES: u64 = 600;
+
+/// Runs a checkpointed failover on a private cluster: create
+/// [`RECOVERY_FILES`] files with the compactor cutting a checkpoint every
+/// 128 flushed events, crash the active MDS, and measure what the standby
+/// takeover actually replayed.
+fn run_recovery_workload() -> Result<RecoveryRow, String> {
+    let fail = |e: cudele_mds::MdsError| format!("recovery workload: {e}");
+    let mut cluster = MdsCluster::new(
+        Arc::new(InMemoryStore::paper_default()),
+        CostModel::calibrated(),
+        Some(MdLogConfig {
+            events_per_segment: 32,
+            dispatch_size: 2,
+            trim_after_updates: None,
+        }),
+        FailoverConfig::default(),
+    );
+    cluster
+        .enable_checkpoints(CheckpointConfig {
+            interval_events: 128,
+            ..CheckpointConfig::default()
+        })
+        .map_err(fail)?;
+    cluster.active_mut().open_session(ClientId(0));
+    let dir = cluster
+        .active_mut()
+        .setup_dir_durable("/regress")
+        .map_err(fail)?;
+    for i in 0..RECOVERY_FILES {
+        cluster
+            .active_mut()
+            .create(ClientId(0), dir, &format!("f{i}"))
+            .result
+            .map_err(fail)?;
+    }
+    cluster.active_mut().flush_journal();
+    cluster.advance_to(Nanos::from_millis(5)).map_err(fail)?;
+    cluster.crash_active();
+    cluster.advance_to(Nanos::from_millis(60)).map_err(fail)?;
+    let r = cluster
+        .reports()
+        .first()
+        .copied()
+        .ok_or("recovery workload: crash was never detected")?;
+    Ok(RecoveryRow {
+        files: RECOVERY_FILES,
+        replay_events: r.takeover.replayed_events,
+        checkpoint_events: r.takeover.checkpoint_events,
+        takeover_ns: (r.completed_at - r.decision.detected_at).0,
+        manifest_epoch: r.takeover.manifest_epoch,
     })
 }
 
@@ -280,6 +356,7 @@ fn fmt_f64(v: f64) -> String {
 
 fn render_json(
     mdbench_rows: &[MdbenchRow],
+    recovery: &RecoveryRow,
     fig5: &crate::fig5::Fig5,
     mechanisms: &[MechanismBreakdown],
 ) -> String {
@@ -314,6 +391,23 @@ fn render_json(
         });
     }
     out.push_str("  ],\n");
+
+    out.push_str("  \"recovery\": {\n");
+    out.push_str(&format!("    \"files\": {},\n", recovery.files));
+    out.push_str(&format!(
+        "    \"replay_events\": {},\n",
+        recovery.replay_events
+    ));
+    out.push_str(&format!(
+        "    \"checkpoint_events\": {},\n",
+        recovery.checkpoint_events
+    ));
+    out.push_str(&format!("    \"takeover_ns\": {},\n", recovery.takeover_ns));
+    out.push_str(&format!(
+        "    \"manifest_epoch\": {}\n",
+        recovery.manifest_epoch
+    ));
+    out.push_str("  },\n");
 
     out.push_str("  \"fig5_slowdowns\": {\n");
     for (i, b) in fig5.bars.iter().enumerate() {
@@ -480,6 +574,42 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
         }
     }
 
+    // Checkpointed recovery: the workload is deterministic, so the
+    // structural numbers (how much was replayed vs materialized, which
+    // manifest epoch) must match exactly — any drift means the compactor
+    // or the recovery ladder changed behavior. The takeover time gets the
+    // usual throughput band for cost-model recalibrations.
+    let recovery_field = |j: &Value, key: &str| {
+        j.get("recovery")
+            .and_then(|r| r.get(key))
+            .and_then(Value::as_u64)
+    };
+    if base.get("recovery").is_some() {
+        if cur.get("recovery").is_none() {
+            v.push("recovery: section missing from current run".to_string());
+        }
+        for key in [
+            "files",
+            "replay_events",
+            "checkpoint_events",
+            "manifest_epoch",
+        ] {
+            let (c, b) = (recovery_field(&cur, key), recovery_field(&base, key));
+            if c != b {
+                v.push(format!(
+                    "recovery.{key}: {c:?} vs baseline {b:?} (exact match required)"
+                ));
+            }
+        }
+        check_rel(
+            &mut v,
+            "recovery.takeover_ns",
+            recovery_field(&cur, "takeover_ns").map_or(f64::NAN, |n| n as f64),
+            recovery_field(&base, "takeover_ns").map_or(f64::NAN, |n| n as f64),
+            0.10,
+        );
+    }
+
     // Figure-5 slowdowns, matched by bar label.
     let bars = |j: &Value| {
         j.get("fig5_slowdowns")
@@ -578,6 +708,7 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
 /// at two thread counts and wall-clocks the difference.
 pub struct Measurement {
     mdbench_rows: Vec<MdbenchRow>,
+    recovery: RecoveryRow,
     fig5: crate::fig5::Fig5,
     mech_rows: Vec<MechanismBreakdown>,
     /// Chrome trace of the traced-mechanisms run.
@@ -589,7 +720,12 @@ pub struct Measurement {
 impl Measurement {
     /// The schema-versioned snapshot JSON (deterministic bytes).
     pub fn to_json(&self) -> String {
-        render_json(&self.mdbench_rows, &self.fig5, &self.mech_rows)
+        render_json(
+            &self.mdbench_rows,
+            &self.recovery,
+            &self.fig5,
+            &self.mech_rows,
+        )
     }
 }
 
@@ -598,40 +734,45 @@ enum TaskOut {
     Mechs(Box<(Vec<MechanismBreakdown>, String, String)>),
     Mdbench(Box<Result<MdbenchRow, String>>),
     Fig5(Box<crate::fig5::Fig5>),
+    Recovery(Box<Result<RecoveryRow, String>>),
 }
 
 /// Runs the full measurement sweep — the traced all-mechanisms run, the
-/// three mdbench policies, and Figure 5 — as five independent tasks fanned
-/// across `threads` workers. Each task owns its store, world, and registry
-/// (the mdbench tasks install per-thread sessions), so results are
-/// assembled in fixed input order and the output is byte-identical to a
-/// serial sweep.
+/// three mdbench policies, Figure 5, and the checkpointed-recovery drill —
+/// as six independent tasks fanned across `threads` workers. Each task
+/// owns its store, world, and registry (the mdbench tasks install
+/// per-thread sessions), so results are assembled in fixed input order and
+/// the output is byte-identical to a serial sweep.
 pub fn measure(threads: usize, span_capacity: Option<usize>) -> Result<Measurement, String> {
-    let results = obs_out::par_tasks_merged(threads, 2 + MDBENCH_POLICIES.len(), |i| match i {
+    let results = obs_out::par_tasks_merged(threads, 3 + MDBENCH_POLICIES.len(), |i| match i {
         0 => TaskOut::Mechs(Box::new(run_traced_mechanisms())),
         1 => TaskOut::Fig5(Box::new(crate::fig5::run(Scale {
             files_per_client: 2_000,
             runs: 1,
         }))),
+        2 => TaskOut::Recovery(Box::new(run_recovery_workload())),
         _ => TaskOut::Mdbench(Box::new(run_mdbench_workload(
-            MDBENCH_POLICIES[i - 2],
+            MDBENCH_POLICIES[i - 3],
             span_capacity,
         ))),
     });
 
     let mut mech = None;
     let mut fig5 = None;
+    let mut recovery = None;
     let mut mdbench_rows = Vec::new();
     for r in results {
         match r {
             TaskOut::Mechs(m) => mech = Some(*m),
             TaskOut::Fig5(f) => fig5 = Some(*f),
+            TaskOut::Recovery(row) => recovery = Some((*row)?),
             TaskOut::Mdbench(row) => mdbench_rows.push((*row)?),
         }
     }
     let (mech_rows, trace_json, folded) = mech.expect("mechanisms task ran");
     Ok(Measurement {
         mdbench_rows,
+        recovery: recovery.expect("recovery task ran"),
         fig5: fig5.expect("fig5 task ran"),
         mech_rows,
         trace_json,
@@ -679,6 +820,15 @@ pub fn run(cfg: &RegressConfig) -> Result<RegressOutcome, String> {
             r.p99_ns / 1000.0
         ));
     }
+    rendered.push_str(&format!(
+        "recovery: {} creates -> takeover replayed {} tail events \
+(+{} from manifest m{}) in {}\n",
+        m.recovery.files,
+        m.recovery.replay_events,
+        m.recovery.checkpoint_events,
+        m.recovery.manifest_epoch,
+        Nanos(m.recovery.takeover_ns),
+    ));
     let checked: u64 = m.mdbench_rows.iter().map(|r| r.check_ops).sum();
     let check_viols: Vec<&String> = m
         .mdbench_rows

@@ -188,6 +188,7 @@ fn run_faulted_snapshots(
         // enough for the plan to actually fire within 500 creates.
         mdlog_segment: faults.map(|_| 32),
         mdlog_dispatch: faults.map(|_| 4),
+        checkpoint_interval: None,
         threads: 1,
     };
     let out = mdbench::run(&cfg).unwrap();

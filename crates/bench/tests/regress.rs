@@ -23,6 +23,10 @@ fn tmp(label: &str) -> String {
 }
 
 fn run_once(label: &str) -> (String, Vec<String>) {
+    run_with_threads(label, 1)
+}
+
+fn run_with_threads(label: &str, threads: usize) -> (String, Vec<String>) {
     let out = tmp(&format!("{label}_out.json"));
     let baseline = tmp(&format!("{label}_baseline.json"));
     let cfg = RegressConfig {
@@ -32,7 +36,7 @@ fn run_once(label: &str) -> (String, Vec<String>) {
         span_capacity: None,
         trace_out: None,
         folded_out: None,
-        threads: 1,
+        threads,
     };
     let outcome = regress::run(&cfg).unwrap();
     let written = std::fs::read_to_string(&out).unwrap();
@@ -72,6 +76,65 @@ fn same_seed_snapshots_are_byte_identical_and_self_consistent() {
 
     // Self-comparison is trivially green.
     assert!(regress::compare(&a, &a).unwrap().is_empty());
+}
+
+/// The recovery section rides the same determinism contract as the rest
+/// of the snapshot: a parallel sweep (recovery runs as its own task) must
+/// produce the identical bytes a serial run produces — including the
+/// checkpointed-recovery row — and the row itself must show bounded
+/// replay (manifest published, tail far smaller than the workload).
+#[test]
+fn parallel_measurement_matches_serial_and_includes_recovery() {
+    let _guard = lock().lock().unwrap();
+
+    let (serial, _) = run_with_threads("serial", 1);
+    let (parallel, _) = run_with_threads("parallel", 4);
+    assert_eq!(
+        serial, parallel,
+        "BENCH_cudele.json differs at --threads 4 vs --threads 1"
+    );
+
+    let v = cudele_obs::json::parse(&serial).unwrap();
+    let rec = v.get("recovery").expect("snapshot has a recovery section");
+    let field = |key: &str| {
+        rec.get(key)
+            .and_then(cudele_obs::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("recovery.{key} missing"))
+    };
+    let files = field("files");
+    let replay = field("replay_events");
+    let materialized = field("checkpoint_events");
+    assert!(field("manifest_epoch") > 0, "no manifest was published");
+    assert!(field("takeover_ns") > 0);
+    // Bounded recovery: the journal tail replayed is a small fraction of
+    // the workload; the bulk came out of the manifest image + deltas.
+    assert!(
+        replay < files / 2,
+        "replayed {replay} of a {files}-create workload — checkpoints idle?"
+    );
+    assert!(materialized > replay, "manifest covered less than the tail");
+}
+
+/// The recovery comparator is exact-match on the deterministic fields: a
+/// baseline whose replay_events differs by even one event must fire.
+#[test]
+fn recovery_gate_fires_on_replay_drift() {
+    let _guard = lock().lock().unwrap();
+
+    let (snapshot, _) = run_once("recovery_gate");
+    let needle = "\"replay_events\": ";
+    let at = snapshot.find(needle).unwrap() + needle.len();
+    let end = at + snapshot[at..].find(',').unwrap();
+    let val: u64 = snapshot[at..end].parse().unwrap();
+    let drifted = format!("{}{}{}", &snapshot[..at], val + 1, &snapshot[end..]);
+
+    let violations = regress::compare(&drifted, &snapshot).unwrap();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.contains("recovery.replay_events") && v.contains("exact")),
+        "recovery gate did not fire: {violations:?}"
+    );
 }
 
 #[test]

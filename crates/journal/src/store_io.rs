@@ -387,6 +387,26 @@ pub fn read_journal<S: ObjectStore + ?Sized>(
     Ok(events)
 }
 
+/// Reads only the journal tail past `skip` events, counted in the same
+/// logical coordinates as [`read_journal`] (after the trimmed prefix is
+/// dropped). Checkpoint manifests record a high-water mark in these
+/// coordinates so recovery replays only the uncovered suffix; a `skip`
+/// beyond the journal's length yields an empty tail. Damage anywhere in
+/// the journal is still a hard error — a caller that wants the lenient
+/// read heals first and re-reads.
+pub fn read_journal_tail<S: ObjectStore + ?Sized>(
+    store: &S,
+    id: JournalId,
+    skip: u64,
+) -> Result<Vec<JournalEvent>, JournalIoError> {
+    let mut events = read_journal(store, id)?;
+    let skip = skip.min(events.len() as u64) as usize;
+    if skip > 0 {
+        events.drain(..skip);
+    }
+    Ok(events)
+}
+
 /// Where a stored journal first fails to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalDamage {
@@ -621,6 +641,24 @@ mod tests {
         assert_eq!(read_journal(&store, jid()).unwrap(), events[4..].to_vec());
         trim_journal(&store, jid(), 100).unwrap(); // over-trim clamps
         assert_eq!(read_journal(&store, jid()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn tail_skips_covered_prefix() {
+        let store = InMemoryStore::paper_default();
+        let events: Vec<_> = (0..10).map(create).collect();
+        let mut w = JournalWriter::open(&store, jid()).unwrap();
+        w.append(&events).unwrap();
+        assert_eq!(
+            read_journal_tail(&store, jid(), 6).unwrap(),
+            events[6..].to_vec()
+        );
+        assert_eq!(read_journal_tail(&store, jid(), 0).unwrap(), events);
+        // A high-water mark past the end clamps to an empty tail.
+        assert_eq!(read_journal_tail(&store, jid(), 100).unwrap(), vec![]);
+        // Missing journal reads as empty, same as read_journal.
+        let other = JournalId::new(PoolId::METADATA, 0x999);
+        assert_eq!(read_journal_tail(&store, other, 3).unwrap(), vec![]);
     }
 
     #[test]

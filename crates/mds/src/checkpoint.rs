@@ -1,0 +1,897 @@
+//! Tiered journal compaction and incremental checkpoints.
+//!
+//! Without checkpoints, recovery — in-place
+//! [`MetadataServer::crash_and_recover`] and standby
+//! [`crate::StandbyReplay::take_over`] alike — replays the whole mdlog, so
+//! failover time grows without bound with workload length. This module
+//! bounds it with a two-level scheme in the object store:
+//!
+//! * **L0 deltas** (`ckpt.<ino>.delta.<epoch>`): raw slices of flushed
+//!   journal events, cut every [`CheckpointConfig::interval_events`]
+//!   flushed events. A delta is *not* compacted in isolation: an `Unlink`
+//!   or `Rename` in a window can reference state created before it, and
+//!   compacting the window alone would drop it. Raw slices blind-replay
+//!   correctly on top of everything before them.
+//! * **L1 image** (`ckpt.<ino>.image.<epoch>`): once
+//!   [`CheckpointConfig::max_deltas`] L0 deltas accumulate, the compactor
+//!   folds image + deltas + the new tail into one canonical event sequence
+//!   via [`crate::compact::emit_canonical`] — replayed from an empty
+//!   namespace it rebuilds the covered state exactly, with every
+//!   superseded update gone.
+//! * **Manifest** (`ckpt.<ino>.manifest` + per-epoch copies): `{epoch,
+//!   image_ref, delta_refs[], journal_highwater_seq, alloc_watermark}`,
+//!   CRC-protected. The HEAD pointer is advanced by a compare-and-swap on
+//!   the object version *through the writer's fenced handle*, so a fenced
+//!   zombie can never publish a manifest (the fence rejects the write) and
+//!   a raced CAS dies on the version guard.
+//!
+//! Recovery loads the newest readable manifest, materializes image +
+//! deltas from empty, and replays only the journal tail past
+//! `journal_highwater_seq` — cost flat in workload length. Damage to a
+//! delta, image, or manifest object falls back one manifest epoch at a
+//! time (a longer tail replay, never data loss: the journal is not trimmed
+//! under checkpointing, so the full log remains the source of truth), and
+//! the bottom of the ladder is the pre-existing full-replay path.
+
+use cudele_faults::RetryPolicy;
+use cudele_journal::{
+    crc32, decode_journal, encode_journal, read_journal, read_journal_tail, InodeId, JournalEvent,
+    JournalId, JournalIoError, JournalTool,
+};
+use cudele_obs::{Counter, Registry};
+use cudele_rados::{ObjectId, ObjectStore, RadosError};
+use cudele_sim::{CostModel, Nanos};
+
+use crate::compact::emit_canonical;
+use crate::store::MetadataStore;
+
+/// Retries `f` on transient object-store errors with the default policy,
+/// mirroring the journal layer: a flaky OSD must not look like a damaged
+/// checkpoint (which would cost a manifest fallback) or a failed
+/// publication. Non-transient errors — fencing above all — pass through.
+fn with_retry<T>(f: impl FnMut() -> cudele_rados::Result<T>) -> cudele_rados::Result<T> {
+    let (mut retries, mut backoff) = (0, Nanos::ZERO);
+    RetryPolicy::default().run(&mut retries, &mut backoff, f)
+}
+
+/// Checkpoint tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Flushed journal events accumulated before the compactor cuts the
+    /// next checkpoint (the L0 delta granularity).
+    pub interval_events: u64,
+    /// L0 deltas tolerated before the compactor folds them (plus the new
+    /// tail) into a fresh L1 image.
+    pub max_deltas: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval_events: 256,
+            max_deltas: 4,
+        }
+    }
+}
+
+/// Errors from checkpoint I/O and manifest handling.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The object store failed.
+    Rados(RadosError),
+    /// Journal I/O under the checkpoint failed.
+    Journal(JournalIoError),
+    /// A manifest, image, or delta object is damaged beyond the fallback
+    /// ladder.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Rados(e) => write!(f, "object store error: {e}"),
+            CheckpointError::Journal(e) => write!(f, "journal error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<RadosError> for CheckpointError {
+    fn from(e: RadosError) -> Self {
+        CheckpointError::Rados(e)
+    }
+}
+
+impl From<JournalIoError> for CheckpointError {
+    fn from(e: JournalIoError) -> Self {
+        CheckpointError::Journal(e)
+    }
+}
+
+/// Magic prefix of a serialized manifest.
+const MANIFEST_MAGIC: &[u8; 8] = b"CUDELEM1";
+
+/// The checkpoint manifest: everything recovery needs to skip the covered
+/// journal prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Manifest epoch, bumped by one on every published checkpoint.
+    /// Distinct from the MDS fencing epoch: this one versions the
+    /// checkpoint state machine, the fencing epoch gates who may write it.
+    pub epoch: u64,
+    /// Object name of the L1 base image, if one has been folded.
+    /// `None` means "start from the empty namespace".
+    pub image_ref: Option<String>,
+    /// L0 delta object names, oldest first. Replayed in order on top of
+    /// the image they rebuild the covered namespace.
+    pub delta_refs: Vec<String>,
+    /// Journal events (in [`read_journal`] coordinates) covered by image +
+    /// deltas; recovery replays only the tail past this mark.
+    pub journal_highwater_seq: u64,
+    /// Max inode-allocator watermark over every covered event. The fold
+    /// into a canonical image drops `AllocRange` grants and unlinked
+    /// inodes, so the watermark must ride in the manifest to keep the
+    /// allocator rebuild identical to a full replay.
+    pub alloc_watermark: u64,
+}
+
+impl Manifest {
+    /// The empty manifest a fresh namespace starts from (nothing covered).
+    pub fn empty() -> Manifest {
+        Manifest {
+            epoch: 0,
+            image_ref: None,
+            delta_refs: Vec::new(),
+            journal_highwater_seq: 0,
+            alloc_watermark: 0,
+        }
+    }
+
+    /// Serializes to the CRC-protected wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64);
+        payload.extend_from_slice(&self.epoch.to_le_bytes());
+        payload.extend_from_slice(&self.journal_highwater_seq.to_le_bytes());
+        payload.extend_from_slice(&self.alloc_watermark.to_le_bytes());
+        match &self.image_ref {
+            Some(name) => {
+                payload.push(1);
+                payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                payload.extend_from_slice(name.as_bytes());
+            }
+            None => payload.push(0),
+        }
+        payload.extend_from_slice(&(self.delta_refs.len() as u32).to_le_bytes());
+        for name in &self.delta_refs {
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+        }
+        let mut out = Vec::with_capacity(MANIFEST_MAGIC.len() + 4 + payload.len());
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses the wire form, rejecting bad magic, a CRC mismatch (bit
+    /// flip), or a truncated payload (torn write).
+    pub fn decode(data: &[u8]) -> Result<Manifest, CheckpointError> {
+        let corrupt = |m: &str| CheckpointError::Corrupt(m.to_string());
+        if data.len() < MANIFEST_MAGIC.len() + 4 || &data[..8] != MANIFEST_MAGIC {
+            return Err(corrupt("bad manifest magic"));
+        }
+        let stored_crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+        let payload = &data[12..];
+        if crc32(payload) != stored_crc {
+            return Err(corrupt("manifest CRC mismatch"));
+        }
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+            let end = at
+                .checked_add(n)
+                .filter(|&e| e <= payload.len())
+                .ok_or_else(|| corrupt("manifest truncated"))?;
+            let s = &payload[*at..end];
+            *at = end;
+            Ok(s)
+        };
+        let u64_at = |at: &mut usize| -> Result<u64, CheckpointError> {
+            Ok(u64::from_le_bytes(take(at, 8)?.try_into().unwrap()))
+        };
+        let u32_at = |at: &mut usize| -> Result<u32, CheckpointError> {
+            Ok(u32::from_le_bytes(take(at, 4)?.try_into().unwrap()))
+        };
+        let str_at = |at: &mut usize| -> Result<String, CheckpointError> {
+            let len = u32_at(at)? as usize;
+            String::from_utf8(take(at, len)?.to_vec())
+                .map_err(|_| corrupt("manifest ref not UTF-8"))
+        };
+        let epoch = u64_at(&mut at)?;
+        let journal_highwater_seq = u64_at(&mut at)?;
+        let alloc_watermark = u64_at(&mut at)?;
+        let image_ref = match take(&mut at, 1)?[0] {
+            0 => None,
+            1 => Some(str_at(&mut at)?),
+            _ => return Err(corrupt("bad image flag")),
+        };
+        let ndeltas = u32_at(&mut at)?;
+        let mut delta_refs = Vec::with_capacity(ndeltas.min(1024) as usize);
+        for _ in 0..ndeltas {
+            delta_refs.push(str_at(&mut at)?);
+        }
+        if at != payload.len() {
+            return Err(corrupt("trailing bytes after manifest"));
+        }
+        Ok(Manifest {
+            epoch,
+            image_ref,
+            delta_refs,
+            journal_highwater_seq,
+            alloc_watermark,
+        })
+    }
+}
+
+/// The manifest HEAD pointer for `id`'s checkpoints.
+pub fn head_object(id: JournalId) -> ObjectId {
+    ObjectId::new(id.pool, format!("ckpt.{:x}.manifest", id.ino))
+}
+
+/// The immutable per-epoch manifest copy (the fallback ladder's rungs).
+pub fn manifest_object(id: JournalId, epoch: u64) -> ObjectId {
+    ObjectId::new(id.pool, format!("ckpt.{:x}.manifest.{epoch:08x}", id.ino))
+}
+
+fn image_object(id: JournalId, epoch: u64) -> ObjectId {
+    ObjectId::new(id.pool, format!("ckpt.{:x}.image.{epoch:08x}", id.ino))
+}
+
+fn delta_object(id: JournalId, epoch: u64) -> ObjectId {
+    ObjectId::new(id.pool, format!("ckpt.{:x}.delta.{epoch:08x}", id.ino))
+}
+
+/// Reads and decodes one materialized event object (image or delta).
+fn read_events_object(
+    os: &dyn ObjectStore,
+    id: &ObjectId,
+) -> Result<Vec<JournalEvent>, CheckpointError> {
+    let data = with_retry(|| os.read(id))?;
+    decode_journal(&data).map_err(|e| CheckpointError::Corrupt(format!("{}: {e}", id.name)))
+}
+
+/// Metric handles, published under `mds.ckpt.*`.
+struct CkptObs {
+    reg: std::sync::Arc<Registry>,
+    /// `mds.ckpt.checkpoints` — manifests published.
+    checkpoints: Counter,
+    /// `mds.ckpt.deltas_folded` — L0 deltas folded into L1 images.
+    deltas_folded: Counter,
+    /// `mds.ckpt.replay_events_saved` — journal events newly covered by a
+    /// checkpoint, i.e. events every future recovery no longer replays.
+    replay_events_saved: Counter,
+}
+
+impl CkptObs {
+    fn attach(reg: &std::sync::Arc<Registry>) -> CkptObs {
+        CkptObs {
+            reg: std::sync::Arc::clone(reg),
+            checkpoints: reg.counter("mds.ckpt.checkpoints"),
+            deltas_folded: reg.counter("mds.ckpt.deltas_folded"),
+            replay_events_saved: reg.counter("mds.ckpt.replay_events_saved"),
+        }
+    }
+}
+
+/// The background (virtual-time) compactor: cuts deltas, folds images,
+/// publishes manifests. Owned by the serving [`MetadataServer`]; all its
+/// writes go through the server's (possibly fenced) store handle.
+pub struct CheckpointManager {
+    config: CheckpointConfig,
+    id: JournalId,
+    manifest: Manifest,
+    /// Object version of the HEAD pointer we last observed — the CAS
+    /// expectation for the next publish (0 = "must not exist yet").
+    head_version: u64,
+    /// [`crate::MdLog`] flushed-event count at the last checkpoint. The
+    /// counter is per-mdlog-instance, so recovery (which rebuilds the
+    /// mdlog) resets this mark via [`CheckpointManager::resume`].
+    flush_mark: u64,
+    obs: Option<CkptObs>,
+}
+
+impl CheckpointManager {
+    /// A manager for `id`'s checkpoints, resuming from the stored manifest
+    /// HEAD when one is readable (so re-enabling checkpoints on an
+    /// existing namespace continues the epoch sequence instead of
+    /// restarting it).
+    pub fn attach(
+        os: &dyn ObjectStore,
+        id: JournalId,
+        config: CheckpointConfig,
+    ) -> CheckpointManager {
+        let head = head_object(id);
+        let head_version = with_retry(|| os.stat(&head))
+            .map(|s| s.version)
+            .unwrap_or(0);
+        let manifest = with_retry(|| os.read(&head))
+            .ok()
+            .and_then(|data| Manifest::decode(&data).ok())
+            .unwrap_or_else(Manifest::empty);
+        CheckpointManager {
+            config,
+            id,
+            manifest,
+            head_version,
+            flush_mark: 0,
+            obs: None,
+        }
+    }
+
+    /// Points the manager's `mds.ckpt.*` metric handles at `reg`.
+    pub fn set_obs(&mut self, reg: &std::sync::Arc<Registry>) {
+        self.obs = Some(CkptObs::attach(reg));
+    }
+
+    /// The manifest this manager last published (or resumed from).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The tunables in force.
+    pub fn config(&self) -> CheckpointConfig {
+        self.config
+    }
+
+    /// Rebinds the manager after a recovery: `manifest` is the manifest
+    /// the recovery actually used (possibly a fallback epoch) and
+    /// `head_version` the HEAD object version observed. The flush mark
+    /// resets because recovery rebuilds the mdlog with fresh counters.
+    pub fn resume(&mut self, manifest: Manifest, head_version: u64) {
+        self.manifest = manifest;
+        self.head_version = head_version;
+        self.flush_mark = 0;
+    }
+
+    /// Runs the compactor if at least `interval_events` journal events
+    /// flushed since the last checkpoint. `flushed_events` is the current
+    /// mdlog flushed-event counter. Returns whether a checkpoint was
+    /// published.
+    pub fn maybe_checkpoint(
+        &mut self,
+        os: &dyn ObjectStore,
+        flushed_events: u64,
+        now: Nanos,
+        cost: &CostModel,
+    ) -> Result<bool, CheckpointError> {
+        if flushed_events.saturating_sub(self.flush_mark) < self.config.interval_events {
+            return Ok(false);
+        }
+        let published = self.checkpoint(os, now, cost)?;
+        self.flush_mark = flushed_events;
+        Ok(published)
+    }
+
+    /// Cuts one checkpoint unconditionally: the flushed journal tail past
+    /// the current high-water mark becomes an L0 delta (or triggers an L1
+    /// fold), and a new manifest is published through a version CAS on the
+    /// HEAD pointer. No-op when nothing new has been flushed.
+    pub fn checkpoint(
+        &mut self,
+        os: &dyn ObjectStore,
+        now: Nanos,
+        cost: &CostModel,
+    ) -> Result<bool, CheckpointError> {
+        let hw = self.manifest.journal_highwater_seq;
+        let tail = read_journal_tail(os, self.id, hw)?;
+        if tail.is_empty() {
+            return Ok(false);
+        }
+        let next = self.manifest.epoch + 1;
+        let new_hw = hw + tail.len() as u64;
+        let alloc_watermark = tail
+            .iter()
+            .filter_map(JournalEvent::alloc_watermark)
+            .fold(self.manifest.alloc_watermark, |acc, w| acc.max(w.0));
+        let mut m = Manifest {
+            epoch: next,
+            image_ref: self.manifest.image_ref.clone(),
+            delta_refs: self.manifest.delta_refs.clone(),
+            journal_highwater_seq: new_hw,
+            alloc_watermark,
+        };
+        // Virtual-time cost of this compactor pass: a blind apply per event
+        // materialized (the fold replays everything it folds; a plain delta
+        // cut only copies the tail).
+        let mut applied = tail.len() as u64;
+        if self.manifest.delta_refs.len() >= self.config.max_deltas {
+            // Fold image + deltas + tail into a fresh canonical image.
+            let folded = self.fold(os, &tail, new_hw)?;
+            applied += folded.len() as u64;
+            let image = image_object(self.id, next);
+            let body = encode_journal(&folded);
+            with_retry(|| os.write_full(&image, &body))?;
+            if let Some(o) = &self.obs {
+                o.deltas_folded.add(self.manifest.delta_refs.len() as u64);
+            }
+            m.image_ref = Some(image.name.clone());
+            m.delta_refs.clear();
+        } else {
+            let delta = delta_object(self.id, next);
+            let body = encode_journal(&tail);
+            with_retry(|| os.write_full(&delta, &body))?;
+            m.delta_refs.push(delta.name.clone());
+        }
+        // Publish: immutable per-epoch copy first, then CAS the HEAD.
+        // A crash between the two leaves the HEAD on the previous epoch
+        // with only orphan objects dangling — recovery is unaffected.
+        let encoded = m.encode();
+        let copy = manifest_object(self.id, next);
+        with_retry(|| os.write_full(&copy, &encoded))?;
+        let head = head_object(self.id);
+        self.head_version = with_retry(|| os.cas_write_full(&head, self.head_version, &encoded))?;
+        self.manifest = m;
+        if let Some(o) = &self.obs {
+            o.checkpoints.inc();
+            o.replay_events_saved.add(tail.len() as u64);
+            let span = o.reg.trace_root(91);
+            o.reg.end_span(
+                span,
+                "ckpt.compact",
+                "mds",
+                now,
+                cost.volatile_apply_per_event * applied,
+            );
+        }
+        Ok(true)
+    }
+
+    /// Materializes the canonical event sequence covering the journal
+    /// prefix `[0, new_hw)`: image + deltas + tail replayed from empty,
+    /// then re-emitted in canonical order. If an image or delta object is
+    /// unreadable, the fold self-heals by rebuilding from the full journal
+    /// (which checkpointing never trims).
+    fn fold(
+        &self,
+        os: &dyn ObjectStore,
+        tail: &[JournalEvent],
+        new_hw: u64,
+    ) -> Result<Vec<JournalEvent>, CheckpointError> {
+        let tiered = (|| -> Result<Vec<JournalEvent>, CheckpointError> {
+            let mut events = Vec::new();
+            if let Some(name) = &self.manifest.image_ref {
+                events.extend(read_events_object(
+                    os,
+                    &ObjectId::new(self.id.pool, name.clone()),
+                )?);
+            }
+            for name in &self.manifest.delta_refs {
+                events.extend(read_events_object(
+                    os,
+                    &ObjectId::new(self.id.pool, name.clone()),
+                )?);
+            }
+            events.extend_from_slice(tail);
+            Ok(events)
+        })();
+        let events = match tiered {
+            Ok(events) => events,
+            Err(CheckpointError::Corrupt(_))
+            | Err(CheckpointError::Rados(RadosError::NoEnt(_))) => {
+                let mut all = read_journal(os, self.id)?;
+                all.truncate(new_hw as usize);
+                all
+            }
+            Err(e) => return Err(e),
+        };
+        let mut store = MetadataStore::new();
+        for e in &events {
+            store.apply_blind(e);
+        }
+        Ok(emit_canonical(&store))
+    }
+}
+
+/// What a manifest-based recovery produced.
+pub struct RecoveredCheckpoint {
+    /// The namespace: image + deltas + journal tail, blind-replayed.
+    pub store: MetadataStore,
+    /// The journal tail past the manifest's high-water mark (already
+    /// applied to `store`; callers fold it into the allocator rebuild).
+    pub tail: Vec<JournalEvent>,
+    /// The manifest actually used — the HEAD, or a fallback epoch if
+    /// newer checkpoint objects were damaged.
+    pub manifest: Manifest,
+    /// Object version of the HEAD pointer (CAS expectation for the next
+    /// publish).
+    pub head_version: u64,
+    /// Events materialized from the image + deltas (the checkpointed
+    /// part of the replay; proportional to namespace size, not workload
+    /// length).
+    pub checkpoint_events: u64,
+    /// Manifest epochs skipped by the fallback ladder (0 = HEAD was
+    /// clean).
+    pub fallbacks: u64,
+    /// Whether the journal tail was damaged and lossily healed.
+    pub healed: bool,
+}
+
+impl RecoveredCheckpoint {
+    /// The allocator watermark recovery must advance to: the manifest's
+    /// covered-prefix fold (grants and unlinked inodes that survive in no
+    /// image) — callers still fold the tail and the final store on top.
+    pub fn alloc_floor(&self) -> InodeId {
+        InodeId(self.manifest.alloc_watermark)
+    }
+}
+
+/// Attempts manifest-based recovery for `id`'s namespace.
+///
+/// Returns `Ok(None)` when no checkpoint state exists (or none of it is
+/// readable) — the caller then runs its pre-existing full-replay path,
+/// which stays correct because checkpointing never trims the journal.
+/// Heals of a damaged journal tail are written through `heal`, the
+/// caller's (possibly fenced) handle, so a fenced recovery cannot rewrite
+/// the journal either.
+pub fn recover(
+    os: &dyn ObjectStore,
+    heal: &dyn ObjectStore,
+    id: JournalId,
+) -> Result<Option<RecoveredCheckpoint>, CheckpointError> {
+    let head = head_object(id);
+    let head_version = match with_retry(|| os.stat(&head)) {
+        Ok(s) => s.version,
+        Err(RadosError::NoEnt(_)) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    // Start the ladder at the HEAD manifest; a damaged HEAD drops to the
+    // newest readable per-epoch copy.
+    let mut fallbacks = 0u64;
+    let mut manifest = match with_retry(|| os.read(&head))
+        .ok()
+        .and_then(|d| Manifest::decode(&d).ok())
+    {
+        Some(m) => m,
+        None => {
+            fallbacks += 1;
+            match newest_readable_manifest(os, id, u64::MAX) {
+                Some(m) => m,
+                None => return Ok(None),
+            }
+        }
+    };
+    loop {
+        match materialize(os, id, &manifest) {
+            Ok((store, checkpoint_events)) => {
+                // Tail replay past the manifest's high-water mark. Damage
+                // in the tail falls back to the lossy journal-tool heal,
+                // exactly like the full-replay path.
+                let (tail, healed) = match read_journal_tail(os, id, manifest.journal_highwater_seq)
+                {
+                    Ok(tail) => (tail, false),
+                    Err(JournalIoError::Codec(_)) => {
+                        let mut events = JournalTool::new(heal, id)
+                            .recover()
+                            .map_err(|e| CheckpointError::Corrupt(format!("journal heal: {e}")))?;
+                        let skip = manifest.journal_highwater_seq.min(events.len() as u64) as usize;
+                        events.drain(..skip);
+                        (events, true)
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let mut store = store;
+                for e in &tail {
+                    store.apply_blind(e);
+                }
+                return Ok(Some(RecoveredCheckpoint {
+                    store,
+                    tail,
+                    manifest,
+                    head_version,
+                    checkpoint_events,
+                    fallbacks,
+                    healed,
+                }));
+            }
+            Err(CheckpointError::Corrupt(_))
+            | Err(CheckpointError::Rados(RadosError::NoEnt(_))) => {
+                // A damaged image or delta: drop one manifest epoch and
+                // replay a longer tail instead.
+                fallbacks += 1;
+                match newest_readable_manifest(os, id, manifest.epoch) {
+                    Some(m) => manifest = m,
+                    None => return Ok(None),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Replays `manifest`'s image + deltas from an empty namespace. Returns
+/// the store and how many events were materialized.
+fn materialize(
+    os: &dyn ObjectStore,
+    id: JournalId,
+    manifest: &Manifest,
+) -> Result<(MetadataStore, u64), CheckpointError> {
+    let mut store = MetadataStore::new();
+    let mut applied = 0u64;
+    if let Some(name) = &manifest.image_ref {
+        for e in &read_events_object(os, &ObjectId::new(id.pool, name.clone()))? {
+            store.apply_blind(e);
+            applied += 1;
+        }
+    }
+    for name in &manifest.delta_refs {
+        for e in &read_events_object(os, &ObjectId::new(id.pool, name.clone()))? {
+            store.apply_blind(e);
+            applied += 1;
+        }
+    }
+    Ok((store, applied))
+}
+
+/// The newest per-epoch manifest copy below `below` that decodes cleanly.
+fn newest_readable_manifest(os: &dyn ObjectStore, id: JournalId, below: u64) -> Option<Manifest> {
+    let prefix = format!("ckpt.{:x}.manifest.", id.ino);
+    let mut best: Option<Manifest> = None;
+    for obj in os.list(id.pool, &prefix) {
+        let Some(m) = with_retry(|| os.read(&obj))
+            .ok()
+            .and_then(|d| Manifest::decode(&d).ok())
+        else {
+            continue;
+        };
+        if m.epoch < below && best.as_ref().is_none_or(|b| m.epoch > b.epoch) {
+            best = Some(m);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudele_journal::{Attrs, JournalWriter};
+    use cudele_rados::{InMemoryStore, PoolId};
+
+    fn jid() -> JournalId {
+        JournalId::new(PoolId::METADATA, 0x200)
+    }
+
+    fn create(i: u64) -> JournalEvent {
+        JournalEvent::Create {
+            parent: InodeId::ROOT,
+            name: format!("f{i}"),
+            ino: InodeId(0x1000 + i),
+            attrs: Attrs::file_default(),
+        }
+    }
+
+    fn append(os: &InMemoryStore, events: &[JournalEvent]) {
+        let mut w = JournalWriter::open(os, jid()).unwrap();
+        w.append(events).unwrap();
+    }
+
+    fn full_replay(os: &InMemoryStore) -> MetadataStore {
+        let mut s = MetadataStore::new();
+        for e in read_journal(os, jid()).unwrap() {
+            s.apply_blind(&e);
+        }
+        s
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = Manifest {
+            epoch: 7,
+            image_ref: Some("ckpt.200.image.00000005".into()),
+            delta_refs: vec![
+                "ckpt.200.delta.00000006".into(),
+                "ckpt.200.delta.00000007".into(),
+            ],
+            journal_highwater_seq: 1234,
+            alloc_watermark: 0x5000,
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        let empty = Manifest::empty();
+        assert_eq!(Manifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn manifest_rejects_damage() {
+        let mut bytes = Manifest::empty().encode();
+        assert!(Manifest::decode(&bytes[..bytes.len() - 1]).is_err(), "torn");
+        bytes[14] ^= 0x40;
+        assert!(matches!(
+            Manifest::decode(&bytes),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Manifest::decode(b"NOTMAGIC"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_then_recover_matches_full_replay() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let mut mgr = CheckpointManager::attach(
+            &os,
+            jid(),
+            CheckpointConfig {
+                interval_events: 4,
+                max_deltas: 2,
+            },
+        );
+        // Several checkpoint rounds, enough to fold an image.
+        for round in 0..6u64 {
+            let batch: Vec<_> = (round * 10..round * 10 + 10).map(create).collect();
+            append(&os, &batch);
+            assert!(mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap());
+        }
+        assert_eq!(mgr.manifest().epoch, 6);
+        assert!(mgr.manifest().image_ref.is_some(), "a fold must have run");
+        // A few more flushed events left as uncovered tail.
+        append(&os, &[create(100), create(101)]);
+
+        let rec = recover(&os, &os, jid()).unwrap().expect("manifest exists");
+        assert_eq!(rec.store.snapshot(), full_replay(&os).snapshot());
+        assert_eq!(rec.tail.len(), 2, "only the uncovered tail is replayed");
+        assert_eq!(rec.fallbacks, 0);
+        assert!(!rec.healed);
+        assert_eq!(rec.manifest.epoch, 6);
+    }
+
+    #[test]
+    fn damaged_delta_falls_back_one_epoch() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let mut mgr = CheckpointManager::attach(
+            &os,
+            jid(),
+            CheckpointConfig {
+                interval_events: 1,
+                max_deltas: 10,
+            },
+        );
+        for round in 0..3u64 {
+            append(&os, &[create(round * 2), create(round * 2 + 1)]);
+            mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        }
+        // Flip a byte in the newest delta object.
+        let newest = delta_object(jid(), 3);
+        let mut data = os.read(&newest).unwrap().to_vec();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        os.write_full(&newest, &data).unwrap();
+
+        let rec = recover(&os, &os, jid()).unwrap().expect("manifest exists");
+        // Fallback to epoch 2's manifest, with the last window replayed
+        // from the (untrimmed) journal instead — zero loss.
+        assert_eq!(rec.manifest.epoch, 2);
+        assert_eq!(rec.fallbacks, 1);
+        assert_eq!(rec.tail.len(), 2);
+        assert_eq!(rec.store.snapshot(), full_replay(&os).snapshot());
+    }
+
+    #[test]
+    fn damaged_head_uses_newest_epoch_copy() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let mut mgr = CheckpointManager::attach(
+            &os,
+            jid(),
+            CheckpointConfig {
+                interval_events: 1,
+                max_deltas: 10,
+            },
+        );
+        append(&os, &[create(0), create(1)]);
+        mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        os.write_full(&head_object(jid()), b"garbage").unwrap();
+        let rec = recover(&os, &os, jid()).unwrap().expect("ladder holds");
+        assert_eq!(rec.manifest.epoch, 1);
+        assert_eq!(rec.fallbacks, 1);
+        assert_eq!(rec.store.snapshot(), full_replay(&os).snapshot());
+    }
+
+    #[test]
+    fn everything_damaged_falls_back_to_full_replay() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let mut mgr = CheckpointManager::attach(
+            &os,
+            jid(),
+            CheckpointConfig {
+                interval_events: 1,
+                max_deltas: 10,
+            },
+        );
+        append(&os, &[create(0)]);
+        mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        os.write_full(&head_object(jid()), b"garbage").unwrap();
+        os.write_full(&manifest_object(jid(), 1), b"garbage")
+            .unwrap();
+        assert!(recover(&os, &os, jid()).unwrap().is_none());
+        // No manifest state at all: also None.
+        let fresh = InMemoryStore::paper_default();
+        assert!(recover(&fresh, &fresh, jid()).unwrap().is_none());
+    }
+
+    #[test]
+    fn nothing_new_publishes_nothing() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let mut mgr = CheckpointManager::attach(&os, jid(), CheckpointConfig::default());
+        assert!(!mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap());
+        append(&os, &[create(0)]);
+        assert!(mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap());
+        assert!(!mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap());
+    }
+
+    #[test]
+    fn manager_resumes_epoch_sequence_from_stored_head() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let cfg = CheckpointConfig {
+            interval_events: 1,
+            max_deltas: 10,
+        };
+        let mut a = CheckpointManager::attach(&os, jid(), cfg);
+        append(&os, &[create(0)]);
+        a.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        // A second manager attached later (restart) continues at epoch 2
+        // and its CAS succeeds against the stored HEAD version.
+        let mut b = CheckpointManager::attach(&os, jid(), cfg);
+        assert_eq!(b.manifest().epoch, 1);
+        append(&os, &[create(1)]);
+        assert!(b.checkpoint(&os, Nanos::ZERO, &cost).unwrap());
+        assert_eq!(b.manifest().epoch, 2);
+    }
+
+    #[test]
+    fn alloc_watermark_survives_folds() {
+        let os = InMemoryStore::paper_default();
+        let cost = CostModel::calibrated();
+        let mut mgr = CheckpointManager::attach(
+            &os,
+            jid(),
+            CheckpointConfig {
+                interval_events: 1,
+                max_deltas: 1,
+            },
+        );
+        // A grant plus a create-then-unlink: after folding, neither leaves
+        // a trace in the canonical image, so only the manifest watermark
+        // keeps the allocator from re-issuing those inodes.
+        append(
+            &os,
+            &[
+                JournalEvent::AllocRange {
+                    client: 1,
+                    start: InodeId(0x9000),
+                    len: 16,
+                },
+                create(0),
+            ],
+        );
+        mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        append(
+            &os,
+            &[JournalEvent::Unlink {
+                parent: InodeId::ROOT,
+                name: "f0".into(),
+            }],
+        );
+        mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        append(&os, &[create(50)]);
+        mgr.checkpoint(&os, Nanos::ZERO, &cost).unwrap();
+        assert!(mgr.manifest().image_ref.is_some());
+        let rec = recover(&os, &os, jid()).unwrap().unwrap();
+        assert!(rec.alloc_floor() >= InodeId(0x9000 + 16));
+    }
+}

@@ -34,6 +34,7 @@ use cudele_obs::{Counter, Histogram, Registry};
 use cudele_rados::{Epoch, FencedStore, FencingAuthority, ObjectStore, PoolId};
 use cudele_sim::{CostModel, Nanos};
 
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::error::{MdsError, Result};
 use crate::mdlog::{MdLog, MdLogConfig};
 use crate::persist;
@@ -187,7 +188,8 @@ impl FailoverMonitor {
 pub struct TakeoverReport {
     /// The epoch the new primary writes at.
     pub epoch: Epoch,
-    /// Journal events replayed on top of the persisted image.
+    /// Journal events replayed on top of the persisted image (with a
+    /// checkpoint manifest: only the tail past its high-water mark).
     pub replayed_events: u64,
     /// Whether the journal tail was damaged and the [`JournalTool`] had to
     /// erase the corrupt region (lossy recovery).
@@ -195,6 +197,16 @@ pub struct TakeoverReport {
     /// The rebuilt inode-allocator watermark — every pre-crash grant sits
     /// below it, so post-failover allocations cannot collide.
     pub alloc_watermark: cudele_journal::InodeId,
+    /// The checkpoint manifest epoch recovery loaded (0 = no manifest;
+    /// takeover replayed the full journal).
+    pub manifest_epoch: u64,
+    /// Events materialized from the manifest's image + deltas — the
+    /// checkpointed share of the rebuild, proportional to namespace size
+    /// rather than workload length.
+    pub checkpoint_events: u64,
+    /// Manifest epochs the recovery ladder had to fall back past because
+    /// a checkpoint object was damaged.
+    pub manifest_fallbacks: u64,
 }
 
 /// A standby MDS in replay: it follows the persisted mdlog so takeover
@@ -208,6 +220,9 @@ pub struct StandbyReplay {
     authority: Arc<FencingAuthority>,
     cost: CostModel,
     mdlog_config: Option<MdLogConfig>,
+    /// When set, the promoted primary keeps checkpointing at this
+    /// configuration (and takeover itself recovers through the manifest).
+    checkpoint_config: Option<CheckpointConfig>,
     journal_id: JournalId,
     pool: PoolId,
     /// Journal events observed by the last catch-up pass.
@@ -228,11 +243,19 @@ impl StandbyReplay {
             authority,
             cost,
             mdlog_config,
+            checkpoint_config: None,
             journal_id: JournalId::MDLOG,
             pool: PoolId::METADATA,
             replayed_events: 0,
             obs: None,
         }
+    }
+
+    /// Makes servers assembled by takeover continue checkpointing at
+    /// `config`. Takeover recovers through the manifest whenever one
+    /// exists regardless of this setting.
+    pub fn set_checkpoint_config(&mut self, config: CheckpointConfig) {
+        self.checkpoint_config = Some(config);
     }
 
     /// Publishes `mds.standby.*` metrics on `reg` and cascades the
@@ -281,33 +304,67 @@ impl StandbyReplay {
             Arc::clone(&self.authority),
             epoch,
         ));
-        let mut store =
-            persist::load_store(self.base.as_ref(), self.pool).map_err(MdsError::from)?;
-        let (events, healed) = match read_journal(self.base.as_ref(), self.journal_id) {
-            Ok(events) => (events, false),
-            Err(JournalIoError::Codec(_)) => {
-                let events = JournalTool::new(fenced.as_ref(), self.journal_id)
-                    .recover()
-                    .map_err(|e| MdsError::NoEnt {
-                        what: format!("mdlog recovery ({e})"),
-                    })?;
-                (events, true)
+        // Bounded path first: a checkpoint manifest materializes the
+        // covered namespace so only the journal tail is replayed. Falls
+        // through to the full-replay path when no manifest state is
+        // readable — correct either way, because checkpointing never
+        // trims the journal.
+        let recovered = checkpoint::recover(self.base.as_ref(), fenced.as_ref(), self.journal_id)
+            .map_err(MetadataServer::ckpt_error)?;
+        let (store, alloc, report, resume) = match recovered {
+            Some(rec) => {
+                let mut alloc = MetadataServer::recover_allocator(&rec.store, &rec.tail);
+                alloc.advance_to(rec.alloc_floor());
+                let report = TakeoverReport {
+                    epoch,
+                    replayed_events: rec.tail.len() as u64,
+                    healed: rec.healed,
+                    alloc_watermark: alloc.watermark(),
+                    manifest_epoch: rec.manifest.epoch,
+                    checkpoint_events: rec.checkpoint_events,
+                    manifest_fallbacks: rec.fallbacks,
+                };
+                (
+                    rec.store,
+                    alloc,
+                    report,
+                    Some((rec.manifest, rec.head_version)),
+                )
             }
-            Err(e) => {
-                return Err(MdsError::NoEnt {
-                    what: format!("mdlog replay ({e})"),
-                })
+            None => {
+                let mut store =
+                    persist::load_store(self.base.as_ref(), self.pool).map_err(MdsError::from)?;
+                let (events, healed) = match read_journal(self.base.as_ref(), self.journal_id) {
+                    Ok(events) => (events, false),
+                    Err(JournalIoError::Codec(_)) => {
+                        let events = JournalTool::new(fenced.as_ref(), self.journal_id)
+                            .recover()
+                            .map_err(|e| MdsError::NoEnt {
+                                what: format!("mdlog recovery ({e})"),
+                            })?;
+                        (events, true)
+                    }
+                    Err(e) => {
+                        return Err(MdsError::NoEnt {
+                            what: format!("mdlog replay ({e})"),
+                        })
+                    }
+                };
+                for e in &events {
+                    store.apply_blind(e);
+                }
+                let alloc = MetadataServer::recover_allocator(&store, &events);
+                let report = TakeoverReport {
+                    epoch,
+                    replayed_events: events.len() as u64,
+                    healed,
+                    alloc_watermark: alloc.watermark(),
+                    manifest_epoch: 0,
+                    checkpoint_events: 0,
+                    manifest_fallbacks: 0,
+                };
+                (store, alloc, report, None)
             }
-        };
-        for e in &events {
-            store.apply_blind(e);
-        }
-        let alloc = MetadataServer::recover_allocator(&store, &events);
-        let report = TakeoverReport {
-            epoch,
-            replayed_events: events.len() as u64,
-            healed,
-            alloc_watermark: alloc.watermark(),
         };
         self.replayed_events = report.replayed_events;
         let mdlog = self.mdlog_config.map(|cfg| {
@@ -322,13 +379,28 @@ impl StandbyReplay {
         });
         let mut server =
             MetadataServer::from_recovered(fenced, self.cost.clone(), mdlog, store, alloc, epoch);
+        if let Some(cfg) = self.checkpoint_config {
+            if server.journal_enabled() {
+                server.enable_checkpoints(cfg)?;
+                if let Some((manifest, head_version)) = resume {
+                    // The manifest recovery actually used (possibly a
+                    // fallback epoch), not whatever the stored HEAD says.
+                    server.resume_checkpoints(manifest, head_version);
+                }
+            }
+        }
         if let Some(reg) = &self.obs {
             server.attach_obs(reg);
             reg.counter("mds.failover.takeovers").inc();
             reg.counter("mds.failover.replayed_events")
                 .add(report.replayed_events);
-            if healed {
+            if report.healed {
                 reg.counter("mds.failover.healed").inc();
+            }
+            if report.manifest_epoch > 0 {
+                reg.counter("mds.ckpt.recoveries").inc();
+                reg.counter("mds.ckpt.fallbacks")
+                    .add(report.manifest_fallbacks);
             }
         }
         Ok((server, report))
@@ -360,6 +432,7 @@ pub struct MdsCluster {
     config: FailoverConfig,
     cost: CostModel,
     mdlog_config: Option<MdLogConfig>,
+    checkpoint_config: Option<CheckpointConfig>,
     base: Arc<dyn ObjectStore>,
     authority: Arc<FencingAuthority>,
     monitor: FailoverMonitor,
@@ -389,6 +462,7 @@ impl MdsCluster {
             config,
             cost,
             mdlog_config,
+            checkpoint_config: None,
             base,
             authority,
             monitor,
@@ -399,6 +473,14 @@ impl MdsCluster {
             obs: None,
             reports: Vec::new(),
         }
+    }
+
+    /// Turns on tiered checkpointing for the active MDS and every primary
+    /// promoted by future takeovers.
+    pub fn enable_checkpoints(&mut self, config: CheckpointConfig) -> Result<()> {
+        self.active.enable_checkpoints(config)?;
+        self.checkpoint_config = Some(config);
+        Ok(())
     }
 
     /// Attaches a registry to the whole cluster: active server, monitor,
@@ -491,14 +573,20 @@ impl MdsCluster {
             self.cost.clone(),
             self.mdlog_config,
         );
+        if let Some(cfg) = self.checkpoint_config {
+            standby.set_checkpoint_config(cfg);
+        }
         if let Some(reg) = &self.obs {
             standby.attach_obs(reg);
         }
         let (server, takeover) = standby.take_over(decision.new_epoch)?;
         // Replay is a blind apply of the journal: charge it at the
         // Volatile Apply per-event rate to place takeover completion on
-        // the virtual clock.
-        let replay_time = self.cost.volatile_apply_per_event * takeover.replayed_events;
+        // the virtual clock. With a manifest, the materialized image +
+        // delta events are charged the same way — that is the bounded
+        // recovery cost, flat in workload length.
+        let replay_time = self.cost.volatile_apply_per_event
+            * (takeover.checkpoint_events + takeover.replayed_events);
         let completed_at = decision.detected_at + replay_time;
         let report = FailoverReport {
             decision,
@@ -663,6 +751,51 @@ mod tests {
         mds.flush_journal();
         let seen = standby.catch_up().unwrap();
         assert!(seen >= 11, "standby tails the flushed journal, saw {seen}");
+    }
+
+    #[test]
+    fn checkpointed_takeover_replays_only_the_tail() {
+        let mut c = cluster();
+        c.enable_checkpoints(CheckpointConfig {
+            interval_events: 16,
+            max_deltas: 2,
+        })
+        .unwrap();
+        c.active_mut().open_session(C1);
+        let dir = c.active_mut().setup_dir_durable("/ck").unwrap();
+        for i in 0..200 {
+            c.active_mut().create(C1, dir, &format!("f{i}")).expect_ok();
+        }
+        c.active_mut().flush_journal();
+        c.crash_active();
+        c.advance_to(Nanos::from_millis(60)).unwrap();
+        let r = c.reports()[0];
+        assert!(r.takeover.manifest_epoch > 0, "takeover used the manifest");
+        assert!(
+            r.takeover.replayed_events < 40,
+            "bounded tail replay, got {}",
+            r.takeover.replayed_events
+        );
+        assert!(r.takeover.checkpoint_events > 0);
+        assert_eq!(r.takeover.manifest_fallbacks, 0);
+        // The recovered namespace is complete.
+        for i in 0..200 {
+            assert!(c.active().store().resolve(&format!("/ck/f{i}")).is_ok());
+        }
+        // The promoted primary keeps checkpointing: more flushed work
+        // advances the manifest epoch past what takeover resumed from.
+        c.active_mut().open_session(C1);
+        for i in 200..280 {
+            c.active_mut().create(C1, dir, &format!("f{i}")).expect_ok();
+        }
+        c.active_mut().flush_journal();
+        assert!(
+            c.active().manifest_epoch() > r.takeover.manifest_epoch,
+            "promoted primary stopped checkpointing"
+        );
+        // And allocations after failover never collide with recovered ones.
+        let reply = c.active_mut().create(C1, dir, "fresh").expect_ok();
+        assert!(reply.ino.0 >= r.takeover.alloc_watermark.0);
     }
 
     #[test]

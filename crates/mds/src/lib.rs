@@ -19,6 +19,9 @@
 //!   tunables (Figure 3a).
 //! * [`failover`] — beacon failure detection, epoch fencing, and
 //!   standby-replay takeover on the virtual clock.
+//! * [`checkpoint`] — tiered journal compaction (L0 deltas, L1 images)
+//!   under a CAS-advanced manifest, bounding recovery replay to the
+//!   journal tail past the covered high-water mark.
 //! * [`server`] — the metadata server tying it together; every handler
 //!   returns a functional result plus an [`OpCost`] for the simulation
 //!   harness.
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod caps;
+pub mod checkpoint;
 pub mod compact;
 pub mod dirfrag;
 pub mod error;
@@ -48,6 +52,9 @@ pub mod session;
 pub mod store;
 
 pub use caps::{CapOutcome, CapTable, ClientId};
+pub use checkpoint::{
+    CheckpointConfig, CheckpointError, CheckpointManager, Manifest, RecoveredCheckpoint,
+};
 pub use compact::{compact_events, compact_with_report, emit_canonical, CompactionReport};
 pub use dirfrag::{Dentry, Dir};
 pub use error::{MdsError, Result};

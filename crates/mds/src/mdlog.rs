@@ -148,6 +148,19 @@ impl MdLog {
         self.config.dispatch_size
     }
 
+    /// Whether the trimmer is configured. Checkpointing requires it off:
+    /// the checkpoint manifest records high-water marks in the journal's
+    /// logical coordinates, which trimming would shift.
+    pub fn trim_enabled(&self) -> bool {
+        self.config.trim_after_updates.is_some()
+    }
+
+    /// Events flushed to the object store by this mdlog instance (updates
+    /// plus boundary markers). Drives the checkpoint interval gate.
+    pub fn flushed_events(&self) -> u64 {
+        self.flushed_events_since_trim
+    }
+
     /// Submits one event. If this seals enough segments to fill the
     /// dispatch window, the window is flushed to the object store.
     pub fn submit<S: ObjectStore + ?Sized>(

@@ -16,6 +16,7 @@ use cudele_rados::{Epoch, ObjectStore, PoolId, RadosError};
 use cudele_sim::{CostModel, Nanos};
 
 use crate::caps::{CapOutcome, CapTable, ClientId};
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError, CheckpointManager};
 use crate::dirfrag::Dentry;
 use crate::error::{MdsError, Result};
 use crate::mdlog::{MdLog, MdLogConfig, MdLogStats};
@@ -179,6 +180,9 @@ pub struct MetadataServer {
     /// Decoupled subtrees with interfere=block: subtree root -> owner.
     blocked: Vec<(InodeId, ClientId)>,
     counters: ServerCounters,
+    /// The checkpoint compactor, when enabled: cuts manifest-governed
+    /// deltas from the flushed mdlog so recovery replays only the tail.
+    ckpt: Option<CheckpointManager>,
     obs: Option<MdsObs>,
     /// The MDS epoch this instance believes it holds. Fencing is enforced
     /// at the object store (a [`cudele_rados::FencedStore`] stamped with
@@ -221,6 +225,7 @@ impl MetadataServer {
             pool: PoolId::METADATA,
             blocked: Vec::new(),
             counters: ServerCounters::default(),
+            ckpt: None,
             obs: None,
             epoch: Epoch::INITIAL,
             up: true,
@@ -250,6 +255,7 @@ impl MetadataServer {
             pool: PoolId::METADATA,
             blocked: Vec::new(),
             counters: ServerCounters::default(),
+            ckpt: None,
             obs: None,
             epoch,
             up: true,
@@ -265,6 +271,9 @@ impl MetadataServer {
         self.os.attach_obs(reg);
         if let Some(log) = self.mdlog.as_mut() {
             log.set_obs(reg);
+        }
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.set_obs(reg);
         }
         self.obs = Some(MdsObs::attach(reg));
     }
@@ -382,6 +391,77 @@ impl MetadataServer {
         self.alloc.watermark()
     }
 
+    /// Turns on tiered checkpointing: every `config.interval_events`
+    /// flushed mdlog events the compactor cuts a manifest-governed delta
+    /// (folding into an image at `config.max_deltas`), so recovery and
+    /// standby takeover replay only the journal tail past the manifest's
+    /// high-water mark. Resumes from a stored manifest when one exists.
+    ///
+    /// Incompatible with the mdlog trimmer (checkpoint high-water marks
+    /// live in the journal's logical coordinates, which trimming shifts)
+    /// and meaningless without a journal — both are rejected.
+    pub fn enable_checkpoints(&mut self, config: CheckpointConfig) -> Result<()> {
+        let Some(log) = self.mdlog.as_ref() else {
+            return Err(MdsError::NoEnt {
+                what: "checkpoints need the mdlog enabled".to_string(),
+            });
+        };
+        if log.trim_enabled() {
+            return Err(MdsError::NoEnt {
+                what: "checkpoints require the mdlog trimmer off".to_string(),
+            });
+        }
+        let mut ckpt = CheckpointManager::attach(self.os.as_ref(), log.journal_id(), config);
+        if let Some(o) = &self.obs {
+            ckpt.set_obs(&o.reg);
+        }
+        self.ckpt = Some(ckpt);
+        Ok(())
+    }
+
+    /// Whether checkpointing is enabled.
+    pub fn checkpoints_enabled(&self) -> bool {
+        self.ckpt.is_some()
+    }
+
+    /// The manifest epoch last published or recovered (0 = no checkpoint
+    /// yet, or checkpointing off).
+    pub fn manifest_epoch(&self) -> u64 {
+        self.ckpt.as_ref().map_or(0, |c| c.manifest().epoch)
+    }
+
+    /// Rebinds the checkpoint manager onto the manifest a recovery
+    /// actually used (standby takeover calls this after
+    /// [`MetadataServer::enable_checkpoints`], since the stored HEAD may
+    /// be a damaged epoch the recovery ladder skipped).
+    pub(crate) fn resume_checkpoints(&mut self, manifest: checkpoint::Manifest, head_version: u64) {
+        if let Some(ckpt) = self.ckpt.as_mut() {
+            ckpt.resume(manifest, head_version);
+        }
+    }
+
+    /// Maps a checkpoint failure to an [`MdsError`]; like journal appends,
+    /// a fenced rejection is survivable (the zombie's manifest publication
+    /// simply dies at the store).
+    pub(crate) fn ckpt_error(e: CheckpointError) -> MdsError {
+        match e {
+            CheckpointError::Rados(RadosError::Fenced {
+                writer, current, ..
+            })
+            | CheckpointError::Journal(cudele_journal::JournalIoError::Rados(
+                RadosError::Fenced {
+                    writer, current, ..
+                },
+            )) => MdsError::Fenced {
+                writer: writer.0,
+                current: current.0,
+            },
+            other => MdsError::NoEnt {
+                what: format!("checkpoint ({other})"),
+            },
+        }
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
@@ -418,6 +498,11 @@ impl MetadataServer {
                 // size" — run the trimmer when configured.
                 log.maybe_trim(self.os.as_ref(), &self.store)
                     .map_err(Self::journal_error)?;
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    let now = self.obs.as_ref().map_or(Nanos::ZERO, |o| o.now);
+                    ckpt.maybe_checkpoint(self.os.as_ref(), log.flushed_events(), now, &self.cost)
+                        .map_err(Self::ckpt_error)?;
+                }
                 let cpu = self.cost.stream_mds_cpu_at_dispatch(dispatch);
                 if observe {
                     if let Some(o) = &self.obs {
@@ -1133,10 +1218,17 @@ impl MetadataServer {
         }
     }
 
-    /// Fallible flush for callers that care about the outcome.
+    /// Fallible flush for callers that care about the outcome. A flush is
+    /// also a checkpoint opportunity (still interval-gated), so a clean
+    /// shutdown after a long run does not leave a full interval uncovered.
     pub fn try_flush_journal(&mut self) -> Result<()> {
         if let Some(log) = self.mdlog.as_mut() {
             log.flush(self.os.as_ref()).map_err(Self::journal_error)?;
+            if let Some(ckpt) = self.ckpt.as_mut() {
+                let now = self.obs.as_ref().map_or(Nanos::ZERO, |o| o.now);
+                ckpt.maybe_checkpoint(self.os.as_ref(), log.flushed_events(), now, &self.cost)
+                    .map_err(Self::ckpt_error)?;
+            }
         }
         Ok(())
     }
@@ -1180,40 +1272,74 @@ impl MetadataServer {
     /// frame CRC) does not abort recovery: replay falls back to the journal
     /// tool, which erases the corrupt region and applies the surviving
     /// prefix — the `cephfs-journal-tool` disaster-recovery workflow.
+    ///
+    /// When a checkpoint manifest exists, recovery is bounded: the covered
+    /// namespace is materialized from the manifest's image + deltas and
+    /// only the journal tail past its high-water mark is replayed, with
+    /// damaged checkpoint objects falling back one manifest epoch at a
+    /// time (and ultimately to the full-replay path below).
     pub fn crash_and_recover(&mut self) -> Result<()> {
-        let mut store = persist::load_store(self.os.as_ref(), self.pool).map_err(MdsError::from)?;
         let journal_id = self
             .mdlog
             .as_ref()
             .map(|l| l.journal_id())
             .unwrap_or(cudele_journal::JournalId::MDLOG);
-        let events = match cudele_journal::read_journal(self.os.as_ref(), journal_id) {
-            Ok(events) => events,
-            Err(cudele_journal::JournalIoError::Codec(_)) => {
-                cudele_journal::JournalTool::new(self.os.as_ref(), journal_id)
-                    .recover()
-                    .map_err(|e| MdsError::NoEnt {
-                        what: format!("mdlog recovery ({e})"),
-                    })?
+        match checkpoint::recover(self.os.as_ref(), self.os.as_ref(), journal_id)
+            .map_err(Self::ckpt_error)?
+        {
+            Some(rec) => {
+                let mut alloc = Self::recover_allocator(&rec.store, &rec.tail);
+                alloc.advance_to(rec.alloc_floor());
+                self.alloc = alloc;
+                if let Some(ckpt) = self.ckpt.as_mut() {
+                    ckpt.resume(rec.manifest, rec.head_version);
+                }
+                if let Some(o) = &self.obs {
+                    o.reg.counter("mds.ckpt.recoveries").inc();
+                    o.reg.counter("mds.ckpt.fallbacks").add(rec.fallbacks);
+                }
+                self.finish_recovery(rec.store);
             }
-            Err(e) => {
-                return Err(MdsError::NoEnt {
-                    what: format!("mdlog replay ({e})"),
-                })
+            None => {
+                let mut store =
+                    persist::load_store(self.os.as_ref(), self.pool).map_err(MdsError::from)?;
+                let events = match cudele_journal::read_journal(self.os.as_ref(), journal_id) {
+                    Ok(events) => events,
+                    Err(cudele_journal::JournalIoError::Codec(_)) => {
+                        cudele_journal::JournalTool::new(self.os.as_ref(), journal_id)
+                            .recover()
+                            .map_err(|e| MdsError::NoEnt {
+                                what: format!("mdlog recovery ({e})"),
+                            })?
+                    }
+                    Err(e) => {
+                        return Err(MdsError::NoEnt {
+                            what: format!("mdlog replay ({e})"),
+                        })
+                    }
+                };
+                for e in &events {
+                    store.apply_blind(e);
+                }
+                // The allocator is rebuilt from the journal (not carried
+                // over from the pre-crash instance), exactly as the
+                // standby-replay path does: a restarted process has no
+                // in-memory watermark to keep.
+                self.alloc = Self::recover_allocator(&store, &events);
+                self.finish_recovery(store);
             }
-        };
-        for e in &events {
-            store.apply_blind(e);
         }
-        // The allocator is rebuilt from the journal (not carried over from
-        // the pre-crash instance), exactly as the standby-replay path does:
-        // a restarted process has no in-memory watermark to keep.
-        self.alloc = Self::recover_allocator(&store, &events);
+        Ok(())
+    }
+
+    /// Common tail of both recovery paths: install the rebuilt namespace,
+    /// drop volatile per-client state, and reset the in-memory mdlog (the
+    /// persisted stripes remain).
+    fn finish_recovery(&mut self, store: MetadataStore) {
         self.store = store;
         self.caps = CapTable::new();
         self.sessions = SessionMap::new();
         if let Some(log) = self.mdlog.as_mut() {
-            // Fresh in-memory journal state; the persisted stripes remain.
             *log = MdLog::with_id(
                 MdLogConfig {
                     events_per_segment: cudele_journal::SegmentBuilder::DEFAULT_EVENTS_PER_SEGMENT,
@@ -1227,7 +1353,6 @@ impl MetadataServer {
             }
         }
         self.up = true;
-        Ok(())
     }
 
     /// Test/benchmark setup helper: mkdir -p without cost accounting and

@@ -297,6 +297,14 @@ impl MetadataStore {
                 what: format!("{src_name:?} in {src_parent}"),
             })?;
         if let Some(dst) = self.dir_mut(dst_parent)?.get(dst_name).copied() {
+            if dst.ino == src.ino {
+                // Renaming a dentry onto itself is a POSIX no-op. Without
+                // this guard the replacement path below would remove the
+                // *source* inode and leave the dentry dangling — and blind
+                // replay (which treats self-rename as a no-op) would then
+                // recover a different namespace than the live server held.
+                return Ok(());
+            }
             if dst.ftype == FileType::Dir {
                 return Err(MdsError::IsDir { ino: dst.ino });
             }
@@ -801,6 +809,24 @@ mod tests {
                 .unwrap_err(),
             MdsError::IsDir { .. }
         ));
+    }
+
+    #[test]
+    fn rename_onto_itself_is_a_noop() {
+        let mut s = MetadataStore::new();
+        s.create(InodeId::ROOT, "f", InodeId(0x1000), attrs())
+            .unwrap();
+        s.mkdir(InodeId::ROOT, "d", InodeId(0x1001), Attrs::dir_default())
+            .unwrap();
+        // POSIX: rename(p, p) succeeds and changes nothing — the dentry
+        // must not dangle afterwards (the destination "replacement" path
+        // must not remove the source inode).
+        s.rename(InodeId::ROOT, "f", InodeId::ROOT, "f").unwrap();
+        assert_eq!(s.lookup(InodeId::ROOT, "f").unwrap().ino, InodeId(0x1000));
+        assert!(s.inode_in_use(InodeId(0x1000)));
+        s.rename(InodeId::ROOT, "d", InodeId::ROOT, "d").unwrap();
+        assert!(s.inode_in_use(InodeId(0x1001)));
+        assert_eq!(s.resolve("/d").unwrap(), InodeId(0x1001));
     }
 
     #[test]

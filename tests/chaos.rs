@@ -19,9 +19,12 @@ use cudele::{
 };
 use cudele_client::{DecoupledClient, LocalDisk, RpcClient};
 use cudele_faults::{FaultConfig, FaultyStore};
-use cudele_journal::{InodeId, InodeRange};
-use cudele_mds::{ClientId, FailoverConfig, MdLogConfig, MdsCluster, MdsError, MetadataServer};
-use cudele_rados::{Epoch, InMemoryStore};
+use cudele_journal::{InodeId, InodeRange, JournalId};
+use cudele_mds::{
+    CheckpointConfig, CheckpointError, CheckpointManager, ClientId, FailoverConfig, MdLogConfig,
+    MdsCluster, MdsError, MetadataServer,
+};
+use cudele_rados::{Epoch, FencedStore, FencingAuthority, InMemoryStore, ObjectStore, RadosError};
 use cudele_sim::{CostModel, Nanos};
 
 const CLIENT: ClientId = ClientId(1);
@@ -795,6 +798,214 @@ fn post_failover_allocations_never_collide_across_seeds() {
 }
 
 // ---------------------------------------------------------------------
+// Checkpointed failover: tiered-compaction manifests under damage
+// ---------------------------------------------------------------------
+
+/// Every checkpoint object (manifest HEAD, per-epoch manifest copies,
+/// images, deltas) with its bytes, in sorted name order — the comparable
+/// footprint a fenced zombie must not be able to change.
+fn ckpt_objects(os: &dyn ObjectStore) -> Vec<(String, Vec<u8>)> {
+    os.list(JournalId::MDLOG.pool, "ckpt.")
+        .into_iter()
+        .map(|id| {
+            let data = os.read(&id).unwrap().to_vec();
+            (id.name.clone(), data)
+        })
+        .collect()
+}
+
+/// Flips one byte in the middle of the newest checkpoint object matching
+/// the filter, simulating silent media corruption of a checkpoint
+/// artifact. Returns whether anything matched.
+fn flip_ckpt_object(os: &dyn ObjectStore, pick: impl Fn(&str) -> bool) -> bool {
+    let Some(victim) = os
+        .list(JournalId::MDLOG.pool, "ckpt.")
+        .into_iter()
+        .rfind(|o| pick(&o.name))
+    else {
+        return false;
+    };
+    let mut data = os.read(&victim).unwrap().to_vec();
+    let mid = data.len() / 2;
+    data[mid] ^= 0x01;
+    os.write_full(&victim, &data).unwrap();
+    true
+}
+
+/// A damaged L0 delta drops the takeover one manifest epoch down the
+/// fallback ladder: the replayed journal tail gets longer, but not one
+/// flushed event is lost. A damaged manifest HEAD costs a fallback too,
+/// but lands on the byte-equal per-epoch copy, so the replay size does
+/// not change at all.
+#[test]
+fn checkpointed_failover_falls_back_under_damage() {
+    let run = |damage: Option<&str>| {
+        let inner = Arc::new(InMemoryStore::paper_default());
+        let mut cluster = MdsCluster::new(
+            inner.clone(),
+            CostModel::calibrated(),
+            Some(small_mdlog()),
+            FailoverConfig::default(),
+        );
+        cluster
+            .enable_checkpoints(CheckpointConfig {
+                interval_events: 16,
+                max_deltas: 8,
+            })
+            .unwrap();
+        cluster.active_mut().open_session(CLIENT);
+        let dir = cluster.active_mut().setup_dir_durable("/ck").unwrap();
+        for i in 0..100 {
+            cluster
+                .active_mut()
+                .create(CLIENT, dir, &format!("f{i}"))
+                .result
+                .unwrap();
+        }
+        cluster.active_mut().flush_journal();
+        match damage {
+            Some("delta") => {
+                assert!(flip_ckpt_object(inner.as_ref(), |n| n.contains(".delta.")));
+            }
+            Some("head") => {
+                assert!(flip_ckpt_object(inner.as_ref(), |n| n.ends_with(".manifest")));
+            }
+            Some(other) => panic!("unknown damage kind {other}"),
+            None => {}
+        }
+        cluster.crash_active();
+        cluster.advance_to(Nanos::from_millis(60)).unwrap();
+        let r = cluster.reports()[0];
+        // Zero global-class loss under every damage kind: all 100 flushed
+        // creates survive the takeover.
+        for i in 0..100 {
+            assert!(
+                cluster
+                    .active()
+                    .store()
+                    .lookup(dir, &format!("f{i}"))
+                    .is_ok(),
+                "damage={damage:?}: f{i} lost across checkpointed failover"
+            );
+        }
+        (
+            r.takeover.manifest_epoch,
+            r.takeover.manifest_fallbacks,
+            r.takeover.replayed_events,
+        )
+    };
+    let (clean_epoch, clean_fb, clean_replay) = run(None);
+    assert!(clean_epoch > 0, "workload never published a manifest");
+    assert_eq!(clean_fb, 0);
+
+    let (delta_epoch, delta_fb, delta_replay) = run(Some("delta"));
+    assert!(delta_fb >= 1, "damaged delta cost no fallback");
+    assert!(
+        delta_epoch < clean_epoch,
+        "fallback must land below the damaged epoch: m{delta_epoch} vs clean m{clean_epoch}"
+    );
+    assert!(
+        delta_replay > clean_replay,
+        "one epoch down the ladder must replay a longer tail \
+({delta_replay} vs {clean_replay})"
+    );
+
+    let (head_epoch, head_fb, head_replay) = run(Some("head"));
+    assert!(head_fb >= 1, "damaged HEAD cost no fallback");
+    assert_eq!(
+        head_epoch, clean_epoch,
+        "the per-epoch manifest copy is byte-equal to the HEAD"
+    );
+    assert_eq!(head_replay, clean_replay);
+}
+
+/// A fenced zombie can never publish a manifest: its flushes die at the
+/// store, a compactor pass driven at a stale epoch is rejected wholesale,
+/// and both the journal and every checkpoint object stay byte-identical
+/// to what the valid epoch published.
+#[test]
+fn fenced_zombie_cannot_publish_a_manifest() {
+    let base: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::paper_default());
+    let authority = Arc::new(FencingAuthority::new());
+    let os: Arc<dyn ObjectStore> =
+        Arc::new(FencedStore::new(Arc::clone(&base), Arc::clone(&authority)));
+    let mut mds = MetadataServer::with_config(os, CostModel::calibrated(), Some(small_mdlog()));
+    // A compactor that never fires on its own: the cuts below are explicit,
+    // so the uncovered journal tail at fencing time is deterministic.
+    mds.enable_checkpoints(CheckpointConfig {
+        interval_events: 100_000,
+        max_deltas: 4,
+    })
+    .unwrap();
+    mds.open_session(CLIENT);
+    let dir = mds.setup_dir_durable("/z").unwrap();
+    for i in 0..40 {
+        mds.create(CLIENT, dir, &format!("f{i}")).result.unwrap();
+    }
+    mds.flush_journal();
+    let cut = CheckpointConfig {
+        interval_events: 1,
+        max_deltas: 4,
+    };
+    let mut mgr = CheckpointManager::attach(base.as_ref(), JournalId::MDLOG, cut);
+    assert!(mgr
+        .checkpoint(base.as_ref(), Nanos::ZERO, &CostModel::calibrated())
+        .unwrap());
+    // Leave an uncovered tail past the manifest.
+    for i in 0..8 {
+        mds.create(CLIENT, dir, &format!("tail{i}")).result.unwrap();
+    }
+    mds.flush_journal();
+    let before = ckpt_objects(base.as_ref());
+    assert!(!before.is_empty());
+    let journal_before = cudele_journal::read_journal(base.as_ref(), JournalId::MDLOG).unwrap();
+
+    // A new primary takes the epoch; the old one is now a zombie.
+    authority.bump();
+
+    // Zombie activity: creates that only touch its memory may "succeed",
+    // but the dispatch flush — and with it any checkpoint opportunity —
+    // dies at the fence.
+    for i in 0..50 {
+        let _ = mds.create(CLIENT, dir, &format!("stale{i}"));
+    }
+    assert!(matches!(
+        mds.try_flush_journal(),
+        Err(MdsError::Fenced { .. })
+    ));
+
+    // Even a compactor pass driven directly at a stale-epoch handle is
+    // rejected before a single checkpoint byte lands.
+    let stale: Arc<dyn ObjectStore> = Arc::new(FencedStore::with_epoch(
+        Arc::clone(&base),
+        Arc::clone(&authority),
+        Epoch(1),
+    ));
+    let mut zombie_mgr = CheckpointManager::attach(stale.as_ref(), JournalId::MDLOG, cut);
+    let err = zombie_mgr.maybe_checkpoint(
+        stale.as_ref(),
+        u64::MAX,
+        Nanos::ZERO,
+        &CostModel::calibrated(),
+    );
+    assert!(
+        matches!(err, Err(CheckpointError::Rados(RadosError::Fenced { .. }))),
+        "stale-epoch checkpoint must be fenced, got {err:?}"
+    );
+
+    assert_eq!(
+        ckpt_objects(base.as_ref()),
+        before,
+        "a fenced zombie changed a checkpoint object"
+    );
+    assert_eq!(
+        cudele_journal::read_journal(base.as_ref(), JournalId::MDLOG).unwrap(),
+        journal_before,
+        "a fenced zombie changed the journal"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Extended sweeps (CI: cargo test --release -- --ignored chaos)
 // ---------------------------------------------------------------------
 
@@ -863,6 +1074,101 @@ fn chaos_failover_wide_matrix() {
                 "{mech} seed {seed}: failover not reproducible"
             );
         }
+    }
+}
+
+/// Checkpointed failover across a wide seed matrix: background faults
+/// (transient EAGAINs + torn appends) during the workload, a seed-chosen
+/// corruption of one checkpoint artifact before the crash, then the
+/// takeover. Every seed must recover every flushed create — the full
+/// journal stays the zero-loss bottom of the fallback ladder no matter
+/// which tier was damaged — and reproduce bit for bit on a rerun.
+/// CI runs this via `cargo test --release -- --ignored chaos_checkpoint`.
+#[test]
+#[ignore = "heavy sweep; run with --ignored chaos_checkpoint"]
+fn chaos_checkpoint_wide_matrix() {
+    fn run(seed: u64) -> (u64, u64, u64, usize, bool) {
+        const N: u64 = 120;
+        let os = faulty_store(background_faults(seed));
+        let mut cluster = MdsCluster::new(
+            os.clone(),
+            CostModel::calibrated(),
+            Some(small_mdlog()),
+            FailoverConfig::default(),
+        );
+        cluster
+            .enable_checkpoints(CheckpointConfig {
+                interval_events: 16,
+                // Vary the fold cadence with the seed so the matrix covers
+                // delta-only manifests and post-fold image manifests alike.
+                max_deltas: 1 + (seed as usize % 4),
+            })
+            .unwrap();
+        cluster.active_mut().open_session(CLIENT);
+        let dir = cluster.active_mut().setup_dir_durable("/cs").unwrap();
+        for i in 0..N {
+            cluster
+                .active_mut()
+                .create(CLIENT, dir, &format!("f{i}"))
+                .result
+                .unwrap();
+        }
+        cluster.active_mut().flush_journal();
+        // Seed-chosen corruption of one checkpoint tier, written through
+        // the inner store so the fault-draw sequence is untouched.
+        let damaged = match seed % 3 {
+            0 => flip_ckpt_object(os.inner().as_ref(), |n| n.contains(".delta.")),
+            1 => flip_ckpt_object(os.inner().as_ref(), |n| n.ends_with(".manifest")),
+            _ => flip_ckpt_object(os.inner().as_ref(), |n| n.contains(".image.")),
+        };
+        cluster.crash_active();
+        cluster.advance_to(Nanos::from_millis(80)).unwrap();
+        let r = cluster.reports()[0];
+        assert_eq!(r.takeover.epoch.0, 2, "seed {seed}");
+        let survived = (0..N)
+            .filter(|i| {
+                cluster
+                    .active()
+                    .store()
+                    .lookup(dir, &format!("f{i}"))
+                    .is_ok()
+            })
+            .count();
+        assert_eq!(
+            survived, N as usize,
+            "seed {seed}: flushed creates lost across checkpointed failover \
+(damaged={damaged})"
+        );
+        if damaged {
+            assert!(
+                r.takeover.manifest_fallbacks >= 1 || r.takeover.manifest_epoch > 0,
+                "seed {seed}: damage neither recovered-through nor fell back"
+            );
+        }
+        (
+            r.takeover.manifest_epoch,
+            r.takeover.manifest_fallbacks,
+            r.takeover.replayed_events,
+            survived,
+            damaged,
+        )
+    }
+    let outcomes = sweep_seeds(32, run);
+    assert!(
+        outcomes.iter().any(|o| o.4),
+        "no seed ever damaged a checkpoint object"
+    );
+    assert!(
+        outcomes.iter().any(|o| o.1 > 0),
+        "no seed ever exercised the fallback ladder"
+    );
+    // Bit-identity for a sample of seeds.
+    for seed in [0, 13, 31] {
+        assert_eq!(
+            run(seed),
+            outcomes[seed as usize],
+            "seed {seed}: checkpointed failover not reproducible"
+        );
     }
 }
 

@@ -83,6 +83,46 @@ fn failover_run_histories_verify_clean() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Checkpoints change *how* the standby recovers (manifest + tail instead
+/// of full replay) but must not change anything a client can observe: the
+/// recorded history of a checkpointed failover run verifies clean against
+/// the oracle and is byte-identical across reruns.
+#[test]
+fn checkpointed_failover_histories_verify_clean_and_deterministic() {
+    let run = |label: &str| {
+        let path = history_path(label);
+        // posix journals during the create phase itself, so the 5ms crash
+        // lands on a journal the checkpointer has already covered (batchfs
+        // only fills the mdlog at merge time, after this crash point).
+        let mut cfg = bench_cfg("posix", Some(path.clone()));
+        cfg.faults = Some("mds-crash@5ms".to_string());
+        cfg.mdlog_segment = Some(8);
+        cfg.mdlog_dispatch = Some(2);
+        cfg.checkpoint_interval = Some(16);
+        let out = mdbench::run(&cfg).unwrap();
+        let bytes = std::fs::read_to_string(&path).unwrap();
+        (out.rendered, path, bytes)
+    };
+
+    let (rendered, path_a, bytes) = run("ckpt_failover_a");
+    assert!(
+        rendered.contains("from manifest m"),
+        "takeover did not use the manifest: {rendered}"
+    );
+    assert!(rendered.contains("ckpt obs"), "{rendered}");
+
+    let out = check::run_files(std::slice::from_ref(&path_a)).unwrap();
+    assert_eq!(out.violations, 0, "{}", out.rendered);
+    let _ = std::fs::remove_file(&path_a);
+
+    let (_, path_b, again) = run("ckpt_failover_b");
+    assert_eq!(
+        bytes, again,
+        "checkpointed failover history differs across reruns"
+    );
+    let _ = std::fs::remove_file(&path_b);
+}
+
 #[test]
 fn same_seed_reruns_record_identical_history_bytes() {
     for policy in ["posix", "batchfs"] {
