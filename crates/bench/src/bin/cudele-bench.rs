@@ -10,10 +10,13 @@
 //! * `check` replays recorded consistency histories (`mdbench
 //!   --history-out`) through the offline checkers and exits non-zero on
 //!   any axiom violation (see [`cudele_bench::check`]).
+//! * `timeline` renders a recorded telemetry timeline (`mdbench
+//!   --timeline-out`) as terminal sparklines, annotation markers, and
+//!   SLO outcomes (see [`cudele_bench::timeline_view`]).
 
-use cudele_bench::{check, perf, regress};
+use cudele_bench::{check, perf, regress, timeline_view};
 
-const USAGE: &str = "usage: cudele-bench <regress|perf|check> [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline\n  perf      wall-clock the sweep engine and hot paths\n  check     verify recorded consistency histories";
+const USAGE: &str = "usage: cudele-bench <regress|perf|check|timeline> [OPTIONS]\n\nsubcommands:\n  regress   run the benchmark regression pipeline\n  perf      wall-clock the sweep engine and hot paths\n  check     verify recorded consistency histories\n  timeline  render a recorded telemetry timeline";
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -85,6 +88,27 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("timeline") => {
+            let cfg = match timeline_view::parse_args(&argv[2..]) {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    if msg.is_empty() {
+                        println!("{}", timeline_view::USAGE);
+                        return;
+                    }
+                    eprintln!("{msg}");
+                    eprintln!("{}", timeline_view::USAGE);
+                    std::process::exit(2);
+                }
+            };
+            match timeline_view::run(&cfg) {
+                Ok(rendered) => print!("{rendered}"),
                 Err(msg) => {
                     eprintln!("{msg}");
                     std::process::exit(2);

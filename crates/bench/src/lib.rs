@@ -22,6 +22,7 @@ pub mod obs_out;
 pub mod perf;
 pub mod regress;
 pub mod table1;
+pub mod timeline_view;
 pub mod world;
 
 pub use obs_out::ObsSession;

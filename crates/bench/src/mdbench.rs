@@ -48,6 +48,15 @@ pub struct BenchConfig {
     /// the run finishes; feed it to `cudele-bench check`. Single-policy
     /// runs only: a sweep would interleave unrelated virtual clocks.
     pub history_out: Option<String>,
+    /// Write the run's virtual-time telemetry timeline
+    /// (`cudele-timeline/v1`: windowed samplers, annotations, evaluated
+    /// SLOs) here when the run finishes; render it with
+    /// `cudele-bench timeline`.
+    pub timeline_out: Option<String>,
+    /// SLO objectives evaluated over the timeline, e.g.
+    /// `p99(bench.op_latency.ns) < 20ms for 99% of windows`. Defaults
+    /// apply when `--timeline-out` is set and no `--slo` was given.
+    pub slos: Vec<String>,
     /// Bound the session span buffer; extra spans are dropped and
     /// counted in `obs.spans_dropped`. `None` keeps the default.
     pub span_capacity: Option<usize>,
@@ -87,6 +96,8 @@ impl Default for BenchConfig {
             metrics_out: None,
             trace_out: None,
             history_out: None,
+            timeline_out: None,
+            slos: Vec::new(),
             span_capacity: None,
             faults: None,
             mdlog_segment: None,
@@ -101,7 +112,8 @@ impl Default for BenchConfig {
 pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
      [--composition DSL] [--metrics-out PATH] [--trace-out PATH] \
-     [--history-out PATH] [--span-capacity N] \
+     [--history-out PATH] [--timeline-out PATH] [--slo SPEC]... \
+     [--span-capacity N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
 osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL,mds-crash@T] \
      [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] \
@@ -113,7 +125,12 @@ a deterministic MDS failover drill after the workload: crash, beacon-grace
 detection, epoch bump, standby replay of the run's mdlog, client
 reconnects. `--history-out` records every namespace op's invoke/ack
 interval as a `cudele-history/v1` file for `cudele-bench check`
-(single-policy runs only). `--checkpoint-interval N` cuts an incremental
+(single-policy runs only). `--timeline-out` records windowed telemetry
+(rates, gauges, latency percentiles per virtual-time window) plus SLO
+burn-rate outcomes as a `cudele-timeline/v1` file; explore it with
+`cudele-bench timeline PATH`. `--slo` (repeatable) declares an objective
+over a timeline series, e.g. `p99(bench.op_latency.ns) < 20ms for 99%
+of windows`. `--checkpoint-interval N` cuts an incremental
 checkpoint (tiered compaction under a fenced manifest) every N flushed
 journal events, so recovery and the failover drill replay only the
 journal tail past the manifest; requires a journaling policy.";
@@ -147,6 +164,12 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
             "--metrics-out" => cfg.metrics_out = Some(value(&mut i, "--metrics-out")?),
             "--trace-out" => cfg.trace_out = Some(value(&mut i, "--trace-out")?),
             "--history-out" => cfg.history_out = Some(value(&mut i, "--history-out")?),
+            "--timeline-out" => cfg.timeline_out = Some(value(&mut i, "--timeline-out")?),
+            "--slo" => {
+                let spec = value(&mut i, "--slo")?;
+                cudele_obs::slo::SloSpec::parse(&spec).map_err(|e| format!("bad --slo: {e}"))?;
+                cfg.slos.push(spec);
+            }
             "--span-capacity" => {
                 cfg.span_capacity = Some(
                     value(&mut i, "--span-capacity")?
@@ -190,6 +213,27 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
 /// bounded on large runs): each probed name becomes an eventual-visibility
 /// obligation `cudele-bench check` verifies.
 const PROBE_LOOKUPS: u64 = 64;
+
+/// Objectives stamped into the timeline when `--timeline-out` is given
+/// without any explicit `--slo`: op latency stays sane and client-visible
+/// timeouts stay rare.
+pub const DEFAULT_SLOS: [&str; 2] = [
+    "p99(bench.op_latency.ns) < 100ms for 99% of windows",
+    "count(client.rpc.timeouts) < 1 for 99% of windows",
+];
+
+/// The configuration's SLO specs (defaults applied), parsed.
+fn resolve_slos(cfg: &BenchConfig) -> Result<Vec<cudele_obs::slo::SloSpec>, String> {
+    let specs: Vec<String> = if cfg.slos.is_empty() {
+        DEFAULT_SLOS.iter().map(|s| s.to_string()).collect()
+    } else {
+        cfg.slos.clone()
+    };
+    specs
+        .iter()
+        .map(|s| cudele_obs::slo::SloSpec::parse(s).map_err(|e| format!("bad --slo: {e}")))
+        .collect()
+}
 
 /// The consistency mode a policy's history claims: RPC-mode policies
 /// promise linearizability, decoupled ones only session guarantees plus
@@ -252,6 +296,8 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         cfg.span_capacity,
     );
     obs.set_history_mode(history_mode(&policy));
+    obs.set_timeline_out(cfg.timeline_out.clone());
+    obs.set_slos(resolve_slos(cfg)?);
 
     let mut rendered = format!(
         "mdbench: {} clients x {} creates under `{}`\n",
@@ -471,19 +517,63 @@ fn failover_drill(
     // Detection happens on the beacon grid at most one interval past the
     // grace; two extra intervals of margin keep the drill schedule-proof.
     let margin = fo.beacon_grace + fo.beacon_interval * 4;
+    // A probe client walks the cluster on a fixed 1 ms grid around each
+    // crash, so the timeline records the transient end to end: fast
+    // lookups before the crash, full-RPC-timeout probes during the
+    // detection gap, fast lookups again once the standby serves.
+    let tl = reg.timeline();
+    let step = Nanos::MILLI;
+    let probe_tail = step * 3;
+    let probe = |cluster: &mut MdsCluster, at: Nanos| -> Result<(), String> {
+        cluster
+            .advance_to(at)
+            .map_err(|e| format!("failover drill: {e}"))?;
+        let srv = cluster.active_mut();
+        srv.set_now(at);
+        let r = srv.lookup(ClientId(990), cudele_journal::InodeId::ROOT, "drill.probe");
+        tl.sample(
+            "drill.probe.latency_ns",
+            at,
+            (r.cost.mds_cpu + r.cost.client_extra).0,
+        );
+        match r.result {
+            Err(cudele_mds::MdsError::Timeout) => tl.add("drill.probe.timeouts", at, 1),
+            _ => tl.add("drill.probe.ok", at, 1),
+        }
+        Ok(())
+    };
     for (i, &t) in crashes.iter().enumerate() {
         let crash_at = t.max(cluster.now() + fo.beacon_interval);
+        let mut pt = cluster
+            .now()
+            .max(Nanos(crash_at.0.saturating_sub(probe_tail.0)));
+        while pt < crash_at {
+            probe(&mut cluster, pt)?;
+            pt += step;
+        }
         cluster
             .advance_to(crash_at)
             .map_err(|e| format!("failover drill: {e}"))?;
         cluster.crash_active();
+        let deadline = crash_at + margin;
+        while pt <= deadline {
+            probe(&mut cluster, pt)?;
+            pt += step;
+        }
         cluster
-            .advance_to(crash_at + margin)
+            .advance_to(deadline)
             .map_err(|e| format!("failover drill: {e}"))?;
         let r = match cluster.reports().get(i) {
             Some(r) => *r,
             None => return Err(format!("failover drill: crash {i} was never detected")),
         };
+        // Recovery tail: keep probing past takeover completion so the
+        // timeline shows the cluster serving again.
+        let tail_end = r.completed_at.max(pt) + probe_tail;
+        while pt <= tail_end {
+            probe(&mut cluster, pt)?;
+            pt += step;
+        }
         let mut ok = 0u32;
         for c in 0..clients {
             if cluster
@@ -553,17 +643,24 @@ multi-policy history would interleave unrelated clocks"
         })?;
     }
     // The sweep owns the session; per-policy runs must not re-install it,
-    // so their output paths are stripped.
-    let obs = ObsSession::with_capacity(
+    // so their output paths are stripped. The merged timeline overlays
+    // every policy's windows on one virtual-time axis (each run restarts
+    // its clock), which is exactly what the byte-identity contract needs:
+    // per-thread timelines merge in policy order, reproducing a serial
+    // sweep's recording bit for bit.
+    let mut obs = ObsSession::with_capacity(
         cfg.metrics_out.clone(),
         cfg.trace_out.clone(),
         cfg.span_capacity,
     );
+    obs.set_timeline_out(cfg.timeline_out.clone());
+    obs.set_slos(resolve_slos(cfg)?);
     let results = crate::obs_out::par_tasks_merged(cfg.threads, policies.len(), |i| {
         run(&BenchConfig {
             policy: policies[i].clone(),
             metrics_out: None,
             trace_out: None,
+            timeline_out: None,
             ..cfg.clone()
         })
     });

@@ -11,6 +11,10 @@
 //!   ([`Registry::history_json`]), a `cudele-history/v1` record of every
 //!   namespace operation's invoke/ack interval, checkable offline with
 //!   `cudele-bench check`.
+//! * `--timeline-out <path>` — write the run's virtual-time telemetry
+//!   timeline ([`Registry::timeline`] snapshot plus evaluated SLO
+//!   outcomes), a `cudele-timeline/v1` record renderable with
+//!   `cudele-bench timeline`.
 //! * `--span-capacity <N>` — bound the session span buffer at `N`
 //!   spans; later spans are dropped (counted in `obs.spans_dropped`
 //!   in the metrics snapshot) instead of growing memory.
@@ -123,7 +127,9 @@ pub struct ObsSession {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     history_out: Option<String>,
+    timeline_out: Option<String>,
     history_mode: String,
+    slos: Vec<cudele_obs::slo::SloSpec>,
     reg: Option<Arc<Registry>>,
 }
 
@@ -141,6 +147,7 @@ impl ObsSession {
         let mut metrics_out = None;
         let mut trace_out = None;
         let mut history_out = None;
+        let mut timeline_out = None;
         let mut span_capacity = None;
         let mut i = 1;
         while i < argv.len() {
@@ -157,6 +164,10 @@ impl ObsSession {
                     history_out = argv.get(i + 1).cloned();
                     i += 2;
                 }
+                "--timeline-out" => {
+                    timeline_out = argv.get(i + 1).cloned();
+                    i += 2;
+                }
                 "--span-capacity" => {
                     span_capacity = argv.get(i + 1).and_then(|v| v.parse().ok());
                     i += 2;
@@ -164,7 +175,12 @@ impl ObsSession {
                 _ => i += 1,
             }
         }
-        ObsSession::with_outputs(metrics_out, trace_out, history_out, span_capacity)
+        let mut s = ObsSession::with_outputs(metrics_out, trace_out, history_out, span_capacity);
+        s.timeline_out = timeline_out;
+        if s.timeline_out.is_some() && s.reg.is_none() {
+            s.reg = Some(install_session_with_capacity(span_capacity));
+        }
+        s
     }
 
     /// Builds the session from already-parsed paths.
@@ -198,9 +214,26 @@ impl ObsSession {
             metrics_out,
             trace_out,
             history_out,
+            timeline_out: None,
             history_mode: "rpc".to_string(),
+            slos: Vec::new(),
             reg,
         }
+    }
+
+    /// Adds a `--timeline-out` sink; installs a session registry if none
+    /// of the other sinks already did.
+    pub fn set_timeline_out(&mut self, path: Option<String>) {
+        self.timeline_out = path;
+        if self.timeline_out.is_some() && self.reg.is_none() {
+            self.reg = Some(install_session());
+        }
+    }
+
+    /// Declares the SLO objectives evaluated over the timeline before the
+    /// snapshot is written (and stamped into its `slos` section).
+    pub fn set_slos(&mut self, slos: Vec<cudele_obs::slo::SloSpec>) {
+        self.slos = slos;
     }
 
     /// Declares the consistency mode (`rpc` or `decoupled`) stamped into
@@ -233,6 +266,12 @@ impl ObsSession {
         if let Some(path) = &self.history_out {
             write(path, reg.history_json(&self.history_mode))?;
             eprintln!("consistency history written to {path}");
+        }
+        if let Some(path) = &self.timeline_out {
+            let mut snap = reg.timeline().snapshot();
+            snap.slos = cudele_obs::slo::evaluate(&snap, &self.slos);
+            write(path, snap.to_json())?;
+            eprintln!("telemetry timeline written to {path}");
         }
         clear_session();
         Ok(())

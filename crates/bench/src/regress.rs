@@ -38,7 +38,7 @@ use crate::{DecoupledCreateProcess, RpcCreateProcess, Scale, World};
 
 /// Version tag of the `BENCH_cudele.json` layout. Bump on any change to
 /// the emitted structure; the comparator refuses mismatched schemas.
-pub const SCHEMA: &str = "cudele-bench-regress/v3";
+pub const SCHEMA: &str = "cudele-bench-regress/v4";
 
 /// Default path of the freshly measured snapshot.
 pub const DEFAULT_OUT: &str = "BENCH_cudele.json";
@@ -141,6 +141,30 @@ struct MdbenchRow {
     check_ops: u64,
     /// Axiom violations, rendered; must be empty for a passing run.
     check_violations: Vec<String>,
+    /// Non-empty timeline windows recorded across all series.
+    timeline_windows: u64,
+    /// Median per-window `bench.ops` rate (steady-state throughput).
+    steady_ops_per_s: f64,
+    /// SLO burn-rate alerts fired under the default objectives.
+    timeline_alerts: u64,
+    /// Spans dropped at the session span-buffer capacity.
+    spans_dropped: u64,
+    /// Timeline samples/annotations dropped at capacity.
+    windows_dropped: u64,
+}
+
+/// Median per-window plot value of `series` — the steady-state level,
+/// robust to the ramp-up and tail windows.
+fn median_rate(snap: &cudele_obs::timeline::TimelineSnapshot, series: &str) -> f64 {
+    let Some(s) = snap.series(series) else {
+        return 0.0;
+    };
+    let mut rates: Vec<f64> = s.points.iter().map(|p| p.stat.plot_value()).collect();
+    if rates.is_empty() {
+        return 0.0;
+    }
+    rates.sort_by(f64::total_cmp);
+    rates[rates.len() / 2]
 }
 
 const MDBENCH_POLICIES: [&str; 3] = ["posix", "batchfs", "deltafs"];
@@ -164,6 +188,8 @@ fn run_mdbench_workload(
         metrics_out: None,
         trace_out: None,
         history_out: None,
+        timeline_out: None,
+        slos: Vec::new(),
         span_capacity: None,
         faults: None,
         mdlog_segment: None,
@@ -183,6 +209,15 @@ fn run_mdbench_workload(
     let check = cudele_check::check_history(&history);
     let ops = (MDBENCH_CLIENTS as u64 * MDBENCH_FILES) as f64;
     let h = reg.histogram("bench.op_latency.ns");
+    // The windowed view of the same run, under the default objectives:
+    // window counts and steady-state rates are deterministic, so the
+    // comparator can gate on them like any other measurement.
+    let mut tsnap = reg.timeline().snapshot();
+    let specs: Vec<_> = mdbench::DEFAULT_SLOS
+        .iter()
+        .map(|s| cudele_obs::slo::SloSpec::parse(s).expect("default SLOs parse"))
+        .collect();
+    tsnap.slos = cudele_obs::slo::evaluate(&tsnap, &specs);
     Ok(MdbenchRow {
         policy,
         clients: MDBENCH_CLIENTS,
@@ -195,6 +230,11 @@ fn run_mdbench_workload(
         history_events: check.events as u64,
         check_ops: check.ops_checked,
         check_violations: check.violations.iter().map(ToString::to_string).collect(),
+        timeline_windows: tsnap.series.iter().map(|s| s.points.len() as u64).sum(),
+        steady_ops_per_s: median_rate(&tsnap, "bench.ops"),
+        timeline_alerts: tsnap.slos.iter().map(|o| o.alerts.len() as u64).sum(),
+        spans_dropped: reg.spans_dropped(),
+        windows_dropped: reg.timeline().dropped(),
     })
 }
 
@@ -379,10 +419,16 @@ fn render_json(
             fmt_f64(r.end_to_end_ops_per_s)
         ));
         out.push_str(&format!(
-            "      \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}\n",
+            "      \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
             fmt_f64(r.p50_ns),
             fmt_f64(r.p95_ns),
             fmt_f64(r.p99_ns)
+        ));
+        out.push_str(&format!(
+            "      \"timeline\": {{\"windows\": {}, \"steady_ops_per_s\": {}, \"alerts\": {}}}\n",
+            r.timeline_windows,
+            fmt_f64(r.steady_ops_per_s),
+            r.timeline_alerts
         ));
         out.push_str(if i + 1 < mdbench_rows.len() {
             "    },\n"
@@ -456,6 +502,20 @@ fn render_json(
         .iter()
         .map(|r| r.check_violations.len() as u64)
         .sum();
+    // Observability loss gates: any dropped span or timeline sample in
+    // the regress workloads means the buffers are undersized for the
+    // pinned scale — a hard failure, not a tolerance band.
+    out.push_str("  \"obs\": {\n");
+    out.push_str(&format!(
+        "    \"spans_dropped\": {},\n",
+        mdbench_rows.iter().map(|r| r.spans_dropped).sum::<u64>()
+    ));
+    out.push_str(&format!(
+        "    \"windows_dropped\": {}\n",
+        mdbench_rows.iter().map(|r| r.windows_dropped).sum::<u64>()
+    ));
+    out.push_str("  },\n");
+
     out.push_str("  \"check\": {\n");
     out.push_str(&format!("    \"histories\": {},\n", mdbench_rows.len()));
     out.push_str(&format!(
@@ -542,6 +602,50 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
                     0.20,
                 );
             }
+        }
+        // Windowed telemetry: the workloads are deterministic, so the
+        // number of recorded windows and the alert count must match the
+        // baseline exactly; the steady-state rate gets the throughput
+        // band.
+        let (ct, bt) = (c.get("timeline"), b.get("timeline"));
+        if let (Some(ct), Some(bt)) = (ct, bt) {
+            for key in ["windows", "alerts"] {
+                let (cv, bv) = (
+                    ct.get(key).and_then(Value::as_u64),
+                    bt.get(key).and_then(Value::as_u64),
+                );
+                if cv != bv {
+                    v.push(format!(
+                        "mdbench[{policy}].timeline.{key}: {cv:?} vs baseline {bv:?}                          (exact match required)"
+                    ));
+                }
+            }
+            check_rel(
+                &mut v,
+                &format!("mdbench[{policy}].timeline.steady_ops_per_s"),
+                f64_at(ct, "steady_ops_per_s"),
+                f64_at(bt, "steady_ops_per_s"),
+                0.10,
+            );
+        } else if bt.is_some() {
+            v.push(format!(
+                "mdbench[{policy}].timeline: missing from current run"
+            ));
+        }
+    }
+
+    // Observability loss is a hard failure of the *current* run alone:
+    // a dropped span or timeline sample means the recording is partial
+    // and every other number in the snapshot is suspect.
+    for key in ["spans_dropped", "windows_dropped"] {
+        match cur
+            .get("obs")
+            .and_then(|o| o.get(key))
+            .and_then(Value::as_u64)
+        {
+            Some(0) => {}
+            Some(n) => v.push(format!("obs.{key}: {n} — must be 0")),
+            None => v.push(format!("obs.{key}: missing from current run")),
         }
     }
 

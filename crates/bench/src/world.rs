@@ -24,6 +24,8 @@ pub struct World {
     /// the object store, mdlog, and journal writers) at construction; the
     /// world's processes add per-mechanism spans on top.
     pub obs: Arc<Registry>,
+    /// The registry's shared virtual-time timeline (windowed samplers).
+    pub tl: cudele_obs::timeline::Timeline,
 }
 
 impl World {
@@ -33,11 +35,13 @@ impl World {
     pub fn new(mut server: MetadataServer) -> World {
         let obs = crate::obs_out::session().unwrap_or_else(|| Arc::new(Registry::new()));
         server.attach_obs(&obs);
+        let tl = obs.timeline();
         World {
             server,
             mds: FifoServer::new("mds-cpu"),
             traces: HashMap::new(),
             obs,
+            tl,
         }
     }
 
@@ -76,6 +80,7 @@ impl World {
                 observe_mechanism_at(&self.obs, "rpcs", ctx, start, t - start);
                 let service_start = served - c.mds_cpu;
                 let wait = service_start - start;
+                self.tl.gauge_at("mds.rpc.backlog_ns", start, wait.0 as f64);
                 if wait > Nanos::ZERO {
                     self.obs
                         .child_span(ctx, "mds.queue_wait", "mds", start, wait);
@@ -112,6 +117,7 @@ pub struct RpcCreateProcess {
     total: u64,
     done: u64,
     op_lat: Histogram,
+    timeouts_seen: u64,
     /// Record a per-op trace of the victim's behaviour (Figure 3c).
     pub record_trace: bool,
 }
@@ -128,6 +134,7 @@ impl RpcCreateProcess {
             total,
             done: 0,
             op_lat: world.obs.histogram("bench.op_latency.ns"),
+            timeouts_seen: 0,
             record_trace: false,
         }
     }
@@ -160,6 +167,17 @@ impl Process<World> for RpcCreateProcess {
             vec![("file".to_string(), name)],
         );
         self.op_lat.record((t - now).0);
+        world.tl.add("bench.ops", t, 1);
+        world
+            .tl
+            .sample_traced("bench.op_latency.ns", t, (t - now).0, root.trace_id);
+        let timeouts = self.client.timeouts_seen;
+        if timeouts > self.timeouts_seen {
+            world
+                .tl
+                .add("client.rpc.timeouts", t, timeouts - self.timeouts_seen);
+            self.timeouts_seen = timeouts;
+        }
         self.done += 1;
         if self.record_trace {
             world.trace("victim-lookups", t, self.client.lookups_sent as f64);
@@ -270,6 +288,9 @@ impl DecoupledCreateProcess {
             .obs
             .histogram("bench.merge_latency.ns")
             .record((done - t).0);
+        world
+            .tl
+            .sample_traced("bench.merge_latency.ns", done, (done - t).0, root.trace_id);
         // The merge is the run's global-visibility point: record it so
         // the eventual-visibility checker knows when the journal's acked
         // ops must become observable.
@@ -309,6 +330,10 @@ impl Process<World> for DecoupledCreateProcess {
         for _ in 0..batch {
             self.op_lat.record(self.append.0);
         }
+        // One windowed sample per batch: every append in it has the same
+        // latency, so the batch collapses to a count plus one exemplar.
+        world.tl.add("bench.ops", t, batch);
+        world.tl.sample("bench.op_latency.ns", t, self.append.0);
         // One parented tree per batch: the whole window is client-local
         // append CPU, so the mechanism span and its client child coincide.
         let root = world.obs.trace_root(self.idx);

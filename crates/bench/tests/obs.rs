@@ -189,6 +189,8 @@ fn run_faulted_snapshots(
         mdlog_segment: faults.map(|_| 32),
         mdlog_dispatch: faults.map(|_| 4),
         checkpoint_interval: None,
+        timeline_out: None,
+        slos: Vec::new(),
         threads: 1,
     };
     let out = mdbench::run(&cfg).unwrap();

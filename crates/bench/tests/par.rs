@@ -36,12 +36,14 @@ fn mdbench_sweep_is_byte_identical_across_thread_counts() {
     let run_at = |threads: usize, tag: &str| {
         let metrics = dir.join(format!("cudele-par-test-{tag}.metrics.json"));
         let trace = dir.join(format!("cudele-par-test-{tag}.trace.json"));
+        let timeline = dir.join(format!("cudele-par-test-{tag}.timeline.json"));
         let cfg = BenchConfig {
             clients: 2,
             files: 200,
             policy: "posix,batchfs,deltafs".to_string(),
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             trace_out: Some(trace.to_string_lossy().into_owned()),
+            timeline_out: Some(timeline.to_string_lossy().into_owned()),
             threads,
             ..BenchConfig::default()
         };
@@ -53,14 +55,25 @@ fn mdbench_sweep_is_byte_identical_across_thread_counts() {
             .collect();
         let metrics_bytes = std::fs::read_to_string(&metrics).unwrap();
         let trace_bytes = std::fs::read_to_string(&trace).unwrap();
+        let timeline_bytes = std::fs::read_to_string(&timeline).unwrap();
         let _ = std::fs::remove_file(&metrics);
         let _ = std::fs::remove_file(&trace);
-        (rendered, ends, metrics_bytes, trace_bytes)
+        let _ = std::fs::remove_file(&timeline);
+        (rendered, ends, metrics_bytes, trace_bytes, timeline_bytes)
     };
-    let (r1, e1, m1, t1) = run_at(1, "t1");
-    let (r4, e4, m4, t4) = run_at(4, "t4");
+    let (r1, e1, m1, t1, tl1) = run_at(1, "t1");
+    let (r4, e4, m4, t4, tl4) = run_at(4, "t4");
     assert_eq!(r1, r4, "rendered sweep output differs at --threads 4");
     assert_eq!(e1, e4, "virtual-time results differ at --threads 4");
     assert_eq!(m1, m4, "metrics snapshot differs at --threads 4");
     assert_eq!(t1, t4, "chrome trace differs at --threads 4");
+    assert_eq!(tl1, tl4, "timeline snapshot differs at --threads 4");
+    // The merged timeline is a real recording: windowed series present,
+    // schema stamped, SLO outcomes evaluated.
+    let snap = cudele_obs::timeline::TimelineSnapshot::parse(&tl1).unwrap();
+    assert!(
+        snap.series.iter().any(|s| s.name == "bench.ops"),
+        "no bench.ops series"
+    );
+    assert!(!snap.slos.is_empty(), "default SLOs were not evaluated");
 }

@@ -372,6 +372,7 @@ struct FaultObs {
     eagain: Counter,
     torn: Counter,
     bitflips: Counter,
+    tl: cudele_obs::timeline::Timeline,
 }
 
 /// Whether an object name is a journal stripe (`<ino:x>.<seq:08x>`, as
@@ -451,6 +452,7 @@ impl<S: ObjectStore> FaultyStore<S> {
             self.injected_eagain.fetch_add(1, Ordering::Relaxed);
             if let Some(o) = self.obs.read().unwrap().as_ref() {
                 o.eagain.inc();
+                o.tl.add("faults.injected.eagain", self.plan.now(), 1);
             }
             return Err(RadosError::Transient(id.clone()));
         }
@@ -473,6 +475,7 @@ impl<S: ObjectStore> FaultyStore<S> {
         self.injected_bitflips.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = self.obs.read().unwrap().as_ref() {
             o.bitflips.inc();
+            o.tl.add("faults.injected.bitflips", self.plan.now(), 1);
         }
         Some(flipped)
     }
@@ -511,6 +514,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
             self.injected_torn.fetch_add(1, Ordering::Relaxed);
             if let Some(o) = self.obs.read().unwrap().as_ref() {
                 o.torn.inc();
+                o.tl.add("faults.injected.torn_writes", self.plan.now(), 1);
             }
             return Err(RadosError::Transient(id.clone()));
         }
@@ -580,6 +584,7 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
             eagain: reg.counter("faults.injected.eagain"),
             torn: reg.counter("faults.injected.torn_writes"),
             bitflips: reg.counter("faults.injected.bitflips"),
+            tl: reg.timeline(),
         });
     }
 }

@@ -137,6 +137,9 @@ pub struct JournalObs {
     /// `journal.io.retries` — transient object-store failures absorbed by
     /// the writer's retry policy.
     pub retries: Counter,
+    /// Windowed series (write rate, retry rate, backoff level) stamped
+    /// with the clock hint from [`JournalWriter::set_now`].
+    pub tl: cudele_obs::timeline::Timeline,
 }
 
 impl JournalObs {
@@ -148,6 +151,7 @@ impl JournalObs {
             bytes: reg.counter("journal.writer.bytes"),
             stripe_rollovers: reg.counter("journal.writer.stripe_rollovers"),
             retries: reg.counter("journal.io.retries"),
+            tl: reg.timeline(),
         }
     }
 }
@@ -173,6 +177,9 @@ pub struct JournalWriter<'a, S: ObjectStore + ?Sized> {
     pub retries: u64,
     /// Virtual-time backoff accumulated by those retries.
     pub backoff: Nanos,
+    /// Virtual-clock hint from the caller ([`JournalWriter::set_now`]);
+    /// stamps this writer's windowed samples.
+    now: Nanos,
 }
 
 impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
@@ -217,12 +224,19 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
             trace: None,
             retries: 0,
             backoff: Nanos::ZERO,
+            now: Nanos::ZERO,
         })
     }
 
     /// Attaches observability counters to this writer.
     pub fn set_obs(&mut self, obs: JournalObs) {
         self.obs = Some(obs);
+    }
+
+    /// Sets the virtual-clock hint stamped on windowed samples (writers
+    /// have no clock of their own — the flushing layer knows the time).
+    pub fn set_now(&mut self, now: Nanos) {
+        self.now = now;
     }
 
     /// Attaches a causal trace sink: every transient failure this writer
@@ -339,7 +353,17 @@ impl<'a, S: ObjectStore + ?Sized> JournalWriter<'a, S> {
             obs.events.add(events.len() as u64);
             obs.bytes.add(written);
             obs.stripe_rollovers.add(rollovers);
-            obs.retries.add(self.retries - retries_before);
+            let retried = self.retries - retries_before;
+            obs.retries.add(retried);
+            // Windowed view: append/byte throughput over virtual time,
+            // retry bursts, and the backoff level the retries piled up.
+            obs.tl.add("journal.writer.appends", self.now, 1);
+            obs.tl.add("journal.writer.bytes", self.now, written);
+            if retried > 0 {
+                obs.tl.add("journal.io.retries", self.now, retried);
+                obs.tl
+                    .gauge_at("journal.writer.backoff_ns", self.now, self.backoff.0 as f64);
+            }
         }
         Ok(written)
     }

@@ -443,6 +443,16 @@ impl CheckpointManager {
                 now,
                 cost.volatile_apply_per_event * applied,
             );
+            // Publication lands on the timeline: a marker per manifest
+            // plus the cadence/coverage series.
+            let tl = o.reg.timeline();
+            tl.annotate(
+                "mds.ckpt.publish",
+                now,
+                &format!("epoch {next} covers {new_hw} events"),
+            );
+            tl.add("mds.ckpt.checkpoints", now, 1);
+            tl.add("mds.ckpt.covered_events", now, tail.len() as u64);
         }
         Ok(true)
     }

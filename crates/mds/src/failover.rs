@@ -541,6 +541,13 @@ impl MdsCluster {
     /// grace expires during [`MdsCluster::advance_to`].
     pub fn crash_active(&mut self) {
         self.active.fail();
+        if let Some(reg) = &self.obs {
+            reg.timeline().annotate(
+                "mds.crash",
+                self.now,
+                &format!("epoch {} active down", self.authority.current().0),
+            );
+        }
     }
 
     /// Advances virtual time to `t`, delivering beacons on the interval
@@ -615,6 +622,28 @@ impl MdsCluster {
                 "mds",
                 decision.last_beacon,
                 completed_at - decision.last_beacon,
+            );
+            // The detect→takeover transient as timeline markers, so the
+            // windowed series can be read against the failover phases.
+            let tl = reg.timeline();
+            tl.annotate(
+                "mds.failover.detected",
+                decision.detected_at,
+                &format!(
+                    "epoch {} after {}ns grace",
+                    decision.new_epoch.0,
+                    decision.detection_latency().0
+                ),
+            );
+            tl.annotate(
+                "mds.failover.takeover",
+                completed_at,
+                &format!(
+                    "epoch {} replayed {} events ({} from checkpoint)",
+                    decision.new_epoch.0,
+                    report.takeover.replayed_events,
+                    report.takeover.checkpoint_events
+                ),
             );
         }
         let zombie = std::mem::replace(&mut self.active, server);

@@ -111,6 +111,9 @@ pub struct MdLog {
     flushed_events_since_trim: u64,
     stats: MdLogStats,
     obs: Option<MdLogObs>,
+    /// Virtual-clock hint from the server (see [`MdLog::set_now`]),
+    /// forwarded to the transient journal writers the flush path opens.
+    now: cudele_sim::Nanos,
 }
 
 impl MdLog {
@@ -130,12 +133,19 @@ impl MdLog {
             flushed_events_since_trim: 0,
             stats: MdLogStats::default(),
             obs: None,
+            now: cudele_sim::Nanos::ZERO,
         }
     }
 
     /// Points the mdlog's metric handles at `reg` (`mds.mdlog.*`).
     pub fn set_obs(&mut self, reg: &Registry) {
         self.obs = Some(MdLogObs::attach(reg));
+    }
+
+    /// Sets the virtual-clock hint stamped on the flush path's windowed
+    /// samples (the mdlog has no clock of its own — the serving MDS does).
+    pub fn set_now(&mut self, now: cudele_sim::Nanos) {
+        self.now = now;
     }
 
     /// The journal id this mdlog writes.
@@ -197,6 +207,7 @@ impl MdLog {
         let mut writer = JournalWriter::open(os, self.id)?;
         if let Some(obs) = &self.obs {
             writer.set_obs(obs.writer.clone());
+            writer.set_now(self.now);
         }
         while let Some(seg) = self.sealed.pop_front() {
             let bytes = writer.append(&seg.events)?;

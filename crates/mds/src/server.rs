@@ -126,6 +126,9 @@ struct MdsObs {
     cap_cache_hits: Counter,
     merges: Counter,
     merged_events: Counter,
+    /// Windowed time series: per-window service rate/latency, journal
+    /// backlog and flush cadence, reconnect markers.
+    tl: cudele_obs::timeline::Timeline,
     /// Virtual-time hint supplied by the harness via
     /// [`MetadataServer::set_now`]; anchors server-side Stream spans.
     now: Nanos,
@@ -149,6 +152,7 @@ impl MdsObs {
             cap_cache_hits: reg.counter("mds.caps.cache_hits"),
             merges: reg.counter("mds.merge.runs"),
             merged_events: reg.counter("mds.merge.merged_events"),
+            tl: reg.timeline(),
             now: Nanos::ZERO,
             ctx: None,
         }
@@ -491,8 +495,27 @@ impl MetadataServer {
         match self.mdlog.as_mut() {
             Some(log) => {
                 let dispatch = log.dispatch_size();
+                let flushed_before = log.flushed_events();
+                if let Some(o) = &self.obs {
+                    log.set_now(o.now);
+                }
                 log.submit(self.os.as_ref(), event)
                     .map_err(Self::journal_error)?;
+                if let Some(o) = &self.obs {
+                    // Writer-side transients the whole-run counters hide:
+                    // how deep the unflushed backlog runs and when segment
+                    // flushes actually land on the virtual clock.
+                    o.tl.gauge_at(
+                        "mds.mdlog.backlog_events",
+                        o.now,
+                        log.unflushed_events() as f64,
+                    );
+                    let flushed = log.flushed_events() - flushed_before;
+                    if flushed > 0 {
+                        o.tl.add("mds.mdlog.flushes", o.now, 1);
+                        o.tl.add("mds.mdlog.flushed_events", o.now, flushed);
+                    }
+                }
                 // "The metadata server applies the updates in the journal
                 // to the metadata store when the journal reaches a certain
                 // size" — run the trimmer when configured.
@@ -566,7 +589,17 @@ impl MetadataServer {
     fn reply<T>(&self, result: Result<T>, cost: OpCost) -> Rpc<T> {
         if let Some(o) = &self.obs {
             o.rpcs.inc();
-            o.service_ns.record((cost.mds_cpu + cost.client_extra).0);
+            let service = (cost.mds_cpu + cost.client_extra).0;
+            o.service_ns.record(service);
+            // Windowed view of the same signal: service rate and latency
+            // distribution over virtual time, worst op linked by trace.
+            o.tl.add("mds.rpc.served", o.now, 1);
+            o.tl.sample_traced(
+                "mds.rpc.service_ns",
+                o.now,
+                service,
+                o.ctx.map_or(0, |c| c.trace_id),
+            );
         }
         Rpc { result, cost }
     }
@@ -720,7 +753,18 @@ impl MetadataServer {
         }
         self.counters.rpcs += 1;
         self.sessions.open(client);
-        self.obs(|o| o.reg.counter("mds.session.reconnects").inc());
+        self.obs(|o| {
+            o.reg.counter("mds.session.reconnects").inc();
+            // Reconnects cluster right after a takeover; the windowed rate
+            // plus the marker make that visible against the failover
+            // annotations.
+            o.tl.add("mds.session.reconnects", o.now, 1);
+            o.tl.annotate(
+                "mds.session.reconnect",
+                o.now,
+                &format!("client {}", client.0),
+            );
+        });
         let mut cost = OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead);
         for &(range, used) in surviving {
             self.alloc.advance_to(range.end());

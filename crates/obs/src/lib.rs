@@ -31,6 +31,8 @@ use cudele_sim::Nanos;
 pub mod critpath;
 pub mod history;
 pub mod json;
+pub mod slo;
+pub mod timeline;
 
 use history::{HistoryEvent, HistoryWriter};
 
@@ -110,6 +112,60 @@ fn bucket_bounds(i: usize) -> (u64, u64) {
     }
 }
 
+/// The `q`-th percentile (`q` in `[0, 100]`) of a log-bucketed sample set
+/// with known exact `count`/`min`/`max`. Shared by [`Histogram`] and the
+/// per-window latency points in [`timeline`].
+///
+/// Degenerate inputs get well-defined answers instead of bucket-boundary
+/// artifacts: an empty set returns `0.0`, a single sample returns it
+/// exactly, and when every sample is equal the value is returned exactly.
+/// Otherwise the rank's owning bucket is interpolated between its bounds
+/// *clamped to the observed `[min, max]`* — so an all-one-bucket
+/// histogram sweeps the observed range rather than the bucket's, p0
+/// lands on `min`, and p100 on `max`.
+pub(crate) fn bucket_percentile(
+    buckets: &[u64; HIST_BUCKETS],
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    if count == 1 || min == max {
+        return min as f64;
+    }
+    let rank = (q / 100.0).clamp(0.0, 1.0) * (count as f64 - 1.0);
+    // Rank extremes are known exactly regardless of bucketing.
+    if rank <= 0.0 {
+        return min as f64;
+    }
+    if rank >= count as f64 - 1.0 {
+        return max as f64;
+    }
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if (cum + c) as f64 - 1.0 >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            let lo = lo.max(min) as f64;
+            let hi = hi.min(max) as f64;
+            let frac = if c > 1 {
+                ((rank - cum as f64) / (c as f64 - 1.0)).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            let v = lo + frac * (hi - lo);
+            return v.clamp(min as f64, max as f64);
+        }
+        cum += c;
+    }
+    max as f64
+}
+
 /// A log-bucketed histogram of `u64` samples (typically nanoseconds).
 /// Buckets are powers of two, so `record` is O(1) and percentiles are
 /// bucket-interpolated approximations clamped to the exact observed
@@ -166,31 +222,12 @@ impl Histogram {
     }
 
     /// The `q`-th percentile (`q` in `[0, 100]`), interpolated within the
-    /// owning bucket and clamped to the observed range. `NaN` when empty.
+    /// owning bucket with bounds clamped to the observed range. Edge
+    /// cases are well-defined: `0.0` when empty, the exact sample when
+    /// `count == 1` or all samples are equal (see [`bucket_percentile`]).
     pub fn percentile(&self, q: f64) -> f64 {
         let d = self.0.lock().unwrap_or_else(|p| p.into_inner());
-        if d.count == 0 {
-            return f64::NAN;
-        }
-        let rank = (q / 100.0).clamp(0.0, 1.0) * (d.count as f64 - 1.0);
-        let mut cum = 0u64;
-        for (i, &c) in d.buckets.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            if (cum + c) as f64 - 1.0 >= rank {
-                let (lo, hi) = bucket_bounds(i);
-                let frac = if c > 1 {
-                    ((rank - cum as f64) / (c as f64 - 1.0)).clamp(0.0, 1.0)
-                } else {
-                    0.5
-                };
-                let v = lo as f64 + frac * (hi - lo) as f64;
-                return v.clamp(d.min as f64, d.max as f64);
-            }
-            cum += c;
-        }
-        d.max as f64
+        bucket_percentile(&d.buckets, d.count, d.min, d.max, q)
     }
 
     /// Folds another histogram's samples into this one (bucket-wise). Used
@@ -356,6 +393,8 @@ pub struct Registry {
     /// Consistency history (see [`history`]): per-client invoke/ack
     /// records the offline checkers consume.
     history: HistoryWriter,
+    /// Virtual-clock windowed time series (see [`timeline`]).
+    timeline: timeline::Timeline,
     /// Deterministic span-id allocator: ids are handed out in call order,
     /// starting at 1, so same-seed runs assign identical ids.
     next_span_id: AtomicU64,
@@ -389,8 +428,16 @@ impl Registry {
                 dropped: 0,
             }),
             history: HistoryWriter::with_capacity(history::DEFAULT_HISTORY_CAPACITY),
+            timeline: timeline::Timeline::default(),
             next_span_id: AtomicU64::new(0),
         }
+    }
+
+    /// A cloneable handle onto this registry's timeline, for layers that
+    /// keep recording windowed samples after they stop borrowing the
+    /// registry.
+    pub fn timeline(&self) -> timeline::Timeline {
+        self.timeline.clone()
     }
 
     /// Allocates the next span id (first call returns 1). Ids are unique
@@ -630,9 +677,11 @@ impl Registry {
             let mut log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
             log.dropped += src_dropped;
         }
-        // History events reference trace roots by id, so they rebase by the
-        // same offset as the spans they hang off.
+        // History events and timeline worst-sample markers reference trace
+        // roots by id, so they rebase by the same offset as the spans they
+        // hang off.
         self.history.merge_from(&other.history, offset);
+        self.timeline.merge_from(&other.timeline, offset);
         // Advance the allocator past every id the source handed out, so the
         // next allocation (or next merge) continues the serial sequence.
         self.next_span_id.fetch_add(
@@ -645,18 +694,39 @@ impl Registry {
     // Exporters
     // ------------------------------------------------------------------
 
-    /// Serializes the span log as Chrome trace-event JSON (`ph:"X"`
-    /// complete events). Virtual timestamps become microseconds with
-    /// nanosecond precision (`ts`/`dur` are fractional µs), so the trace
-    /// loads directly into Perfetto or `chrome://tracing`.
+    /// Serializes the span log as Chrome trace-event JSON: `ph:"X"`
+    /// complete events for spans, plus one `ph:"C"` counter event per
+    /// timeline window so the windowed series render as counter tracks
+    /// aligned with the spans in the same viewer. Virtual timestamps
+    /// become microseconds with nanosecond precision (`ts`/`dur` are
+    /// fractional µs), so the trace loads directly into Perfetto or
+    /// `chrome://tracing`.
     pub fn chrome_trace_json(&self) -> String {
+        let tl = self.timeline.snapshot();
         let log = self.spans.lock().unwrap_or_else(|p| p.into_inner());
         let mut out = String::with_capacity(64 + log.spans.len() * 96);
         out.push_str("{\"traceEvents\":[");
-        for (i, s) in log.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first_event = true;
+        for s in &tl.series {
+            for p in &s.points {
+                if !first_event {
+                    out.push(',');
+                }
+                first_event = false;
+                out.push_str("{\"name\":\"");
+                out.push_str(&escape_json(&s.name));
+                out.push_str("\",\"ph\":\"C\",\"ts\":");
+                push_micros(&mut out, p.t_ns);
+                out.push_str(",\"pid\":1,\"tid\":0,\"args\":{\"value\":");
+                push_f64(&mut out, p.stat.plot_value());
+                out.push_str("}}");
+            }
+        }
+        for s in log.spans.iter() {
+            if !first_event {
                 out.push(',');
             }
+            first_event = false;
             out.push_str("{\"name\":\"");
             out.push_str(&escape_json(&s.name));
             out.push_str("\",\"cat\":\"");
@@ -719,6 +789,14 @@ impl Registry {
                 vals.insert("obs.spans_dropped".to_string(), log.dropped);
                 vals.insert("obs.spans_recorded".to_string(), log.spans.len() as u64);
             }
+            vals.insert(
+                "obs.timeline.windows_dropped".to_string(),
+                self.timeline.dropped(),
+            );
+            vals.insert(
+                "obs.timeline.windows_recorded".to_string(),
+                self.timeline.windows_recorded(),
+            );
             for (i, (name, v)) in vals.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -872,10 +950,6 @@ mod tests {
     #[test]
     fn histogram_percentiles_interpolate() {
         let h = Histogram::default();
-        assert!(h.percentile(50.0).is_nan());
-        h.record(100);
-        assert_eq!(h.p50(), 100.0); // single sample clamps to min==max
-        let h = Histogram::default();
         for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
             h.record(v);
         }
@@ -887,6 +961,52 @@ mod tests {
         let p99 = h.p99();
         assert!(p99 > p50, "p99 {p99} <= p50 {p50}");
         assert!(p99 <= 1000.0);
+    }
+
+    /// Pins the tiny-count edge cases: empty, single sample, two samples,
+    /// and all-samples-in-one-bucket must yield well-defined p50/p95/p99
+    /// rather than bucket-boundary artifacts.
+    #[test]
+    fn histogram_percentile_edge_cases_are_pinned() {
+        // Empty: 0.0, not NaN, so exporters stay JSON-clean.
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p95(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+
+        // Single sample: the sample itself, at every percentile.
+        let h = Histogram::default();
+        h.record(100);
+        assert_eq!((h.p50(), h.p95(), h.p99()), (100.0, 100.0, 100.0));
+
+        // All samples equal (same bucket, count > 1): exact, not a
+        // bucket-midpoint.
+        let h = Histogram::default();
+        for _ in 0..5 {
+            h.record(700);
+        }
+        assert_eq!((h.p50(), h.p95(), h.p99()), (700.0, 700.0, 700.0));
+
+        // All-one-bucket with spread: interpolation sweeps the observed
+        // [min, max], not the bucket's [2^k, 2^(k+1)) bounds. 520 and
+        // 1000 share bucket [512, 1023]: p50 is their midpoint exactly.
+        let h = Histogram::default();
+        h.record(520);
+        h.record(1000);
+        assert_eq!(h.p50(), 760.0);
+        assert!(h.p99() <= 1000.0 && h.p99() >= 760.0);
+
+        // Two samples in different buckets: the rank's owning bucket is
+        // interpolated with bounds clamped to the observed range, so the
+        // result stays within [min, max] and below the larger sample.
+        let h = Histogram::default();
+        h.record(10);
+        h.record(1000);
+        let p50 = h.p50();
+        assert!((10.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert_eq!(p50, 756.0); // mid of [512 max 10, 1023 min 1000]
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(100.0), 1000.0);
     }
 
     #[test]

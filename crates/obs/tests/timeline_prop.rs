@@ -1,0 +1,152 @@
+//! Property coverage for the timeline merge contract: splitting an
+//! arbitrary recording schedule across N per-thread registries and
+//! merging them in input order must reproduce the single-registry
+//! recording exactly — same windows, same statistics, same worst-sample
+//! trace links, same serialized bytes.
+
+use cudele_obs::Registry;
+use cudele_sim::Nanos;
+use proptest::prelude::*;
+
+/// One recorded event in a schedule: which series, at what instant, with
+/// what value, under which series kind.
+#[derive(Debug, Clone)]
+enum Ev {
+    Add { series: u8, t: u64, n: u64 },
+    Gauge { series: u8, t: u64, v: u64 },
+    Sample { series: u8, t: u64, v: u64 },
+    Annotate { series: u8, t: u64 },
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    // Times span ~40 windows of the 5ms default; values exercise several
+    // histogram buckets.
+    let series = 0u8..4;
+    let t = 0u64..200_000_000;
+    let v = 1u64..5_000_000;
+    prop_oneof![
+        (series.clone(), t.clone(), 1u64..100).prop_map(|(series, t, n)| Ev::Add { series, t, n }),
+        (series.clone(), t.clone(), v.clone()).prop_map(|(series, t, v)| Ev::Gauge {
+            series,
+            t,
+            v
+        }),
+        (series.clone(), t.clone(), v).prop_map(|(series, t, v)| Ev::Sample { series, t, v }),
+        (series, t).prop_map(|(series, t)| Ev::Annotate { series, t }),
+    ]
+}
+
+/// Replays `events` into `reg`. Each series name is namespaced by kind so
+/// a schedule never mixes kinds under one name (a kind mismatch is a
+/// deterministic drop, tested separately in the unit tests). Latency
+/// samples carry a trace id derived from a fresh root so merge rebasing
+/// is exercised.
+fn replay(reg: &Registry, events: &[Ev]) {
+    let tl = reg.timeline();
+    for e in events {
+        match *e {
+            Ev::Add { series, t, n } => tl.add(&format!("rate.{series}"), Nanos(t), n),
+            Ev::Gauge { series, t, v } => {
+                tl.gauge_at(&format!("gauge.{series}"), Nanos(t), v as f64)
+            }
+            Ev::Sample { series, t, v } => {
+                let root = reg.trace_root(u32::from(series));
+                tl.sample_traced(&format!("lat.{series}"), Nanos(t), v, root.trace_id);
+            }
+            Ev::Annotate { series, t } => tl.annotate(&format!("mark.{series}"), Nanos(t), "event"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunking a schedule across 1..=4 per-thread registries and merging
+    /// in input order yields the serial recording's exact bytes.
+    #[test]
+    fn merged_per_thread_windows_equal_serial_recording(
+        events in proptest::collection::vec(ev_strategy(), 0..200),
+        threads in 1usize..=4,
+    ) {
+        // Serial: one registry records the whole schedule.
+        let serial = Registry::new();
+        replay(&serial, &events);
+
+        // Parallel model: the schedule splits into `threads` contiguous
+        // chunks (what par_tasks_merged gives each worker), each chunk
+        // records into a private registry, and the chunks merge back in
+        // input order.
+        let merged = Registry::new();
+        let chunk = events.len().div_ceil(threads).max(1);
+        for part in events.chunks(chunk) {
+            let task = Registry::new();
+            replay(&task, part);
+            merged.merge_from(&task);
+        }
+
+        let s = serial.timeline().snapshot();
+        let m = merged.timeline().snapshot();
+        prop_assert_eq!(s.to_json(), m.to_json());
+        // And the structured forms agree on the load-bearing details.
+        prop_assert_eq!(s.series.len(), m.series.len());
+        prop_assert_eq!(s.annotations.len(), m.annotations.len());
+        prop_assert_eq!(s.windows_dropped, m.windows_dropped);
+    }
+
+    /// Capacity drops are part of the contract *as long as no task
+    /// overflows its own budget* (the merge cannot resurrect a sample a
+    /// task never retained — see `Timeline::merge_from`). Size the cap to
+    /// the largest per-chunk footprint: each task then records loss-free,
+    /// while the merged union still overflows, and the merge must
+    /// reproduce the serial run's first-come-kept drop decisions and
+    /// sample-granular drop counter exactly.
+    #[test]
+    fn capacity_drops_replicate_under_merge(
+        events in proptest::collection::vec(ev_strategy(), 0..200),
+    ) {
+        // Largest number of distinct windows any one chunk records into
+        // any one series: the smallest budget no task overflows.
+        let chunk = events.len().div_ceil(2).max(1);
+        let window_ns = cudele_obs::timeline::DEFAULT_WINDOW.0;
+        let mut cap = 1usize;
+        for part in events.chunks(chunk) {
+            let mut per_series: std::collections::HashMap<String, std::collections::HashSet<u64>> =
+                std::collections::HashMap::new();
+            for e in part {
+                let (name, t) = match *e {
+                    Ev::Add { series, t, .. } => (format!("rate.{series}"), t),
+                    Ev::Gauge { series, t, .. } => (format!("gauge.{series}"), t),
+                    Ev::Sample { series, t, .. } => (format!("lat.{series}"), t),
+                    Ev::Annotate { .. } => continue,
+                };
+                per_series.entry(name).or_default().insert(t / window_ns);
+            }
+            cap = cap.max(per_series.values().map(|w| w.len()).max().unwrap_or(0));
+        }
+
+        let serial = Registry::new();
+        serial
+            .timeline()
+            .configure(cudele_obs::timeline::DEFAULT_WINDOW, cap);
+        replay(&serial, &events);
+
+        let merged = Registry::new();
+        merged
+            .timeline()
+            .configure(cudele_obs::timeline::DEFAULT_WINDOW, cap);
+        for part in events.chunks(chunk) {
+            let task = Registry::new();
+            task.timeline()
+                .configure(cudele_obs::timeline::DEFAULT_WINDOW, cap);
+            replay(&task, part);
+            prop_assert_eq!(task.timeline().dropped(), 0, "cap sized wrong");
+            merged.merge_from(&task);
+        }
+
+        prop_assert_eq!(
+            serial.timeline().snapshot().to_json(),
+            merged.timeline().snapshot().to_json()
+        );
+        prop_assert_eq!(serial.timeline().dropped(), merged.timeline().dropped());
+    }
+}

@@ -169,6 +169,12 @@ struct OsdObs {
     /// Fraction of the cluster's written bytes that landed on this OSD —
     /// a balance indicator, refreshed on every write that touches it.
     share: Gauge,
+    /// Timeline series name for this OSD's windowed write throughput
+    /// (`rados.osd.<i>.write_bytes`), precomputed to keep the hot path
+    /// allocation-free.
+    tl_write: String,
+    /// Timeline series name for windowed read throughput.
+    tl_read: String,
 }
 
 /// Store-wide observability handles (mirrors of the `IoDelta` atomics,
@@ -180,6 +186,9 @@ struct StoreObs {
     bytes_read: Counter,
     bytes_written: Counter,
     per_osd: Vec<OsdObs>,
+    /// Windowed per-OSD utilization over virtual time (the store's
+    /// `set_now` clock stamps the samples).
+    tl: cudele_obs::timeline::Timeline,
 }
 
 /// In-memory replicated object store ("the RADOS cluster").
@@ -321,6 +330,7 @@ impl InMemoryStore {
         obs.write_ops.inc();
         obs.bytes_written.add(write_bytes * placement.len() as u64);
         let total = obs.bytes_written.get();
+        let now = Nanos(self.now.load(Ordering::Relaxed));
         for &o in placement {
             if let Some(oo) = obs.per_osd.get(o) {
                 oo.ops.inc();
@@ -328,6 +338,7 @@ impl InMemoryStore {
                 if total > 0 {
                     oo.share.set(oo.bytes_written.get() as f64 / total as f64);
                 }
+                obs.tl.add(&oo.tl_write, now, write_bytes);
             }
         }
     }
@@ -341,6 +352,8 @@ impl InMemoryStore {
         if let Some(oo) = obs.per_osd.get(primary) {
             oo.ops.inc();
             oo.bytes_read.add(read_bytes);
+            let now = Nanos(self.now.load(Ordering::Relaxed));
+            obs.tl.add(&oo.tl_read, now, read_bytes);
         }
     }
 
@@ -622,6 +635,8 @@ impl ObjectStore for InMemoryStore {
                 bytes_written: reg.counter(&format!("rados.osd.{i}.bytes_written")),
                 bytes_read: reg.counter(&format!("rados.osd.{i}.bytes_read")),
                 share: reg.gauge(&format!("rados.osd.{i}.write_share")),
+                tl_write: format!("rados.osd.{i}.write_bytes"),
+                tl_read: format!("rados.osd.{i}.read_bytes"),
             })
             .collect();
         *self.obs.write() = Some(StoreObs {
@@ -630,6 +645,7 @@ impl ObjectStore for InMemoryStore {
             bytes_read: reg.counter("rados.store.bytes_read"),
             bytes_written: reg.counter("rados.store.bytes_written"),
             per_osd,
+            tl: reg.timeline(),
         });
     }
 }

@@ -685,6 +685,169 @@ fn failover_reruns_are_identical_per_seed() {
     });
 }
 
+/// Drives `mech`'s failover while a probe client walks the active MDS on
+/// a 1 ms grid, and returns the run's serialized timeline. The probes
+/// make the transient legible window by window: fast lookups before
+/// `mds.crash`, nothing but full-RPC-timeout probes during the detection
+/// gap, and served lookups again once the standby takes over.
+fn failover_timeline_run(mech: &str, seed: u64) -> String {
+    const N: u64 = 20;
+    let os = faulty_store(background_faults(seed));
+    let mdlog = match mech {
+        "rpcs" | "volatile_apply" => None,
+        _ => Some(small_mdlog()),
+    };
+    let fo = FailoverConfig::default();
+    let mut cluster = MdsCluster::new(os.clone(), CostModel::calibrated(), mdlog, fo);
+    let reg = Arc::new(cudele_obs::Registry::new());
+    cluster.attach_obs(&reg);
+    let tl = reg.timeline();
+    let mut disk = LocalDisk::new();
+    let dir = cluster.active_mut().setup_dir_durable("/job").unwrap();
+
+    // The mechanism's own pre-crash workload, as in `failover_run`: what
+    // it journals or merges shapes the takeover replay the timeline
+    // then shows.
+    if matches!(mech, "rpcs" | "stream") {
+        let (mut c, _) = RpcClient::mount(cluster.active_mut(), CLIENT);
+        for i in 0..N {
+            c.create(cluster.active_mut(), dir, &format!("f{i}"))
+                .result
+                .unwrap();
+        }
+    } else {
+        cluster.active_mut().open_session(CLIENT);
+        let (dc, _) = DecoupledClient::decouple(cluster.active_mut(), CLIENT, "/job", N + 10);
+        let mut client = dc.unwrap();
+        for i in 0..N {
+            client.create(client.root, &format!("f{i}")).unwrap();
+        }
+        if mech != "append_client_journal" {
+            let comp: Composition = mech.parse().unwrap();
+            execute_merge(
+                &comp,
+                &mut client,
+                &mut ExecEnv {
+                    server: cluster.active_mut(),
+                    os: os.as_ref(),
+                    disk: &mut disk,
+                },
+            )
+            .unwrap();
+        }
+    }
+
+    // Probe grid around the crash, exactly like the mdbench drill: the
+    // down primary times every probe out until the grace expires.
+    let step = Nanos::MILLI;
+    let probe = |cluster: &mut MdsCluster, at: Nanos| {
+        cluster.advance_to(at).unwrap();
+        let srv = cluster.active_mut();
+        srv.set_now(at);
+        match srv.lookup(ClientId(990), InodeId::ROOT, "probe").result {
+            Err(MdsError::Timeout) => tl.add("probe.timeouts", at, 1),
+            _ => tl.add("probe.ok", at, 1),
+        }
+    };
+    let crash_at = Nanos::from_millis(5).max(cluster.now() + fo.beacon_interval);
+    let mut pt = cluster.now();
+    while pt < crash_at {
+        probe(&mut cluster, pt);
+        pt += step;
+    }
+    cluster.advance_to(crash_at).unwrap();
+    cluster.crash_active();
+    let deadline = crash_at + fo.beacon_grace + fo.beacon_interval * 4;
+    while pt <= deadline {
+        probe(&mut cluster, pt);
+        pt += step;
+    }
+    cluster.advance_to(deadline).unwrap();
+    let r = cluster.reports()[0];
+    let tail_end = r.completed_at.max(pt) + step * 3;
+    while pt <= tail_end {
+        probe(&mut cluster, pt);
+        pt += step;
+    }
+    reg.timeline().snapshot().to_json()
+}
+
+/// The failover transient — crash marker at T, a zero-throughput
+/// detection gap bounded by the beacon grace, probes served again after
+/// takeover — is visible in the recorded timeline for every mechanism
+/// and seed, and the serialized timeline reproduces byte for byte on
+/// rerun.
+#[test]
+fn failover_transient_is_visible_and_reproducible_in_timelines() {
+    use cudele_obs::timeline::TimelineSnapshot;
+    let fo = FailoverConfig::default();
+    for mech in FAILOVER_MECHANISMS {
+        let runs = sweep_seeds(3, |seed| failover_timeline_run(mech, seed));
+        for (seed, json) in runs.iter().enumerate() {
+            let snap = TimelineSnapshot::parse(json)
+                .unwrap_or_else(|e| panic!("{mech} seed {seed}: bad timeline: {e}"));
+            let at = |name: &str| {
+                snap.annotations
+                    .iter()
+                    .find(|a| a.name == name)
+                    .unwrap_or_else(|| panic!("{mech} seed {seed}: no {name} annotation"))
+                    .at
+            };
+            let crash = at("mds.crash");
+            let detected = at("mds.failover.detected");
+            let takeover = at("mds.failover.takeover");
+            assert!(detected > crash, "{mech} seed {seed}");
+            // Detection happens on the beacon grid at most one interval
+            // past the grace (one extra interval of slack for the slot
+            // the crash itself landed in).
+            assert!(
+                detected - crash <= fo.beacon_grace + fo.beacon_interval * 2,
+                "{mech} seed {seed}: detection gap {}ns exceeds the grace bound",
+                (detected - crash).0
+            );
+            assert!(takeover >= detected, "{mech} seed {seed}");
+
+            let w = snap.window_ns.max(1);
+            let (crash_w, detected_w, takeover_w) = (crash.0 / w, detected.0 / w, takeover.0 / w);
+            let ok = snap
+                .series("probe.ok")
+                .unwrap_or_else(|| panic!("{mech} seed {seed}: no probe.ok series"));
+            let timeouts = snap
+                .series("probe.timeouts")
+                .unwrap_or_else(|| panic!("{mech} seed {seed}: no probe.timeouts series"));
+            // Zero throughput inside the gap: every window strictly
+            // between the crash and the detection recorded timeouts and
+            // no successful probe.
+            assert!(
+                timeouts
+                    .points
+                    .iter()
+                    .any(|p| p.window > crash_w && p.window < detected_w),
+                "{mech} seed {seed}: no timeout spike in the detection gap"
+            );
+            assert!(
+                ok.points
+                    .iter()
+                    .all(|p| p.window <= crash_w || p.window >= detected_w),
+                "{mech} seed {seed}: a probe succeeded against the dead primary"
+            );
+            // Bounded recovery: the standby serves probes again in the
+            // takeover's own window (the recovery tail probes land there).
+            assert!(
+                ok.points.iter().any(|p| p.window >= takeover_w),
+                "{mech} seed {seed}: no served probe after the takeover"
+            );
+        }
+        // Determinism: the same (mechanism, seed) reproduces the same
+        // serialized timeline, annotations and windows included.
+        assert_eq!(
+            failover_timeline_run(mech, 1),
+            runs[1],
+            "{mech}: timeline not reproducible"
+        );
+    }
+}
+
 /// A fenced old primary that keeps writing after the takeover perturbs
 /// nothing: stale dispatches die at the object store, the rejections are
 /// counted, and the persisted mdlog (events, byte length, segment count)
