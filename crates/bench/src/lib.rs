@@ -19,6 +19,7 @@ pub mod fig6b;
 pub mod fig6c;
 pub mod mdbench;
 pub mod obs_out;
+pub mod open_loop_run;
 pub mod perf;
 pub mod regress;
 pub mod table1;
@@ -26,6 +27,7 @@ pub mod timeline_view;
 pub mod world;
 
 pub use obs_out::ObsSession;
+pub use open_loop_run::{run_open_loop, OpenLoopOutcome, OpenLoopProcess};
 pub use world::{DecoupledCreateProcess, InterfererProcess, RpcCreateProcess, World};
 
 /// Scale for a figure run: `files_per_client` 100_000 reproduces the paper

@@ -32,10 +32,17 @@ use crate::{DecoupledCreateProcess, RpcCreateProcess, World};
 /// One mdbench configuration, as parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
-    /// Concurrent client processes.
+    /// Concurrent client processes (closed loop), or total arrivals when
+    /// `--arrival` turns the run open-loop.
     pub clients: u32,
     /// Creates per client.
     pub files: u64,
+    /// Open-loop arrival spec (see
+    /// [`cudele_workloads::open_loop::ArrivalSpec::parse`]), e.g.
+    /// `poisson:rate=5000,zipf=1.1,tenants=4`. When set, `--clients`
+    /// arrivals of `--files` creates each are released on the spec's
+    /// schedule instead of running the closed-loop sweep.
+    pub arrival: Option<String>,
     /// Policy name: posix|ramdisk|batchfs|deltafs|hdfs|custom.
     pub policy: String,
     /// DSL composition (required when `policy` is `custom`).
@@ -91,6 +98,7 @@ impl Default for BenchConfig {
         BenchConfig {
             clients: 4,
             files: 10_000,
+            arrival: None,
             policy: "posix".to_string(),
             composition: None,
             metrics_out: None,
@@ -110,6 +118,8 @@ impl Default for BenchConfig {
 
 /// The usage string printed on `--help` or a bad invocation.
 pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
+     [--arrival poisson:rate=R[,zipf=S][,dirs=D][,tenants=T][,burst=B]\
+[,diurnal=P:A][,seed=N]] \
      [--policy posix|ramdisk|batchfs|deltafs|hdfs|custom] \
      [--composition DSL] [--metrics-out PATH] [--trace-out PATH] \
      [--history-out PATH] [--timeline-out PATH] [--slo SPEC]... \
@@ -133,7 +143,12 @@ over a timeline series, e.g. `p99(bench.op_latency.ns) < 20ms for 99%
 of windows`. `--checkpoint-interval N` cuts an incremental
 checkpoint (tiered compaction under a fenced manifest) every N flushed
 journal events, so recovery and the failover drill replay only the
-journal tail past the manifest; requires a journaling policy.";
+journal tail past the manifest; requires a journaling policy. `--arrival`
+switches to open-loop traffic: --clients arrivals of --files creates each
+are released on a Poisson (or `bursty:`) schedule against zipf-hot
+directories partitioned across tenant subtrees, with per-client sojourn
+recorded in the timeline (`bench.sojourn.ns`); the whole schedule is a
+pure function of the spec, so reruns are byte-identical.";
 
 /// Parses an argument list (element 0 is the program name). `Err` carries
 /// the message to print before the usage string; `--help` yields
@@ -158,6 +173,12 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
                 cfg.files = value(&mut i, "--files")?
                     .parse()
                     .map_err(|e| format!("bad --files: {e}"))?;
+            }
+            "--arrival" => {
+                let spec = value(&mut i, "--arrival")?;
+                cudele_workloads::open_loop::ArrivalSpec::parse(&spec)
+                    .map_err(|e| format!("bad --arrival: {e}"))?;
+                cfg.arrival = Some(spec);
             }
             "--policy" => cfg.policy = value(&mut i, "--policy")?,
             "--composition" => cfg.composition = Some(value(&mut i, "--composition")?),
@@ -299,12 +320,20 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     obs.set_timeline_out(cfg.timeline_out.clone());
     obs.set_slos(resolve_slos(cfg)?);
 
-    let mut rendered = format!(
-        "mdbench: {} clients x {} creates under `{}`\n",
-        cfg.clients,
-        cfg.files,
-        policy.composition()
-    );
+    let mut rendered = match &cfg.arrival {
+        Some(spec) => format!(
+            "mdbench: open-loop `{spec}` -> {} arrivals x {} creates under `{}`\n",
+            cfg.clients,
+            cfg.files,
+            policy.composition()
+        ),
+        None => format!(
+            "mdbench: {} clients x {} creates under `{}`\n",
+            cfg.clients,
+            cfg.files,
+            policy.composition()
+        ),
+    };
 
     let mut cost = cudele_sim::CostModel::calibrated();
     let mut mds_crashes: Vec<Nanos> = Vec::new();
@@ -361,6 +390,67 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
             .map_err(|e| format!("enabling checkpoints: {e}"))?;
     }
     let run_reg = Arc::clone(&world.obs);
+
+    let total_ops = cfg.clients as u64 * cfg.files;
+    if let Some(spec_str) = &cfg.arrival {
+        let spec = cudele_workloads::open_loop::ArrivalSpec::parse(spec_str)
+            .map_err(|e| format!("bad --arrival: {e}"))?;
+        let decoupled = policy.operation_mode() == cudele::OperationMode::Decoupled;
+        let out =
+            crate::open_loop_run::run_open_loop(world, &spec, cfg.clients, cfg.files, decoupled)?;
+
+        use std::fmt::Write as _;
+        let offered = cfg.clients as f64 / out.last_arrival.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            rendered,
+            "  arrivals     : {} over {} ({offered:.0} clients/s offered)",
+            cfg.clients, out.last_arrival
+        );
+        let _ = writeln!(
+            rendered,
+            "  completed    : {} ({:.0} creates/s aggregate)",
+            out.end,
+            total_ops as f64 / out.end.as_secs_f64().max(1e-9)
+        );
+        let _ = writeln!(
+            rendered,
+            "  sojourn      : p50 {} p95 {} p99 {}",
+            Nanos(out.sojourn_ns.0 as u64),
+            Nanos(out.sojourn_ns.1 as u64),
+            Nanos(out.sojourn_ns.2 as u64),
+        );
+        let _ = writeln!(rendered, "  run          : {}", out.report.summary_json());
+        if !mds_crashes.is_empty() {
+            failover_drill(
+                drill_store,
+                drill_cost,
+                mdlog,
+                ckpt_config,
+                &mds_crashes,
+                cfg.clients,
+                &run_reg,
+                &mut rendered,
+            )?;
+        }
+        let counter = |name: &str| run_reg.counter_value(name).unwrap_or(0);
+        let _ = writeln!(
+            rendered,
+            "  fault obs    : rados.fenced_writes={} client.rpc.timeouts={} \
+mds.session.reconnects={}",
+            counter("rados.fenced_writes"),
+            counter("client.rpc.timeouts"),
+            counter("mds.session.reconnects"),
+        );
+        obs.finish()
+            .map_err(|e| format!("writing snapshots: {e}"))?;
+        return Ok(BenchOutcome {
+            create_end: out.end,
+            merge_end: out.end,
+            report: out.report,
+            rendered,
+        });
+    }
+
     for c in 0..cfg.clients {
         world.server.setup_dir(&client_dir(c)).unwrap();
     }
@@ -368,7 +458,6 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         .map(|c| world.server.store().resolve(&client_dir(c)).unwrap())
         .collect();
 
-    let total_ops = cfg.clients as u64 * cfg.files;
     let (create_end, merge_end, report) = match policy.operation_mode() {
         cudele::OperationMode::Rpcs => {
             let mut eng = Engine::new(world);

@@ -21,6 +21,8 @@ use std::time::Instant;
 
 use cudele_journal::{codec, Attrs, InodeId, JournalEvent};
 use cudele_mds::MetadataStore;
+use cudele_sim::{CompletionRecording, Engine, FifoServer, Nanos, Process, Step};
+use cudele_workloads::open_loop::ArrivalSpec;
 
 use crate::regress;
 
@@ -227,6 +229,142 @@ fn hot_paths() -> Vec<HotPath> {
     out
 }
 
+/// Events in the scheduler microbench (10 K churning processes x 128
+/// wakes with mixed stride lengths, exercising same-bucket pops, level
+/// cascades, and the overflow path).
+const SCHED_BENCH_CLIENTS: usize = 10_000;
+const SCHED_BENCH_WAKES: u32 = 128;
+
+/// The million-client smoke: this many open-loop arrivals against zipf-hot
+/// FIFO directory queues, two engine events each.
+pub const MILLION_CLIENTS: usize = 1_000_000;
+const MILLION_DIRS: usize = 1_024;
+
+/// Host wall-clock results of the discrete-event core benchmarks.
+pub struct EngineBench {
+    /// Scheduler microbench: engine events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Million-client smoke: simulated clients completed.
+    pub smoke_clients: u64,
+    /// Million-client smoke: total engine events.
+    pub smoke_events: u64,
+    /// Million-client smoke: host wall-clock nanoseconds for the whole run
+    /// (schedule generation + arena build + event loop).
+    pub smoke_wall_ns: u128,
+    /// Million-client smoke: events per wall-clock second.
+    pub smoke_events_per_sec: f64,
+    /// Million-client smoke: virtual end time of the last client.
+    pub smoke_sim_end: Nanos,
+}
+
+/// A process that only exercises the scheduler: each wake re-schedules at
+/// a stride that rotates through short (same bucket), medium (level
+/// cascade), and long (overflow) horizons.
+struct SchedChurner {
+    remaining: u32,
+    stride: u64,
+}
+
+impl Process<()> for SchedChurner {
+    fn step(&mut self, now: Nanos, _: &mut ()) -> Step {
+        if self.remaining == 0 {
+            return Step::Done;
+        }
+        self.remaining -= 1;
+        Step::ResumeAt(now + Nanos(self.stride))
+    }
+}
+
+fn sched_microbench() -> f64 {
+    let mut eng = Engine::new(());
+    eng.set_completion_recording(CompletionRecording::Summary);
+    let procs: Vec<SchedChurner> = (0..SCHED_BENCH_CLIENTS)
+        .map(|i| SchedChurner {
+            remaining: SCHED_BENCH_WAKES,
+            // Strides span ~1us to ~1s so every scheduler level (and the
+            // occasional overflow jump) is on the measured path.
+            stride: 1_000u64 << (i % 21),
+        })
+        .collect();
+    let starts = vec![Nanos::ZERO; procs.len()];
+    eng.add_arena(procs, &starts);
+    let start = Instant::now();
+    let (_, report) = eng.run();
+    let elapsed = start.elapsed().as_secs_f64();
+    report.steps as f64 / elapsed.max(1e-9)
+}
+
+/// The million-client world: zipf-hot directory queues, nothing else.
+/// The functional MDS is exercised by mdbench `--arrival`; this smoke
+/// isolates what the tentpole refactor bought — scheduler + process-table
+/// throughput at a client count the boxed heap engine could not sustain.
+struct SmokeWorld {
+    dirs: Vec<FifoServer>,
+}
+
+struct SmokeClient {
+    dir: u32,
+    served: bool,
+}
+
+impl Process<SmokeWorld> for SmokeClient {
+    fn step(&mut self, now: Nanos, world: &mut SmokeWorld) -> Step {
+        if self.served {
+            return Step::Done;
+        }
+        self.served = true;
+        // ~2us of directory work, queued FIFO behind every other client
+        // hitting the same hot directory.
+        Step::ResumeAt(world.dirs[self.dir as usize].serve(now, Nanos(2_000)))
+    }
+}
+
+fn million_client_smoke() -> EngineBench {
+    let start = Instant::now();
+    let spec = ArrivalSpec {
+        zipf: 1.1,
+        dirs: MILLION_DIRS as u32,
+        ..ArrivalSpec::poisson(100_000.0)
+    };
+    // Sample the zipf/Poisson streams directly rather than materializing
+    // `Arrival` structs twice; the schedule is the same deterministic
+    // function mdbench --arrival uses.
+    let arrivals = spec.generate(MILLION_CLIENTS);
+    let world = SmokeWorld {
+        dirs: (0..MILLION_DIRS).map(|_| FifoServer::new("dir")).collect(),
+    };
+    let mut eng = Engine::new(world);
+    eng.set_completion_recording(CompletionRecording::Summary);
+    let procs: Vec<SmokeClient> = arrivals
+        .iter()
+        .map(|a| SmokeClient {
+            dir: a.dir,
+            served: false,
+        })
+        .collect();
+    let starts: Vec<Nanos> = arrivals.iter().map(|a| a.at).collect();
+    eng.add_arena(procs, &starts);
+    let (_, report) = eng.run();
+    let wall_ns = start.elapsed().as_nanos();
+    EngineBench {
+        events_per_sec: 0.0, // filled by the caller
+        smoke_clients: report.finished,
+        smoke_events: report.steps,
+        smoke_wall_ns: wall_ns,
+        smoke_events_per_sec: report.steps as f64 / (wall_ns as f64 / 1e9).max(1e-9),
+        smoke_sim_end: report.slowest(),
+    }
+}
+
+/// Runs both engine benchmarks (scheduler microbench + million-client
+/// open-loop smoke).
+pub fn engine_bench() -> EngineBench {
+    let events_per_sec = sched_microbench();
+    let mut b = million_client_smoke();
+    b.events_per_sec = events_per_sec;
+    b
+}
+
 /// What one `perf` invocation produced.
 pub struct PerfOutcome {
     /// The snapshot written to `cfg.out` (model JSON + `wallclock`).
@@ -267,6 +405,7 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfOutcome, String> {
 
     let speedup = serial_ns as f64 / (parallel_ns as f64).max(1.0);
     let hot = hot_paths();
+    let engine = engine_bench();
 
     let mut wallclock = String::new();
     wallclock.push_str(WALLCLOCK_KEY);
@@ -286,7 +425,18 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfOutcome, String> {
             if i + 1 < hot.len() { ", " } else { "" }
         ));
     }
-    wallclock.push_str("}\n  }");
+    wallclock.push_str("},\n");
+    wallclock.push_str(&format!(
+        "    \"engine\": {{\"events_per_sec\": {}, \"million_clients\": \
+{{\"clients\": {}, \"events\": {}, \"wall_ns\": {}, \"events_per_sec\": {}, \
+\"sim_end_ns\": {}}}}}\n  }}",
+        fmt_f64(engine.events_per_sec),
+        engine.smoke_clients,
+        engine.smoke_events,
+        engine.smoke_wall_ns,
+        fmt_f64(engine.smoke_events_per_sec),
+        engine.smoke_sim_end.0
+    ));
 
     let base = serial_json.trim_end();
     let base = base.strip_suffix('}').ok_or("model JSON missing final }")?;
@@ -309,6 +459,19 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfOutcome, String> {
             h.name, h.ops_per_s, h.unit
         ));
     }
+    rendered.push_str(&format!(
+        "perf: scheduler          {:>12.0} events/s\n",
+        engine.events_per_sec
+    ));
+    rendered.push_str(&format!(
+        "perf: {} open-loop clients ({} events) in {:.2}s wall \
+({:.0} events/s, sim span {})\n",
+        engine.smoke_clients,
+        engine.smoke_events,
+        engine.smoke_wall_ns as f64 / 1e9,
+        engine.smoke_events_per_sec,
+        engine.smoke_sim_end
+    ));
     rendered.push_str(&format!("snapshot written to {}\n", cfg.out));
 
     Ok(PerfOutcome {

@@ -183,6 +183,7 @@ fn run_mdbench_workload(
     let cfg = BenchConfig {
         clients: MDBENCH_CLIENTS,
         files: MDBENCH_FILES,
+        arrival: None,
         policy: policy.to_string(),
         composition: None,
         metrics_out: None,

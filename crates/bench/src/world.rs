@@ -120,6 +120,11 @@ pub struct RpcCreateProcess {
     timeouts_seen: u64,
     /// Record a per-op trace of the victim's behaviour (Figure 3c).
     pub record_trace: bool,
+    /// Completion instant of the most recent create. The closed-loop
+    /// contract returns `Done` at the final create's *issuance* step, so
+    /// wrappers that need the true finish time (open-loop sojourn) read
+    /// it here instead of from the step clock.
+    pub last_op_end: Nanos,
 }
 
 impl RpcCreateProcess {
@@ -136,6 +141,7 @@ impl RpcCreateProcess {
             op_lat: world.obs.histogram("bench.op_latency.ns"),
             timeouts_seen: 0,
             record_trace: false,
+            last_op_end: Nanos::ZERO,
         }
     }
 }
@@ -167,6 +173,7 @@ impl Process<World> for RpcCreateProcess {
             vec![("file".to_string(), name)],
         );
         self.op_lat.record((t - now).0);
+        self.last_op_end = t;
         world.tl.add("bench.ops", t, 1);
         world
             .tl

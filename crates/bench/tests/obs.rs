@@ -177,6 +177,7 @@ fn run_faulted_snapshots(
     let cfg = BenchConfig {
         clients: 2,
         files: 500,
+        arrival: None,
         policy: policy.to_string(),
         composition: None,
         metrics_out: Some(metrics.clone()),

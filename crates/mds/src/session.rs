@@ -107,12 +107,36 @@ impl Session {
         self.ranges.push(range);
         self.cursor = used.min(range.len);
     }
+
+    /// Rebinds a recycled slot to a new client, keeping the `ranges`
+    /// vector's allocation.
+    fn reset(&mut self, client: ClientId) {
+        self.client = client;
+        self.ranges.clear();
+        self.cursor = 0;
+        self.ops = 0;
+    }
 }
 
-/// All sessions on one MDS.
+/// All sessions on one MDS, stored in a slot arena.
+///
+/// Open-loop traffic opens and closes sessions at the arrival rate — a
+/// million short-lived clients under `mdbench --arrival` each touch this
+/// map. Sessions therefore live in a flat `Vec` whose slots are recycled
+/// through a free list: closing a session returns its slot (and the
+/// granted-range vector's allocation) for the next arrival instead of
+/// freeing it, and the per-client index maps `ClientId -> slot`. The
+/// externally visible behaviour is identical to the old
+/// `HashMap<ClientId, Session>`.
 #[derive(Debug, Clone, Default)]
 pub struct SessionMap {
-    sessions: HashMap<ClientId, Session>,
+    /// Slot storage; a slot is live iff some `index` entry points at it.
+    slots: Vec<Session>,
+    /// Recycled slot indices, most recently closed last (LIFO reuse keeps
+    /// the hot slot cache-warm).
+    free: Vec<u32>,
+    /// Live sessions: client -> slot.
+    index: HashMap<ClientId, u32>,
 }
 
 impl SessionMap {
@@ -121,25 +145,43 @@ impl SessionMap {
         SessionMap::default()
     }
 
-    /// Opens a session (idempotent).
+    /// Opens a session (idempotent). Recycles a closed session's slot when
+    /// one is free.
     pub fn open(&mut self, client: ClientId) -> &mut Session {
-        self.sessions
-            .entry(client)
-            .or_insert_with(|| Session::new(client))
+        let slot = match self.index.get(&client) {
+            Some(&s) => s,
+            None => {
+                let s = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize].reset(client);
+                        s
+                    }
+                    None => {
+                        self.slots.push(Session::new(client));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.insert(client, s);
+                s
+            }
+        };
+        &mut self.slots[slot as usize]
     }
 
     /// The session for `client`, or a no-session error.
     pub fn get_mut(&mut self, client: ClientId) -> Result<&mut Session> {
-        self.sessions
-            .get_mut(&client)
-            .ok_or(MdsError::NoSession { client: client.0 })
+        match self.index.get(&client) {
+            Some(&s) => Ok(&mut self.slots[s as usize]),
+            None => Err(MdsError::NoSession { client: client.0 }),
+        }
     }
 
     /// Read-only session access.
     pub fn get(&self, client: ClientId) -> Result<&Session> {
-        self.sessions
-            .get(&client)
-            .ok_or(MdsError::NoSession { client: client.0 })
+        match self.index.get(&client) {
+            Some(&s) => Ok(&self.slots[s as usize]),
+            None => Err(MdsError::NoSession { client: client.0 }),
+        }
     }
 
     /// Grants a freshly allocated range to the client's session.
@@ -155,19 +197,32 @@ impl SessionMap {
         Ok(())
     }
 
-    /// Closes a session, returning whether it existed.
+    /// Closes a session, returning whether it existed. The slot (and its
+    /// range vector's capacity) is recycled for the next open.
     pub fn close(&mut self, client: ClientId) -> bool {
-        self.sessions.remove(&client).is_some()
+        match self.index.remove(&client) {
+            Some(s) => {
+                self.free.push(s);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of open sessions.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.index.len()
     }
 
     /// Whether no sessions are open.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.index.is_empty()
+    }
+
+    /// Slots ever allocated (diagnostics: how much arena the peak session
+    /// population needed; recycled slots keep this flat under churn).
+    pub fn slots_allocated(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -238,5 +293,36 @@ mod tests {
         assert!(m.close(ClientId(1)));
         assert!(!m.close(ClientId(1)));
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn closed_slots_are_recycled_under_churn() {
+        let mut m = SessionMap::new();
+        // Open/close a stream of short-lived clients with one concurrent
+        // session at a time: the arena must stay at one slot.
+        for c in 0..1000u64 {
+            let s = m.open(ClientId(c as u32));
+            s.grant(InodeRange::new(InodeId(0x1000 + c), 4));
+            assert_eq!(s.take_inode(), Some(InodeId(0x1000 + c)));
+            assert!(m.close(ClientId(c as u32)));
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.slots_allocated(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_starts_clean() {
+        let mut m = SessionMap::new();
+        let s = m.open(ClientId(1));
+        s.grant(InodeRange::new(InodeId(0x1000), 8));
+        s.take_inode();
+        s.ops = 17;
+        m.close(ClientId(1));
+        let s = m.open(ClientId(2));
+        assert_eq!(s.client, ClientId(2));
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.take_inode(), None);
+        assert!(s.ranges.is_empty());
     }
 }

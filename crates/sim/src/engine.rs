@@ -7,15 +7,29 @@
 //! next. Shared resources inside the world ([`crate::resource`]) convert
 //! actions into completion instants, which processes use as their next wake
 //! time — this yields a closed-loop model: a client issues its next
-//! operation only after the previous one completes.
+//! operation only after the previous one completes. Open-loop workloads
+//! instead register one process per arriving client with
+//! [`Engine::add_arena`], whose start time is the arrival instant.
 //!
 //! The engine is deterministic: ties in wake time are broken by a
 //! monotonically increasing sequence number, so two runs with the same seed
-//! produce identical traces.
+//! produce identical traces. Events are ordered by a hierarchical
+//! calendar queue ([`crate::sched::CalendarQueue`]) whose pop order is
+//! provably identical to the binary heap it replaced — near-O(1) per
+//! event instead of O(log n), which is what makes million-client runs
+//! interactive.
+//!
+//! # Process storage
+//!
+//! Registered processes live in a segmented table. [`Engine::add_process`]
+//! boxes one heterogeneous process (the escape hatch every closed-loop
+//! harness uses); [`Engine::add_arena`] stores a homogeneous `Vec<P>` of
+//! processes — typically an enum of built-in client kinds — as one flat
+//! allocation, so a million open-loop clients cost one `Vec`, not a
+//! million heap boxes.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::sched::CalendarQueue;
+use crate::stats::{percentile, NanosDigest};
 use crate::time::Nanos;
 
 /// What a process wants after a step.
@@ -39,31 +53,78 @@ pub trait Process<W> {
     }
 }
 
+/// How the engine records per-process completion instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletionRecording {
+    /// Keep the full per-process completion vector (exact percentiles,
+    /// O(n) memory). The default; every closed-loop harness reads
+    /// individual completions from it.
+    #[default]
+    Full,
+    /// Stream completions into a log-bucket digest: O(1) memory in the
+    /// process count, approximate percentiles. For million-client runs.
+    Summary,
+}
+
+/// Count + percentile summary of process completion instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionSummary {
+    /// Processes that finished.
+    pub count: u64,
+    /// Median completion instant (ns).
+    pub p50: u64,
+    /// 95th-percentile completion instant (ns).
+    pub p95: u64,
+    /// 99th-percentile completion instant (ns).
+    pub p99: u64,
+    /// Latest completion instant (ns).
+    pub max: u64,
+}
+
 /// Outcome of a finished simulation.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Instant the last process finished.
     pub end_time: Nanos,
     /// Per-process completion instants, indexed by registration order.
+    /// A process that never returned [`Step::Done`] holds `Nanos::ZERO`
+    /// here — consult [`RunReport::unfinished`] to tell that apart from
+    /// finishing at t=0. Empty under [`CompletionRecording::Summary`].
     pub completions: Vec<Nanos>,
     /// Total number of process steps executed.
     pub steps: u64,
+    /// Number of processes that returned [`Step::Done`].
+    pub finished: u64,
+    /// Number of processes that never returned [`Step::Done`] (e.g. cut
+    /// off by a [`Engine::run_until`] horizon).
+    pub unfinished: u64,
+    /// Registration indices of up to the first 64 unfinished processes
+    /// (diagnostics; `unfinished` holds the exact count so the report
+    /// stays O(1) in the client count).
+    pub unfinished_indices: Vec<usize>,
+    /// Streaming completion digest (only under `Summary` recording).
+    digest: Option<NanosDigest>,
 }
 
 impl RunReport {
     /// Completion instant of the slowest process — the metric the paper
     /// plots for "slowdown of the slowest client" (Figures 3b, 6b).
     pub fn slowest(&self) -> Nanos {
-        self.completions
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(Nanos::ZERO)
+        match &self.digest {
+            Some(d) => Nanos(d.max()),
+            None => self
+                .completions
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(Nanos::ZERO),
+        }
     }
 
     /// Completion instant of the slowest process among a subset, identified
     /// by registration index. Lets harnesses exclude e.g. the interfering
-    /// client from the "slowest client" statistic.
+    /// client from the "slowest client" statistic. Requires
+    /// [`CompletionRecording::Full`] (the default).
     pub fn slowest_of(&self, indices: &[usize]) -> Nanos {
         indices
             .iter()
@@ -72,36 +133,140 @@ impl RunReport {
             .unwrap_or(Nanos::ZERO)
     }
 
-    /// A one-object JSON summary of the run (virtual times in nanoseconds),
-    /// for embedding in `--metrics-out` snapshots. Deterministic: depends
-    /// only on the report's fields.
+    /// Count + p50/p95/p99/max of completion instants over *finished*
+    /// processes. Exact under `Full` recording (rank-interpolated like
+    /// [`crate::stats::percentile`]); log-bucket estimates under
+    /// `Summary`.
+    pub fn completion_summary(&self) -> CompletionSummary {
+        if let Some(d) = &self.digest {
+            return CompletionSummary {
+                count: d.count(),
+                p50: d.quantile(0.50),
+                p95: d.quantile(0.95),
+                p99: d.quantile(0.99),
+                max: d.max(),
+            };
+        }
+        // Percentiles over finished processes only: an unfinished
+        // process's Nanos::ZERO placeholder must not drag them down.
+        let finished: Vec<f64> = if self.unfinished == 0 {
+            self.completions.iter().map(|c| c.0 as f64).collect()
+        } else {
+            let mut skip: Vec<bool> = vec![false; self.completions.len()];
+            for &i in &self.unfinished_indices {
+                skip[i] = true;
+            }
+            // The index sample is capped at 64; beyond that the exact
+            // per-index set is unknown, so fall back to filtering zeros
+            // (correct whenever no process legitimately finishes at 0).
+            if (self.unfinished as usize) > self.unfinished_indices.len() {
+                self.completions
+                    .iter()
+                    .filter(|c| c.0 != 0)
+                    .map(|c| c.0 as f64)
+                    .collect()
+            } else {
+                self.completions
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !skip[*i])
+                    .map(|(_, c)| c.0 as f64)
+                    .collect()
+            }
+        };
+        let q = |p: f64| -> u64 {
+            if finished.is_empty() {
+                0
+            } else {
+                percentile(&finished, p).round() as u64
+            }
+        };
+        CompletionSummary {
+            count: self.finished,
+            p50: q(50.0),
+            p95: q(95.0),
+            p99: q(99.0),
+            max: self.slowest().0,
+        }
+    }
+
+    /// A one-object JSON summary of the run (virtual times in
+    /// nanoseconds), for embedding in `--metrics-out` snapshots.
+    /// Deterministic: depends only on the report's fields. Completion
+    /// instants are summarized as count + p50/p95/p99/max — never the
+    /// full per-process array, so the summary stays O(1) at a million
+    /// clients — and processes that never finished are surfaced in
+    /// `"unfinished"` instead of masquerading as t=0 completions.
     pub fn summary_json(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = write!(
-            out,
-            "{{\"end_time_ns\": {}, \"slowest_ns\": {}, \"steps\": {}, \"completions_ns\": [",
+        let s = self.completion_summary();
+        format!(
+            "{{\"end_time_ns\": {}, \"slowest_ns\": {}, \"steps\": {}, \
+\"finished\": {}, \"unfinished\": {}, \"completions_ns\": \
+{{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}",
             self.end_time.0,
             self.slowest().0,
-            self.steps
-        );
-        for (i, c) in self.completions.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            let _ = write!(out, "{}", c.0);
+            self.steps,
+            self.finished,
+            self.unfinished,
+            s.count,
+            s.p50,
+            s.p95,
+            s.p99,
+            s.max
+        )
+    }
+}
+
+/// A homogeneous slab of processes stepped by slot offset. Implemented
+/// for `Vec<P>` so any process type — typically an enum of built-in
+/// client kinds — can be stored flat.
+trait ProcessSlab<W> {
+    fn step(&mut self, off: usize, now: Nanos, world: &mut W) -> Step;
+    fn name(&self, off: usize) -> String;
+}
+
+impl<W, P: Process<W>> ProcessSlab<W> for Vec<P> {
+    fn step(&mut self, off: usize, now: Nanos, world: &mut W) -> Step {
+        self[off].step(now, world)
+    }
+
+    fn name(&self, off: usize) -> String {
+        self[off].name()
+    }
+}
+
+/// One segment of the process table: a single boxed process (the
+/// heterogeneous escape hatch) or a flat arena of one process type.
+enum Segment<W> {
+    One(Box<dyn Process<W>>),
+    Arena(Box<dyn ProcessSlab<W>>),
+}
+
+impl<W> Segment<W> {
+    fn step(&mut self, off: usize, now: Nanos, world: &mut W) -> Step {
+        match self {
+            Segment::One(p) => p.step(now, world),
+            Segment::Arena(a) => a.step(off, now, world),
         }
-        out.push_str("]}");
-        out
+    }
+
+    fn name(&self, off: usize) -> String {
+        match self {
+            Segment::One(p) => p.name(),
+            Segment::Arena(a) => a.name(off),
+        }
     }
 }
 
 /// The discrete-event engine. Owns the world and the registered processes.
 pub struct Engine<W> {
     world: W,
-    procs: Vec<Box<dyn Process<W>>>,
+    segments: Vec<Segment<W>>,
+    /// Registration index -> (segment, offset within segment).
+    slots: Vec<(u32, u32)>,
     start_times: Vec<Nanos>,
     max_steps: u64,
+    recording: CompletionRecording,
 }
 
 impl<W> Engine<W> {
@@ -109,18 +274,26 @@ impl<W> Engine<W> {
     pub fn new(world: W) -> Self {
         Engine {
             world,
-            procs: Vec::new(),
+            segments: Vec::new(),
+            slots: Vec::new(),
             start_times: Vec::new(),
             // Generous backstop against non-terminating processes; the
             // largest paper experiment (20 clients x 100K creates, several
             // events per create) stays well below this.
             max_steps: 2_000_000_000,
+            recording: CompletionRecording::Full,
         }
     }
 
     /// Overrides the runaway-step backstop.
     pub fn set_max_steps(&mut self, max: u64) {
         self.max_steps = max;
+    }
+
+    /// Selects how completions are recorded (default:
+    /// [`CompletionRecording::Full`]).
+    pub fn set_completion_recording(&mut self, mode: CompletionRecording) {
+        self.recording = mode;
     }
 
     /// Registers a process that first wakes at `Nanos::ZERO`. Returns its
@@ -132,9 +305,37 @@ impl<W> Engine<W> {
     /// Registers a process that first wakes at `start` (e.g. the interfering
     /// client in Figure 3b starts 30 seconds into the run).
     pub fn add_process_at(&mut self, p: Box<dyn Process<W>>, start: Nanos) -> usize {
-        self.procs.push(p);
+        self.segments.push(Segment::One(p));
+        self.slots.push((self.segments.len() as u32 - 1, 0));
         self.start_times.push(start);
-        self.procs.len() - 1
+        self.slots.len() - 1
+    }
+
+    /// Registers a homogeneous batch of processes as one flat arena
+    /// segment: `procs[k]` first wakes at `starts[k]`. Returns the
+    /// registration index range. This is the million-client path — the
+    /// whole batch is a single allocation, dispatched through one
+    /// vtable call into `P`'s own (typically enum) dispatch.
+    pub fn add_arena<P: Process<W> + 'static>(
+        &mut self,
+        procs: Vec<P>,
+        starts: &[Nanos],
+    ) -> std::ops::Range<usize> {
+        assert_eq!(
+            procs.len(),
+            starts.len(),
+            "add_arena: {} processes but {} start times",
+            procs.len(),
+            starts.len()
+        );
+        let first = self.slots.len();
+        let seg = self.segments.len() as u32;
+        for (k, &t) in starts.iter().enumerate() {
+            self.slots.push((seg, k as u32));
+            self.start_times.push(t);
+        }
+        self.segments.push(Segment::Arena(Box::new(procs)));
+        first..self.slots.len()
     }
 
     /// Read-only access to the world (useful before `run`).
@@ -151,51 +352,112 @@ impl<W> Engine<W> {
     ///
     /// Panics if a process schedules a wake-up in the past (a logic error in
     /// the process) or if the step backstop is exceeded.
-    pub fn run(mut self) -> (W, RunReport) {
-        let n = self.procs.len();
-        let mut heap: BinaryHeap<Reverse<(Nanos, u64, usize)>> = BinaryHeap::with_capacity(n);
+    pub fn run(self) -> (W, RunReport) {
+        self.run_inner(None)
+    }
+
+    /// Runs until the event queue drains or the next event lies past
+    /// `horizon`. Processes still pending at the horizon are reported as
+    /// unfinished — this is how open-loop runs with a fixed duration
+    /// terminate without every client completing.
+    pub fn run_until(self, horizon: Nanos) -> (W, RunReport) {
+        self.run_inner(Some(horizon))
+    }
+
+    fn run_inner(self, horizon: Option<Nanos>) -> (W, RunReport) {
+        let Engine {
+            mut world,
+            mut segments,
+            slots,
+            start_times,
+            max_steps,
+            recording,
+        } = self;
+        let n = slots.len();
+        let mut queue = CalendarQueue::new();
         let mut seq: u64 = 0;
-        for (i, &t) in self.start_times.iter().enumerate() {
-            heap.push(Reverse((t, seq, i)));
+        for (i, &t) in start_times.iter().enumerate() {
+            queue.push(t, seq, i as u32);
             seq += 1;
         }
 
-        let mut completions = vec![Nanos::ZERO; n];
+        let full = recording == CompletionRecording::Full;
+        let mut completions = if full {
+            vec![Nanos::ZERO; n]
+        } else {
+            Vec::new()
+        };
+        let mut done = vec![false; n];
+        let mut digest = if full { None } else { Some(NanosDigest::new()) };
+        let mut finished: u64 = 0;
         let mut end_time = Nanos::ZERO;
         let mut steps: u64 = 0;
 
-        while let Some(Reverse((now, _, idx))) = heap.pop() {
+        while let Some((now, _, idx)) = queue.pop() {
+            if horizon.is_some_and(|h| now > h) {
+                // Events pop in time order: this one and everything still
+                // queued lies past the horizon. Their processes stay
+                // unfinished.
+                break;
+            }
+            let idx = idx as usize;
             steps += 1;
-            if steps > self.max_steps {
+            if steps > max_steps {
+                let (seg, off) = slots[idx];
                 panic!(
                     "simulation exceeded {} steps at t={now}; runaway process `{}`?",
-                    self.max_steps,
-                    self.procs[idx].name()
+                    max_steps,
+                    segments[seg as usize].name(off as usize)
                 );
             }
-            match self.procs[idx].step(now, &mut self.world) {
+            let (seg, off) = slots[idx];
+            match segments[seg as usize].step(off as usize, now, &mut world) {
                 Step::ResumeAt(next) => {
                     assert!(
                         next >= now,
                         "process `{}` scheduled wake-up in the past ({next} < {now})",
-                        self.procs[idx].name()
+                        segments[seg as usize].name(off as usize)
                     );
-                    heap.push(Reverse((next, seq, idx)));
+                    queue.push(next, seq, idx as u32);
                     seq += 1;
                 }
                 Step::Done => {
-                    completions[idx] = now;
+                    done[idx] = true;
+                    finished += 1;
+                    if full {
+                        completions[idx] = now;
+                    }
+                    if let Some(d) = &mut digest {
+                        d.record(now.0);
+                    }
                     end_time = end_time.max(now);
                 }
             }
         }
 
+        let unfinished = n as u64 - finished;
+        let mut unfinished_indices = Vec::new();
+        if unfinished > 0 {
+            for (i, d) in done.iter().enumerate() {
+                if !*d {
+                    unfinished_indices.push(i);
+                    if unfinished_indices.len() >= 64 {
+                        break;
+                    }
+                }
+            }
+        }
+
         (
-            self.world,
+            world,
             RunReport {
                 end_time,
                 completions,
                 steps,
+                finished,
+                unfinished,
+                unfinished_indices,
+                digest,
             },
         )
     }
@@ -281,6 +543,8 @@ mod tests {
         // Three back-to-back 100ns ops.
         assert_eq!(report.slowest(), Nanos(300));
         assert_eq!(w.server.served(), 3);
+        assert_eq!(report.finished, 1);
+        assert_eq!(report.unfinished, 0);
     }
 
     #[test]
@@ -379,8 +643,141 @@ mod tests {
             end_time: Nanos(100),
             completions: vec![Nanos(10), Nanos(100), Nanos(50)],
             steps: 3,
+            finished: 3,
+            unfinished: 0,
+            unfinished_indices: Vec::new(),
+            digest: None,
         };
         assert_eq!(report.slowest(), Nanos(100));
         assert_eq!(report.slowest_of(&[0, 2]), Nanos(50));
+    }
+
+    #[test]
+    fn arena_processes_run_like_boxed_ones() {
+        // Same schedule through the arena path and the boxed path.
+        let mk = |i: u64| {
+            ClosedLoopClient::new(format!("arena{i}"), 2, move |now, w: &mut World| {
+                w.server.serve(now, Nanos(100))
+            })
+        };
+        let world = World {
+            server: FifoServer::new("s"),
+            log: Vec::new(),
+        };
+        let mut eng = Engine::new(world);
+        let range = eng.add_arena(vec![mk(0), mk(1)], &[Nanos::ZERO, Nanos::ZERO]);
+        assert_eq!(range, 0..2);
+        let (w, report) = eng.run();
+        assert_eq!(report.slowest(), Nanos(400));
+        assert_eq!(w.server.served(), 4);
+        assert_eq!(report.completions.len(), 2);
+        assert_eq!(report.finished, 2);
+    }
+
+    #[test]
+    fn arena_and_boxed_interleave_in_registration_order() {
+        let world = World {
+            server: FifoServer::new("s"),
+            log: Vec::new(),
+        };
+        let mut eng = Engine::new(world);
+        eng.add_process(Box::new(ClosedLoopClient::new(
+            "boxed",
+            1,
+            |now, w: &mut World| {
+                w.log.push((now, "boxed"));
+                now + Nanos(1)
+            },
+        )));
+        let arena = vec![ClosedLoopClient::new("arena", 1, |now, w: &mut World| {
+            w.log.push((now, "arena"));
+            now + Nanos(1)
+        })];
+        eng.add_arena(arena, &[Nanos::ZERO]);
+        let (w, _) = eng.run();
+        // Same-instant tie: registration order wins.
+        assert_eq!(w.log[0].1, "boxed");
+        assert_eq!(w.log[1].1, "arena");
+    }
+
+    #[test]
+    fn run_until_reports_unfinished() {
+        let world = World {
+            server: FifoServer::new("s"),
+            log: Vec::new(),
+        };
+        let mut eng = Engine::new(world);
+        // Finishes at 300ns.
+        eng.add_process(Box::new(ClosedLoopClient::new(
+            "fast",
+            3,
+            |now, w: &mut World| w.server.serve(now, Nanos(100)),
+        )));
+        // Would finish at ~10us; the horizon cuts it off.
+        eng.add_process_at(
+            Box::new(ClosedLoopClient::new("late", 1, |now, w: &mut World| {
+                w.server.serve(now, Nanos(10))
+            })),
+            Nanos(5_000),
+        );
+        let (_, report) = eng.run_until(Nanos(1_000));
+        assert_eq!(report.finished, 1);
+        assert_eq!(report.unfinished, 1);
+        assert_eq!(report.unfinished_indices, vec![1]);
+        assert_eq!(report.completions[0], Nanos(300));
+        // The unfinished process holds the ZERO placeholder, but the
+        // summary no longer mistakes it for a t=0 completion.
+        assert_eq!(report.completions[1], Nanos::ZERO);
+        let s = report.completion_summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 300);
+        let json = report.summary_json();
+        assert!(json.contains("\"unfinished\": 1"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+    }
+
+    #[test]
+    fn summary_recording_is_o1_and_close() {
+        let world = World {
+            server: FifoServer::new("s"),
+            log: Vec::new(),
+        };
+        let mut eng = Engine::new(world);
+        eng.set_completion_recording(CompletionRecording::Summary);
+        let procs: Vec<_> = (0..100)
+            .map(|i| {
+                ClosedLoopClient::new(format!("c{i}"), 1, |now, _: &mut World| now + Nanos(10))
+            })
+            .collect();
+        let starts: Vec<Nanos> = (0..100).map(|i| Nanos(i * 1_000)).collect();
+        eng.add_arena(procs, &starts);
+        let (_, report) = eng.run();
+        assert!(report.completions.is_empty());
+        assert_eq!(report.finished, 100);
+        assert_eq!(report.slowest(), Nanos(99_010));
+        let s = report.completion_summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 99_010);
+        // Log-bucket estimate: within a bucket width of the true median.
+        assert!(s.p50 >= 49_010 && s.p50 <= 66_000, "{}", s.p50);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let report = RunReport {
+            end_time: Nanos(100),
+            completions: vec![Nanos(50), Nanos(100)],
+            steps: 4,
+            finished: 2,
+            unfinished: 0,
+            unfinished_indices: Vec::new(),
+            digest: None,
+        };
+        assert_eq!(
+            report.summary_json(),
+            "{\"end_time_ns\": 100, \"slowest_ns\": 100, \"steps\": 4, \
+\"finished\": 2, \"unfinished\": 0, \"completions_ns\": \
+{\"count\": 2, \"p50\": 75, \"p95\": 98, \"p99\": 100, \"max\": 100}}"
+        );
     }
 }

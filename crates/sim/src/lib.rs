@@ -37,15 +37,19 @@ pub mod cost;
 pub mod engine;
 pub mod plot;
 pub mod resource;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use cost::{dispatch_penalty, CostModel};
-pub use engine::{ClosedLoopClient, Engine, Process, RunReport, Step};
+pub use engine::{
+    ClosedLoopClient, CompletionRecording, CompletionSummary, Engine, Process, RunReport, Step,
+};
 pub use plot::render_plot;
 pub use resource::{BandwidthLink, FifoServer};
+pub use sched::CalendarQueue;
 pub use stats::{
-    mean, p50, p95, p99, percentile, render_table, slowdown, speedup, stddev, summarize, Series,
-    Summary,
+    mean, p50, p95, p99, percentile, render_table, slowdown, speedup, stddev, summarize,
+    NanosDigest, Series, Summary,
 };
 pub use time::{per_op, transfer_time, Nanos};

@@ -1,0 +1,120 @@
+//! Property coverage for the calendar-queue scheduler: on any wake
+//! schedule the engine could legally produce, [`CalendarQueue`] must pop
+//! events in exactly the order a reference `BinaryHeap<Reverse<(t, seq,
+//! idx)>>` does. The engine's contract is total order by `(time, seq)`
+//! with a unique monotone `seq`, so "same order" is byte-for-byte, not
+//! just time-sorted — same-instant ties, zero-length resumes, and
+//! overflow-horizon wakes included.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cudele_sim::{CalendarQueue, Nanos};
+use proptest::prelude::*;
+
+/// One step of an interleaved push/pop schedule. `delta` is the wake
+/// distance from the virtual now (the last popped time), chosen to land
+/// in every scheduler region: the current bucket, each cascade level,
+/// and the overflow heap.
+#[derive(Debug, Clone)]
+struct Step {
+    /// Pop this many events (saturating at queue length) before pushing.
+    pops: u8,
+    /// Then push a wake at `now + delta` for process `idx`.
+    delta: u64,
+    idx: u32,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let delta = prop_oneof![
+        0u64..1,                 // same-instant tie / zero-length resume
+        1u64..4_096,             // same L0 page
+        4_096u64..(1 << 24),     // L0/L1 cascade distances
+        (1u64 << 24)..(1 << 36), // L2 cascade distances
+        (1u64 << 36)..(1 << 40), // deep L2
+        (1u64 << 48)..(1 << 50), // overflow horizon
+    ];
+    (0u8..4, delta, 0u32..64).prop_map(|(pops, delta, idx)| Step { pops, delta, idx })
+}
+
+/// Runs one schedule against both queues, asserting identical pops
+/// throughout, then drains both and asserts identical remainders.
+fn check_schedule(steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut cal = CalendarQueue::new();
+    let mut heap: BinaryHeap<Reverse<(Nanos, u64, u32)>> = BinaryHeap::new();
+    let mut now = Nanos::ZERO;
+    for (seq, step) in steps.iter().enumerate() {
+        for _ in 0..step.pops {
+            let expect = heap.pop().map(|Reverse(e)| e);
+            let got = cal.pop();
+            prop_assert_eq!(got, expect);
+            if let Some((t, _, _)) = got {
+                now = t;
+            }
+        }
+        let t = now + Nanos(step.delta);
+        cal.push(t, seq as u64, step.idx);
+        heap.push(Reverse((t, seq as u64, step.idx)));
+        prop_assert_eq!(cal.len(), heap.len());
+    }
+    while let Some(Reverse(expect)) = heap.pop() {
+        prop_assert_eq!(cal.pop(), Some(expect));
+    }
+    prop_assert_eq!(cal.pop(), None);
+    prop_assert!(cal.is_empty());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary interleaved schedules pop identically from both queues.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        steps in proptest::collection::vec(step_strategy(), 1..400),
+    ) {
+        check_schedule(&steps)?;
+    }
+
+    /// All-ties stress: every wake lands on one of two instants, so the
+    /// entire order is decided by seq alone.
+    #[test]
+    fn tie_storms_resolve_by_seq(
+        picks in proptest::collection::vec(0u64..2, 1..200),
+    ) {
+        let steps: Vec<Step> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Step { pops: (i % 3) as u8, delta: p * 1_000, idx: (i % 7) as u32 })
+            .collect();
+        check_schedule(&steps)?;
+    }
+}
+
+/// Deterministic regression cases that once mattered during development:
+/// pushing into the far-overflow horizon, then a nearer event, must still
+/// pop the nearer one first even after the overflow jump re-homes pages.
+#[test]
+fn overflow_jump_respects_later_nearer_pushes() {
+    let mut cal = CalendarQueue::new();
+    let far = Nanos(1 << 49);
+    cal.push(far, 0, 0);
+    cal.push(far + Nanos(5), 1, 1);
+    // Drain the first overflow event; the queue's cursor jumps to `far`.
+    assert_eq!(cal.pop(), Some((far, 0, 0)));
+    // A wake pushed after the jump, earlier than the remaining event.
+    cal.push(far + Nanos(1), 2, 2);
+    assert_eq!(cal.pop(), Some((far + Nanos(1), 2, 2)));
+    assert_eq!(cal.pop(), Some((far + Nanos(5), 1, 1)));
+    assert_eq!(cal.pop(), None);
+}
+
+#[test]
+fn empty_queue_pops_none_repeatedly() {
+    let mut cal = CalendarQueue::new();
+    assert_eq!(cal.pop(), None);
+    cal.push(Nanos(10), 0, 0);
+    assert_eq!(cal.pop(), Some((Nanos(10), 0, 0)));
+    assert_eq!(cal.pop(), None);
+    assert_eq!(cal.pop(), None);
+}

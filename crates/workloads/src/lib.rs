@@ -12,15 +12,20 @@
 //! * [`checkpoint`] — N:N and N:1 checkpoint-restart create patterns.
 //! * [`partial`] — the read-while-writing workload of Figure 6c (1 M
 //!   updates, periodic namespace sync, end-user polling).
+//! * [`open_loop`] — production-shaped open-loop traffic (Poisson/bursty
+//!   arrivals, zipf hotspots, diurnal envelopes, multi-tenant subtrees);
+//!   the load generator behind `mdbench --arrival`.
 
 pub mod checkpoint;
 pub mod compile_trace;
 pub mod create_heavy;
 pub mod interference;
+pub mod open_loop;
 pub mod partial;
 
 pub use checkpoint::{CheckpointPattern, CheckpointWorkload};
 pub use compile_trace::{compile_phases, Phase, PhaseOp};
 pub use create_heavy::{client_dir, file_name, CreateHeavy};
 pub use interference::Interference;
+pub use open_loop::{Arrival, ArrivalSpec, ZipfSelector};
 pub use partial::PartialResults;
