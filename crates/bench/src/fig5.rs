@@ -17,8 +17,11 @@ use cudele_mds::{MdLogConfig, MetadataServer};
 use cudele_rados::InMemoryStore;
 use cudele_sim::{CostModel, Engine, Nanos};
 
-use crate::world::{DecoupledCreateProcess, RpcCreateProcess, World};
+use crate::world::{DecoupledCreateProcess, RpcCreateProcess, SpeculativeCreateProcess, World};
 use crate::Scale;
+
+/// Speculation window used for the figure's speculative column.
+pub const FIG5_SPEC_DEPTH: usize = 16;
 
 /// One bar of the figure.
 #[derive(Debug, Clone)]
@@ -85,6 +88,20 @@ fn time_rpcs(events: u64, journal: bool) -> Nanos {
     report.slowest()
 }
 
+/// Single speculative client, same durability class as the `rpcs` bar
+/// (journal off): the client runs ahead of the acks, so the run is
+/// MDS-service-bound instead of round-trip-bound.
+fn time_speculative(events: u64) -> Nanos {
+    let mut world = fresh_world(None);
+    let dirs = world.setup_private_dirs(1);
+    let mut eng = Engine::new(world);
+    let p =
+        SpeculativeCreateProcess::new(eng.world_mut(), 0, dirs[0], events, FIG5_SPEC_DEPTH, None);
+    eng.add_process(Box::new(p));
+    let (_, report) = eng.run();
+    report.slowest()
+}
+
 /// Builds a journal of `events` creates and measures one merge-time
 /// composition over it (the append phase is *not* included).
 fn time_merge(events: u64, composition: &str) -> Nanos {
@@ -121,6 +138,7 @@ pub fn run(scale: Scale) -> Fig5 {
 
     let t_rpcs_off = time_rpcs(events, false);
     let t_rpcs_on = time_rpcs(events, true);
+    let t_spec = time_speculative(events);
     let t_va = time_merge(events, "volatile_apply");
     let t_nva = time_merge(events, "nonvolatile_apply");
     // Stream is the paper's approximation: journal on minus journal off.
@@ -143,6 +161,7 @@ pub fn run(scale: Scale) -> Fig5 {
     let bars = vec![
         bar("baseline", "append_client_journal", t_acj),
         bar("consistency", "rpcs", t_rpcs_off),
+        bar("consistency", "speculative", t_spec),
         bar("consistency", "volatile_apply", t_va),
         bar("consistency", "nonvolatile_apply", t_nva),
         bar("durability", "stream", t_stream),
@@ -210,6 +229,23 @@ mod tests {
         let gp = f.slowdown("global_persist");
         assert!((gp / lp - 1.2).abs() < 0.05, "gp/lp {}", gp / lp);
         assert!(lp < 1.0 && gp < 1.0);
+    }
+
+    #[test]
+    fn speculation_closes_most_of_the_rpc_gap() {
+        let f = quick();
+        let rpcs = f.slowdown("rpcs");
+        let spec = f.slowdown("speculative");
+        // Same durability class (journal off), but the stall is gone: the
+        // run becomes MDS-service-bound at ~3.7x the append baseline.
+        assert!((spec - 3.7).abs() < 0.4, "speculative {spec}");
+        // The speculative column must close at least half the gap between
+        // RPCs and the append_client_journal baseline (1.0).
+        let closed = (rpcs - spec) / (rpcs - 1.0);
+        assert!(
+            closed >= 0.5,
+            "gap closed {closed} (rpcs {rpcs} spec {spec})"
+        );
     }
 
     #[test]

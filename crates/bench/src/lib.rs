@@ -28,7 +28,9 @@ pub mod world;
 
 pub use obs_out::ObsSession;
 pub use open_loop_run::{run_open_loop, OpenLoopOutcome, OpenLoopProcess};
-pub use world::{DecoupledCreateProcess, InterfererProcess, RpcCreateProcess, World};
+pub use world::{
+    DecoupledCreateProcess, InterfererProcess, RpcCreateProcess, SpeculativeCreateProcess, World,
+};
 
 /// Scale for a figure run: `files_per_client` 100_000 reproduces the paper
 /// exactly; smaller values preserve every normalized shape (costs are

@@ -27,7 +27,10 @@ use cudele_sim::{Engine, Nanos, RunReport};
 use cudele_workloads::client_dir;
 
 use crate::obs_out::ObsSession;
-use crate::{DecoupledCreateProcess, RpcCreateProcess, World};
+use crate::{DecoupledCreateProcess, RpcCreateProcess, SpeculativeCreateProcess, World};
+
+/// Speculation window when `--speculate` is given without a depth.
+pub const DEFAULT_SPEC_DEPTH: usize = 16;
 
 /// One mdbench configuration, as parsed from the command line.
 #[derive(Debug, Clone)]
@@ -87,6 +90,11 @@ pub struct BenchConfig {
     /// tail past the manifest's high-water mark instead of the whole log.
     /// Requires a journaling policy; incompatible with the mdlog trimmer.
     pub checkpoint_interval: Option<u64>,
+    /// Speculation window for RPC-mode clients (`--speculate [DEPTH]`):
+    /// each client runs up to this many creates ahead of the last ack via
+    /// [`cudele_client::SpeculativeClient`], rolling back and replaying on
+    /// invalidation. `None` keeps the stalling RPC client.
+    pub speculate: Option<usize>,
     /// Worker threads for a multi-policy sweep (`--policy a,b,c`); each
     /// policy runs in its own world/registry and results are reported in
     /// the order given, so output is identical at any thread count.
@@ -111,6 +119,7 @@ impl Default for BenchConfig {
             mdlog_segment: None,
             mdlog_dispatch: None,
             checkpoint_interval: None,
+            speculate: None,
             threads: 1,
         }
     }
@@ -127,7 +136,7 @@ pub const USAGE: &str = "usage: mdbench [--clients N] [--files N] \
      [--faults seed=N,eagain_ppm=N,torn_ppm=N,bitflip_ppm=N,\
 osd_outage=OSD@FROM..UNTIL,slow=FACTOR@FROM..UNTIL,mds-crash@T] \
      [--mdlog-segment EVENTS] [--mdlog-dispatch SEGMENTS] \
-     [--checkpoint-interval EVENTS] [--threads N]
+     [--checkpoint-interval EVENTS] [--speculate [DEPTH]] [--threads N]
 A comma-separated --policy list (e.g. --policy posix,batchfs,deltafs) runs
 each policy independently, fanned across --threads workers; output order
 and bytes match a serial run. `mds-crash@T` entries (repeatable) schedule
@@ -143,7 +152,12 @@ over a timeline series, e.g. `p99(bench.op_latency.ns) < 20ms for 99%
 of windows`. `--checkpoint-interval N` cuts an incremental
 checkpoint (tiered compaction under a fenced manifest) every N flushed
 journal events, so recovery and the failover drill replay only the
-journal tail past the manifest; requires a journaling policy. `--arrival`
+journal tail past the manifest; requires a journaling policy.
+`--speculate [DEPTH]` (RPC-mode policies only, default window 16) lets
+each client run up to DEPTH creates ahead of the last ack against
+predicted inode numbers; invalidated speculations (including NACKs from
+a `spec_abort_ppm=N` fault) roll back the dependent suffix and replay it
+idempotently, and histories still claim linearizability. `--arrival`
 switches to open-loop traffic: --clients arrivals of --files creates each
 are released on a Poisson (or `bursty:`) schedule against zipf-hot
 directories partitioned across tenant subtrees, with per-client sojourn
@@ -219,6 +233,21 @@ pub fn parse_args(argv: &[String]) -> Result<BenchConfig, String> {
                         .parse()
                         .map_err(|e| format!("bad --checkpoint-interval: {e}"))?,
                 );
+            }
+            "--speculate" => {
+                // DEPTH is optional: consume the next token only when it
+                // parses as a number.
+                match argv.get(i + 1).map(|v| v.parse::<usize>()) {
+                    Some(Ok(0)) => return Err("--speculate depth must be at least 1".to_string()),
+                    Some(Ok(d)) => {
+                        cfg.speculate = Some(d);
+                        i += 2;
+                    }
+                    _ => {
+                        cfg.speculate = Some(DEFAULT_SPEC_DEPTH);
+                        i += 1;
+                    }
+                }
             }
             "--threads" => {
                 cfg.threads = cudele_par::parse_threads(&value(&mut i, "--threads")?)?;
@@ -310,6 +339,17 @@ pub struct BenchOutcome {
 /// snapshots (if requested) before returning.
 pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
     let policy = resolve_policy(cfg)?;
+    if cfg.speculate.is_some() {
+        if policy.operation_mode() != cudele::OperationMode::Rpcs {
+            return Err(format!(
+                "--speculate needs an RPC-mode policy; `{}` already journals client-side",
+                cfg.policy
+            ));
+        }
+        if cfg.arrival.is_some() {
+            return Err("--speculate runs the closed-loop RPC sweep; drop --arrival".to_string());
+        }
+    }
     let mut obs = ObsSession::with_outputs(
         cfg.metrics_out.clone(),
         cfg.trace_out.clone(),
@@ -334,15 +374,22 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
             policy.composition()
         ),
     };
+    if let Some(depth) = cfg.speculate {
+        rendered.push_str(&format!("  speculation  : window {depth}\n"));
+    }
 
     let mut cost = cudele_sim::CostModel::calibrated();
     let mut mds_crashes: Vec<Nanos> = Vec::new();
+    let mut spec_plan: Option<Arc<cudele_faults::FaultPlan>> = None;
     let os: Arc<dyn cudele_rados::ObjectStore> = match &cfg.faults {
         None => Arc::new(InMemoryStore::paper_default()),
         Some(spec) => {
             let fc = cudele_faults::FaultConfig::parse(spec)
                 .map_err(|e| format!("bad --faults: {e}"))?;
             mds_crashes = fc.mds_crashes.clone();
+            // The NACK draws for `--speculate` come from the same seeded
+            // config; clone it before `wire_faults` consumes it.
+            spec_plan = Some(Arc::new(cudele_faults::FaultPlan::new(fc.clone())));
             let (store, degraded) =
                 cudele_faults::wire_faults(Arc::new(InMemoryStore::paper_default()), fc, &cost);
             cost = degraded;
@@ -436,9 +483,10 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchOutcome, String> {
         let _ = writeln!(
             rendered,
             "  fault obs    : rados.fenced_writes={} client.rpc.timeouts={} \
-mds.session.reconnects={}",
+client.rpc.retries={} mds.session.reconnects={}",
             counter("rados.fenced_writes"),
             counter("client.rpc.timeouts"),
+            counter("client.rpc.retries"),
             counter("mds.session.reconnects"),
         );
         obs.finish()
@@ -462,8 +510,24 @@ mds.session.reconnects={}",
         cudele::OperationMode::Rpcs => {
             let mut eng = Engine::new(world);
             for c in 0..cfg.clients {
-                let p = RpcCreateProcess::new(eng.world_mut(), c, dirs[c as usize], cfg.files);
-                eng.add_process(Box::new(p));
+                match cfg.speculate {
+                    Some(depth) => {
+                        let p = SpeculativeCreateProcess::new(
+                            eng.world_mut(),
+                            c,
+                            dirs[c as usize],
+                            cfg.files,
+                            depth,
+                            spec_plan.clone(),
+                        );
+                        eng.add_process(Box::new(p));
+                    }
+                    None => {
+                        let p =
+                            RpcCreateProcess::new(eng.world_mut(), c, dirs[c as usize], cfg.files);
+                        eng.add_process(Box::new(p));
+                    }
+                }
             }
             let (_, report) = eng.run();
             (report.slowest(), report.slowest(), report)
@@ -551,12 +615,24 @@ mds.ckpt.replay_events_saved={} mds.ckpt.fallbacks={}",
             counter("mds.ckpt.fallbacks"),
         );
     }
+    if cfg.speculate.is_some() {
+        let _ = writeln!(
+            rendered,
+            "  spec obs     : client.spec.issued={} client.spec.commits={} \
+client.spec.rollbacks={} client.spec.replayed={}",
+            counter("client.spec.issued"),
+            counter("client.spec.commits"),
+            counter("client.spec.rollbacks"),
+            counter("client.spec.replayed"),
+        );
+    }
     let _ = writeln!(
         rendered,
         "  fault obs    : rados.fenced_writes={} client.rpc.timeouts={} \
-mds.session.reconnects={}",
+client.rpc.retries={} mds.session.reconnects={}",
         counter("rados.fenced_writes"),
         counter("client.rpc.timeouts"),
+        counter("client.rpc.retries"),
         counter("mds.session.reconnects"),
     );
 
@@ -859,6 +935,83 @@ mod tests {
         })
         .unwrap();
         assert_eq!(ckpt.rendered, again.rendered);
+    }
+
+    #[test]
+    fn speculate_flag_parses_with_and_without_depth() {
+        let argv = |s: &str| -> Vec<String> {
+            std::iter::once("mdbench".to_string())
+                .chain(s.split_whitespace().map(str::to_string))
+                .collect()
+        };
+        let cfg = parse_args(&argv("--speculate 4 --files 10")).unwrap();
+        assert_eq!(cfg.speculate, Some(4));
+        assert_eq!(cfg.files, 10);
+        // Depth omitted before another flag: the default window applies.
+        let cfg = parse_args(&argv("--speculate --files 10")).unwrap();
+        assert_eq!(cfg.speculate, Some(DEFAULT_SPEC_DEPTH));
+        assert_eq!(cfg.files, 10);
+        let cfg = parse_args(&argv("--speculate")).unwrap();
+        assert_eq!(cfg.speculate, Some(DEFAULT_SPEC_DEPTH));
+        assert!(parse_args(&argv("--speculate 0")).is_err());
+    }
+
+    #[test]
+    fn speculate_needs_an_rpc_mode_policy() {
+        let err = run(&BenchConfig {
+            policy: "batchfs".to_string(),
+            speculate: Some(8),
+            clients: 1,
+            files: 10,
+            ..BenchConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("RPC-mode"), "{err}");
+    }
+
+    #[test]
+    fn speculative_run_outpaces_rpc_and_stays_deterministic_under_nacks() {
+        let base = BenchConfig {
+            clients: 2,
+            files: 200,
+            policy: "ramdisk".to_string(),
+            ..BenchConfig::default()
+        };
+        let rpc = run(&base).unwrap();
+        let spec_cfg = BenchConfig {
+            speculate: Some(8),
+            faults: Some("seed=9,spec_abort_ppm=50000".to_string()),
+            ..base
+        };
+        let spec = run(&spec_cfg).unwrap();
+        assert!(
+            spec.create_end < rpc.create_end,
+            "speculation should finish sooner: {} vs {}",
+            spec.create_end,
+            rpc.create_end
+        );
+        assert!(spec.rendered.contains("speculation  : window 8"));
+        assert!(spec.rendered.contains("client.spec.issued=400"));
+        assert!(
+            spec.rendered.contains("client.rpc.retries="),
+            "{}",
+            spec.rendered
+        );
+        // NACKs fired and were replayed; the summary carries the counts.
+        let rollbacks: u64 = spec
+            .rendered
+            .split("client.spec.rollbacks=")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rollbacks > 0, "{}", spec.rendered);
+        // Deterministic: rerun renders byte-identical output.
+        let again = run(&spec_cfg).unwrap();
+        assert_eq!(spec.rendered, again.rendered);
     }
 
     #[test]

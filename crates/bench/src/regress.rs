@@ -38,7 +38,7 @@ use crate::{DecoupledCreateProcess, RpcCreateProcess, Scale, World};
 
 /// Version tag of the `BENCH_cudele.json` layout. Bump on any change to
 /// the emitted structure; the comparator refuses mismatched schemas.
-pub const SCHEMA: &str = "cudele-bench-regress/v4";
+pub const SCHEMA: &str = "cudele-bench-regress/v5";
 
 /// Default path of the freshly measured snapshot.
 pub const DEFAULT_OUT: &str = "BENCH_cudele.json";
@@ -196,6 +196,7 @@ fn run_mdbench_workload(
         mdlog_segment: None,
         mdlog_dispatch: None,
         checkpoint_interval: None,
+        speculate: None,
         threads: 1,
     };
     let mode = mdbench::history_mode_of(&cfg);
@@ -236,6 +237,74 @@ fn run_mdbench_workload(
         timeline_alerts: tsnap.slos.iter().map(|o| o.alerts.len() as u64).sum(),
         spans_dropped: reg.spans_dropped(),
         windows_dropped: reg.timeline().dropped(),
+    })
+}
+
+/// The speculative-execution workload's measurements: the same RPC-mode
+/// run with and without `--speculate`, under seeded NACK faults, plus the
+/// commit-time history replayed through the checkers.
+struct SpeculationRow {
+    clients: u32,
+    files: u64,
+    depth: usize,
+    /// Throughput with speculation on (NACK faults firing).
+    create_ops_per_s: f64,
+    /// Throughput of the identical stalling-RPC run.
+    rpc_ops_per_s: f64,
+    /// Rollback events the NACKs forced.
+    rollbacks: u64,
+    /// Aborted ops replayed to completion.
+    replayed: u64,
+    /// Events in the commit-time consistency history.
+    history_events: u64,
+    /// Operations the checkers verified over that history.
+    check_ops: u64,
+    /// Axiom violations, rendered; must be empty for a passing run.
+    check_violations: Vec<String>,
+}
+
+const SPECULATION_CLIENTS: u32 = 2;
+const SPECULATION_FILES: u64 = 500;
+const SPECULATION_DEPTH: usize = 16;
+/// Seeded NACK rate for the speculation row: ~2% of speculative issues
+/// invalidate, so every regress run exercises rollback + replay.
+const SPECULATION_FAULTS: &str = "seed=11,spec_abort_ppm=20000";
+
+fn run_speculation_workload(span_capacity: Option<usize>) -> Result<SpeculationRow, String> {
+    // The stalling-RPC baseline runs on a private registry.
+    obs_out::clear_session();
+    let base_cfg = BenchConfig {
+        clients: SPECULATION_CLIENTS,
+        files: SPECULATION_FILES,
+        policy: "ramdisk".to_string(),
+        ..BenchConfig::default()
+    };
+    let rpc = mdbench::run(&base_cfg)?;
+    // The speculative run records counters and the commit-time history in
+    // a session registry so the checkers can replay it.
+    let reg = obs_out::install_session_with_capacity(span_capacity);
+    let out = mdbench::run(&BenchConfig {
+        speculate: Some(SPECULATION_DEPTH),
+        faults: Some(SPECULATION_FAULTS.to_string()),
+        ..base_cfg
+    });
+    obs_out::clear_session();
+    let out = out?;
+    let history = cudele_obs::history::History::parse(&reg.history_json("rpc"))
+        .map_err(|e| format!("speculation history: {e}"))?;
+    let check = cudele_check::check_history(&history);
+    let ops = (SPECULATION_CLIENTS as u64 * SPECULATION_FILES) as f64;
+    Ok(SpeculationRow {
+        clients: SPECULATION_CLIENTS,
+        files: SPECULATION_FILES,
+        depth: SPECULATION_DEPTH,
+        create_ops_per_s: ops / out.create_end.as_secs_f64(),
+        rpc_ops_per_s: ops / rpc.create_end.as_secs_f64(),
+        rollbacks: reg.counter_value("client.spec.rollbacks").unwrap_or(0),
+        replayed: reg.counter_value("client.spec.replayed").unwrap_or(0),
+        history_events: check.events as u64,
+        check_ops: check.ops_checked,
+        check_violations: check.violations.iter().map(ToString::to_string).collect(),
     })
 }
 
@@ -398,6 +467,7 @@ fn fmt_f64(v: f64) -> String {
 fn render_json(
     mdbench_rows: &[MdbenchRow],
     recovery: &RecoveryRow,
+    speculation: &SpeculationRow,
     fig5: &crate::fig5::Fig5,
     mechanisms: &[MechanismBreakdown],
 ) -> String {
@@ -453,6 +523,43 @@ fn render_json(
     out.push_str(&format!(
         "    \"manifest_epoch\": {}\n",
         recovery.manifest_epoch
+    ));
+    out.push_str("  },\n");
+
+    // How much of the RPC↔append gap the fig5 speculative column closed:
+    // 0 = no better than stalling RPCs, 1 = as fast as the baseline.
+    let gap_closed = {
+        let rpcs = fig5.slowdown("rpcs");
+        let spec = fig5.slowdown("speculative");
+        (rpcs - spec) / (rpcs - 1.0)
+    };
+    out.push_str("  \"speculation\": {\n");
+    out.push_str(&format!("    \"clients\": {},\n", speculation.clients));
+    out.push_str(&format!("    \"files\": {},\n", speculation.files));
+    out.push_str(&format!("    \"depth\": {},\n", speculation.depth));
+    out.push_str(&format!(
+        "    \"create_ops_per_s\": {},\n",
+        fmt_f64(speculation.create_ops_per_s)
+    ));
+    out.push_str(&format!(
+        "    \"rpc_ops_per_s\": {},\n",
+        fmt_f64(speculation.rpc_ops_per_s)
+    ));
+    out.push_str(&format!(
+        "    \"speedup\": {},\n",
+        fmt_f64(speculation.create_ops_per_s / speculation.rpc_ops_per_s)
+    ));
+    out.push_str(&format!("    \"gap_closed\": {},\n", fmt_f64(gap_closed)));
+    out.push_str(&format!("    \"rollbacks\": {},\n", speculation.rollbacks));
+    out.push_str(&format!("    \"replayed\": {},\n", speculation.replayed));
+    out.push_str(&format!(
+        "    \"history_events\": {},\n",
+        speculation.history_events
+    ));
+    out.push_str(&format!("    \"check_ops\": {},\n", speculation.check_ops));
+    out.push_str(&format!(
+        "    \"violations\": {}\n",
+        speculation.check_violations.len()
     ));
     out.push_str("  },\n");
 
@@ -715,6 +822,65 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
         );
     }
 
+    // Speculation: seeded virtual time makes the structural numbers
+    // exact; throughput gets the usual band; the gap closure and the
+    // checker verdict are hard gates on the current run alone.
+    fn spec_field<'a>(j: &'a Value, key: &str) -> Option<&'a Value> {
+        j.get("speculation").and_then(|s| s.get(key))
+    }
+    if base.get("speculation").is_some() {
+        if cur.get("speculation").is_none() {
+            v.push("speculation: section missing from current run".to_string());
+        }
+        for key in [
+            "clients",
+            "files",
+            "depth",
+            "rollbacks",
+            "replayed",
+            "history_events",
+            "check_ops",
+        ] {
+            let (c, b) = (
+                spec_field(&cur, key).and_then(Value::as_u64),
+                spec_field(&base, key).and_then(Value::as_u64),
+            );
+            if c != b {
+                v.push(format!(
+                    "speculation.{key}: {c:?} vs baseline {b:?} (exact match required)"
+                ));
+            }
+        }
+        for key in ["create_ops_per_s", "rpc_ops_per_s", "speedup", "gap_closed"] {
+            check_rel(
+                &mut v,
+                &format!("speculation.{key}"),
+                spec_field(&cur, key)
+                    .and_then(Value::as_f64)
+                    .unwrap_or(f64::NAN),
+                spec_field(&base, key)
+                    .and_then(Value::as_f64)
+                    .unwrap_or(f64::NAN),
+                0.10,
+            );
+        }
+    }
+    match spec_field(&cur, "violations").and_then(Value::as_u64) {
+        Some(0) => {}
+        Some(n) => v.push(format!(
+            "speculation.violations: {n} consistency violation(s) — must be 0"
+        )),
+        None => v.push("speculation.violations: missing from current run".to_string()),
+    }
+    if let Some(g) = spec_field(&cur, "gap_closed").and_then(Value::as_f64) {
+        if g < 0.5 {
+            v.push(format!(
+                "speculation.gap_closed: {g} — the speculative column must close at \
+least half the RPC gap"
+            ));
+        }
+    }
+
     // Figure-5 slowdowns, matched by bar label.
     let bars = |j: &Value| {
         j.get("fig5_slowdowns")
@@ -814,6 +980,7 @@ pub fn compare(current: &str, baseline: &str) -> Result<Vec<String>, String> {
 pub struct Measurement {
     mdbench_rows: Vec<MdbenchRow>,
     recovery: RecoveryRow,
+    speculation: SpeculationRow,
     fig5: crate::fig5::Fig5,
     mech_rows: Vec<MechanismBreakdown>,
     /// Chrome trace of the traced-mechanisms run.
@@ -828,6 +995,7 @@ impl Measurement {
         render_json(
             &self.mdbench_rows,
             &self.recovery,
+            &self.speculation,
             &self.fig5,
             &self.mech_rows,
         )
@@ -840,6 +1008,7 @@ enum TaskOut {
     Mdbench(Box<Result<MdbenchRow, String>>),
     Fig5(Box<crate::fig5::Fig5>),
     Recovery(Box<Result<RecoveryRow, String>>),
+    Speculation(Box<Result<SpeculationRow, String>>),
 }
 
 /// Runs the full measurement sweep — the traced all-mechanisms run, the
@@ -849,15 +1018,16 @@ enum TaskOut {
 /// per-thread sessions), so results are assembled in fixed input order and
 /// the output is byte-identical to a serial sweep.
 pub fn measure(threads: usize, span_capacity: Option<usize>) -> Result<Measurement, String> {
-    let results = obs_out::par_tasks_merged(threads, 3 + MDBENCH_POLICIES.len(), |i| match i {
+    let results = obs_out::par_tasks_merged(threads, 4 + MDBENCH_POLICIES.len(), |i| match i {
         0 => TaskOut::Mechs(Box::new(run_traced_mechanisms())),
         1 => TaskOut::Fig5(Box::new(crate::fig5::run(Scale {
             files_per_client: 2_000,
             runs: 1,
         }))),
         2 => TaskOut::Recovery(Box::new(run_recovery_workload())),
+        3 => TaskOut::Speculation(Box::new(run_speculation_workload(span_capacity))),
         _ => TaskOut::Mdbench(Box::new(run_mdbench_workload(
-            MDBENCH_POLICIES[i - 3],
+            MDBENCH_POLICIES[i - 4],
             span_capacity,
         ))),
     });
@@ -865,12 +1035,14 @@ pub fn measure(threads: usize, span_capacity: Option<usize>) -> Result<Measureme
     let mut mech = None;
     let mut fig5 = None;
     let mut recovery = None;
+    let mut speculation = None;
     let mut mdbench_rows = Vec::new();
     for r in results {
         match r {
             TaskOut::Mechs(m) => mech = Some(*m),
             TaskOut::Fig5(f) => fig5 = Some(*f),
             TaskOut::Recovery(row) => recovery = Some((*row)?),
+            TaskOut::Speculation(row) => speculation = Some((*row)?),
             TaskOut::Mdbench(row) => mdbench_rows.push((*row)?),
         }
     }
@@ -878,6 +1050,7 @@ pub fn measure(threads: usize, span_capacity: Option<usize>) -> Result<Measureme
     Ok(Measurement {
         mdbench_rows,
         recovery: recovery.expect("recovery task ran"),
+        speculation: speculation.expect("speculation task ran"),
         fig5: fig5.expect("fig5 task ran"),
         mech_rows,
         trace_json,
@@ -925,6 +1098,15 @@ pub fn run(cfg: &RegressConfig) -> Result<RegressOutcome, String> {
             r.p99_ns / 1000.0
         ));
     }
+    rendered.push_str(&format!(
+        "speculation: {:>8.0} creates/s vs stalling rpc {:>8.0}/s \
+({:.1}x, {} rollbacks, {} replayed)\n",
+        m.speculation.create_ops_per_s,
+        m.speculation.rpc_ops_per_s,
+        m.speculation.create_ops_per_s / m.speculation.rpc_ops_per_s,
+        m.speculation.rollbacks,
+        m.speculation.replayed,
+    ));
     rendered.push_str(&format!(
         "recovery: {} creates -> takeover replayed {} tail events \
 (+{} from manifest m{}) in {}\n",

@@ -2,10 +2,11 @@
 //! one metadata server (functional state + a FIFO CPU resource) driven by
 //! closed-loop client processes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use cudele_client::RpcClient;
+use cudele_client::{AckOutcome, RpcClient, SpeculativeClient};
+use cudele_faults::FaultPlan;
 use cudele_journal::InodeId;
 use cudele_mds::{ClientId, MdsError, MetadataServer, OpCost};
 use cudele_obs::{observe_mechanism, observe_mechanism_at, Histogram, Registry, TraceCtx};
@@ -118,6 +119,7 @@ pub struct RpcCreateProcess {
     done: u64,
     op_lat: Histogram,
     timeouts_seen: u64,
+    retries_seen: u64,
     /// Record a per-op trace of the victim's behaviour (Figure 3c).
     pub record_trace: bool,
     /// Completion instant of the most recent create. The closed-loop
@@ -140,6 +142,7 @@ impl RpcCreateProcess {
             done: 0,
             op_lat: world.obs.histogram("bench.op_latency.ns"),
             timeouts_seen: 0,
+            retries_seen: 0,
             record_trace: false,
             last_op_end: Nanos::ZERO,
         }
@@ -184,6 +187,15 @@ impl Process<World> for RpcCreateProcess {
                 .tl
                 .add("client.rpc.timeouts", t, timeouts - self.timeouts_seen);
             self.timeouts_seen = timeouts;
+        }
+        // Non-terminal retry attempts, windowed: a bounded-retry storm that
+        // eventually succeeds is invisible in the timeout series alone.
+        let retries = self.client.retries_seen;
+        if retries > self.retries_seen {
+            world
+                .tl
+                .add("client.rpc.retries", t, retries - self.retries_seen);
+            self.retries_seen = retries;
         }
         self.done += 1;
         if self.record_trace {
@@ -487,6 +499,218 @@ impl Process<World> for MdsLagProcess {
     }
 }
 
+/// One issued-but-undelivered speculative ack in flight back to the
+/// client.
+struct PendingAck {
+    seq: u64,
+    /// Virtual instant the ack lands at the client.
+    at: Nanos,
+    /// The fault plan turned this ack into a NACK (speculation abort).
+    nack: bool,
+    root: TraceCtx,
+    issued_at: Nanos,
+}
+
+/// An open-window RPC client creating `total` files in one directory via
+/// [`SpeculativeClient`]: up to `depth` creates run ahead of the last ack,
+/// each ack riding the normal RPC path (MDS CPU queue + network round
+/// trip) while the client keeps issuing at its local append cadence. A
+/// NACK from the fault plan rolls back the dependent suffix and replays it
+/// synchronously against the primary.
+pub struct SpeculativeCreateProcess {
+    pub client: SpeculativeClient,
+    idx: u32,
+    dir: InodeId,
+    total: u64,
+    issued: u64,
+    depth: usize,
+    append: Nanos,
+    pending: VecDeque<PendingAck>,
+    plan: Option<Arc<FaultPlan>>,
+    op_lat: Histogram,
+    /// Where the client's own CPU has got to (issue cadence).
+    clock: Nanos,
+    /// Completion instant of the most recent commit (see
+    /// [`RpcCreateProcess::last_op_end`]).
+    pub last_op_end: Nanos,
+}
+
+impl SpeculativeCreateProcess {
+    /// Builds the process: opens the session and preallocates the
+    /// speculation range (setup, uncharged). `plan` supplies the
+    /// `spec_abort_ppm` NACK draws; `None` never NACKs.
+    pub fn new(
+        world: &mut World,
+        idx: u32,
+        dir: InodeId,
+        total: u64,
+        depth: usize,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> SpeculativeCreateProcess {
+        let (client, _) = SpeculativeClient::mount(&mut world.server, ClientId(idx));
+        let mut client = client.expect("speculative mount");
+        client.attach_obs(&world.obs);
+        let append = world.server.cost_model().client_append;
+        SpeculativeCreateProcess {
+            client,
+            idx,
+            dir,
+            total,
+            issued: 0,
+            depth: depth.max(1),
+            append,
+            pending: VecDeque::new(),
+            plan,
+            op_lat: world.obs.histogram("bench.op_latency.ns"),
+            clock: Nanos::ZERO,
+            last_op_end: Nanos::ZERO,
+        }
+    }
+
+    /// Records one client-visible completion: the op's latency runs from
+    /// its speculative issue to the ack (or replay) that committed it.
+    fn complete(&mut self, world: &mut World, p: &PendingAck, at: Nanos) {
+        let lat = at - p.issued_at;
+        self.op_lat.record(lat.0);
+        world.tl.add("bench.ops", at, 1);
+        world
+            .tl
+            .sample_traced("bench.op_latency.ns", at, lat.0, p.root.trace_id);
+        world.obs.end_span_args(
+            p.root,
+            "spec_create",
+            "client_op",
+            p.issued_at,
+            lat,
+            vec![("seq".to_string(), p.seq.to_string())],
+        );
+        self.last_op_end = self.last_op_end.max(at);
+    }
+
+    /// Handles an invalidated ack: replays the doomed closure synchronously
+    /// against the primary (the rollback span parents under the aborted
+    /// op's root), then completes every doomed op — including later ones
+    /// whose acks were still pending — at the replay's end.
+    fn rollback_and_replay(&mut self, world: &mut World, p: &PendingAck, doomed: &[u64]) -> Nanos {
+        world.tl.add("client.spec.rollbacks", p.at, 1);
+        world.server.set_now(p.at);
+        world.server.set_trace_ctx(Some(p.root));
+        self.client.set_now(p.at);
+        let (r, costs) = self.client.replay(&mut world.server, doomed);
+        world.server.set_trace_ctx(None);
+        r.expect("speculative replay");
+        let t = world.charge_ctx(p.root, p.at, &costs);
+        world
+            .obs
+            .child_span(p.root, "client.rollback", "client", p.at, t - p.at);
+        world.tl.add("client.spec.replayed", t, doomed.len() as u64);
+        let mut rest = VecDeque::with_capacity(self.pending.len());
+        for q in std::mem::take(&mut self.pending) {
+            if doomed.contains(&q.seq) {
+                self.complete(world, &q, t);
+            } else {
+                rest.push_back(q);
+            }
+        }
+        self.pending = rest;
+        self.complete(world, p, t);
+        t
+    }
+}
+
+impl Process<World> for SpeculativeCreateProcess {
+    fn step(&mut self, now: Nanos, world: &mut World) -> Step {
+        // Deliver every ack due by now, in arrival order.
+        while self.pending.front().is_some_and(|p| p.at <= now) {
+            let p = self.pending.pop_front().expect("front checked");
+            self.client.set_now(p.at);
+            match self.client.deliver_ack(p.seq, p.nack) {
+                AckOutcome::Committed(n) => {
+                    self.complete(world, &p, p.at);
+                    if n > 0 {
+                        world.tl.add("client.spec.commits", p.at, n);
+                    }
+                }
+                AckOutcome::RolledBack(doomed) => {
+                    let t = self.rollback_and_replay(world, &p, &doomed);
+                    self.clock = self.clock.max(t);
+                }
+            }
+        }
+        // Issue while the window has room, at the local append cadence:
+        // this is where speculation wins — the client never blocks on the
+        // MDS round trip.
+        let mut t = self.clock.max(now);
+        while self.issued < self.total && self.client.depth() < self.depth {
+            let name = file_name(self.idx, self.issued);
+            let root = world.obs.trace_root(self.idx);
+            world.server.set_now(t);
+            world.server.set_trace_ctx(Some(root));
+            self.client.set_now(t);
+            let (seq, costs) = self.client.issue_create(&mut world.server, self.dir, &name);
+            world.server.set_trace_ctx(None);
+            // The ack rides the normal RPC path — queue on the MDS CPU,
+            // then the network round trip — without the client waiting.
+            let mut ack_at = t;
+            for c in &costs {
+                let start = ack_at;
+                let served = world.mds.serve(ack_at, c.mds_cpu);
+                ack_at = served + c.client_extra;
+                if c.rpcs > 0 {
+                    let ctx = world.obs.trace_child(root);
+                    observe_mechanism_at(&world.obs, "speculate", ctx, start, ack_at - start);
+                    let service_start = served - c.mds_cpu;
+                    let wait = service_start - start;
+                    world
+                        .tl
+                        .gauge_at("mds.rpc.backlog_ns", start, wait.0 as f64);
+                    if wait > Nanos::ZERO {
+                        world
+                            .obs
+                            .child_span(ctx, "mds.queue_wait", "mds", start, wait);
+                    }
+                    world
+                        .obs
+                        .child_span(ctx, "mds.service", "mds", service_start, c.mds_cpu);
+                    world
+                        .obs
+                        .child_span(ctx, "net.rpc", "net", served, c.client_extra);
+                }
+            }
+            // Per-client NACK draws: keyed by (client, seq) so the draw is
+            // independent of engine interleaving and thread count.
+            let nack = self
+                .plan
+                .as_ref()
+                .is_some_and(|pl| pl.spec_abort((u64::from(self.idx) << 40) | seq));
+            self.pending.push_back(PendingAck {
+                seq,
+                at: ack_at,
+                nack,
+                root,
+                issued_at: t,
+            });
+            world
+                .tl
+                .gauge_at("client.spec.depth", t, self.client.depth() as f64);
+            self.issued += 1;
+            t += self.append;
+        }
+        self.clock = self.clock.max(t);
+        if let Some(a) = self.pending.front().map(|p| p.at) {
+            Step::ResumeAt(a)
+        } else if self.issued >= self.total {
+            Step::Done
+        } else {
+            Step::ResumeAt(t)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("spec-client{}", self.idx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +832,66 @@ mod tests {
             (delta.as_secs_f64() - stall.as_secs_f64()).abs() < 0.01,
             "stall should add ~{stall}, added {delta}"
         );
+    }
+
+    #[test]
+    fn speculative_client_pipelines_at_mds_cadence() {
+        // Closed-loop RPC baseline: one client, journal on, ~542/s.
+        let mut w = world();
+        let dirs = w.setup_private_dirs(1);
+        let mut eng = Engine::new(w);
+        let p = RpcCreateProcess::new(eng.world_mut(), 0, dirs[0], 1000);
+        eng.add_process(Box::new(p));
+        let (_, rpc_report) = eng.run();
+
+        // Speculating removes the per-op stall: throughput rises to the
+        // MDS service cadence (the pipeline's bottleneck).
+        let mut w = world();
+        let dirs = w.setup_private_dirs(1);
+        let mut eng = Engine::new(w);
+        let p = SpeculativeCreateProcess::new(eng.world_mut(), 0, dirs[0], 1000, 16, None);
+        eng.add_process(Box::new(p));
+        let (w, spec_report) = eng.run();
+        assert_eq!(w.server.counters().creates, 1000);
+        let rpc_rate = 1000.0 / rpc_report.slowest().as_secs_f64();
+        let spec_rate = 1000.0 / spec_report.slowest().as_secs_f64();
+        assert!(
+            spec_rate > 2.5 * rpc_rate,
+            "speculation should pipeline past the stall: rpc {rpc_rate}/s spec {spec_rate}/s"
+        );
+        assert_eq!(w.obs.counter_value("client.spec.issued"), Some(1000));
+        assert_eq!(w.obs.counter_value("client.spec.commits"), Some(1000));
+        assert_eq!(w.obs.counter_value("client.spec.rollbacks"), Some(0));
+    }
+
+    #[test]
+    fn speculative_nacks_roll_back_and_converge() {
+        let run = || {
+            let mut w = world();
+            let dirs = w.setup_private_dirs(1);
+            let dir = dirs[0];
+            let mut eng = Engine::new(w);
+            let plan = Arc::new(cudele_faults::FaultPlan::new(
+                cudele_faults::FaultConfig::parse("seed=9,spec_abort_ppm=50000").unwrap(),
+            ));
+            let p = SpeculativeCreateProcess::new(eng.world_mut(), 0, dir, 500, 16, Some(plan));
+            eng.add_process(Box::new(p));
+            let (w, report) = eng.run();
+            (w, report, dir)
+        };
+        let (w, report, dir) = run();
+        // Every NACK rolled back a suffix and replayed it — the namespace
+        // still converges on all 500 files.
+        assert_eq!(w.server.store().readdir(dir).unwrap().len(), 500);
+        let rollbacks = w.obs.counter_value("client.spec.rollbacks").unwrap();
+        assert!(rollbacks > 5, "5% NACKs over 500 ops: {rollbacks}");
+        assert_eq!(
+            w.obs.counter_value("client.spec.replayed"),
+            w.obs.counter_value("client.spec.aborted_ops")
+        );
+        // Deterministic: the rerun lands on the identical virtual instant.
+        let (_, again, _) = run();
+        assert_eq!(report.slowest(), again.slowest());
     }
 
     #[test]

@@ -191,6 +191,7 @@ fn run_faulted_snapshots(
         mdlog_dispatch: faults.map(|_| 4),
         checkpoint_interval: None,
         timeline_out: None,
+        speculate: None,
         slos: Vec::new(),
         threads: 1,
     };

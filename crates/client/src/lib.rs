@@ -12,6 +12,10 @@
 //!   in-memory journal (with a local namespace mirror for
 //!   read-your-writes), to be persisted (Local/Global Persist) and merged
 //!   (Volatile/Nonvolatile Apply) later.
+//! * [`SpeculativeClient`] — RPC-mode semantics without the per-op stall:
+//!   ops issue against predicted outcomes while a dependency frontier
+//!   tracks what each later op consumed; acks commit, invalidations roll
+//!   back the dependent suffix and replay it idempotently.
 //!
 //! Plus [`LocalDisk`] (the local-durability medium and its failure model)
 //! and [`NamespaceSync`] (periodic partial updates, Figure 6c).
@@ -35,9 +39,11 @@
 pub mod decoupled;
 pub mod local_disk;
 pub mod rpc;
+pub mod speculate;
 pub mod sync;
 
 pub use decoupled::DecoupledClient;
 pub use local_disk::{DiskError, LocalDisk};
 pub use rpc::{OpOutcome, RpcClient};
+pub use speculate::{AckOutcome, SpecState, SpeculativeClient, SPEC_PREALLOC};
 pub use sync::{NamespaceSync, SyncAction};

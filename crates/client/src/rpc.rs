@@ -59,12 +59,18 @@ pub struct RpcClient {
     /// RPC timeouts observed (each one is a full virtual-time RPC timeout
     /// charged to this client).
     pub timeouts_seen: u64,
+    /// Retry attempts issued after a timeout (a bounded-retry storm that
+    /// eventually succeeds shows up here but not in `timeouts_seen`'s
+    /// terminal failures — surfacing both makes the storm visible).
+    pub retries_seen: u64,
     /// Reconnects performed after failovers.
     pub reconnects: u64,
     /// Bounded retry/backoff applied when an RPC times out.
     retry: RetryPolicy,
     /// `client.rpc.timeouts` when a registry is attached.
     obs_timeouts: Option<Counter>,
+    /// `client.rpc.retries` when a registry is attached.
+    obs_retries: Option<Counter>,
 }
 
 impl RpcClient {
@@ -79,18 +85,21 @@ impl RpcClient {
                 lookups_sent: 0,
                 creates_sent: 0,
                 timeouts_seen: 0,
+                retries_seen: 0,
                 reconnects: 0,
                 retry: RetryPolicy::default(),
                 obs_timeouts: None,
+                obs_retries: None,
             },
             rpc.cost,
         )
     }
 
-    /// Points the client's timeout counter at `reg`
-    /// (`client.rpc.timeouts`).
+    /// Points the client's timeout and retry counters at `reg`
+    /// (`client.rpc.timeouts`, `client.rpc.retries`).
     pub fn attach_obs(&mut self, reg: &Registry) {
         self.obs_timeouts = Some(reg.counter("client.rpc.timeouts"));
+        self.obs_retries = Some(reg.counter("client.rpc.retries"));
     }
 
     /// Reconfigures the timeout retry budget.
@@ -120,6 +129,10 @@ impl RpcClient {
                     }
                     if attempt >= self.retry.max_retries {
                         return Err(MdsError::Timeout);
+                    }
+                    self.retries_seen += 1;
+                    if let Some(c) = &self.obs_retries {
+                        c.inc();
                     }
                     costs.push(OpCost {
                         mds_cpu: Nanos::ZERO,
@@ -383,7 +396,9 @@ mod tests {
         // 1 attempt + 3 retries, each charging the full RPC timeout, with
         // a backoff cost entry between attempts.
         assert_eq!(c.timeouts_seen, 4);
+        assert_eq!(c.retries_seen, 3);
         assert_eq!(reg.counter_value("client.rpc.timeouts"), Some(4));
+        assert_eq!(reg.counter_value("client.rpc.retries"), Some(3));
         let timeout_costs = o
             .costs
             .iter()

@@ -95,6 +95,11 @@ pub struct FaultConfig {
     /// failover-capable harnesses: the beacon grace then expires and a
     /// standby takes over at a bumped epoch). Sorted ascending.
     pub mds_crashes: Vec<Nanos>,
+    /// Probability (ppm of speculatively issued client ops) that the op's
+    /// ack comes back as a NACK, invalidating the speculation: the client
+    /// must roll back the dependent suffix and replay it with its replay
+    /// tokens. Consumed by the speculation layer, not the object store.
+    pub spec_abort_ppm: u32,
 }
 
 /// Parses a duration like `10ms`, `2s`, `500us`, `100ns`, or a bare
@@ -160,6 +165,7 @@ impl FaultConfig {
                 "eagain_ppm" => cfg.eagain_ppm = int("eagain_ppm")? as u32,
                 "torn_ppm" | "torn_write_ppm" => cfg.torn_write_ppm = int("torn_ppm")? as u32,
                 "bitflip_ppm" => cfg.bitflip_ppm = int("bitflip_ppm")? as u32,
+                "spec_abort_ppm" => cfg.spec_abort_ppm = int("spec_abort_ppm")? as u32,
                 "osd_outage" => {
                     let (osd, window) = value
                         .split_once('@')
@@ -212,6 +218,7 @@ const SALT_TORN: u64 = 0x54_4f_52_4e; // "TORN"
 const SALT_TORN_CUT: u64 = 0x43_55_54; // "CUT"
 const SALT_BITFLIP: u64 = 0x46_4c_49_50; // "FLIP"
 const SALT_BIT_POS: u64 = 0x50_4f_53; // "POS"
+const SALT_SPEC_ABORT: u64 = 0x53_50_45_43; // "SPEC"
 
 /// The seeded decision engine behind a [`FaultyStore`]. Each store
 /// operation consumes one op index; every decision about that operation is
@@ -264,6 +271,16 @@ impl FaultPlan {
 
     fn hit(&self, salt: u64, op: u64, ppm: u32) -> bool {
         ppm > 0 && self.draw(salt, op) % 1_000_000 < ppm as u64
+    }
+
+    /// Whether the speculative op with sequence number `seq` gets a
+    /// fault-injected NACK instead of an ack. Unlike store faults this
+    /// draw is keyed by the client-side sequence number, not the shared
+    /// op counter, so the decision is independent of how many store
+    /// operations ran before the op was issued — the same seed aborts the
+    /// same speculations at any thread count.
+    pub fn spec_abort(&self, seq: u64) -> bool {
+        self.hit(SALT_SPEC_ABORT, seq, self.config.spec_abort_ppm)
     }
 
     /// The latency multiplier active at virtual instant `at` (1.0 outside
@@ -646,6 +663,29 @@ mod tests {
         assert!(FaultConfig::parse("bogus=1").is_err());
         assert!(FaultConfig::parse("seed").is_err());
         assert!(FaultConfig::parse("osd_outage=1@10ms").is_err());
+    }
+
+    #[test]
+    fn spec_abort_is_deterministic_and_gated() {
+        let on = FaultPlan::new(FaultConfig {
+            seed: 9,
+            spec_abort_ppm: 200_000,
+            ..FaultConfig::default()
+        });
+        let hits: Vec<u64> = (0..2_000).filter(|&s| on.spec_abort(s)).collect();
+        assert!(!hits.is_empty(), "200k ppm over 2000 seqs must fire");
+        let again = FaultPlan::new(FaultConfig {
+            seed: 9,
+            spec_abort_ppm: 200_000,
+            ..FaultConfig::default()
+        });
+        let rerun: Vec<u64> = (0..2_000).filter(|&s| again.spec_abort(s)).collect();
+        assert_eq!(hits, rerun, "same seed must abort the same speculations");
+
+        let off = FaultPlan::new(FaultConfig::default());
+        assert!((0..2_000).all(|s| !off.spec_abort(s)));
+        let cfg = FaultConfig::parse("seed=9,spec_abort_ppm=200000").unwrap();
+        assert_eq!(cfg.spec_abort_ppm, 200_000);
     }
 
     #[test]

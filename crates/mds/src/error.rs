@@ -53,6 +53,14 @@ pub enum MdsError {
         /// The already-in-use inode.
         ino: InodeId,
     },
+    /// A speculative replay token predicted an inode outside every range
+    /// granted to the issuing session: the client speculated against state
+    /// it never owned, so the op cannot be (re)applied idempotently. The
+    /// client must drop the speculation and re-issue non-speculatively.
+    BadSpeculation {
+        /// The predicted inode the session does not own.
+        ino: InodeId,
+    },
     /// ETIMEDOUT: the MDS did not answer within the virtual-time RPC
     /// timeout — it is down (or partitioned). The client should back off
     /// and reconnect to the current primary.
@@ -85,6 +93,9 @@ impl std::fmt::Display for MdsError {
                     f,
                     "inode {ino} already in use (allocation contract violated)"
                 )
+            }
+            MdsError::BadSpeculation { ino } => {
+                write!(f, "bad speculation: predicted inode {ino} is not granted")
             }
             MdsError::Timeout => write!(f, "ETIMEDOUT: MDS did not respond within the RPC timeout"),
             MdsError::Fenced { writer, current } => {

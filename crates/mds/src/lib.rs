@@ -65,6 +65,6 @@ pub use failover::{
 pub use inode::Inode;
 pub use mdlog::{MdLog, MdLogConfig, MdLogStats};
 pub use persist::{flush_store, load_store, NvaCounters, ObjectStoreSink, PersistError};
-pub use server::{CreateReply, MetadataServer, OpCost, Rpc, ServerCounters};
+pub use server::{CreateReply, MetadataServer, OpCost, ReplayToken, Rpc, ServerCounters};
 pub use session::{InodeAllocator, Session, SessionMap};
 pub use store::{BlindApply, CheckedApply, MetadataStore};

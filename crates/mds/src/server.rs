@@ -88,6 +88,27 @@ pub struct CreateReply {
     pub has_cache: bool,
 }
 
+/// Client-side stamp on a speculatively issued operation, making replay
+/// after rollback idempotent. The client predicts the outcome (the inode
+/// number it expects from its granted range) before the ack arrives; if the
+/// speculation is invalidated it replays the op with the *same* token, and
+/// the server recognises an already-applied op by its predicted inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayToken {
+    /// Client-local sequence number of the speculative op (diagnostics and
+    /// fault-plan keying; not used for dedup — the inode is the identity).
+    pub seq: u64,
+    /// The inode the client predicted from its preallocated range. The
+    /// server applies the op with exactly this inode, so a replay that
+    /// finds the dentry already present with this inode is a duplicate.
+    pub predicted_ino: InodeId,
+    /// The MDS epoch the client believed current when it issued the op.
+    /// A replay against a newer primary carries its stale birth epoch;
+    /// the server counts it as a cross-epoch replay and serves it anyway
+    /// (the token, not the epoch, is the idempotence key).
+    pub epoch: u64,
+}
+
 /// Aggregate request counters (Figure 3c plots these over time).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerCounters {
@@ -126,6 +147,14 @@ struct MdsObs {
     cap_cache_hits: Counter,
     merges: Counter,
     merged_events: Counter,
+    /// `mds.spec.creates` — speculatively stamped creates served.
+    spec_creates: Counter,
+    /// `mds.spec.deduped` — replays recognised as already applied (the
+    /// dentry existed with the token's predicted inode).
+    spec_deduped: Counter,
+    /// `mds.spec.cross_epoch` — replays whose token was born under an
+    /// older epoch than the serving primary (post-failover replays).
+    spec_cross_epoch: Counter,
     /// Windowed time series: per-window service rate/latency, journal
     /// backlog and flush cadence, reconnect markers.
     tl: cudele_obs::timeline::Timeline,
@@ -152,6 +181,9 @@ impl MdsObs {
             cap_cache_hits: reg.counter("mds.caps.cache_hits"),
             merges: reg.counter("mds.merge.runs"),
             merged_events: reg.counter("mds.merge.merged_events"),
+            spec_creates: reg.counter("mds.spec.creates"),
+            spec_deduped: reg.counter("mds.spec.deduped"),
+            spec_cross_epoch: reg.counter("mds.spec.cross_epoch"),
             tl: reg.timeline(),
             now: Nanos::ZERO,
             ctx: None,
@@ -859,6 +891,122 @@ impl MetadataServer {
         )
     }
 
+    /// Creates a file under a speculative [`ReplayToken`]: the client
+    /// already predicted `token.predicted_ino` from its granted range and
+    /// ran ahead assuming success, so the server must (a) apply the op with
+    /// exactly that inode, and (b) treat a replay of an already-applied
+    /// token as success, not `EEXIST`. Unlike [`MetadataServer::create`]
+    /// this does **not** record a history event — the client's speculation
+    /// layer records the op only when the speculation commits, so the
+    /// consistency checkers never see an acked-but-rolled-back op.
+    ///
+    /// Validation, in order:
+    /// 1. the session must own a granted range containing the predicted
+    ///    inode (else [`MdsError::BadSpeculation`]);
+    /// 2. a dentry `(parent, name)` already holding the predicted inode is
+    ///    an idempotent replay — success at lookup cost, nothing re-applied;
+    /// 3. the predicted inode in use under a *different* name is an
+    ///    allocation-contract violation ([`MdsError::InodeCollision`]).
+    ///
+    /// A token born under an older epoch (replay across a failover) is
+    /// counted in `mds.spec.cross_epoch` and served normally: the token,
+    /// not the epoch, is the idempotence key.
+    pub fn create_speculative(
+        &mut self,
+        client: ClientId,
+        parent: InodeId,
+        name: &str,
+        token: ReplayToken,
+    ) -> Rpc<CreateReply> {
+        if let Some(r) = self.down_reply() {
+            return r;
+        }
+        self.counters.rpcs += 1;
+        self.obs(|o| o.spec_creates.inc());
+        if token.epoch < self.epoch.0 {
+            self.obs(|o| {
+                o.spec_cross_epoch.inc();
+                o.tl.add("mds.spec.cross_epoch", o.now, 1);
+            });
+        }
+        if let Err(e) = self.check_blocked(parent, client) {
+            self.counters.rejects += 1;
+            self.obs(|o| o.rejects.inc());
+            return self.reply(
+                Err(e),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        let ino = token.predicted_ino;
+        let owned = match self.sessions.get(client) {
+            Ok(s) => s.ranges.iter().any(|r| r.contains(ino)),
+            Err(e) => {
+                return self.reply(
+                    Err(e),
+                    OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+                )
+            }
+        };
+        if !owned {
+            return self.reply(
+                Err(MdsError::BadSpeculation { ino }),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        if let Ok(dentry) = self.store.lookup(parent, name) {
+            if dentry.ino == ino {
+                // Replay of an op that already applied before the
+                // invalidation: acknowledge without re-applying.
+                self.obs(|o| o.spec_deduped.inc());
+                return self.reply(
+                    Ok(CreateReply {
+                        ino,
+                        has_cache: false,
+                    }),
+                    OpCost::rpc(self.cost.mds_lookup_cpu, self.cost.rpc_overhead),
+                );
+            }
+            return self.reply(
+                Err(MdsError::Exists {
+                    parent,
+                    name: name.to_string(),
+                }),
+                OpCost::rpc(self.cost.mds_reject_cpu, self.cost.rpc_overhead),
+            );
+        }
+        self.counters.creates += 1;
+        self.obs(|o| o.creates.inc());
+        let mut mds_cpu = self.cost.mds_create_cpu;
+        let mut client_extra = self.cost.rpc_overhead;
+        let caps = self.caps.on_dir_write(parent, client);
+        self.obs(|o| o.note_caps(&caps));
+        if caps.revoked_from.is_some() {
+            mds_cpu += self.cost.mds_cap_revoke_cpu;
+        }
+        let attrs = Attrs::file_default();
+        if let Err(e) = self.store.create(parent, name, ino, attrs) {
+            return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra));
+        }
+        let (jcpu, jlat) = match self.journal(JournalEvent::Create {
+            parent,
+            name: name.to_string(),
+            ino,
+            attrs,
+        }) {
+            Ok(t) => t,
+            Err(e) => return self.reply(Err(e), OpCost::rpc(mds_cpu, client_extra)),
+        };
+        mds_cpu += jcpu;
+        client_extra += jlat;
+        self.reply(
+            Ok(CreateReply {
+                ino,
+                has_cache: caps.writer_has_cache,
+            }),
+            OpCost::rpc(mds_cpu, client_extra),
+        )
+    }
+
     /// Creates a directory in `parent`.
     pub fn mkdir(&mut self, client: ClientId, parent: InodeId, name: &str) -> Rpc<CreateReply> {
         let r = self.mkdir_impl(client, parent, name);
@@ -1478,6 +1626,63 @@ mod tests {
         assert!(r.cost.mds_cpu >= s.cost_model().mds_create_cpu);
         assert!(r.cost.client_extra > s.cost_model().rpc_overhead); // + stream wait
         assert_eq!(s.store().lookup(dir, "f0").unwrap().ino, reply.ino);
+    }
+
+    #[test]
+    fn speculative_create_applies_predicted_inode_and_replays_idempotently() {
+        let mut s = server();
+        let reg = Arc::new(Registry::new());
+        s.attach_obs(&reg);
+        s.open_session(C1);
+        let dir = s.setup_dir("/spec").unwrap();
+        let range = s.alloc_inodes(C1, 16).expect_ok();
+        let token = ReplayToken {
+            seq: 0,
+            predicted_ino: range.start,
+            epoch: s.epoch().0,
+        };
+        let first = s.create_speculative(C1, dir, "f0", token);
+        assert_eq!(first.result.unwrap().ino, range.start);
+        assert!(first.cost.mds_cpu >= s.cost_model().mds_create_cpu);
+        // Replay with the same token: success at lookup cost, not EEXIST,
+        // and nothing re-applied.
+        let replay = s.create_speculative(C1, dir, "f0", token);
+        assert_eq!(replay.result.unwrap().ino, range.start);
+        assert!(replay.cost.mds_cpu < s.cost_model().mds_create_cpu);
+        assert_eq!(s.counters().creates, 1);
+        assert_eq!(reg.counter_value("mds.spec.creates"), Some(2));
+        assert_eq!(reg.counter_value("mds.spec.deduped"), Some(1));
+        // A token predicting an inode the session never owned is rejected.
+        let bogus = ReplayToken {
+            seq: 1,
+            predicted_ino: InodeId(0xdead_beef),
+            epoch: s.epoch().0,
+        };
+        assert!(matches!(
+            s.create_speculative(C1, dir, "f1", bogus).result,
+            Err(MdsError::BadSpeculation { .. })
+        ));
+        // A different op colliding with the applied name is still EEXIST.
+        let other = ReplayToken {
+            seq: 2,
+            predicted_ino: InodeId(range.start.0 + 1),
+            epoch: s.epoch().0,
+        };
+        assert!(matches!(
+            s.create_speculative(C1, dir, "f0", other).result,
+            Err(MdsError::Exists { .. })
+        ));
+        // A stale birth epoch is counted, not rejected.
+        let stale = ReplayToken {
+            seq: 3,
+            predicted_ino: InodeId(range.start.0 + 1),
+            epoch: 0,
+        };
+        s.create_speculative(C1, dir, "f1", stale).expect_ok();
+        assert_eq!(reg.counter_value("mds.spec.cross_epoch"), Some(1));
+        // Speculative serves record no history: the client does at commit.
+        let h = cudele_obs::history::History::parse(&reg.history_json("rpc")).unwrap();
+        assert!(h.events.is_empty(), "server must not record spec history");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use cudele::{
     achieved_durability, execute_merge, execute_merge_at, visible_in_global, Composition,
     Durability, ExecEnv,
 };
-use cudele_client::{DecoupledClient, LocalDisk, RpcClient};
+use cudele_client::{AckOutcome, DecoupledClient, LocalDisk, RpcClient, SpeculativeClient};
 use cudele_faults::{FaultConfig, FaultyStore};
 use cudele_journal::{InodeId, InodeRange, JournalId};
 use cudele_mds::{
@@ -961,6 +961,298 @@ fn post_failover_allocations_never_collide_across_seeds() {
 }
 
 // ---------------------------------------------------------------------
+// Speculative clients across failover
+// ---------------------------------------------------------------------
+
+/// Everything a speculative failover run produced that must reproduce
+/// bit for bit: the epoch, the namespace, the speculation accounting,
+/// the injected-fault tallies, and the recorded consistency history.
+#[derive(Debug, PartialEq)]
+struct SpecFailoverOutcome {
+    epoch: u64,
+    survived: usize,
+    /// Creates lost to the failover — exactly the pre-crash *committed*
+    /// ops when the mdlog is off (speculation keeps the journal-off loss
+    /// class: commits without an mdlog die with the primary, while the
+    /// doomed in-flight window always replays), zero when it is on.
+    lost: u64,
+    committed: u64,
+    rollbacks: u64,
+    aborted: u64,
+    replayed: u64,
+    injected: (u64, u64, u64),
+    history: String,
+}
+
+/// One speculative client through a full failover: it runs `depth` ops
+/// ahead of the acks against the original primary, the primary dies
+/// mid-window at op `crash_at_op`, the in-flight ack comes back as an
+/// invalidation (dooming the dependent window), the client resumes on
+/// the standby and replays with its original tokens, then finishes the
+/// workload against the new primary. Every acknowledged-to-the-caller
+/// create must exist on the new primary, and the commit-time history
+/// must pass the linearizability checker right across the epoch bump.
+fn speculation_failover_run(
+    mdlog: bool,
+    depth: usize,
+    crash_at_op: u64,
+    seed: u64,
+) -> SpecFailoverOutcome {
+    const N: u64 = 60;
+    assert!(crash_at_op < N && depth >= 1);
+    let os = faulty_store(background_faults(seed));
+    let mut cluster = MdsCluster::new(
+        os.clone(),
+        CostModel::calibrated(),
+        if mdlog { Some(small_mdlog()) } else { None },
+        FailoverConfig::default(),
+    );
+    let reg = Arc::new(cudele_obs::Registry::new());
+    cluster.attach_obs(&reg);
+    let dir = cluster.active_mut().setup_dir_durable("/spec").unwrap();
+    if !mdlog {
+        // Journal off: persist the setup image so the takeover has a
+        // namespace to start from — the creates themselves live only in
+        // primary memory and must come back through the replay tokens.
+        cudele_mds::flush_store(
+            cluster.active_mut().store(),
+            os.as_ref(),
+            cudele_rados::PoolId::METADATA,
+        )
+        .unwrap();
+    }
+    let (client, _) = SpeculativeClient::mount(cluster.active_mut(), CLIENT);
+    let mut client = client.unwrap();
+    client.attach_obs(&reg);
+
+    let step = Nanos::from_micros(100);
+    let mut t = Nanos::from_micros(50);
+    let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut pre_crash_committed = 0;
+    for i in 0..N {
+        if i == crash_at_op {
+            pre_crash_committed = client.committed();
+            // Kill the primary with the window in flight. What the mdlog
+            // flushed survives the takeover; everything else only comes
+            // back through the replay below.
+            if mdlog {
+                cluster.active_mut().flush_journal();
+            }
+            cluster.advance_to(t).unwrap();
+            cluster.crash_active();
+            let oldest = pending.pop_front().expect("window empty at crash");
+            let doomed = match client.deliver_ack(oldest, true) {
+                AckOutcome::RolledBack(d) => d,
+                other => panic!("seed {seed}: crash must invalidate, got {other:?}"),
+            };
+            // Same-directory ordering makes every in-flight op a
+            // dependent of the invalidated one: the whole window rolls.
+            assert_eq!(
+                doomed.len(),
+                pending.len() + 1,
+                "seed {seed}: rollback missed part of the window"
+            );
+            pending.clear();
+            let fo = FailoverConfig::default();
+            cluster
+                .advance_to(cluster.now() + fo.beacon_grace + fo.beacon_interval * 4)
+                .unwrap();
+            assert_eq!(cluster.epoch(), Epoch(2), "seed {seed}: takeover missing");
+            t = t.max(cluster.now()) + step;
+            client.set_now(t);
+            let (r, _) = client.resume_on(cluster.active_mut());
+            r.unwrap_or_else(|e| panic!("seed {seed}: resume failed: {e}"));
+            let (r, _) = client.replay(cluster.active_mut(), &doomed);
+            r.unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
+        }
+        client.set_now(t);
+        cluster.active_mut().set_now(t);
+        let (seq, _) = client.issue_create(cluster.active_mut(), dir, &format!("f{i}"));
+        pending.push_back(seq);
+        if pending.len() >= depth {
+            t += step;
+            client.set_now(t);
+            let s = pending.pop_front().unwrap();
+            assert!(
+                matches!(client.deliver_ack(s, false), AckOutcome::Committed(_)),
+                "seed {seed}: healthy ack invalidated"
+            );
+        }
+        t += step;
+    }
+    while let Some(s) = pending.pop_front() {
+        t += step;
+        client.set_now(t);
+        client.deliver_ack(s, false);
+    }
+    assert_eq!(client.committed(), N, "seed {seed}: ops never committed");
+
+    let survived = (0..N)
+        .filter(|i| {
+            cluster
+                .active()
+                .store()
+                .lookup(dir, &format!("f{i}"))
+                .is_ok()
+        })
+        .count();
+    // The durability class is unchanged by speculation: with the mdlog
+    // streaming (and flushed at the crash) nothing is lost; journal-off
+    // loses exactly the pre-crash committed ops — the in-flight doomed
+    // window always replays, and the post-failover tail always lands.
+    let expected_lost = if mdlog { 0 } else { pre_crash_committed };
+    assert_eq!(
+        survived as u64,
+        N - expected_lost,
+        "seed {seed}: survived {survived}, expected N - {expected_lost} \
+(mdlog={mdlog}, loss class violated)"
+    );
+
+    // The commit-time history — pre-crash commits, replayed window,
+    // post-failover tail — must satisfy linearizability end to end.
+    let history = reg.history_json("rpc");
+    let report = cudele_check::check_history(
+        &cudele_obs::history::History::parse(&history)
+            .unwrap_or_else(|e| panic!("seed {seed}: bad history: {e}")),
+    );
+    assert!(
+        report.clean(),
+        "seed {seed}: consistency violation: {}",
+        report.violations[0]
+    );
+    assert!(
+        report.ops_checked > 0,
+        "seed {seed}: checker verified nothing"
+    );
+
+    let counter = |name: &str| reg.counter_value(name).unwrap_or(0);
+    SpecFailoverOutcome {
+        epoch: cluster.epoch().0,
+        survived,
+        lost: expected_lost,
+        committed: client.committed(),
+        rollbacks: counter("client.spec.rollbacks"),
+        aborted: counter("client.spec.aborted_ops"),
+        replayed: counter("client.spec.replayed"),
+        injected: os.injected(),
+        history,
+    }
+}
+
+/// A speculative window dies with the primary and is replayed intact on
+/// the standby, for every seed — with the run reproducible bit for bit.
+#[test]
+fn speculative_window_replays_across_failover_per_seed() {
+    let outcomes = sweep_seeds(4, |seed| speculation_failover_run(true, 8, 20, seed));
+    for (seed, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.epoch, 2, "seed {seed}");
+        assert_eq!(o.survived, 60, "seed {seed}");
+        assert!(o.rollbacks >= 1, "seed {seed}: crash doomed nothing");
+        assert_eq!(o.aborted, o.replayed, "seed {seed}: aborted ops unreplayed");
+        assert_eq!(
+            &speculation_failover_run(true, 8, 20, seed as u64),
+            o,
+            "seed {seed}: speculative failover not reproducible"
+        );
+    }
+}
+
+/// Two successive failovers with the client journal still unmerged: each
+/// `resume_on` reasserts the session and granted ranges on the next
+/// primary without touching one journal byte, and the merge against the
+/// *third* primary (epoch 3) lands every event, globally visible and
+/// globally durable.
+#[test]
+fn decoupled_resume_survives_two_successive_failovers() {
+    const N: u64 = 40;
+    let os = faulty_store(background_faults(5));
+    let mut cluster = MdsCluster::new(
+        os.clone(),
+        CostModel::calibrated(),
+        Some(small_mdlog()),
+        FailoverConfig::default(),
+    );
+    let mut disk = LocalDisk::new();
+    cluster.active_mut().setup_dir_durable("/job").unwrap();
+    cluster.active_mut().open_session(CLIENT);
+    let (dc, _) = DecoupledClient::decouple(cluster.active_mut(), CLIENT, "/job", N + 10);
+    let mut client = dc.unwrap();
+    for i in 0..N {
+        client.create(client.root, &format!("f{i}")).unwrap();
+    }
+    let bytes_before = cudele_journal::encode_journal(client.events()).to_vec();
+
+    // First failover: primary dies with the journal unmerged.
+    cluster.advance_to(Nanos::from_millis(5)).unwrap();
+    cluster.crash_active();
+    cluster.advance_to(Nanos::from_millis(80)).unwrap();
+    assert_eq!(cluster.epoch(), Epoch(2), "first takeover missing");
+    let (r, _) = client.resume_on(cluster.active_mut());
+    r.unwrap();
+    assert_eq!(
+        cudele_journal::encode_journal(client.events()).to_vec(),
+        bytes_before,
+        "first failover mutated the unmerged journal"
+    );
+
+    // The client keeps appending between the failovers — the resumed
+    // range keeps allocating fresh inodes.
+    for i in N..N + 5 {
+        client.create(client.root, &format!("f{i}")).unwrap();
+    }
+    let bytes_mid = cudele_journal::encode_journal(client.events()).to_vec();
+
+    // Second failover: the replacement primary dies too.
+    cluster.advance_to(Nanos::from_millis(85)).unwrap();
+    cluster.crash_active();
+    cluster.advance_to(Nanos::from_millis(170)).unwrap();
+    assert_eq!(cluster.epoch(), Epoch(3), "second takeover missing");
+    let (r, _) = client.resume_on(cluster.active_mut());
+    r.unwrap();
+    assert_eq!(
+        cudele_journal::encode_journal(client.events()).to_vec(),
+        bytes_mid,
+        "second failover mutated the unmerged journal"
+    );
+
+    // Merge cleanly against the third primary: every event (including
+    // the between-failover tail) visible in global and globally durable.
+    let comp: Composition = "global_persist+volatile_apply".parse().unwrap();
+    execute_merge(
+        &comp,
+        &mut client,
+        &mut ExecEnv {
+            server: cluster.active_mut(),
+            os: os.as_ref(),
+            disk: &mut disk,
+        },
+    )
+    .unwrap();
+    assert!(visible_in_global(cluster.active(), &client));
+    assert_eq!(
+        achieved_durability(&client, &disk, os.as_ref()),
+        Durability::Global
+    );
+    let read = cudele_journal::read_journal(os.as_ref(), client.journal_id()).unwrap();
+    assert_eq!(
+        read,
+        client.events(),
+        "merge on the third primary lost events"
+    );
+    let root = client.root;
+    for i in 0..N + 5 {
+        assert!(
+            cluster
+                .active()
+                .store()
+                .lookup(root, &format!("f{i}"))
+                .is_ok(),
+            "f{i} missing after the double-failover merge"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Checkpointed failover: tiered-compaction manifests under damage
 // ---------------------------------------------------------------------
 
@@ -1332,6 +1624,62 @@ fn chaos_checkpoint_wide_matrix() {
             outcomes[seed as usize],
             "seed {seed}: checkpointed failover not reproducible"
         );
+    }
+}
+
+/// Wide speculation matrix: (mdlog on/off x window depth) x crash point
+/// x seed, every cell a full mid-window failover with rollback, token
+/// replay on the standby, zero committed-op loss, a linearizable
+/// commit-time history (checked inside [`speculation_failover_run`]),
+/// and bit-identity on rerun for a sample of cells.
+/// CI runs this via `cargo test --release -- --ignored chaos_speculation`.
+#[test]
+#[ignore = "heavy sweep; run with --ignored chaos_speculation"]
+fn chaos_speculation_wide_matrix() {
+    const CONFIGS: [(bool, usize); 3] = [(true, 4), (true, 16), (false, 8)];
+    const CRASH_AT: [u64; 2] = [15, 45];
+    for (mdlog, depth) in CONFIGS {
+        for crash_at in CRASH_AT {
+            let outcomes = sweep_seeds(8, |seed| {
+                speculation_failover_run(mdlog, depth, crash_at, seed)
+            });
+            for (seed, o) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    o.epoch, 2,
+                    "mdlog={mdlog} depth={depth} crash@{crash_at} seed {seed}"
+                );
+                // mdlog on: zero loss. mdlog off: the journal-off class —
+                // pre-crash commits die with the primary, nothing else.
+                if mdlog {
+                    assert_eq!(o.lost, 0, "mdlog depth={depth} seed {seed}");
+                    assert_eq!(o.survived, 60, "mdlog depth={depth} seed {seed}");
+                } else {
+                    assert!(
+                        o.lost > 0,
+                        "depth={depth} crash@{crash_at} seed {seed}: \
+journal-off cell never exercised the loss class"
+                    );
+                }
+                assert!(
+                    o.rollbacks >= 1 && o.aborted == o.replayed,
+                    "mdlog={mdlog} depth={depth} seed {seed}: \
+rollbacks {} aborted {} replayed {}",
+                    o.rollbacks,
+                    o.aborted,
+                    o.replayed
+                );
+            }
+            // Bit-identity for a sample of seeds (each cell already
+            // asserts its own invariants; the sample pins determinism).
+            for seed in [0u64, 7] {
+                assert_eq!(
+                    speculation_failover_run(mdlog, depth, crash_at, seed),
+                    outcomes[seed as usize],
+                    "mdlog={mdlog} depth={depth} crash@{crash_at} seed {seed}: \
+not reproducible"
+                );
+            }
+        }
     }
 }
 

@@ -5,13 +5,23 @@
 //! * the object-store representation round-trips the namespace;
 //! * Nonvolatile Apply and Volatile Apply converge to the same state;
 //! * policy files and DSL compositions round-trip;
-//! * directory fragtrees never lose or duplicate entries.
+//! * directory fragtrees never lose or duplicate entries;
+//! * fault-free speculation is invisible: the same workload with
+//!   speculation on and off lands byte-identical namespaces and
+//!   identically-clean histories.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use cudele::{parse_policies, render_policies, Composition, Policy};
+use cudele_client::{AckOutcome, RpcClient, SpeculativeClient};
 use cudele_journal::{decode_journal, encode_journal, Attrs, InodeId, JournalEvent};
-use cudele_mds::{compact_with_report, flush_store, load_store, MetadataStore, ObjectStoreSink};
+use cudele_mds::{
+    compact_with_report, flush_store, load_store, ClientId, MetadataServer, MetadataStore,
+    ObjectStoreSink,
+};
 use cudele_rados::{InMemoryStore, PoolId};
 use cudele_sim::Nanos;
 
@@ -281,6 +291,101 @@ proptest! {
         sorted.sort();
         let listed_names: Vec<String> = listed.into_iter().map(|(n, _)| n).collect();
         prop_assert_eq!(listed_names, sorted.into_iter().cloned().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn speculation_on_and_off_are_equivalent_without_faults(
+        ops in 1u64..80,
+        depth in 1usize..24,
+        ndirs in 1usize..4,
+        eager in proptest::collection::vec(any::<bool>(), 80..81),
+    ) {
+        // The same create workload twice: a stalling RPC client (the
+        // server records its history), and a speculative client running
+        // `depth` ops ahead with an arbitrary ack-delivery interleaving
+        // (the client records its history at commit). Fault-free, the
+        // two must land byte-identical namespaces — same names bound to
+        // the same inode numbers — and both histories must pass the
+        // linearizability checker over the same number of ops.
+        let t_of = |i: u64| Nanos::from_micros(100 * (i + 1));
+
+        let plain_reg = Arc::new(cudele_obs::Registry::new());
+        let mut plain = MetadataServer::new(Arc::new(InMemoryStore::paper_default()));
+        let mut pdirs = Vec::new();
+        for d in 0..ndirs {
+            pdirs.push(plain.setup_dir(&format!("/d{d}")).unwrap());
+        }
+        plain.attach_obs(&plain_reg);
+        let (mut rc, _) = RpcClient::mount(&mut plain, ClientId(1));
+        for i in 0..ops {
+            plain.set_now(t_of(i));
+            rc.create(&mut plain, pdirs[(i % ndirs as u64) as usize], &format!("f{i}"))
+                .result
+                .unwrap();
+        }
+
+        let spec_reg = Arc::new(cudele_obs::Registry::new());
+        let mut spec = MetadataServer::new(Arc::new(InMemoryStore::paper_default()));
+        let mut sdirs = Vec::new();
+        for d in 0..ndirs {
+            sdirs.push(spec.setup_dir(&format!("/d{d}")).unwrap());
+        }
+        let (sc, _) = SpeculativeClient::mount(&mut spec, ClientId(1));
+        let mut sc = sc.unwrap();
+        sc.attach_obs(&spec_reg);
+        let mut pending: VecDeque<u64> = VecDeque::new();
+        for i in 0..ops {
+            sc.set_now(t_of(i));
+            let (seq, _) =
+                sc.issue_create(&mut spec, sdirs[(i % ndirs as u64) as usize], &format!("f{i}"));
+            pending.push_back(seq);
+            // The interleaving is arbitrary (FIFO order, but *when* each
+            // ack lands varies): drain early when the generator says so,
+            // always when the window is full.
+            if eager[i as usize] || pending.len() >= depth {
+                sc.set_now(t_of(i) + Nanos::from_micros(10));
+                let s = pending.pop_front().unwrap();
+                prop_assert!(matches!(sc.deliver_ack(s, false), AckOutcome::Committed(_)));
+            }
+        }
+        let mut t = t_of(ops);
+        while let Some(s) = pending.pop_front() {
+            t += Nanos::from_micros(10);
+            sc.set_now(t);
+            sc.deliver_ack(s, false);
+        }
+        prop_assert_eq!(sc.committed(), ops);
+
+        // Byte-identical final namespaces (names, inode numbers, attrs).
+        prop_assert_eq!(plain.store().snapshot(), spec.store().snapshot());
+
+        // Identical history verdicts (both linearizable), and the same
+        // create observations: the plain client additionally records its
+        // cold-start lookups — the very RPCs speculation skips — so only
+        // the create events are compared, name for name, inode for inode.
+        let ph = cudele_obs::history::History::parse(&plain_reg.history_json("rpc")).unwrap();
+        let sh = cudele_obs::history::History::parse(&spec_reg.history_json("rpc")).unwrap();
+        let pr = cudele_check::check_history(&ph);
+        let sr = cudele_check::check_history(&sh);
+        prop_assert!(pr.clean(), "rpc history dirty: {}", pr.violations[0]);
+        prop_assert!(sr.clean(), "speculative history dirty: {}", sr.violations[0]);
+        let creates = |h: &cudele_obs::history::History| {
+            let mut v: Vec<(String, u64)> = h
+                .events
+                .iter()
+                .filter_map(|e| match &e.op {
+                    cudele_obs::history::HistoryOp::Create { name, .. } => {
+                        Some((name.clone(), e.ino))
+                    }
+                    _ => None,
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let (pc, sc_events) = (creates(&ph), creates(&sh));
+        prop_assert_eq!(pc.len() as u64, ops);
+        prop_assert_eq!(pc, sc_events);
     }
 
     #[test]
